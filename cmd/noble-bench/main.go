@@ -1,0 +1,81 @@
+// Command noble-bench runs the paper-reproduction experiment suite and
+// prints paper-vs-measured tables for every table and figure in the
+// evaluation (see DESIGN.md §3 for the index).
+//
+// Usage:
+//
+//	noble-bench [-preset small|full] [-only T1,T3,F4] [-list] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"noble/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noble-bench: ")
+	presetFlag := flag.String("preset", "small", "experiment scale: small or full")
+	onlyFlag := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	listFlag := flag.Bool("list", false, "list experiments and exit")
+	outFlag := flag.String("o", "", "write reports to this file instead of stdout")
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	var preset experiments.Preset
+	switch *presetFlag {
+	case "small":
+		preset = experiments.Small
+	case "full":
+		preset = experiments.Full
+	default:
+		log.Fatalf("unknown preset %q (want small or full)", *presetFlag)
+	}
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	out := os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *outFlag, err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	ran := 0
+	for _, e := range experiments.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		report := e.Run(preset)
+		if err := report.Fprint(out); err != nil {
+			log.Fatalf("writing report %s: %v", e.ID, err)
+		}
+		fmt.Fprintf(out, "[%s completed in %v at preset %s]\n\n",
+			e.ID, time.Since(start).Round(time.Millisecond), preset)
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no experiments matched -only=%q", *onlyFlag)
+	}
+}

@@ -1,0 +1,68 @@
+// Command noble-sim generates synthetic survey datasets and writes them as
+// UJIIndoorLoc-format CSV files, so the substrates can be inspected or fed
+// to external tools.
+//
+// Usage:
+//
+//	noble-sim [-dataset uji|ipin] [-size small|full] [-seed N]
+//	          [-train train.csv] [-test test.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"noble/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noble-sim: ")
+	datasetFlag := flag.String("dataset", "uji", "dataset to synthesize: uji or ipin")
+	sizeFlag := flag.String("size", "small", "dataset size: small or full")
+	seedFlag := flag.Int64("seed", 0, "override generation seed (0 = preset default)")
+	trainOut := flag.String("train", "train.csv", "training split output path")
+	testOut := flag.String("test", "test.csv", "test split output path")
+	flag.Parse()
+
+	var cfg dataset.WiFiConfig
+	switch {
+	case *datasetFlag == "uji" && *sizeFlag == "full":
+		cfg = dataset.DefaultUJIConfig()
+	case *datasetFlag == "uji" && *sizeFlag == "small":
+		cfg = dataset.SmallUJIConfig()
+	case *datasetFlag == "ipin" && *sizeFlag == "full":
+		cfg = dataset.DefaultIPINConfig()
+	case *datasetFlag == "ipin" && *sizeFlag == "small":
+		cfg = dataset.SmallIPINConfig()
+	default:
+		log.Fatalf("unknown dataset/size %q/%q", *datasetFlag, *sizeFlag)
+	}
+	if *seedFlag != 0 {
+		cfg.Seed = *seedFlag
+	}
+
+	var ds *dataset.WiFi
+	if *datasetFlag == "uji" {
+		ds = dataset.SynthUJI(cfg)
+	} else {
+		ds = dataset.SynthIPIN(cfg)
+	}
+
+	write := func(path string, samples []dataset.WiFiSample) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("creating %s: %v", path, err)
+		}
+		defer f.Close()
+		if err := dataset.SaveUJICSV(f, samples); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
+	}
+	write(*trainOut, append(append([]dataset.WiFiSample{}, ds.Train...), ds.Val...))
+	write(*testOut, ds.Test)
+	fmt.Printf("wrote %d training samples to %s and %d test samples to %s (%d WAPs)\n",
+		len(ds.Train)+len(ds.Val), *trainOut, len(ds.Test), *testOut, ds.NumWAPs)
+}

@@ -1,0 +1,148 @@
+// Command noble-train trains a NObLe Wi-Fi localization model on a
+// synthetic campus or on a UJIIndoorLoc-format CSV, evaluates it, and
+// optionally saves the weights.
+//
+// Usage:
+//
+//	noble-train [-dataset uji|ipin] [-size small|full] [-epochs N]
+//	            [-tau T] [-save model.gob]
+//	noble-train -train-csv train.csv -test-csv test.csv [-threshold -104]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"noble/internal/core"
+	"noble/internal/dataset"
+	"noble/internal/eval"
+	"noble/internal/geo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noble-train: ")
+	datasetFlag := flag.String("dataset", "uji", "synthetic dataset: uji or ipin")
+	sizeFlag := flag.String("size", "small", "synthetic dataset size: small or full")
+	trainCSV := flag.String("train-csv", "", "UJIIndoorLoc-format training CSV (overrides -dataset)")
+	testCSV := flag.String("test-csv", "", "UJIIndoorLoc-format test CSV (required with -train-csv)")
+	threshold := flag.Float64("threshold", -104, "detection threshold (dBm) for CSV normalization")
+	epochs := flag.Int("epochs", 0, "training epochs (0 = config default)")
+	tau := flag.Float64("tau", 0, "fine quantization cell side in meters (0 = default 0.4)")
+	saveFlag := flag.String("save", "", "write trained weights to this file")
+	verbose := flag.Bool("v", false, "log per-epoch loss")
+	flag.Parse()
+
+	ds := loadDataset(*datasetFlag, *sizeFlag, *trainCSV, *testCSV, *threshold)
+
+	cfg := core.DefaultWiFiConfig()
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+	if *tau > 0 {
+		cfg.TauFine = *tau
+		if cfg.TauCoarse <= *tau {
+			cfg.TauCoarse = *tau * 4
+		}
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	fmt.Printf("training on %d samples (%d WAPs, %d buildings, %d floors)\n",
+		len(ds.Train), ds.NumWAPs, ds.NumBuildings, ds.NumFloors)
+	model := core.TrainWiFi(ds, cfg)
+	fmt.Printf("model: %d neighborhood classes, %d MACs/inference\n", model.Classes(), model.FLOPs())
+
+	if len(ds.Test) > 0 {
+		x := dataset.FeaturesMatrix(ds.Test)
+		preds := model.PredictBatch(x)
+		pos := make([]geo.Point, len(preds))
+		floors := make([]int, len(preds))
+		buildings := make([]int, len(preds))
+		for i, p := range preds {
+			pos[i] = p.Pos
+			floors[i] = p.Floor
+			buildings[i] = p.Building
+		}
+		stats := eval.Stats(eval.Errors(pos, dataset.Positions(ds.Test)))
+		fmt.Printf("test: mean %.2f m, median %.2f m, p90 %.2f m (n=%d)\n",
+			stats.Mean, stats.Median, stats.P90, stats.N)
+		fmt.Printf("test: building acc %.2f%%, floor acc %.2f%%\n",
+			100*eval.HitRate(buildings, dataset.BuildingLabels(ds.Test)),
+			100*eval.HitRate(floors, dataset.FloorLabels(ds.Test)))
+	}
+
+	if *saveFlag != "" {
+		f, err := os.Create(*saveFlag)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *saveFlag, err)
+		}
+		defer f.Close()
+		if err := model.Save(f); err != nil {
+			log.Fatalf("saving model: %v", err)
+		}
+		fmt.Printf("weights written to %s\n", *saveFlag)
+	}
+}
+
+func loadDataset(name, size, trainCSV, testCSV string, threshold float64) *dataset.WiFi {
+	if trainCSV != "" {
+		if testCSV == "" {
+			log.Fatal("-train-csv requires -test-csv")
+		}
+		train := mustLoadCSV(trainCSV, threshold)
+		test := mustLoadCSV(testCSV, threshold)
+		maxB, maxF := 0, 0
+		for _, s := range append(append([]dataset.WiFiSample{}, train...), test...) {
+			if s.Building > maxB {
+				maxB = s.Building
+			}
+			if s.Floor > maxF {
+				maxF = s.Floor
+			}
+		}
+		return &dataset.WiFi{
+			NumWAPs:      len(train[0].RSSI),
+			NumBuildings: maxB + 1,
+			NumFloors:    maxF + 1,
+			Train:        train,
+			Test:         test,
+		}
+	}
+	var cfg dataset.WiFiConfig
+	switch {
+	case name == "uji" && size == "full":
+		cfg = dataset.DefaultUJIConfig()
+	case name == "uji":
+		cfg = dataset.SmallUJIConfig()
+	case name == "ipin" && size == "full":
+		cfg = dataset.DefaultIPINConfig()
+	case name == "ipin":
+		cfg = dataset.SmallIPINConfig()
+	default:
+		log.Fatalf("unknown dataset %q (want uji or ipin)", name)
+	}
+	if name == "uji" {
+		return dataset.SynthUJI(cfg)
+	}
+	return dataset.SynthIPIN(cfg)
+}
+
+func mustLoadCSV(path string, threshold float64) []dataset.WiFiSample {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("opening %s: %v", path, err)
+	}
+	defer f.Close()
+	samples, err := dataset.LoadUJICSV(f, threshold)
+	if err != nil {
+		log.Fatalf("parsing %s: %v", path, err)
+	}
+	if len(samples) == 0 {
+		log.Fatalf("%s contains no samples", path)
+	}
+	return samples
+}

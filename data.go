@@ -1,0 +1,172 @@
+package noble
+
+import (
+	"io"
+	"math/rand"
+
+	"noble/internal/dataset"
+	"noble/internal/floorplan"
+	"noble/internal/geo"
+	"noble/internal/imu"
+	"noble/internal/radio"
+)
+
+// Point is a planar position in meters (the paper's longitude/latitude are
+// projected planar coordinates).
+type Point = geo.Point
+
+// Rect is an axis-aligned rectangle.
+type Rect = geo.Rect
+
+// Polygon is a simple polygon.
+type Polygon = geo.Polygon
+
+// NewRect builds a rectangle from two opposite corners.
+func NewRect(a, b Point) Rect { return geo.NewRect(a, b) }
+
+// Dist returns the Euclidean distance between two points — the paper's
+// position-error metric.
+func Dist(a, b Point) float64 { return geo.Dist(a, b) }
+
+// Plan is a localization space: buildings with courtyards plus outdoor
+// regions. Custom plans can be assembled from Buildings and passed to
+// GenerateWiFi.
+type Plan = floorplan.Plan
+
+// Building is one structure on a plan.
+type Building = floorplan.Building
+
+// RefPoint is one survey location on a plan.
+type RefPoint = floorplan.RefPoint
+
+// UJICampus returns the synthetic three-building campus standing in for
+// UJIIndoorLoc (Fig. 1).
+func UJICampus() *Plan { return floorplan.UJICampus() }
+
+// IPINBuilding returns the synthetic single building standing in for
+// IPIN2016.
+func IPINBuilding() *Plan { return floorplan.IPINBuilding() }
+
+// OutdoorCampus returns the 160 m × 60 m outdoor tracking space of §V.
+func OutdoorCampus() *Plan { return floorplan.OutdoorCampus() }
+
+// RadioConfig holds the Wi-Fi propagation model parameters.
+type RadioConfig = radio.Config
+
+// RadioSimulator produces RSSI fingerprints for positions on a plan.
+type RadioSimulator = radio.Simulator
+
+// DefaultRadioConfig returns indoor-office propagation parameters.
+func DefaultRadioConfig() RadioConfig { return radio.DefaultConfig() }
+
+// NewRadioSimulator places count access points on the plan and returns a
+// fingerprint simulator.
+func NewRadioSimulator(plan *Plan, cfg RadioConfig, count int, seed int64) *RadioSimulator {
+	return radio.NewSimulator(plan, cfg, count, seed)
+}
+
+// RSSINotDetected is the sentinel RSSI for an unheard access point (+100,
+// the UJIIndoorLoc convention).
+const RSSINotDetected = radio.NotDetected
+
+// NormalizeRSSI maps raw RSSI values to [0,1] network features.
+func NormalizeRSSI(rssi []float64, detectionThreshold float64) []float64 {
+	return radio.Normalize(rssi, detectionThreshold)
+}
+
+// WiFiDatasetConfig controls synthetic Wi-Fi survey generation.
+type WiFiDatasetConfig = dataset.WiFiConfig
+
+// DefaultUJIConfig is the full-size synthetic UJIIndoorLoc stand-in.
+func DefaultUJIConfig() WiFiDatasetConfig { return dataset.DefaultUJIConfig() }
+
+// SmallUJIConfig is the scaled-down UJI preset for quick runs.
+func SmallUJIConfig() WiFiDatasetConfig { return dataset.SmallUJIConfig() }
+
+// DefaultIPINConfig is the single-building IPIN2016 stand-in.
+func DefaultIPINConfig() WiFiDatasetConfig { return dataset.DefaultIPINConfig() }
+
+// SmallIPINConfig is the scaled-down IPIN preset.
+func SmallIPINConfig() WiFiDatasetConfig { return dataset.SmallIPINConfig() }
+
+// SynthUJI generates the synthetic UJIIndoorLoc-like dataset.
+func SynthUJI(cfg WiFiDatasetConfig) *WiFiDataset { return dataset.SynthUJI(cfg) }
+
+// SynthIPIN generates the synthetic IPIN2016-like dataset.
+func SynthIPIN(cfg WiFiDatasetConfig) *WiFiDataset { return dataset.SynthIPIN(cfg) }
+
+// GenerateWiFi runs the survey protocol on an arbitrary plan.
+func GenerateWiFi(plan *Plan, cfg WiFiDatasetConfig) *WiFiDataset {
+	return dataset.Generate(plan, cfg)
+}
+
+// SaveUJICSV writes samples in the UJIIndoorLoc CSV layout.
+func SaveUJICSV(w io.Writer, samples []WiFiSample) error {
+	return dataset.SaveUJICSV(w, samples)
+}
+
+// LoadUJICSV reads samples from a UJIIndoorLoc-layout CSV (the published
+// dataset's files work unchanged).
+func LoadUJICSV(r io.Reader, detectionThreshold float64) ([]WiFiSample, error) {
+	return dataset.LoadUJICSV(r, detectionThreshold)
+}
+
+// IMUNetwork is the walkable reference-location graph for tracking.
+type IMUNetwork = imu.Network
+
+// IMUTrack is a recorded collection of walks.
+type IMUTrack = imu.Track
+
+// IMUConfigData holds the IMU collection-protocol and sensor parameters.
+type IMUConfigData = imu.Config
+
+// IMUPath is one tracking example (start, segment features, end).
+type IMUPath = imu.Path
+
+// IMUPathDataset is the materialized path dataset with splits.
+type IMUPathDataset = imu.PathDataset
+
+// IMUPathConfig controls path construction (§V-A protocol).
+type IMUPathConfig = imu.PathConfig
+
+// NewCampusNetwork lays reference locations along the outdoor campus
+// sidewalks; spacing 3 m yields ≈177 references like the paper.
+func NewCampusNetwork(spacing float64) *IMUNetwork { return imu.NewCampusNetwork(spacing) }
+
+// DefaultIMUDataConfig mirrors the paper's collection protocol (50 Hz,
+// 768 readings per segment, two walks, ≈75 minutes).
+func DefaultIMUDataConfig() IMUConfigData { return imu.DefaultConfig() }
+
+// SynthesizeIMU records random walks over the network with the gait and
+// sensor-noise model.
+func SynthesizeIMU(net *IMUNetwork, cfg IMUConfigData, seed int64) *IMUTrack {
+	return imu.Synthesize(net, cfg, seed)
+}
+
+// DefaultIMUPathConfig mirrors the paper's 6857-path, 4389/1096/1372
+// protocol.
+func DefaultIMUPathConfig() IMUPathConfig { return imu.DefaultPathConfig() }
+
+// BuildIMUPaths constructs the path dataset from a track per §V-A.
+func BuildIMUPaths(track *IMUTrack, cfg IMUPathConfig) *IMUPathDataset {
+	return imu.BuildPaths(track, cfg)
+}
+
+// Convenience re-exports for assembling feature matrices.
+
+// FeaturesMatrix stacks sample features into a matrix accepted by
+// WiFiModel.PredictBatch.
+func FeaturesMatrix(samples []WiFiSample) *Matrix { return dataset.FeaturesMatrix(samples) }
+
+// Positions extracts ground-truth coordinates.
+func Positions(samples []WiFiSample) []Point { return dataset.Positions(samples) }
+
+// BuildingLabels extracts building IDs.
+func BuildingLabels(samples []WiFiSample) []int { return dataset.BuildingLabels(samples) }
+
+// FloorLabels extracts floor indices.
+func FloorLabels(samples []WiFiSample) []int { return dataset.FloorLabels(samples) }
+
+// SeededRand returns a deterministic random generator (every stochastic
+// API in this module takes explicit seeds or generators).
+func SeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,149 @@
+package noble
+
+import (
+	"io"
+
+	"noble/internal/baseline"
+	"noble/internal/energy"
+	"noble/internal/eval"
+	"noble/internal/mat"
+)
+
+// Matrix is the dense row-major float64 matrix used throughout the module
+// (rows are samples, columns are features).
+type Matrix = mat.Dense
+
+// ErrorStats summarizes a position-error distribution.
+type ErrorStats = eval.ErrorStats
+
+// Errors returns per-sample Euclidean position errors.
+func Errors(pred, truth []Point) []float64 { return eval.Errors(pred, truth) }
+
+// Stats computes mean/median/percentile statistics of error distances.
+func Stats(errs []float64) ErrorStats { return eval.Stats(errs) }
+
+// HitRate returns the fraction of exact label matches (building/floor/
+// class accuracy).
+func HitRate(pred, truth []int) float64 { return eval.HitRate(pred, truth) }
+
+// CDF returns the fraction of errors at or below each level.
+func CDF(errs []float64, levels []float64) []float64 { return eval.CDF(errs, levels) }
+
+// OnMapRate returns the fraction of predictions inside accessible space —
+// the quantitative version of Fig. 4.
+func OnMapRate(plan *Plan, preds []Point) float64 { return eval.OnMapRate(plan, preds) }
+
+// StructureScore returns the mean distance from predictions to the nearest
+// accessible position (lower = more structure-aware).
+func StructureScore(plan *Plan, preds []Point) float64 { return eval.StructureScore(plan, preds) }
+
+// ScatterASCII renders points as a text scatter plot (the terminal
+// stand-in for the paper's figures).
+func ScatterASCII(points []Point, bounds Rect, w, h int) string {
+	return eval.ScatterASCII(points, bounds, w, h)
+}
+
+// ScatterCSV writes x,y rows for external plotting.
+func ScatterCSV(w io.Writer, points []Point) error { return eval.ScatterCSV(w, points) }
+
+// Confusion builds a k×k confusion-count matrix for classification heads.
+func Confusion(pred, truth []int, k int) [][]int { return eval.Confusion(pred, truth, k) }
+
+// FormatConfusion renders a confusion matrix as text.
+func FormatConfusion(m [][]int) string { return eval.FormatConfusion(m) }
+
+// GroupStats computes error statistics per integer group (e.g. per floor).
+func GroupStats(errs []float64, groups []int) map[int]ErrorStats {
+	return eval.GroupStats(errs, groups)
+}
+
+// FormatGroupStats renders per-group statistics sorted by key.
+func FormatGroupStats(name string, stats map[int]ErrorStats) string {
+	return eval.FormatGroupStats(name, stats)
+}
+
+// Baselines (Table II / Table III comparison systems).
+
+// RegConfig configures the deep-regression baselines.
+type RegConfig = baseline.RegConfig
+
+// WiFiRegressor is the Deep Regression baseline.
+type WiFiRegressor = baseline.WiFiRegressor
+
+// IMURegressor is the IMU Deep Regression baseline.
+type IMURegressor = baseline.IMURegressor
+
+// KNNFingerprint is the classical weighted-kNN fingerprinting matcher.
+type KNNFingerprint = baseline.KNNFingerprint
+
+// ManifoldRegressor is the Isomap/LLE deep-regression baseline.
+type ManifoldRegressor = baseline.ManifoldRegressor
+
+// ManifoldRegConfig configures TrainManifoldRegression.
+type ManifoldRegConfig = baseline.ManifoldRegConfig
+
+// ManifoldMethod selects Isomap or LLE.
+type ManifoldMethod = baseline.ManifoldMethod
+
+// Manifold embedding methods for ManifoldRegConfig.
+const (
+	MethodIsomap = baseline.MethodIsomap
+	MethodLLE    = baseline.MethodLLE
+)
+
+// DefaultRegConfig mirrors NObLe's network capacity, isolating the
+// objective as the only difference (§IV-B).
+func DefaultRegConfig() RegConfig { return baseline.DefaultRegConfig() }
+
+// TrainWiFiRegression fits the Deep Regression baseline.
+func TrainWiFiRegression(ds *WiFiDataset, cfg RegConfig) *WiFiRegressor {
+	return baseline.TrainWiFiRegression(ds, cfg)
+}
+
+// ProjectPredictions snaps off-map predictions to the nearest accessible
+// position (the Regression Projection baseline).
+func ProjectPredictions(plan *Plan, preds []Point) []Point {
+	return baseline.ProjectPredictions(plan, preds)
+}
+
+// NewKNNFingerprint indexes the training split for weighted-kNN matching.
+func NewKNNFingerprint(ds *WiFiDataset, k int) *KNNFingerprint {
+	return baseline.NewKNNFingerprint(ds, k)
+}
+
+// DefaultManifoldRegConfig returns a tractable landmark configuration for
+// the given embedding method.
+func DefaultManifoldRegConfig(m ManifoldMethod) ManifoldRegConfig {
+	return baseline.DefaultManifoldRegConfig(m)
+}
+
+// TrainManifoldRegression fits the Isomap/LLE deep-regression baseline.
+func TrainManifoldRegression(ds *WiFiDataset, cfg ManifoldRegConfig) (*ManifoldRegressor, error) {
+	return baseline.TrainManifoldRegression(ds, cfg)
+}
+
+// TrainIMURegression fits the IMU Deep Regression baseline.
+func TrainIMURegression(ds *IMUPathDataset, cfg RegConfig) *IMURegressor {
+	return baseline.TrainIMURegression(ds, cfg)
+}
+
+// Energy model (§IV-C / §V-D).
+
+// DeviceProfile models an edge inference device.
+type DeviceProfile = energy.DeviceProfile
+
+// EnergyEstimate is one inference cost prediction.
+type EnergyEstimate = energy.Estimate
+
+// PathBudget is the §V-D energy accounting for a tracked path.
+type PathBudget = energy.PathBudget
+
+// JetsonTX2 returns the TX2-class device profile calibrated against the
+// paper's measurements.
+func JetsonTX2() DeviceProfile { return energy.JetsonTX2() }
+
+// Paper-quoted energy constants (§V-D, citing [8]).
+const (
+	GPSEnergyPerFix = energy.GPSEnergyPerFix
+	IMUSensorPower  = energy.IMUSensorPower
+)

@@ -1,0 +1,58 @@
+package noble_test
+
+import (
+	"fmt"
+
+	"noble"
+)
+
+// ExampleTrainWiFi shows the minimal fingerprint-localization pipeline:
+// synthesize a survey, train NObLe, and verify the structural guarantee —
+// every decoded position lies on the map.
+func ExampleTrainWiFi() {
+	cfg := noble.SmallIPINConfig()
+	cfg.NumWAPs = 15
+	cfg.RefSpacing = 6
+	ds := noble.SynthIPIN(cfg)
+
+	trainCfg := noble.DefaultWiFiConfig()
+	trainCfg.Hidden = []int{24, 24}
+	trainCfg.Epochs = 8
+	model := noble.TrainWiFi(ds, trainCfg)
+
+	pred := model.Predict(ds.Test[0].Features)
+	fmt.Println("prediction on map:", ds.Plan.Accessible(pred.Pos))
+	fmt.Println("classes cover dead space:", model.Classes() > 0)
+	// Output:
+	// prediction on map: true
+	// classes cover dead space: true
+}
+
+// ExampleNewGrid demonstrates the paper's space quantization: cells
+// without training data are discarded, so inaccessible space cannot be
+// predicted.
+func ExampleNewGrid() {
+	// Two rooms with a void between them.
+	points := []noble.Point{
+		{X: 0.2, Y: 0.2}, {X: 0.8, Y: 0.6}, // room A
+		{X: 10.1, Y: 0.3}, // room B
+	}
+	g := noble.NewGrid(1.0, points)
+	fmt.Println("classes:", g.Classes())
+	_, voidPopulated := g.ClassOf(noble.Point{X: 5, Y: 0.5})
+	fmt.Println("void between rooms is a class:", voidPopulated)
+	// Output:
+	// classes: 2
+	// void between rooms is a class: false
+}
+
+// ExampleDeviceProfile_TrackPath reproduces the §V-D energy comparison
+// against GPS.
+func ExampleDeviceProfile_TrackPath() {
+	budget := noble.JetsonTX2().TrackPath(4_000_000, 8)
+	fmt.Printf("sensors: %.4f J\n", budget.Sensor)
+	fmt.Printf("GPS is >20x more expensive: %v\n", budget.Ratio > 20)
+	// Output:
+	// sensors: 0.1356 J
+	// GPS is >20x more expensive: true
+}

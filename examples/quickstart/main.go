@@ -1,0 +1,43 @@
+// Quickstart: train NObLe on the small synthetic single-building dataset,
+// run one inference, and print error statistics — the minimal end-to-end
+// use of the public API.
+package main
+
+import (
+	"fmt"
+
+	"noble"
+)
+
+func main() {
+	// 1. Generate a survey dataset (synthetic IPIN2016-like building).
+	ds := noble.SynthIPIN(noble.SmallIPINConfig())
+	fmt.Printf("dataset: %d train / %d test fingerprints over %d access points\n",
+		len(ds.Train), len(ds.Test), ds.NumWAPs)
+
+	// 2. Train NObLe with the paper's configuration.
+	cfg := noble.DefaultWiFiConfig()
+	cfg.Hidden = []int{64, 64} // small trunk for a small dataset
+	cfg.Epochs = 20
+	model := noble.TrainWiFi(ds, cfg)
+	fmt.Printf("model: %d neighborhood classes (dead space discarded automatically)\n",
+		model.Classes())
+
+	// 3. Localize a single fingerprint.
+	pred := model.Predict(ds.Test[0].Features)
+	fmt.Printf("sample 0: predicted %v (building %d, floor %d), truth %v (floor %d)\n",
+		pred.Pos, pred.Building, pred.Floor, ds.Test[0].Pos, ds.Test[0].Floor)
+
+	// 4. Evaluate on the whole test split.
+	preds := model.PredictBatch(noble.FeaturesMatrix(ds.Test))
+	positions := make([]noble.Point, len(preds))
+	floors := make([]int, len(preds))
+	for i, p := range preds {
+		positions[i] = p.Pos
+		floors[i] = p.Floor
+	}
+	stats := noble.Stats(noble.Errors(positions, noble.Positions(ds.Test)))
+	fmt.Printf("test: mean %.2f m, median %.2f m, floor accuracy %.1f%%\n",
+		stats.Mean, stats.Median,
+		100*noble.HitRate(floors, noble.FloorLabels(ds.Test)))
+}

@@ -1,0 +1,65 @@
+// Wi-Fi campus localization: the paper's headline comparison on the
+// multi-building UJIIndoorLoc-like campus. Trains NObLe and the Deep
+// Regression baseline on the same fingerprints, prints paper-style error
+// tables, and renders ASCII scatter plots showing that NObLe's predictions
+// follow the building structure while regression bleeds into courtyards
+// and dead space (Fig. 4).
+package main
+
+import (
+	"fmt"
+
+	"noble"
+)
+
+func main() {
+	ds := noble.SynthUJI(noble.SmallUJIConfig())
+	fmt.Printf("campus: %d buildings, %d floors, %d train fingerprints\n\n",
+		ds.NumBuildings, ds.NumFloors, len(ds.Train))
+
+	x := noble.FeaturesMatrix(ds.Test)
+	truth := noble.Positions(ds.Test)
+
+	// NObLe.
+	nobleCfg := noble.DefaultWiFiConfig()
+	nobleCfg.Hidden = []int{64, 64}
+	nobleCfg.Epochs = 15
+	model := noble.TrainWiFi(ds, nobleCfg)
+	nps := model.PredictBatch(x)
+	noblePos := make([]noble.Point, len(nps))
+	for i, p := range nps {
+		noblePos[i] = p.Pos
+	}
+
+	// Deep Regression with the same capacity.
+	regCfg := noble.DefaultRegConfig()
+	regCfg.Hidden = []int{64, 64}
+	regCfg.Epochs = 15
+	reg := noble.TrainWiFiRegression(ds, regCfg)
+	regPos := reg.PredictBatch(x)
+
+	// Regression Projection: snap off-map predictions back to the map.
+	projPos := noble.ProjectPredictions(ds.Plan, regPos)
+
+	fmt.Println("model                  mean(m)  median(m)  on-map")
+	for _, row := range []struct {
+		name string
+		pos  []noble.Point
+	}{
+		{"Deep Regression", regPos},
+		{"Regression Projection", projPos},
+		{"NObLe", noblePos},
+	} {
+		s := noble.Stats(noble.Errors(row.pos, truth))
+		fmt.Printf("%-22s %6.2f   %6.2f     %5.1f%%\n",
+			row.name, s.Mean, s.Median, 100*noble.OnMapRate(ds.Plan, row.pos))
+	}
+
+	bounds := ds.Plan.Bounds().Expand(10)
+	fmt.Println("\nground truth (cf. Fig. 1):")
+	fmt.Println(noble.ScatterASCII(truth, bounds, 80, 20))
+	fmt.Println("Deep Regression predictions (cf. Fig. 4a):")
+	fmt.Println(noble.ScatterASCII(regPos, bounds, 80, 20))
+	fmt.Println("NObLe predictions (cf. Fig. 4d):")
+	fmt.Println(noble.ScatterASCII(noblePos, bounds, 80, 20))
+}

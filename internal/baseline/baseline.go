@@ -1,0 +1,225 @@
+// Package baseline implements the comparison systems of Table II and
+// Table III: Deep Regression (same trunk as NObLe, MSE onto coordinates),
+// Deep Regression Projection (the same predictions snapped to the nearest
+// on-map position, after [8]), Isomap/LLE Deep Regression (neighbor-based
+// manifold embeddings fed to a coordinate regressor), a classical
+// weighted-kNN fingerprinting baseline, and the IMU Deep Regression model.
+package baseline
+
+import (
+	"fmt"
+
+	"noble/internal/dataset"
+	"noble/internal/floorplan"
+	"noble/internal/geo"
+	"noble/internal/mat"
+	"noble/internal/nn"
+)
+
+// Scaler standardizes 2-D coordinate targets; regression is trained in
+// standardized space and predictions are mapped back.
+type Scaler struct {
+	Mean [2]float64
+	Std  [2]float64
+}
+
+// FitScaler computes per-axis mean and standard deviation of the points.
+func FitScaler(points []geo.Point) *Scaler {
+	if len(points) == 0 {
+		panic("baseline: FitScaler with no points")
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	s := &Scaler{
+		Mean: [2]float64{mat.Mean(xs), mat.Mean(ys)},
+		Std:  [2]float64{mat.Std(xs), mat.Std(ys)},
+	}
+	for i := range s.Std {
+		if s.Std[i] < 1e-9 {
+			s.Std[i] = 1
+		}
+	}
+	return s
+}
+
+// Transform standardizes points into an n×2 target matrix.
+func (s *Scaler) Transform(points []geo.Point) *mat.Dense {
+	out := mat.New(len(points), 2)
+	for i, p := range points {
+		out.Set(i, 0, (p.X-s.Mean[0])/s.Std[0])
+		out.Set(i, 1, (p.Y-s.Mean[1])/s.Std[1])
+	}
+	return out
+}
+
+// Inverse maps one standardized prediction row back to coordinates.
+func (s *Scaler) Inverse(row []float64) geo.Point {
+	return geo.Point{
+		X: row[0]*s.Std[0] + s.Mean[0],
+		Y: row[1]*s.Std[1] + s.Mean[1],
+	}
+}
+
+// RegConfig configures the deep regression trainers.
+type RegConfig struct {
+	Hidden    []int
+	Epochs    int
+	BatchSize int
+	LR        float64
+	LRDecay   float64
+	Seed      int64
+	Logf      func(format string, args ...any)
+}
+
+// DefaultRegConfig mirrors NObLe's capacity ("It is the same network size
+// as NObLe", §IV-B) so the comparison isolates the objective.
+func DefaultRegConfig() RegConfig {
+	return RegConfig{
+		Hidden:    []int{128, 128},
+		Epochs:    30,
+		BatchSize: 64,
+		LR:        0.003,
+		LRDecay:   0.95,
+		Seed:      1,
+	}
+}
+
+// WiFiRegressor is the Deep Regression baseline: trunk + linear head onto
+// standardized (longitude, latitude), trained with mean squared error.
+type WiFiRegressor struct {
+	net    *nn.Sequential
+	scaler *Scaler
+}
+
+// TrainWiFiRegression fits the Deep Regression baseline on the dataset's
+// training split.
+func TrainWiFiRegression(ds *dataset.WiFi, cfg RegConfig) *WiFiRegressor {
+	x := dataset.FeaturesMatrix(ds.Train)
+	positions := dataset.Positions(ds.Train)
+	return trainRegressor(x, positions, ds.NumWAPs, cfg)
+}
+
+func trainRegressor(x *mat.Dense, positions []geo.Point, inDim int, cfg RegConfig) *WiFiRegressor {
+	if len(cfg.Hidden) == 0 || cfg.Epochs <= 0 {
+		panic(fmt.Sprintf("baseline: bad regression config %+v", cfg))
+	}
+	rng := mat.NewRand(cfg.Seed)
+	net := nn.NewMLP("reg", inDim, cfg.Hidden, true, rng)
+	net.Add(nn.NewDense("reg.out", cfg.Hidden[len(cfg.Hidden)-1], 2, nn.InitXavier, rng))
+	scaler := FitScaler(positions)
+	y := scaler.Transform(positions)
+	loss := nn.NewMSE()
+	params := net.Params()
+	nn.Train(nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Seed:      cfg.Seed + 1,
+		Optimizer: nn.NewAdam(cfg.LR),
+		LRDecay:   cfg.LRDecay,
+		ClipNorm:  5,
+		Logf:      cfg.Logf,
+	}, x.Rows, params, func(batch []int) float64 {
+		bx, by := nn.SelectRows(x, batch), nn.SelectRows(y, batch)
+		out := net.Forward(bx, true)
+		l := loss.Forward(out, by)
+		net.Backward(loss.Backward())
+		return l
+	}, nil)
+	return &WiFiRegressor{net: net, scaler: scaler}
+}
+
+// PredictBatch returns predicted coordinates for a batch of fingerprints.
+func (r *WiFiRegressor) PredictBatch(x *mat.Dense) []geo.Point {
+	out := r.net.Forward(x, false)
+	preds := make([]geo.Point, x.Rows)
+	for i := range preds {
+		preds[i] = r.scaler.Inverse(out.Row(i))
+	}
+	return preds
+}
+
+// FLOPs estimates multiply-accumulates per inference.
+func (r *WiFiRegressor) FLOPs() int64 { return r.net.FLOPs() }
+
+// ProjectPredictions applies the Deep Regression Projection step: every
+// prediction outside the plan's accessible space is replaced by the
+// nearest on-map point.
+func ProjectPredictions(plan *floorplan.Plan, preds []geo.Point) []geo.Point {
+	out := make([]geo.Point, len(preds))
+	for i, p := range preds {
+		out[i] = plan.Project(p)
+	}
+	return out
+}
+
+// KNNFingerprint is the classical online-phase matcher of §II: the offline
+// radio map is stored verbatim and queries are answered by the weighted
+// centroid of the k nearest stored fingerprints (weights 1/d).
+type KNNFingerprint struct {
+	x   *mat.Dense
+	pos []geo.Point
+	k   int
+}
+
+// NewKNNFingerprint indexes the training samples.
+func NewKNNFingerprint(ds *dataset.WiFi, k int) *KNNFingerprint {
+	if k < 1 {
+		panic("baseline: kNN fingerprint needs k ≥ 1")
+	}
+	return &KNNFingerprint{
+		x:   dataset.FeaturesMatrix(ds.Train),
+		pos: dataset.Positions(ds.Train),
+		k:   k,
+	}
+}
+
+// Predict returns the weighted-kNN position estimate for one fingerprint.
+func (f *KNNFingerprint) Predict(features []float64) geo.Point {
+	type cand struct {
+		idx int
+		d2  float64
+	}
+	best := make([]cand, 0, f.k+1)
+	for i := 0; i < f.x.Rows; i++ {
+		row := f.x.Row(i)
+		var d2 float64
+		for j := range features {
+			diff := features[j] - row[j]
+			d2 += diff * diff
+		}
+		inserted := false
+		for b := range best {
+			if d2 < best[b].d2 {
+				best = append(best[:b], append([]cand{{i, d2}}, best[b:]...)...)
+				inserted = true
+				break
+			}
+		}
+		if !inserted {
+			best = append(best, cand{i, d2})
+		}
+		if len(best) > f.k {
+			best = best[:f.k]
+		}
+	}
+	var wx, wy, wsum float64
+	for _, c := range best {
+		w := 1 / (1e-6 + c.d2)
+		wx += w * f.pos[c.idx].X
+		wy += w * f.pos[c.idx].Y
+		wsum += w
+	}
+	return geo.Point{X: wx / wsum, Y: wy / wsum}
+}
+
+// PredictBatch applies Predict to every row.
+func (f *KNNFingerprint) PredictBatch(x *mat.Dense) []geo.Point {
+	out := make([]geo.Point, x.Rows)
+	for i := range out {
+		out[i] = f.Predict(x.Row(i))
+	}
+	return out
+}

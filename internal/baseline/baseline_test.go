@@ -1,0 +1,232 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"noble/internal/dataset"
+	"noble/internal/eval"
+	"noble/internal/geo"
+	"noble/internal/imu"
+)
+
+func tinyWiFi() *dataset.WiFi {
+	cfg := dataset.SmallIPINConfig()
+	cfg.NumWAPs = 25
+	cfg.RefSpacing = 4
+	cfg.SamplesPerRef = 5
+	cfg.TestSamplesPerRef = 2
+	cfg.Seed = 3
+	return dataset.SynthIPIN(cfg)
+}
+
+func tinyRegConfig() RegConfig {
+	cfg := DefaultRegConfig()
+	cfg.Hidden = []int{32, 32}
+	cfg.Epochs = 25
+	return cfg
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	pts := []geo.Point{{X: 10, Y: 100}, {X: 20, Y: 300}, {X: 30, Y: 200}}
+	s := FitScaler(pts)
+	m := s.Transform(pts)
+	for i, p := range pts {
+		back := s.Inverse(m.Row(i))
+		if geo.Dist(back, p) > 1e-9 {
+			t.Fatalf("round trip %v → %v", p, back)
+		}
+	}
+	// Standardized coordinates have zero mean.
+	var sx, sy float64
+	for i := 0; i < m.Rows; i++ {
+		sx += m.At(i, 0)
+		sy += m.At(i, 1)
+	}
+	if math.Abs(sx) > 1e-9 || math.Abs(sy) > 1e-9 {
+		t.Fatal("standardized targets must have zero mean")
+	}
+}
+
+func TestScalerDegenerateAxis(t *testing.T) {
+	pts := []geo.Point{{X: 5, Y: 1}, {X: 5, Y: 2}}
+	s := FitScaler(pts)
+	if s.Std[0] != 1 {
+		t.Fatal("constant axis must fall back to unit std")
+	}
+}
+
+func TestScalerEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FitScaler(nil)
+}
+
+func TestDeepRegressionLearns(t *testing.T) {
+	ds := tinyWiFi()
+	r := TrainWiFiRegression(ds, tinyRegConfig())
+	x := dataset.FeaturesMatrix(ds.Test)
+	preds := r.PredictBatch(x)
+	stats := eval.Stats(eval.Errors(preds, dataset.Positions(ds.Test)))
+	// Building is 40×17 m: regression should beat random (~15 m) but
+	// stays behind NObLe.
+	if stats.Mean > 10 {
+		t.Fatalf("deep regression mean error %v", stats.Mean)
+	}
+	if r.FLOPs() <= 0 {
+		t.Fatal("FLOPs must be positive")
+	}
+}
+
+func TestProjectionNeverLeavesMap(t *testing.T) {
+	ds := tinyWiFi()
+	r := TrainWiFiRegression(ds, tinyRegConfig())
+	x := dataset.FeaturesMatrix(ds.Test)
+	raw := r.PredictBatch(x)
+	projected := ProjectPredictions(ds.Plan, raw)
+	if eval.OnMapRate(ds.Plan, projected) != 1 {
+		t.Fatal("projected predictions must all be on-map")
+	}
+	// Projection must not hurt on-map predictions.
+	for i, p := range raw {
+		if ds.Plan.Accessible(p) && projected[i] != p {
+			t.Fatal("on-map predictions must be unchanged")
+		}
+	}
+}
+
+func TestProjectionImprovesErrorOnAverage(t *testing.T) {
+	// The paper found marginal improvement (Table II). Verify "not
+	// worse" on the synthetic set.
+	ds := tinyWiFi()
+	r := TrainWiFiRegression(ds, tinyRegConfig())
+	x := dataset.FeaturesMatrix(ds.Test)
+	truth := dataset.Positions(ds.Test)
+	rawStats := eval.Stats(eval.Errors(r.PredictBatch(x), truth))
+	projStats := eval.Stats(eval.Errors(ProjectPredictions(ds.Plan, r.PredictBatch(x)), truth))
+	if projStats.Mean > rawStats.Mean*1.15 {
+		t.Fatalf("projection made things much worse: %v → %v", rawStats.Mean, projStats.Mean)
+	}
+}
+
+func TestKNNFingerprintExactOnTrainingPoints(t *testing.T) {
+	ds := tinyWiFi()
+	f := NewKNNFingerprint(ds, 1)
+	// A training fingerprint's nearest neighbor is itself.
+	for i := 0; i < 10; i++ {
+		p := f.Predict(ds.Train[i].Features)
+		if geo.Dist(p, ds.Train[i].Pos) > 1e-9 {
+			t.Fatalf("1-NN of a stored fingerprint must be its own position, got %v want %v",
+				p, ds.Train[i].Pos)
+		}
+	}
+}
+
+func TestKNNFingerprintReasonableOnTest(t *testing.T) {
+	ds := tinyWiFi()
+	f := NewKNNFingerprint(ds, 5)
+	x := dataset.FeaturesMatrix(ds.Test)
+	stats := eval.Stats(eval.Errors(f.PredictBatch(x), dataset.Positions(ds.Test)))
+	if stats.Mean > 8 {
+		t.Fatalf("WkNN mean error %v", stats.Mean)
+	}
+}
+
+func TestKNNFingerprintBadKPanics(t *testing.T) {
+	ds := tinyWiFi()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKNNFingerprint(ds, 0)
+}
+
+func TestManifoldRegressionIsomap(t *testing.T) {
+	ds := tinyWiFi()
+	cfg := DefaultManifoldRegConfig(MethodIsomap)
+	cfg.Landmarks = 120
+	cfg.EmbedDim = 8
+	cfg.Reg = tinyRegConfig()
+	r, err := TrainManifoldRegression(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dataset.FeaturesMatrix(ds.Test)
+	stats := eval.Stats(eval.Errors(r.PredictBatch(x), dataset.Positions(ds.Test)))
+	if stats.Mean > 12 {
+		t.Fatalf("Isomap regression mean error %v", stats.Mean)
+	}
+}
+
+func TestManifoldRegressionLLE(t *testing.T) {
+	ds := tinyWiFi()
+	cfg := DefaultManifoldRegConfig(MethodLLE)
+	cfg.Landmarks = 120
+	cfg.EmbedDim = 8
+	cfg.Reg = tinyRegConfig()
+	r, err := TrainManifoldRegression(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dataset.FeaturesMatrix(ds.Test)
+	stats := eval.Stats(eval.Errors(r.PredictBatch(x), dataset.Positions(ds.Test)))
+	if stats.Mean > 12 {
+		t.Fatalf("LLE regression mean error %v", stats.Mean)
+	}
+}
+
+func TestManifoldRegressionBadDim(t *testing.T) {
+	ds := tinyWiFi()
+	cfg := DefaultManifoldRegConfig(MethodIsomap)
+	cfg.Landmarks = 50
+	cfg.EmbedDim = 50
+	if _, err := TrainManifoldRegression(ds, cfg); err == nil {
+		t.Fatal("embed dim ≥ landmarks must error")
+	}
+}
+
+func TestManifoldMethodString(t *testing.T) {
+	if MethodIsomap.String() != "Isomap" || MethodLLE.String() != "LLE" {
+		t.Fatal("method names")
+	}
+	if ManifoldMethod(99).String() == "" {
+		t.Fatal("unknown method must still render")
+	}
+}
+
+func tinyIMU() *imu.PathDataset {
+	net := imu.NewCampusNetwork(6)
+	cfg := imu.DefaultConfig()
+	cfg.ReadingsPerSegment = 64
+	cfg.TotalSegments = 120
+	cfg.Walks = 2
+	track := imu.Synthesize(net, cfg, 11)
+	return imu.BuildPaths(track, imu.PathConfig{
+		NumPaths: 500, MaxLen: 8, Frames: 4,
+		TrainFrac: 0.64, ValFrac: 0.16, Seed: 5,
+	})
+}
+
+func TestIMURegressionLearns(t *testing.T) {
+	ds := tinyIMU()
+	cfg := tinyRegConfig()
+	cfg.Epochs = 30
+	r := TrainIMURegression(ds, cfg)
+	preds := r.PredictPaths(ds.Test)
+	truth := make([]geo.Point, len(ds.Test))
+	for i := range ds.Test {
+		truth[i] = ds.Test[i].End
+	}
+	stats := eval.Stats(eval.Errors(preds, truth))
+	// Campus is 160×60; blind guessing is tens of meters.
+	if stats.Mean > 30 {
+		t.Fatalf("IMU regression mean error %v", stats.Mean)
+	}
+	if r.FLOPs() <= 0 {
+		t.Fatal("FLOPs must be positive")
+	}
+}

@@ -1,0 +1,84 @@
+package baseline
+
+import (
+	"noble/internal/geo"
+	"noble/internal/imu"
+	"noble/internal/mat"
+	"noble/internal/nn"
+)
+
+// IMURegressor is the Table III Deep Regression baseline for tracking: it
+// consumes the same padded per-segment features as NObLe plus the start
+// coordinates, and regresses the end coordinates directly with MSE — no
+// quantization, no structure.
+type IMURegressor struct {
+	net    *nn.Sequential
+	scaler *Scaler
+	frames int
+	maxLen int
+	segDim int
+}
+
+// TrainIMURegression fits the baseline on the dataset's training paths.
+func TrainIMURegression(ds *imu.PathDataset, cfg RegConfig) *IMURegressor {
+	segDim := imu.SegmentFeatureDim(ds.Frames)
+	inDim := ds.MaxLen*segDim + 2
+	rng := mat.NewRand(cfg.Seed)
+	net := nn.NewMLP("imureg", inDim, cfg.Hidden, true, rng)
+	net.Add(nn.NewDense("imureg.out", cfg.Hidden[len(cfg.Hidden)-1], 2, nn.InitXavier, rng))
+
+	r := &IMURegressor{net: net, frames: ds.Frames, maxLen: ds.MaxLen, segDim: segDim}
+	ends := make([]geo.Point, len(ds.Train))
+	for i := range ds.Train {
+		ends[i] = ds.Train[i].End
+	}
+	r.scaler = FitScaler(ends)
+	x := r.featureMatrix(ds.Train)
+	y := r.scaler.Transform(ends)
+	loss := nn.NewMSE()
+	params := net.Params()
+	nn.Train(nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Seed:      cfg.Seed + 1,
+		Optimizer: nn.NewAdam(cfg.LR),
+		LRDecay:   cfg.LRDecay,
+		ClipNorm:  5,
+		Logf:      cfg.Logf,
+	}, x.Rows, params, func(batch []int) float64 {
+		bx, by := nn.SelectRows(x, batch), nn.SelectRows(y, batch)
+		out := net.Forward(bx, true)
+		l := loss.Forward(out, by)
+		net.Backward(loss.Backward())
+		return l
+	}, nil)
+	return r
+}
+
+// featureMatrix stacks padded IMU features and start coordinates.
+func (r *IMURegressor) featureMatrix(paths []imu.Path) *mat.Dense {
+	width := r.maxLen*r.segDim + 2
+	x := mat.New(len(paths), width)
+	for i := range paths {
+		p := &paths[i]
+		row := x.Row(i)
+		copy(row, p.PaddedFeatures(r.maxLen, r.frames))
+		row[width-2] = p.Start.X
+		row[width-1] = p.Start.Y
+	}
+	return x
+}
+
+// PredictPaths returns predicted end coordinates for the paths.
+func (r *IMURegressor) PredictPaths(paths []imu.Path) []geo.Point {
+	x := r.featureMatrix(paths)
+	out := r.net.Forward(x, false)
+	preds := make([]geo.Point, len(paths))
+	for i := range preds {
+		preds[i] = r.scaler.Inverse(out.Row(i))
+	}
+	return preds
+}
+
+// FLOPs estimates multiply-accumulates per inference.
+func (r *IMURegressor) FLOPs() int64 { return r.net.FLOPs() }

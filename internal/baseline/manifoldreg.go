@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"fmt"
+
+	"noble/internal/dataset"
+	"noble/internal/geo"
+	"noble/internal/manifold"
+	"noble/internal/mat"
+	"noble/internal/nn"
+)
+
+// ManifoldMethod selects which neighbor-based embedding backs the
+// regressor.
+type ManifoldMethod int
+
+// Supported manifold embeddings (Table II rows 3 and 4).
+const (
+	MethodIsomap ManifoldMethod = iota
+	MethodLLE
+)
+
+// String names the method for report tables.
+func (m ManifoldMethod) String() string {
+	switch m {
+	case MethodIsomap:
+		return "Isomap"
+	case MethodLLE:
+		return "LLE"
+	default:
+		return fmt.Sprintf("ManifoldMethod(%d)", int(m))
+	}
+}
+
+// ManifoldRegConfig configures TrainManifoldRegression.
+type ManifoldRegConfig struct {
+	Method    ManifoldMethod
+	Landmarks int // subsample size for the O(m³) eigen stage
+	K         int // neighborhood size
+	EmbedDim  int // embedding dimensionality (paper: 400 on full UJI)
+	Reg       RegConfig
+}
+
+// DefaultManifoldRegConfig returns a tractable landmark configuration.
+func DefaultManifoldRegConfig(method ManifoldMethod) ManifoldRegConfig {
+	return ManifoldRegConfig{
+		Method:    method,
+		Landmarks: 300,
+		K:         8,
+		EmbedDim:  16,
+		Reg:       DefaultRegConfig(),
+	}
+}
+
+// embedder is the common surface of Isomap and LLE models.
+type embedder interface {
+	Transform(q []float64) []float64
+	TransformBatch(q *mat.Dense) *mat.Dense
+}
+
+// ManifoldRegressor is the Table II "Isomap/LLE Deep Regression" baseline:
+// fingerprints are first embedded with a neighbor-based manifold method,
+// then a DNN regresses coordinates from the embedding. It is the
+// neighbor-*aware* counterpart that NObLe's neighbor-oblivious objective is
+// compared against.
+type ManifoldRegressor struct {
+	Method ManifoldMethod
+	emb    embedder
+	reg    *WiFiRegressor
+	dim    int
+}
+
+// TrainManifoldRegression subsamples landmarks from the training split,
+// fits the chosen embedding, embeds all training fingerprints, and trains
+// the coordinate regressor on the embeddings.
+func TrainManifoldRegression(ds *dataset.WiFi, cfg ManifoldRegConfig) (*ManifoldRegressor, error) {
+	x := dataset.FeaturesMatrix(ds.Train)
+	positions := dataset.Positions(ds.Train)
+	m := cfg.Landmarks
+	if m > x.Rows {
+		m = x.Rows
+	}
+	if cfg.EmbedDim >= m {
+		return nil, fmt.Errorf("baseline: embed dim %d must be < landmarks %d", cfg.EmbedDim, m)
+	}
+	rng := mat.NewRand(cfg.Reg.Seed + 7)
+	perm := rng.Perm(x.Rows)[:m]
+	landmarks := nn.SelectRows(x, perm)
+
+	var emb embedder
+	switch cfg.Method {
+	case MethodIsomap:
+		iso, err := manifold.FitIsomap(landmarks, cfg.K, cfg.EmbedDim)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: fitting Isomap: %w", err)
+		}
+		emb = iso
+	case MethodLLE:
+		lle, err := manifold.FitLLE(landmarks, cfg.K, cfg.EmbedDim, 1e-3)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: fitting LLE: %w", err)
+		}
+		emb = lle
+	default:
+		return nil, fmt.Errorf("baseline: unknown manifold method %v", cfg.Method)
+	}
+	embedded := emb.TransformBatch(x)
+	reg := trainRegressor(embedded, positions, cfg.EmbedDim, cfg.Reg)
+	return &ManifoldRegressor{Method: cfg.Method, emb: emb, reg: reg, dim: cfg.EmbedDim}, nil
+}
+
+// PredictBatch embeds the queries and regresses coordinates.
+func (r *ManifoldRegressor) PredictBatch(x *mat.Dense) []geo.Point {
+	return r.reg.PredictBatch(r.emb.TransformBatch(x))
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"noble/internal/geo"
+	"noble/internal/imu"
+	"noble/internal/mat"
+	"noble/internal/nn"
+)
+
+// This file implements extensions beyond the paper's headline experiments,
+// built on hooks the paper itself describes: hierarchical decoding uses
+// the coarse grid of §III-B ("different levels of granularity of the
+// output manifold") at inference time, top-k decoding exposes the
+// classifier's calibrated alternatives, and TrackWalk turns the
+// path-level IMU model into an online tracker by sliding it along a walk
+// and re-anchoring on its own decoded positions.
+
+// ClassProb is one ranked decoding alternative.
+type ClassProb struct {
+	Class int
+	Prob  float64
+	Pos   geo.Point
+}
+
+// PredictTopK returns the k most probable neighborhood classes for one
+// fingerprint with softmax probabilities and decoded positions, most
+// probable first.
+func (m *WiFiModel) PredictTopK(features []float64, k int) []ClassProb {
+	if k < 1 {
+		panic(fmt.Sprintf("core: PredictTopK with k=%d", k))
+	}
+	x := mat.FromSlice(1, len(features), append([]float64(nil), features...))
+	_, outs := m.net.Forward(x, false)
+	probs := nn.Softmax(outs[m.fineHead]).Row(0)
+	idx := mat.TopK(probs, k)
+	out := make([]ClassProb, len(idx))
+	for i, c := range idx {
+		out[i] = ClassProb{Class: c, Prob: probs[c], Pos: m.Grids.Fine.Decode(c)}
+	}
+	return out
+}
+
+// PredictBatchHierarchical decodes with the coarse head as a gate: the
+// fine class is chosen among the classes belonging to the predicted
+// coarse cell (falling back to the global argmax when the gate is empty
+// or the coarse head is disabled). This exploits the paper's
+// multi-granularity output at inference time: coarse mistakes are rarer
+// than fine mistakes, so gating suppresses long-range fine errors.
+func (m *WiFiModel) PredictBatchHierarchical(x *mat.Dense) []WiFiPrediction {
+	if m.coarseHead < 0 {
+		return m.PredictBatch(x)
+	}
+	fineToCoarse := m.fineToCoarse()
+	_, outs := m.net.Forward(x, false)
+	preds := make([]WiFiPrediction, x.Rows)
+	for i := range preds {
+		coarse := mat.ArgMax(outs[m.coarseHead].Row(i))
+		fineLogits := outs[m.fineHead].Row(i)
+		best, bestVal := -1, 0.0
+		for c, logit := range fineLogits {
+			if fineToCoarse[c] != coarse {
+				continue
+			}
+			if best == -1 || logit > bestVal {
+				best, bestVal = c, logit
+			}
+		}
+		if best == -1 {
+			best = mat.ArgMax(fineLogits)
+		}
+		p := WiFiPrediction{Class: best, Pos: m.Grids.Fine.Decode(best)}
+		if m.buildingHead >= 0 {
+			p.Building = mat.ArgMax(outs[m.buildingHead].Row(i))
+		}
+		if m.floorHead >= 0 {
+			p.Floor = mat.ArgMax(outs[m.floorHead].Row(i))
+		}
+		preds[i] = p
+	}
+	return preds
+}
+
+// fineToCoarse maps every fine class to the coarse class containing its
+// centroid.
+func (m *WiFiModel) fineToCoarse() []int {
+	out := make([]int, m.Grids.Fine.Classes())
+	for c := range out {
+		out[c] = m.Grids.Coarse.NearestClass(m.Grids.Fine.Decode(c))
+	}
+	return out
+}
+
+// TrackWalk applies the path model online along one recorded walk: after
+// every segment it decodes the walker's position from a window of the
+// `window` most recent segments (clamped to [1, trained maximum]),
+// anchored at the model's own estimate from before that window — true
+// dead-reckoning-with-snapping. The first windows anchor at the walk's
+// known start. Short windows (1–2 segments) keep per-window displacement
+// error below the reference spacing, so the snap to the class codebook
+// corrects drift at every step; long windows accumulate more displacement
+// error between corrections. It returns one prediction per segment.
+func (m *IMUModel) TrackWalk(net *imu.Network, walk *imu.Walk, window int) []IMUPrediction {
+	if len(walk.Segments) == 0 {
+		return nil
+	}
+	if window < 1 {
+		window = 1
+	}
+	if window > m.maxLen {
+		window = m.maxLen
+	}
+	segFeats := make([][]float64, len(walk.Segments))
+	for i, s := range walk.Segments {
+		segFeats[i] = imu.SegmentFeatures(s.Readings, m.frames)
+	}
+	trueStart := net.Refs[walk.RefSeq[0]]
+	// anchor(i) = estimated position before segment i.
+	anchors := make([]geo.Point, len(walk.Segments)+1)
+	anchors[0] = trueStart
+	out := make([]IMUPrediction, len(walk.Segments))
+	for t := range walk.Segments {
+		lo := t + 1 - window
+		if lo < 0 {
+			lo = 0
+		}
+		var feats []float64
+		for s := lo; s <= t; s++ {
+			feats = append(feats, segFeats[s]...)
+		}
+		path := imu.Path{
+			Start:       anchors[lo],
+			NumSegments: t - lo + 1,
+			Features:    feats,
+		}
+		pred := m.PredictPaths([]imu.Path{path})[0]
+		out[t] = pred
+		anchors[t+1] = pred.End
+	}
+	return out
+}
+
+// TrackWalkViterbi decodes a whole walk jointly with map-constrained
+// Viterbi over the reference graph: states are neighborhood classes,
+// transitions are restricted to graph-adjacent references (a walker can
+// only move along walkways — the constraint that [8] and LocMe enforce
+// with hand-written heuristics), and emissions are the location head's
+// log-softmax for each single-segment window conditioned on the previous
+// state. Unlike greedy chaining (TrackWalk), a locally wrong decode is
+// repaired as soon as later evidence contradicts it.
+func (m *IMUModel) TrackWalkViterbi(net *imu.Network, walk *imu.Walk) []IMUPrediction {
+	if len(walk.Segments) == 0 {
+		return nil
+	}
+	k := m.Grid.Classes()
+	// Class adjacency from network adjacency.
+	classOf := make([]int, len(net.Refs))
+	for i, r := range net.Refs {
+		classOf[i] = m.Grid.NearestClass(r)
+	}
+	adj := make(map[int]map[int]bool, k)
+	for i, nbrs := range net.Adj {
+		ci := classOf[i]
+		if adj[ci] == nil {
+			adj[ci] = make(map[int]bool)
+		}
+		for _, j := range nbrs {
+			adj[ci][classOf[j]] = true
+		}
+	}
+
+	negInf := math.Inf(-1)
+	delta := make([]float64, k)
+	for s := range delta {
+		delta[s] = negInf
+	}
+	delta[m.Grid.NearestClass(net.Refs[walk.RefSeq[0]])] = 0
+	backptr := make([][]int, len(walk.Segments))
+
+	for t, seg := range walk.Segments {
+		feats := imu.SegmentFeatures(seg.Readings, m.frames)
+		// Active previous states.
+		var active []int
+		for s, d := range delta {
+			if d > negInf {
+				active = append(active, s)
+			}
+		}
+		// Batched emission: one path per active previous state, each
+		// anchored at that state's centroid.
+		paths := make([]imu.Path, len(active))
+		for i, prev := range active {
+			paths[i] = imu.Path{
+				Start:       m.Grid.Decode(prev),
+				NumSegments: 1,
+				Features:    feats,
+			}
+		}
+		logProbs := m.locLogSoftmax(paths)
+		next := make([]float64, k)
+		ptr := make([]int, k)
+		for s := range next {
+			next[s] = negInf
+			ptr[s] = -1
+		}
+		for i, prev := range active {
+			row := logProbs.Row(i)
+			for s := range adj[prev] {
+				if cand := delta[prev] + row[s]; cand > next[s] {
+					next[s] = cand
+					ptr[s] = prev
+				}
+			}
+		}
+		delta = next
+		backptr[t] = ptr
+	}
+
+	// Backtrace.
+	best := mat.ArgMax(delta)
+	classes := make([]int, len(walk.Segments))
+	for t := len(walk.Segments) - 1; t >= 0; t-- {
+		classes[t] = best
+		best = backptr[t][best]
+		if best < 0 {
+			break
+		}
+	}
+	out := make([]IMUPrediction, len(classes))
+	for t, c := range classes {
+		out[t] = IMUPrediction{End: m.Grid.Decode(c), Class: c}
+	}
+	return out
+}
+
+// locLogSoftmax runs the full graph for a batch of single-segment paths
+// and returns row-wise log-softmax location scores.
+func (m *IMUModel) locLogSoftmax(paths []imu.Path) *mat.Dense {
+	x, startOH, starts, _, _ := m.inputs(paths)
+	_, logits := m.forward(x, startOH, starts, false)
+	probs := nn.Softmax(logits)
+	probs.Apply(func(p float64) float64 { return math.Log(p + 1e-12) })
+	return probs
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"noble/internal/dataset"
+	"noble/internal/eval"
+	"noble/internal/geo"
+	"noble/internal/imu"
+)
+
+func TestPredictTopKOrderedAndNormalized(t *testing.T) {
+	ds := tinyWiFi()
+	cfg := tinyWiFiConfig()
+	cfg.Epochs = 10
+	m := TrainWiFi(ds, cfg)
+	top := m.PredictTopK(ds.Test[0].Features, 5)
+	if len(top) != 5 {
+		t.Fatalf("top-k len %d", len(top))
+	}
+	var sum float64
+	for i, cp := range top {
+		if cp.Class < 0 || cp.Class >= m.Classes() {
+			t.Fatalf("class %d out of range", cp.Class)
+		}
+		if cp.Prob < 0 || cp.Prob > 1 {
+			t.Fatalf("prob %v out of range", cp.Prob)
+		}
+		if i > 0 && cp.Prob > top[i-1].Prob {
+			t.Fatal("top-k must be sorted by probability")
+		}
+		if cp.Pos != m.Grids.Fine.Decode(cp.Class) {
+			t.Fatal("top-k position must decode the class")
+		}
+		sum += cp.Prob
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("top-5 probability mass %v exceeds 1", sum)
+	}
+	// Rank 1 must agree with Predict.
+	if got := m.Predict(ds.Test[0].Features); got.Class != top[0].Class {
+		t.Fatal("top-1 disagrees with Predict")
+	}
+}
+
+func TestPredictTopKBadKPanics(t *testing.T) {
+	ds := tinyWiFi()
+	cfg := tinyWiFiConfig()
+	cfg.Epochs = 2
+	m := TrainWiFi(ds, cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.PredictTopK(ds.Test[0].Features, 0)
+}
+
+func TestHierarchicalDecodeRespectsCoarseGate(t *testing.T) {
+	ds := tinyWiFi()
+	cfg := tinyWiFiConfig()
+	m := TrainWiFi(ds, cfg)
+	x := dataset.FeaturesMatrix(ds.Test)
+	preds := m.PredictBatchHierarchical(x)
+	if len(preds) != len(ds.Test) {
+		t.Fatalf("preds %d", len(preds))
+	}
+	// Accuracy must stay in the same league as flat decoding.
+	flat := m.PredictBatch(x)
+	truth := dataset.Positions(ds.Test)
+	flatPos := make([]geo.Point, len(flat))
+	hierPos := make([]geo.Point, len(preds))
+	for i := range flat {
+		flatPos[i] = flat[i].Pos
+		hierPos[i] = preds[i].Pos
+	}
+	flatMean := eval.Stats(eval.Errors(flatPos, truth)).Mean
+	hierMean := eval.Stats(eval.Errors(hierPos, truth)).Mean
+	if hierMean > flatMean*1.5+1 {
+		t.Fatalf("hierarchical decode much worse: %v vs %v", hierMean, flatMean)
+	}
+}
+
+func TestHierarchicalDecodeWithoutCoarseHeadFallsBack(t *testing.T) {
+	ds := tinyWiFi()
+	cfg := tinyWiFiConfig()
+	cfg.CoarseHead = false
+	cfg.Epochs = 3
+	m := TrainWiFi(ds, cfg)
+	x := dataset.FeaturesMatrix(ds.Test[:5])
+	flat := m.PredictBatch(x)
+	hier := m.PredictBatchHierarchical(x)
+	for i := range flat {
+		if flat[i].Class != hier[i].Class {
+			t.Fatal("without a coarse head hierarchical must equal flat")
+		}
+	}
+}
+
+func TestFineToCoarseMappingConsistent(t *testing.T) {
+	ds := tinyWiFi()
+	cfg := tinyWiFiConfig()
+	cfg.Epochs = 2
+	m := TrainWiFi(ds, cfg)
+	mapping := m.fineToCoarse()
+	if len(mapping) != m.Grids.Fine.Classes() {
+		t.Fatalf("mapping len %d", len(mapping))
+	}
+	for fine, coarse := range mapping {
+		// The fine centroid must be no farther from its mapped coarse
+		// centroid than from any other (nearest-class property).
+		c := m.Grids.Fine.Decode(fine)
+		want := m.Grids.Coarse.NearestClass(c)
+		if coarse != want {
+			t.Fatalf("fine %d maps to %d want %d", fine, coarse, want)
+		}
+	}
+}
+
+func TestTrackWalkFollowsWalk(t *testing.T) {
+	net := imu.NewCampusNetwork(6)
+	icfg := imu.DefaultConfig()
+	icfg.ReadingsPerSegment = 64
+	icfg.TotalSegments = 140
+	track := imu.Synthesize(net, icfg, 11)
+	ds := imu.BuildPaths(track, imu.PathConfig{
+		NumPaths: 500, MaxLen: 8, Frames: 4,
+		TrainFrac: 0.7, ValFrac: 0.1, Seed: 5,
+	})
+	cfg := tinyIMUConfig()
+	m := TrainIMU(ds, cfg)
+
+	walk := track.Walks[0]
+	preds := m.TrackWalk(net, walk, 1)
+	if len(preds) != len(walk.Segments) {
+		t.Fatalf("got %d predictions for %d segments", len(preds), len(walk.Segments))
+	}
+	meanAt := func(preds []IMUPrediction) float64 {
+		var errSum float64
+		for i, p := range preds {
+			errSum += geo.Dist(p.End, net.Refs[walk.RefSeq[i+1]])
+		}
+		return errSum / float64(len(preds))
+	}
+	meanGreedy := meanAt(preds)
+
+	// Viterbi decoding with the map constraint must beat greedy
+	// chaining and stay within a couple of reference spacings.
+	viterbi := m.TrackWalkViterbi(net, walk)
+	if len(viterbi) != len(walk.Segments) {
+		t.Fatalf("viterbi produced %d predictions", len(viterbi))
+	}
+	meanViterbi := meanAt(viterbi)
+	if meanViterbi > 12 {
+		t.Fatalf("viterbi tracking mean error %v m (greedy %v m)", meanViterbi, meanGreedy)
+	}
+	if meanViterbi > meanGreedy+1 {
+		t.Fatalf("viterbi (%v m) should not lose to greedy chaining (%v m)", meanViterbi, meanGreedy)
+	}
+	// Every estimate must decode onto the reference network.
+	for _, p := range preds {
+		best := math.Inf(1)
+		for _, r := range net.Refs {
+			if d := geo.Dist(p.End, r); d < best {
+				best = d
+			}
+		}
+		if best > cfg.Tau {
+			t.Fatalf("tracked position %v off the network", p.End)
+		}
+	}
+}
+
+func TestTrackWalkEmpty(t *testing.T) {
+	net := imu.NewCampusNetwork(6)
+	icfg := imu.DefaultConfig()
+	icfg.ReadingsPerSegment = 64
+	icfg.TotalSegments = 60
+	track := imu.Synthesize(net, icfg, 12)
+	ds := imu.BuildPaths(track, imu.PathConfig{
+		NumPaths: 100, MaxLen: 6, Frames: 4,
+		TrainFrac: 0.8, ValFrac: 0.1, Seed: 6,
+	})
+	cfg := tinyIMUConfig()
+	cfg.Epochs = 1
+	m := TrainIMU(ds, cfg)
+	if got := m.TrackWalk(net, &imu.Walk{}, 1); got != nil {
+		t.Fatal("empty walk must return nil")
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"noble/internal/eval"
+	"noble/internal/geo"
+	"noble/internal/imu"
+	"noble/internal/nn"
+)
+
+// tinyIMU builds a fast tracking dataset for unit tests.
+func tinyIMU() *imu.PathDataset {
+	net := imu.NewCampusNetwork(6)
+	cfg := imu.DefaultConfig()
+	cfg.ReadingsPerSegment = 64
+	cfg.TotalSegments = 120
+	cfg.Walks = 2
+	track := imu.Synthesize(net, cfg, 11)
+	pcfg := imu.PathConfig{
+		NumPaths: 500, MaxLen: 8, Frames: 4,
+		TrainFrac: 0.64, ValFrac: 0.16, Seed: 5,
+	}
+	return imu.BuildPaths(track, pcfg)
+}
+
+func tinyIMUConfig() IMUConfig {
+	cfg := DefaultIMUConfig()
+	cfg.Hidden = []int{48, 48}
+	cfg.ProjDim = 6
+	cfg.Tau = 1.0
+	cfg.Epochs = 30
+	return cfg
+}
+
+func TestTrainIMULearnsTracking(t *testing.T) {
+	ds := tinyIMU()
+	m := TrainIMU(ds, tinyIMUConfig())
+	preds := m.PredictPaths(ds.Test)
+	truth := make([]geo.Point, len(ds.Test))
+	for i := range ds.Test {
+		truth[i] = ds.Test[i].End
+	}
+	errs := eval.Errors(imuPositions(preds), truth)
+	stats := eval.Stats(errs)
+	// The campus is 160×60 m; uninformed guessing gives tens of meters.
+	if stats.Mean > 20 {
+		t.Fatalf("mean end-position error %v m — model did not learn", stats.Mean)
+	}
+}
+
+func TestIMUPredictionsDecodeToCentroids(t *testing.T) {
+	ds := tinyIMU()
+	cfg := tinyIMUConfig()
+	cfg.Epochs = 2
+	m := TrainIMU(ds, cfg)
+	for _, p := range m.PredictPaths(ds.Test[:10]) {
+		if p.Class < 0 || p.Class >= m.Grid.Classes() {
+			t.Fatalf("class %d out of range", p.Class)
+		}
+		if p.End != m.Grid.Decode(p.Class) {
+			t.Fatal("end position must decode to the class centroid")
+		}
+	}
+}
+
+func TestIMUEndPositionsOnNetwork(t *testing.T) {
+	// Every decoded end position must be (near) a reference location —
+	// the structural property regression lacks.
+	ds := tinyIMU()
+	cfg := tinyIMUConfig()
+	cfg.Epochs = 5
+	m := TrainIMU(ds, cfg)
+	for _, p := range m.PredictPaths(ds.Test[:20]) {
+		best := 1e18
+		for _, r := range ds.Net.Refs {
+			if d := geo.Dist(p.End, r); d < best {
+				best = d
+			}
+		}
+		if best > cfg.Tau {
+			t.Fatalf("decoded end %v is %v m from any reference", p.End, best)
+		}
+	}
+}
+
+func TestIMUDisplacementHeadLearns(t *testing.T) {
+	ds := tinyIMU()
+	m := TrainIMU(ds, tinyIMUConfig())
+	preds := m.PredictPaths(ds.Test)
+	var sumErr, sumMag float64
+	for i, p := range preds {
+		want := ds.Test[i].Displacement()
+		sumErr += geo.Dist(p.Displacement, want)
+		sumMag += want.Norm()
+	}
+	meanErr := sumErr / float64(len(preds))
+	meanMag := sumMag / float64(len(preds))
+	// Displacement estimates must beat the trivial zero predictor.
+	if meanErr > meanMag {
+		t.Fatalf("displacement error %v exceeds mean displacement %v", meanErr, meanMag)
+	}
+}
+
+func TestIMUDeterministic(t *testing.T) {
+	ds := tinyIMU()
+	cfg := tinyIMUConfig()
+	cfg.Epochs = 3
+	a := TrainIMU(ds, cfg)
+	b := TrainIMU(ds, cfg)
+	pa, pb := a.PredictPaths(ds.Test[:10]), b.PredictPaths(ds.Test[:10])
+	for i := range pa {
+		if pa[i].Class != pb[i].Class {
+			t.Fatal("IMU training must be deterministic per seed")
+		}
+	}
+}
+
+func TestIMUSaveLoad(t *testing.T) {
+	ds := tinyIMU()
+	cfg := tinyIMUConfig()
+	cfg.Epochs = 3
+	m := TrainIMU(ds, cfg)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewIMUModel(ds, cfg)
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := m.PredictPaths(ds.Test[:10]), m2.PredictPaths(ds.Test[:10])
+	for i := range pa {
+		if pa[i].Class != pb[i].Class {
+			t.Fatal("loaded IMU model must reproduce predictions")
+		}
+	}
+}
+
+func TestIMUFLOPsPositive(t *testing.T) {
+	ds := tinyIMU()
+	cfg := tinyIMUConfig()
+	m := NewIMUModel(ds, cfg)
+	if m.FLOPs() <= 0 {
+		t.Fatal("FLOPs must be positive")
+	}
+}
+
+func TestIMUBadConfigPanics(t *testing.T) {
+	ds := tinyIMU()
+	cfg := tinyIMUConfig()
+	cfg.ProjDim = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIMUModel(ds, cfg)
+}
+
+func imuPositions(preds []IMUPrediction) []geo.Point {
+	out := make([]geo.Point, len(preds))
+	for i, p := range preds {
+		out[i] = p.End
+	}
+	return out
+}
+
+// TestIMUStepGradientCheck validates the hand-wired backward pass of the
+// three-module graph — including the gradient routed through the wired
+// end-estimate — against central differences.
+func TestIMUStepGradientCheck(t *testing.T) {
+	net := imu.NewCampusNetwork(10)
+	icfg := imu.DefaultConfig()
+	icfg.ReadingsPerSegment = 32
+	icfg.TotalSegments = 20
+	track := imu.Synthesize(net, icfg, 21)
+	ds := imu.BuildPaths(track, imu.PathConfig{
+		NumPaths: 24, MaxLen: 3, Frames: 2,
+		TrainFrac: 1, ValFrac: 0, Seed: 9,
+	})
+	cfg := DefaultIMUConfig()
+	cfg.Hidden = []int{6}
+	cfg.ProjDim = 3
+	cfg.Tau = 2.0
+	m := NewIMUModel(ds, cfg)
+
+	paths := ds.Train[:8]
+	x, startOH, starts, disp, endClass := m.inputs(paths)
+	locT := m.Grid.OneHot(endClass)
+
+	lossOnly := func() float64 {
+		v, logits := m.forward(x, startOH, starts, true)
+		return m.Cfg.DispWeight*m.dispLoss.Forward(v, disp) +
+			m.Cfg.LocWeight*m.locLoss.Forward(logits, locT)
+	}
+	params := m.Params()
+	nn.ZeroGrads(params)
+	m.step(x, startOH, starts, disp, locT)
+
+	const eps = 1e-5
+	checked := 0
+	for _, p := range params {
+		stride := len(p.W.Data)/3 + 1
+		for i := 0; i < len(p.W.Data); i += stride {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			plus := lossOnly()
+			p.W.Data[i] = orig - eps
+			minus := lossOnly()
+			p.W.Data[i] = orig
+			want := (plus - minus) / (2 * eps)
+			got := p.G.Data[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %s[%d]: analytic %g numeric %g", p.Name, i, got, want)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d gradient entries checked", checked)
+	}
+}

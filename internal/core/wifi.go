@@ -1,0 +1,234 @@
+// Package core implements NObLe itself — Neighbor Oblivious Learning — for
+// both of the paper's applications. The Wi-Fi model (§IV) is a multi-head
+// classifier over a shared two-hidden-layer tanh trunk: the continuous
+// output space is quantized into fine neighborhood classes (τ) and coarse
+// classes (l), and building and floor are predicted jointly ("we can
+// naturally include floor/building classification in our model without
+// extra effort"). The IMU model (§V) is the projection → displacement →
+// location architecture of Fig. 5(a). Neither model ever consumes
+// input-space neighborhoods: closeness supervision comes only from the
+// quantized output space, which is the method's defining property.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"noble/internal/dataset"
+	"noble/internal/geo"
+	"noble/internal/mat"
+	"noble/internal/nn"
+	"noble/internal/quantize"
+)
+
+// WiFiConfig configures TrainWiFi. Zero values are replaced by the paper's
+// settings via Defaults.
+type WiFiConfig struct {
+	Hidden    []int   // trunk layer sizes; paper uses {128, 128}
+	TauFine   float64 // fine grid side τ (paper: < 0.2 m... 0.4 m here; see DESIGN.md)
+	TauCoarse float64 // coarse grid side l > τ
+
+	// Head toggles (all on by default; ablation A2 switches them off).
+	CoarseHead   bool
+	BuildingHead bool
+	FloorHead    bool
+
+	// MultiLabel switches the fine head from softmax cross-entropy to
+	// the paper's binary cross-entropy multi-label formulation with
+	// adjacent cells as soft positives.
+	MultiLabel     bool
+	AdjacentWeight float64
+
+	Epochs    int
+	BatchSize int
+	LR        float64
+	LRDecay   float64
+	Seed      int64
+	Logf      func(format string, args ...any)
+}
+
+// DefaultWiFiConfig returns the paper's Wi-Fi training configuration.
+func DefaultWiFiConfig() WiFiConfig {
+	return WiFiConfig{
+		Hidden:         []int{128, 128},
+		TauFine:        0.4,
+		TauCoarse:      24,
+		CoarseHead:     true,
+		BuildingHead:   true,
+		FloorHead:      true,
+		MultiLabel:     false,
+		AdjacentWeight: 0.3,
+		Epochs:         30,
+		BatchSize:      64,
+		LR:             0.003,
+		LRDecay:        0.95,
+		Seed:           1,
+	}
+}
+
+// WiFiModel is a trained NObLe Wi-Fi localizer.
+type WiFiModel struct {
+	Cfg   WiFiConfig
+	Grids *quantize.MultiRes
+
+	net          *nn.MultiHead
+	numWAPs      int
+	numBuildings int
+	numFloors    int
+
+	// head indices into net.Heads (-1 when disabled)
+	fineHead, coarseHead, buildingHead, floorHead int
+}
+
+// WiFiPrediction is one decoded inference result.
+type WiFiPrediction struct {
+	Pos      geo.Point
+	Class    int
+	Building int
+	Floor    int
+}
+
+// TrainWiFi fits NObLe on the dataset's training split: it quantizes the
+// training positions (empty cells — dead space — get no class), builds the
+// multi-head network, and optimizes the summed cross-entropy objective.
+func TrainWiFi(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
+	if len(cfg.Hidden) == 0 || cfg.Epochs <= 0 {
+		panic(fmt.Sprintf("core: bad WiFi config %+v", cfg))
+	}
+	rng := mat.NewRand(cfg.Seed)
+	positions := dataset.Positions(ds.Train)
+	grids := quantize.NewMultiRes(cfg.TauFine, cfg.TauCoarse, positions)
+
+	trunk := nn.NewMLP("trunk", ds.NumWAPs, cfg.Hidden, true, rng)
+	embDim := cfg.Hidden[len(cfg.Hidden)-1]
+
+	m := &WiFiModel{
+		Cfg: cfg, Grids: grids,
+		numWAPs:      ds.NumWAPs,
+		numBuildings: ds.NumBuildings,
+		numFloors:    ds.NumFloors,
+		fineHead:     -1, coarseHead: -1, buildingHead: -1, floorHead: -1,
+	}
+	var heads []*nn.Head
+	addHead := func(name string, classes int, loss nn.Loss, weight float64) int {
+		heads = append(heads, &nn.Head{
+			Name:   name,
+			Layer:  nn.NewDense("head."+name, embDim, classes, nn.InitXavier, rng),
+			Loss:   loss,
+			Weight: weight,
+		})
+		return len(heads) - 1
+	}
+	var fineLoss nn.Loss = nn.NewSoftmaxCE()
+	if cfg.MultiLabel {
+		fineLoss = nn.NewBCEWithLogits()
+	}
+	m.fineHead = addHead("fine", grids.Fine.Classes(), fineLoss, 1.0)
+	if cfg.CoarseHead {
+		m.coarseHead = addHead("coarse", grids.Coarse.Classes(), nn.NewSoftmaxCE(), 0.3)
+	}
+	if cfg.BuildingHead {
+		m.buildingHead = addHead("building", ds.NumBuildings, nn.NewSoftmaxCE(), 0.3)
+	}
+	if cfg.FloorHead {
+		m.floorHead = addHead("floor", ds.NumFloors, nn.NewSoftmaxCE(), 0.3)
+	}
+	m.net = nn.NewMultiHead(trunk, heads...)
+
+	// Targets.
+	x := dataset.FeaturesMatrix(ds.Train)
+	fineLabels := grids.Fine.Labels(positions)
+	var fineTargets *mat.Dense
+	if cfg.MultiLabel {
+		fineTargets = grids.Fine.AdjacencyTargets(fineLabels, cfg.AdjacentWeight)
+	} else {
+		fineTargets = grids.Fine.OneHot(fineLabels)
+	}
+	targets := make([]*mat.Dense, len(heads))
+	targets[m.fineHead] = fineTargets
+	if m.coarseHead >= 0 {
+		targets[m.coarseHead] = grids.Coarse.OneHot(grids.Coarse.Labels(positions))
+	}
+	if m.buildingHead >= 0 {
+		targets[m.buildingHead] = nn.OneHotBatch(dataset.BuildingLabels(ds.Train), ds.NumBuildings)
+	}
+	if m.floorHead >= 0 {
+		targets[m.floorHead] = nn.OneHotBatch(dataset.FloorLabels(ds.Train), ds.NumFloors)
+	}
+
+	params := m.net.Params()
+	trainCfg := nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Seed:      cfg.Seed + 1,
+		Optimizer: nn.NewAdam(cfg.LR),
+		LRDecay:   cfg.LRDecay,
+		ClipNorm:  5,
+		Logf:      cfg.Logf,
+	}
+	nn.Train(trainCfg, x.Rows, params, func(batch []int) float64 {
+		bx := nn.SelectRows(x, batch)
+		bt := make([]*mat.Dense, len(targets))
+		for i, tgt := range targets {
+			if tgt != nil {
+				bt[i] = nn.SelectRows(tgt, batch)
+			}
+		}
+		return m.net.Step(bx, bt)
+	}, nil)
+	return m
+}
+
+// PredictBatch runs inference on a batch of normalized fingerprints and
+// decodes each sample: the fine head's argmax class is looked up in the
+// codebook for its central coordinates (§III-B), and the building/floor
+// heads report their argmax (falling back to 0 when the head is disabled).
+func (m *WiFiModel) PredictBatch(x *mat.Dense) []WiFiPrediction {
+	_, outs := m.net.Forward(x, false)
+	preds := make([]WiFiPrediction, x.Rows)
+	for i := range preds {
+		cls := mat.ArgMax(outs[m.fineHead].Row(i))
+		p := WiFiPrediction{Class: cls, Pos: m.Grids.Fine.Decode(cls)}
+		if m.buildingHead >= 0 {
+			p.Building = mat.ArgMax(outs[m.buildingHead].Row(i))
+		}
+		if m.floorHead >= 0 {
+			p.Floor = mat.ArgMax(outs[m.floorHead].Row(i))
+		}
+		preds[i] = p
+	}
+	return preds
+}
+
+// Predict runs single-sample inference.
+func (m *WiFiModel) Predict(features []float64) WiFiPrediction {
+	x := mat.FromSlice(1, len(features), append([]float64(nil), features...))
+	return m.PredictBatch(x)[0]
+}
+
+// Embed returns the trunk's penultimate-layer embedding for a batch — the
+// learned manifold representation of §III-C.
+func (m *WiFiModel) Embed(x *mat.Dense) *mat.Dense {
+	emb, _ := m.net.Forward(x, false)
+	return emb
+}
+
+// FLOPs estimates multiply-accumulate operations per single inference,
+// consumed by the energy model.
+func (m *WiFiModel) FLOPs() int64 { return m.net.FLOPs() }
+
+// Classes returns the fine neighborhood class count.
+func (m *WiFiModel) Classes() int { return m.Grids.Fine.Classes() }
+
+// Save serializes the network parameters and batch-norm statistics (the
+// quantization codebook is reconstructed deterministically from the
+// dataset, so it is not persisted).
+func (m *WiFiModel) Save(w io.Writer) error {
+	return nn.SaveParams(w, append(m.net.Params(), m.net.StatParams()...))
+}
+
+// Load restores parameters saved by Save into a model built with the same
+// configuration and dataset.
+func (m *WiFiModel) Load(r io.Reader) error {
+	return nn.LoadParams(r, append(m.net.Params(), m.net.StatParams()...))
+}

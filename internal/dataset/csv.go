@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"noble/internal/geo"
+	"noble/internal/radio"
+)
+
+// SaveUJICSV writes samples in the UJIIndoorLoc column layout: WAP001..WAPn
+// raw RSSI columns followed by LONGITUDE, LATITUDE, FLOOR and BUILDINGID.
+// Undetected access points are written as 100, matching the published
+// dataset.
+func SaveUJICSV(w io.Writer, samples []WiFiSample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("dataset: no samples to save")
+	}
+	cw := csv.NewWriter(w)
+	numWAPs := len(samples[0].RSSI)
+	header := make([]string, 0, numWAPs+4)
+	for i := 1; i <= numWAPs; i++ {
+		header = append(header, fmt.Sprintf("WAP%03d", i))
+	}
+	header = append(header, "LONGITUDE", "LATITUDE", "FLOOR", "BUILDINGID")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i, s := range samples {
+		if len(s.RSSI) != numWAPs {
+			return fmt.Errorf("dataset: sample %d has %d WAPs, want %d", i, len(s.RSSI), numWAPs)
+		}
+		for j, v := range s.RSSI {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[numWAPs] = strconv.FormatFloat(s.Pos.X, 'g', -1, 64)
+		row[numWAPs+1] = strconv.FormatFloat(s.Pos.Y, 'g', -1, 64)
+		row[numWAPs+2] = strconv.Itoa(s.Floor)
+		row[numWAPs+3] = strconv.Itoa(s.Building)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadUJICSV reads a CSV in the UJIIndoorLoc layout (as written by
+// SaveUJICSV, or the published trainingData.csv — extra metadata columns
+// such as SPACEID/USERID are ignored). The detection threshold is used to
+// normalize features; pass the value matching the capture campaign
+// (UJIIndoorLoc uses RSSI down to about -104 dBm, so -104 is a reasonable
+// choice for the real data).
+func LoadUJICSV(r io.Reader, detectionThreshold float64) ([]WiFiSample, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	var wapCols []int
+	lonCol, latCol, floorCol, bldCol := -1, -1, -1, -1
+	for i, name := range header {
+		switch {
+		case len(name) >= 3 && name[:3] == "WAP":
+			wapCols = append(wapCols, i)
+		case name == "LONGITUDE":
+			lonCol = i
+		case name == "LATITUDE":
+			latCol = i
+		case name == "FLOOR":
+			floorCol = i
+		case name == "BUILDINGID":
+			bldCol = i
+		}
+	}
+	if len(wapCols) == 0 || lonCol < 0 || latCol < 0 || floorCol < 0 || bldCol < 0 {
+		return nil, fmt.Errorf("dataset: CSV header missing required columns (WAP*, LONGITUDE, LATITUDE, FLOOR, BUILDINGID)")
+	}
+	var samples []WiFiSample
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		rssi := make([]float64, len(wapCols))
+		for j, c := range wapCols {
+			v, err := strconv.ParseFloat(rec[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d col %d: %w", line, c+1, err)
+			}
+			rssi[j] = v
+		}
+		lon, err := strconv.ParseFloat(rec[lonCol], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d longitude: %w", line, err)
+		}
+		lat, err := strconv.ParseFloat(rec[latCol], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d latitude: %w", line, err)
+		}
+		floor, err := strconv.Atoi(rec[floorCol])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d floor: %w", line, err)
+		}
+		bld, err := strconv.Atoi(rec[bldCol])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d building: %w", line, err)
+		}
+		samples = append(samples, WiFiSample{
+			RSSI:     rssi,
+			Features: radio.Normalize(rssi, detectionThreshold),
+			Pos:      geo.Point{X: lon, Y: lat},
+			Building: bld,
+			Floor:    floor,
+		})
+	}
+	return samples, nil
+}

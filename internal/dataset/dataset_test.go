@@ -1,0 +1,256 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"noble/internal/geo"
+	"noble/internal/radio"
+)
+
+func tinyConfig() WiFiConfig {
+	cfg := SmallUJIConfig()
+	cfg.NumWAPs = 20
+	cfg.RefSpacing = 30
+	cfg.SamplesPerRef = 3
+	cfg.TestSamplesPerRef = 1
+	return cfg
+}
+
+func TestSynthUJIStructure(t *testing.T) {
+	ds := SynthUJI(tinyConfig())
+	if ds.NumBuildings != 3 || ds.NumFloors != 4 {
+		t.Fatalf("buildings=%d floors=%d", ds.NumBuildings, ds.NumFloors)
+	}
+	if len(ds.Train) == 0 || len(ds.Test) == 0 {
+		t.Fatal("empty splits")
+	}
+	for _, s := range ds.Train {
+		if len(s.RSSI) != 20 || len(s.Features) != 20 {
+			t.Fatalf("sample width %d/%d", len(s.RSSI), len(s.Features))
+		}
+		if s.Building < 0 || s.Building > 2 || s.Floor < 0 || s.Floor > 3 {
+			t.Fatalf("labels out of range: b=%d f=%d", s.Building, s.Floor)
+		}
+		for _, f := range s.Features {
+			if f < 0 || f > 1 {
+				t.Fatalf("feature %v outside [0,1]", f)
+			}
+		}
+	}
+}
+
+func TestSynthUJITrainPositionsAccessible(t *testing.T) {
+	ds := SynthUJI(tinyConfig())
+	for _, s := range ds.Train {
+		if !ds.Plan.Accessible(s.Pos) {
+			t.Fatalf("train sample at inaccessible %v", s.Pos)
+		}
+	}
+}
+
+func TestSynthUJIValFraction(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ValFraction = 0.25
+	cfg.SamplesPerRef = 8
+	ds := SynthUJI(cfg)
+	total := len(ds.Train) + len(ds.Val)
+	frac := float64(len(ds.Val)) / float64(total)
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("val fraction %v want ≈0.25", frac)
+	}
+}
+
+func TestSynthUJIDeterministic(t *testing.T) {
+	a := SynthUJI(tinyConfig())
+	b := SynthUJI(tinyConfig())
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("split sizes differ across runs")
+	}
+	for i := range a.Train {
+		if a.Train[i].Pos != b.Train[i].Pos || a.Train[i].RSSI[0] != b.Train[i].RSSI[0] {
+			t.Fatal("same seed must reproduce the dataset")
+		}
+	}
+}
+
+func TestSynthIPINSingleBuilding(t *testing.T) {
+	cfg := SmallIPINConfig()
+	cfg.NumWAPs = 15
+	cfg.RefSpacing = 6
+	ds := SynthIPIN(cfg)
+	if ds.NumBuildings != 1 {
+		t.Fatalf("buildings=%d", ds.NumBuildings)
+	}
+	for _, s := range ds.Train {
+		if s.Building != 0 {
+			t.Fatal("IPIN samples must be in building 0")
+		}
+	}
+}
+
+func TestTestJitterKeepsSamplesNearRefs(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TestJitter = 0.3
+	ds := SynthUJI(cfg)
+	// Every test sample must be within jitter of some train position.
+	for _, ts := range ds.Test {
+		best := math.Inf(1)
+		for _, tr := range ds.Train {
+			if d := geo.Dist(ts.Pos, tr.Pos); d < best {
+				best = d
+			}
+		}
+		if best > 0.3*math.Sqrt2+1e-9 {
+			t.Fatalf("test sample %v is %vm from nearest ref", ts.Pos, best)
+		}
+	}
+}
+
+func TestFeaturesMatrix(t *testing.T) {
+	ds := SynthUJI(tinyConfig())
+	m := FeaturesMatrix(ds.Train)
+	if m.Rows != len(ds.Train) || m.Cols != 20 {
+		t.Fatalf("matrix %d×%d", m.Rows, m.Cols)
+	}
+	for j := 0; j < m.Cols; j++ {
+		if m.At(0, j) != ds.Train[0].Features[j] {
+			t.Fatal("matrix row mismatch")
+		}
+	}
+}
+
+func TestFeaturesMatrixEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FeaturesMatrix(nil)
+}
+
+func TestLabelHelpers(t *testing.T) {
+	samples := []WiFiSample{
+		{Building: 2, Floor: 3, Pos: geo.Point{X: 1, Y: 2}},
+		{Building: -1, Floor: 0, Pos: geo.Point{X: 3, Y: 4}},
+	}
+	if b := BuildingLabels(samples); b[0] != 2 || b[1] != 0 {
+		t.Fatalf("buildings=%v", b)
+	}
+	if f := FloorLabels(samples); f[0] != 3 || f[1] != 0 {
+		t.Fatalf("floors=%v", f)
+	}
+	if p := Positions(samples); p[0] != (geo.Point{X: 1, Y: 2}) {
+		t.Fatalf("positions=%v", p)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	ds := SynthUJI(cfg)
+	var buf bytes.Buffer
+	if err := SaveUJICSV(&buf, ds.Train[:10]); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadUJICSV(&buf, cfg.Radio.DetectionThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 10 {
+		t.Fatalf("loaded %d samples", len(loaded))
+	}
+	for i, s := range loaded {
+		orig := ds.Train[i]
+		if s.Building != orig.Building || s.Floor != orig.Floor {
+			t.Fatal("labels corrupted")
+		}
+		if math.Abs(s.Pos.X-orig.Pos.X) > 1e-9 || math.Abs(s.Pos.Y-orig.Pos.Y) > 1e-9 {
+			t.Fatal("position corrupted")
+		}
+		for j := range s.RSSI {
+			if math.Abs(s.RSSI[j]-orig.RSSI[j]) > 1e-9 {
+				t.Fatal("RSSI corrupted")
+			}
+			if math.Abs(s.Features[j]-orig.Features[j]) > 1e-9 {
+				t.Fatal("features not renormalized identically")
+			}
+		}
+	}
+}
+
+func TestLoadUJICSVRealFormatWithExtraColumns(t *testing.T) {
+	// The published dataset has metadata columns we must skip.
+	csvText := "WAP001,WAP002,LONGITUDE,LATITUDE,FLOOR,BUILDINGID,SPACEID,USERID\n" +
+		"-60,100,12.5,99.25,2,1,101,7\n"
+	samples, err := LoadUJICSV(strings.NewReader(csvText), -104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("samples=%d", len(samples))
+	}
+	s := samples[0]
+	if s.RSSI[0] != -60 || s.RSSI[1] != radio.NotDetected {
+		t.Fatalf("RSSI=%v", s.RSSI)
+	}
+	if s.Pos != (geo.Point{X: 12.5, Y: 99.25}) || s.Floor != 2 || s.Building != 1 {
+		t.Fatalf("metadata wrong: %+v", s)
+	}
+	if s.Features[1] != 0 {
+		t.Fatal("undetected WAP must normalize to 0")
+	}
+}
+
+func TestLoadUJICSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing columns": "A,B\n1,2\n",
+		"bad rssi":        "WAP001,LONGITUDE,LATITUDE,FLOOR,BUILDINGID\nxx,1,2,0,0\n",
+		"bad floor":       "WAP001,LONGITUDE,LATITUDE,FLOOR,BUILDINGID\n-50,1,2,zz,0\n",
+		"bad longitude":   "WAP001,LONGITUDE,LATITUDE,FLOOR,BUILDINGID\n-50,aa,2,0,0\n",
+	}
+	for name, text := range cases {
+		if _, err := LoadUJICSV(strings.NewReader(text), -104); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveUJICSVEmptyErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveUJICSV(&buf, nil); err == nil {
+		t.Fatal("expected error for empty sample set")
+	}
+}
+
+func TestGenerateBadConfigPanics(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.SamplesPerRef = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SynthUJI(cfg)
+}
+
+func TestDistinctPositionsNearPaperScale(t *testing.T) {
+	// The full-size preset should produce on the order of the real
+	// dataset's ≈933 distinct survey positions.
+	cfg := DefaultUJIConfig()
+	cfg.SamplesPerRef = 1
+	cfg.TestSamplesPerRef = 0
+	ds := SynthUJI(cfg)
+	type xy struct{ x, y float64 }
+	uniq := map[xy]bool{}
+	for _, s := range ds.Train {
+		uniq[xy{s.Pos.X, s.Pos.Y}] = true
+	}
+	for _, s := range ds.Val {
+		uniq[xy{s.Pos.X, s.Pos.Y}] = true
+	}
+	if len(uniq) < 150 || len(uniq) > 2000 {
+		t.Fatalf("distinct positions %d far from paper scale", len(uniq))
+	}
+}

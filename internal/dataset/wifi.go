@@ -1,0 +1,211 @@
+// Package dataset materializes training/validation/test collections for
+// both applications. For Wi-Fi it follows the fingerprinting offline-phase
+// protocol of §II/§IV: signal vectors are recorded at surveyed reference
+// locations together with building, floor, longitude and latitude. The
+// synthetic builders (SynthUJI, SynthIPIN) substitute for the proprietary
+// UJIIndoorLoc/IPIN2016 surveys — see DESIGN.md — and CSV I/O in the
+// UJIIndoorLoc column format is provided so the real datasets can be
+// dropped in unchanged.
+package dataset
+
+import (
+	"fmt"
+
+	"noble/internal/floorplan"
+	"noble/internal/geo"
+	"noble/internal/mat"
+	"noble/internal/radio"
+)
+
+// WiFiSample is one fingerprint observation.
+type WiFiSample struct {
+	RSSI     []float64 // raw dBm values, radio.NotDetected for silent WAPs
+	Features []float64 // normalized [0,1] network inputs
+	Pos      geo.Point
+	Building int
+	Floor    int
+}
+
+// WiFi is a complete fingerprinting dataset with its splits and the plan
+// it was surveyed on (nil when loaded from CSV without a plan).
+type WiFi struct {
+	Plan         *floorplan.Plan
+	Sim          *radio.Simulator
+	NumWAPs      int
+	NumBuildings int
+	NumFloors    int
+	Train        []WiFiSample
+	Val          []WiFiSample
+	Test         []WiFiSample
+}
+
+// WiFiConfig controls synthetic survey generation.
+type WiFiConfig struct {
+	NumWAPs           int     // fingerprint dimensionality W
+	RefSpacing        float64 // meters between survey reference points
+	RefJitter         float64 // positional jitter of the survey grid
+	SamplesPerRef     int     // offline-phase measurements per reference
+	TestSamplesPerRef int     // online-phase measurements per reference
+	TestJitter        float64 // how far online users stand from the surveyed spot
+	ValFraction       float64 // fraction of offline samples held out
+	Seed              int64
+	Radio             radio.Config
+}
+
+// DefaultUJIConfig is the full-size synthetic UJIIndoorLoc stand-in:
+// ≈900+ distinct survey positions across 3 buildings × 4 floors (the real
+// dataset has ≈933), 200 access points, and heterogeneous devices.
+func DefaultUJIConfig() WiFiConfig {
+	return WiFiConfig{
+		NumWAPs:           200,
+		RefSpacing:        10,
+		RefJitter:         2,
+		SamplesPerRef:     6,
+		TestSamplesPerRef: 2,
+		TestJitter:        0.3,
+		ValFraction:       0.1,
+		Seed:              2021,
+		Radio:             radio.DefaultConfig(),
+	}
+}
+
+// SmallUJIConfig is a scaled-down preset for CI and go-test benchmarks.
+func SmallUJIConfig() WiFiConfig {
+	cfg := DefaultUJIConfig()
+	cfg.NumWAPs = 60
+	cfg.RefSpacing = 18
+	cfg.SamplesPerRef = 4
+	cfg.TestSamplesPerRef = 2
+	return cfg
+}
+
+// DefaultIPINConfig is the single-building IPIN2016 stand-in.
+func DefaultIPINConfig() WiFiConfig {
+	return WiFiConfig{
+		NumWAPs:           80,
+		RefSpacing:        3,
+		RefJitter:         0.5,
+		SamplesPerRef:     8,
+		TestSamplesPerRef: 2,
+		TestJitter:        0.2,
+		ValFraction:       0.1,
+		Seed:              2016,
+		Radio:             radio.DefaultConfig(),
+	}
+}
+
+// SmallIPINConfig is the scaled-down IPIN preset.
+func SmallIPINConfig() WiFiConfig {
+	cfg := DefaultIPINConfig()
+	cfg.NumWAPs = 40
+	cfg.RefSpacing = 5
+	cfg.SamplesPerRef = 5
+	return cfg
+}
+
+// SynthUJI generates the synthetic UJIIndoorLoc-like dataset.
+func SynthUJI(cfg WiFiConfig) *WiFi { return Generate(floorplan.UJICampus(), cfg) }
+
+// SynthIPIN generates the synthetic IPIN2016-like dataset.
+func SynthIPIN(cfg WiFiConfig) *WiFi { return Generate(floorplan.IPINBuilding(), cfg) }
+
+// Generate runs the offline and online survey phases on an arbitrary plan:
+// reference points are laid out on every floor, SamplesPerRef noisy
+// fingerprints are recorded at each (offline radio map collection), a
+// ValFraction of offline samples is held out, and TestSamplesPerRef online
+// measurements are taken near (TestJitter) each reference.
+func Generate(plan *floorplan.Plan, cfg WiFiConfig) *WiFi {
+	if cfg.SamplesPerRef < 1 || cfg.NumWAPs < 1 {
+		panic(fmt.Sprintf("dataset: bad WiFi config %+v", cfg))
+	}
+	rng := mat.NewRand(cfg.Seed)
+	sim := radio.NewSimulator(plan, cfg.Radio, cfg.NumWAPs, cfg.Seed+1)
+	refs := plan.ReferencePoints(rng, cfg.RefSpacing, cfg.RefJitter)
+	if len(refs) == 0 {
+		panic("dataset: plan produced no reference points")
+	}
+	ds := &WiFi{
+		Plan:         plan,
+		Sim:          sim,
+		NumWAPs:      cfg.NumWAPs,
+		NumBuildings: len(plan.Buildings),
+		NumFloors:    plan.FloorCount(),
+	}
+	measure := func(p geo.Point, b, f int) WiFiSample {
+		rssi := sim.Measure(p, b, f, rng)
+		return WiFiSample{
+			RSSI:     rssi,
+			Features: radio.Normalize(rssi, cfg.Radio.DetectionThreshold),
+			Pos:      p,
+			Building: b,
+			Floor:    f,
+		}
+	}
+	for _, ref := range refs {
+		for s := 0; s < cfg.SamplesPerRef; s++ {
+			smp := measure(ref.Pos, ref.Building, ref.Floor)
+			if rng.Float64() < cfg.ValFraction {
+				ds.Val = append(ds.Val, smp)
+			} else {
+				ds.Train = append(ds.Train, smp)
+			}
+		}
+		for s := 0; s < cfg.TestSamplesPerRef; s++ {
+			p := ref.Pos
+			if cfg.TestJitter > 0 {
+				p.X += (rng.Float64() - 0.5) * 2 * cfg.TestJitter
+				p.Y += (rng.Float64() - 0.5) * 2 * cfg.TestJitter
+			}
+			ds.Test = append(ds.Test, measure(p, ref.Building, ref.Floor))
+		}
+	}
+	return ds
+}
+
+// FeaturesMatrix stacks the normalized features of samples into a
+// len(samples)×W matrix.
+func FeaturesMatrix(samples []WiFiSample) *mat.Dense {
+	if len(samples) == 0 {
+		panic("dataset: FeaturesMatrix of empty slice")
+	}
+	w := len(samples[0].Features)
+	out := mat.New(len(samples), w)
+	for i, s := range samples {
+		if len(s.Features) != w {
+			panic(fmt.Sprintf("dataset: sample %d has %d features, want %d", i, len(s.Features), w))
+		}
+		copy(out.Row(i), s.Features)
+	}
+	return out
+}
+
+// Positions extracts the ground-truth coordinates of samples.
+func Positions(samples []WiFiSample) []geo.Point {
+	out := make([]geo.Point, len(samples))
+	for i, s := range samples {
+		out[i] = s.Pos
+	}
+	return out
+}
+
+// BuildingLabels extracts building IDs (clamped at 0 for outdoor samples).
+func BuildingLabels(samples []WiFiSample) []int {
+	out := make([]int, len(samples))
+	for i, s := range samples {
+		b := s.Building
+		if b < 0 {
+			b = 0
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// FloorLabels extracts floor indices.
+func FloorLabels(samples []WiFiSample) []int {
+	out := make([]int, len(samples))
+	for i, s := range samples {
+		out[i] = s.Floor
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInferenceMonotoneInMACs(t *testing.T) {
+	p := JetsonTX2()
+	small := p.Inference(1e5)
+	big := p.Inference(1e7)
+	if big.Energy <= small.Energy || big.Latency <= small.Latency {
+		t.Fatal("cost must grow with MACs")
+	}
+}
+
+func TestInferenceZeroMACsIsOverheadOnly(t *testing.T) {
+	p := JetsonTX2()
+	e := p.Inference(0)
+	if e.Energy != p.BaseEnergy || e.Latency != p.BaseLatency {
+		t.Fatalf("zero-MAC inference %+v", e)
+	}
+}
+
+func TestInferenceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	JetsonTX2().Inference(-1)
+}
+
+func TestWiFiCalibrationNearPaper(t *testing.T) {
+	// The paper's Wi-Fi model is a 2×128 trunk over ~520 inputs with a
+	// ~1000-class output: roughly 0.3 MMAC. Its measured cost was
+	// 0.00518 J at 2 ms. Our profile should land within 2× on both.
+	p := JetsonTX2()
+	est := p.Inference(300_000)
+	if est.Energy < 0.00518/2 || est.Energy > 0.00518*2 {
+		t.Fatalf("WiFi-class energy %v J, paper 0.00518 J", est.Energy)
+	}
+	if est.Latency < 0.002/2 || est.Latency > 0.002*2 {
+		t.Fatalf("WiFi-class latency %v s, paper 0.002 s", est.Latency)
+	}
+}
+
+func TestIMUCalibrationNearPaper(t *testing.T) {
+	// The IMU model's projection over 50 segments of 768×6 readings is
+	// roughly 4 MMAC; the paper measured 0.08599 J at 5 ms.
+	p := JetsonTX2()
+	est := p.Inference(4_000_000)
+	if est.Energy < 0.08599/2 || est.Energy > 0.08599*2 {
+		t.Fatalf("IMU-class energy %v J, paper 0.08599 J", est.Energy)
+	}
+	if est.Latency < 0.005/2 || est.Latency > 0.005*2 {
+		t.Fatalf("IMU-class latency %v s, paper 0.005 s", est.Latency)
+	}
+}
+
+func TestTrackPathReproduces27x(t *testing.T) {
+	// §V-D: 8 s path, ~0.086 J inference + 0.1356 J sensors ≈ 0.22 J
+	// vs GPS 5.925 J ⇒ ≈27×.
+	p := JetsonTX2()
+	b := p.TrackPath(4_000_000, 8)
+	if math.Abs(b.Sensor-0.1356) > 1e-9 {
+		t.Fatalf("sensor energy %v want 0.1356", b.Sensor)
+	}
+	if b.GPS != GPSEnergyPerFix {
+		t.Fatal("GPS constant")
+	}
+	if b.Ratio < 15 || b.Ratio > 45 {
+		t.Fatalf("GPS ratio %v, paper reports ≈27", b.Ratio)
+	}
+	if math.Abs(b.Total-(b.Inference.Energy+b.Sensor)) > 1e-12 {
+		t.Fatal("total must be inference + sensor")
+	}
+}
+
+func TestTrackPathNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	JetsonTX2().TrackPath(1000, -1)
+}
+
+func TestPaperConstants(t *testing.T) {
+	if GPSEnergyPerFix != 5.925 {
+		t.Fatal("GPS constant must match the paper")
+	}
+	if math.Abs(IMUSensorPower*8-0.1356) > 1e-12 {
+		t.Fatal("IMU sensor power must integrate to the paper's 0.1356 J per 8 s")
+	}
+}

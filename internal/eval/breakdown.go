@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Confusion builds a k×k confusion-count matrix: element [t][p] counts
+// samples of true class t predicted as p. Used to inspect the floor and
+// building heads beyond the single hit-rate number in Table I.
+func Confusion(pred, truth []int, k int) [][]int {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: %d predictions vs %d truths", len(pred), len(truth)))
+	}
+	out := make([][]int, k)
+	for i := range out {
+		out[i] = make([]int, k)
+	}
+	for i := range pred {
+		t, p := truth[i], pred[i]
+		if t < 0 || t >= k || p < 0 || p >= k {
+			panic(fmt.Sprintf("eval: label (%d,%d) outside [0,%d)", t, p, k))
+		}
+		out[t][p]++
+	}
+	return out
+}
+
+// FormatConfusion renders a confusion matrix with row/column labels.
+func FormatConfusion(m [][]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "true\\pred")
+	for j := range m {
+		fmt.Fprintf(&b, "%8d", j)
+	}
+	b.WriteByte('\n')
+	for i, row := range m {
+		fmt.Fprintf(&b, "%9d", i)
+		for _, v := range row {
+			fmt.Fprintf(&b, "%8d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GroupStats computes error statistics per integer group key (e.g. per
+// floor or per building), answering questions such as "is the model worse
+// on upper floors?".
+func GroupStats(errs []float64, groups []int) map[int]ErrorStats {
+	if len(errs) != len(groups) {
+		panic(fmt.Sprintf("eval: %d errors vs %d groups", len(errs), len(groups)))
+	}
+	byGroup := map[int][]float64{}
+	for i, e := range errs {
+		byGroup[groups[i]] = append(byGroup[groups[i]], e)
+	}
+	out := make(map[int]ErrorStats, len(byGroup))
+	for g, es := range byGroup {
+		out[g] = Stats(es)
+	}
+	return out
+}
+
+// FormatGroupStats renders per-group statistics sorted by group key.
+func FormatGroupStats(name string, stats map[int]ErrorStats) string {
+	keys := make([]int, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %8s %8s %8s\n", name, "n", "mean", "median", "p90")
+	for _, k := range keys {
+		s := stats[k]
+		fmt.Fprintf(&b, "%-10d %6d %8.2f %8.2f %8.2f\n", k, s.N, s.Mean, s.Median, s.P90)
+	}
+	return b.String()
+}

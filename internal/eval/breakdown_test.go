@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	pred := []int{0, 1, 1, 2, 0}
+	truth := []int{0, 1, 2, 2, 1}
+	m := Confusion(pred, truth, 3)
+	if m[0][0] != 1 || m[1][1] != 1 || m[2][1] != 1 || m[2][2] != 1 || m[1][0] != 1 {
+		t.Fatalf("confusion=%v", m)
+	}
+	// Total count preserved.
+	var total int
+	for _, row := range m {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != 5 {
+		t.Fatalf("total=%d", total)
+	}
+}
+
+func TestConfusionDiagonalEqualsHitRateProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		k := 4
+		pred := make([]int, len(raw)/2)
+		truth := make([]int, len(raw)/2)
+		for i := range pred {
+			pred[i] = int(raw[2*i]) % k
+			truth[i] = int(raw[2*i+1]) % k
+		}
+		m := Confusion(pred, truth, k)
+		diag := 0
+		for i := 0; i < k; i++ {
+			diag += m[i][i]
+		}
+		want := HitRate(pred, truth)
+		got := float64(diag) / float64(len(pred))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfusionPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"len mismatch": func() { Confusion([]int{1}, []int{1, 2}, 3) },
+		"out of range": func() { Confusion([]int{5}, []int{0}, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFormatConfusion(t *testing.T) {
+	out := FormatConfusion([][]int{{2, 0}, {1, 3}})
+	if !strings.Contains(out, "true\\pred") || !strings.Contains(out, "3") {
+		t.Fatalf("format: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatal("expected header + 2 rows")
+	}
+}
+
+func TestGroupStats(t *testing.T) {
+	errs := []float64{1, 2, 3, 10}
+	groups := []int{0, 0, 1, 1}
+	stats := GroupStats(errs, groups)
+	if len(stats) != 2 {
+		t.Fatalf("groups=%d", len(stats))
+	}
+	if stats[0].Mean != 1.5 || stats[0].N != 2 {
+		t.Fatalf("group 0 = %+v", stats[0])
+	}
+	if stats[1].Mean != 6.5 {
+		t.Fatalf("group 1 = %+v", stats[1])
+	}
+}
+
+func TestGroupStatsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GroupStats([]float64{1}, []int{1, 2})
+}
+
+func TestFormatGroupStats(t *testing.T) {
+	out := FormatGroupStats("floor", GroupStats([]float64{1, 2}, []int{3, 0}))
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines=%d", len(lines))
+	}
+	// Sorted by key: group 0 before group 3.
+	if !strings.HasPrefix(lines[1], "0") || !strings.HasPrefix(lines[2], "3") {
+		t.Fatalf("not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,169 @@
+// Package eval computes the paper's evaluation quantities: position error
+// distances (mean/median, following "the Euclidean distance between
+// predicted and true coordinates"), classification hit rates, error CDFs,
+// and the structure-awareness measures that quantify what Fig. 4 shows
+// visually (how much of a model's predicted mass lies on the map). It also
+// renders ASCII scatter plots and CSV dumps so every figure in the paper
+// has a reproducible artifact.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"noble/internal/floorplan"
+	"noble/internal/geo"
+	"noble/internal/mat"
+)
+
+// Errors returns per-sample Euclidean position errors.
+func Errors(pred, truth []geo.Point) []float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: %d predictions vs %d truths", len(pred), len(truth)))
+	}
+	out := make([]float64, len(pred))
+	for i := range pred {
+		out[i] = geo.Dist(pred[i], truth[i])
+	}
+	return out
+}
+
+// ErrorStats summarizes an error distribution.
+type ErrorStats struct {
+	N      int
+	Mean   float64
+	Median float64
+	P75    float64
+	P90    float64
+	Max    float64
+}
+
+// Stats computes summary statistics of the error distances.
+func Stats(errs []float64) ErrorStats {
+	_, maxV := mat.MinMax(errs)
+	return ErrorStats{
+		N:      len(errs),
+		Mean:   mat.Mean(errs),
+		Median: mat.Median(errs),
+		P75:    mat.Percentile(errs, 75),
+		P90:    mat.Percentile(errs, 90),
+		Max:    maxV,
+	}
+}
+
+// HitRate returns the fraction of positions where pred equals truth.
+func HitRate(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: %d predictions vs %d truths", len(pred), len(truth)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+// CDF returns, for each level, the fraction of errors at or below it.
+func CDF(errs []float64, levels []float64) []float64 {
+	out := make([]float64, len(levels))
+	if len(errs) == 0 {
+		return out
+	}
+	for i, lv := range levels {
+		n := 0
+		for _, e := range errs {
+			if e <= lv {
+				n++
+			}
+		}
+		out[i] = float64(n) / float64(len(errs))
+	}
+	return out
+}
+
+// OnMapRate returns the fraction of predictions that fall inside the
+// plan's accessible space — the quantitative version of Fig. 4's visual
+// "outputs lie on the buildings" comparison. Deep Regression predicts into
+// courtyards and dead space; NObLe cannot, by construction.
+func OnMapRate(plan *floorplan.Plan, preds []geo.Point) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range preds {
+		if plan.Accessible(p) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(preds))
+}
+
+// StructureScore returns the mean distance from each prediction to the
+// nearest accessible position (0 for on-map predictions). Lower is more
+// structure-aware.
+func StructureScore(plan *floorplan.Plan, preds []geo.Point) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range preds {
+		s += geo.Dist(p, plan.Project(p))
+	}
+	return s / float64(len(preds))
+}
+
+// ScatterASCII renders points as a w×h character grid over the given
+// bounds ('#' marks occupied cells), the terminal stand-in for the
+// scatter plots of Figs. 1, 4 and 5.
+func ScatterASCII(points []geo.Point, bounds geo.Rect, w, h int) string {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("eval: scatter grid %d×%d", w, h))
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", w))
+	}
+	sx := bounds.Width()
+	sy := bounds.Height()
+	if sx <= 0 {
+		sx = 1
+	}
+	if sy <= 0 {
+		sy = 1
+	}
+	for _, p := range points {
+		cx := int((p.X - bounds.Min.X) / sx * float64(w))
+		cy := int((p.Y - bounds.Min.Y) / sy * float64(h))
+		if cx < 0 || cx >= w || cy < 0 || cy >= h {
+			continue
+		}
+		// Flip Y so north is up.
+		grid[h-1-cy][cx] = '#'
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ScatterCSV writes "x,y" rows (with header) for external plotting of the
+// paper's figures.
+func ScatterCSV(w io.Writer, points []geo.Point) error {
+	if _, err := fmt.Fprintln(w, "x,y"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%g,%g\n", p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"noble/internal/floorplan"
+	"noble/internal/geo"
+)
+
+func TestErrorsAndStats(t *testing.T) {
+	pred := []geo.Point{{X: 0, Y: 0}, {X: 3, Y: 4}}
+	truth := []geo.Point{{X: 0, Y: 0}, {X: 0, Y: 0}}
+	errs := Errors(pred, truth)
+	if errs[0] != 0 || errs[1] != 5 {
+		t.Fatalf("errors=%v", errs)
+	}
+	s := Stats(errs)
+	if s.N != 2 || s.Mean != 2.5 || s.Median != 2.5 || s.Max != 5 {
+		t.Fatalf("stats=%+v", s)
+	}
+}
+
+func TestErrorsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Errors(make([]geo.Point, 2), make([]geo.Point, 3))
+}
+
+func TestHitRate(t *testing.T) {
+	if got := HitRate([]int{1, 2, 3, 4}, []int{1, 2, 0, 4}); got != 0.75 {
+		t.Fatalf("HitRate=%v", got)
+	}
+	if HitRate(nil, nil) != 0 {
+		t.Fatal("empty hit rate must be 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	errs := []float64{0.5, 1.5, 2.5, 3.5}
+	got := CDF(errs, []float64{1, 2, 3, 4})
+	want := []float64{0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CDF=%v want %v", got, want)
+		}
+	}
+	if out := CDF(nil, []float64{1}); out[0] != 0 {
+		t.Fatal("empty CDF must be 0")
+	}
+}
+
+func TestOnMapRate(t *testing.T) {
+	plan := floorplan.IPINBuilding()
+	preds := []geo.Point{
+		{X: 20, Y: 8},  // inside
+		{X: 100, Y: 8}, // far outside
+	}
+	if got := OnMapRate(plan, preds); got != 0.5 {
+		t.Fatalf("OnMapRate=%v", got)
+	}
+	if OnMapRate(plan, nil) != 0 {
+		t.Fatal("empty rate must be 0")
+	}
+}
+
+func TestStructureScore(t *testing.T) {
+	plan := floorplan.IPINBuilding()
+	inside := []geo.Point{{X: 20, Y: 8}}
+	if StructureScore(plan, inside) != 0 {
+		t.Fatal("on-map prediction must score 0")
+	}
+	outside := []geo.Point{{X: 50, Y: 8}} // 10 m east of the 40 m building
+	if got := StructureScore(plan, outside); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("StructureScore=%v want 10", got)
+	}
+}
+
+func TestScatterASCII(t *testing.T) {
+	bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 10, Y: 10})
+	out := ScatterASCII([]geo.Point{{X: 1, Y: 1}, {X: 9, Y: 9}}, bounds, 10, 5)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 || len(lines[0]) != 10 {
+		t.Fatalf("grid %dx%d", len(lines), len(lines[0]))
+	}
+	// (1,1) is bottom-left → last row; (9,9) is top-right → first row.
+	if lines[4][1] != '#' {
+		t.Fatal("bottom-left point missing")
+	}
+	if lines[0][9] != '#' {
+		t.Fatal("top-right point missing")
+	}
+	// Out-of-bounds points are silently skipped.
+	out2 := ScatterASCII([]geo.Point{{X: -5, Y: -5}}, bounds, 4, 4)
+	if strings.Contains(out2, "#") {
+		t.Fatal("out-of-bounds point must be skipped")
+	}
+}
+
+func TestScatterASCIIBadGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ScatterASCII(nil, geo.Rect{}, 0, 5)
+}
+
+func TestScatterCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ScatterCSV(&buf, []geo.Point{{X: 1.5, Y: 2.5}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1.5,2.5\n"
+	if buf.String() != want {
+		t.Fatalf("CSV=%q want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReportFprintAlignment(t *testing.T) {
+	r := &Report{
+		ID:     "X1",
+		Title:  "test table",
+		Header: []string{"model", "value"},
+	}
+	r.AddRow("short", "1.00")
+	r.AddRow("a much longer model name", "2.00")
+	r.AddNote("a note with %d args", 2)
+	r.AddArtifact("art", "###\n")
+	var buf bytes.Buffer
+	if err := r.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== X1 — test table ==", "model", "short", "a much longer model name", "note: a note with 2 args", "-- art --", "###"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: both value cells start at the same offset.
+	lines := strings.Split(out, "\n")
+	var col1, col2 int
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "short") {
+			col1 = strings.Index(ln, "1.00")
+		}
+		if strings.HasPrefix(ln, "a much longer") {
+			col2 = strings.Index(ln, "2.00")
+		}
+	}
+	if col1 != col2 || col1 == -1 {
+		t.Fatalf("columns misaligned: %d vs %d", col1, col2)
+	}
+}
+
+func TestReportWithoutHeader(t *testing.T) {
+	r := &Report{ID: "X2", Title: "headerless"}
+	r.AddRow("a", "b")
+	var buf bytes.Buffer
+	if err := r.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "---") {
+		t.Fatal("headerless report must not print a rule")
+	}
+}
+
+func TestPresetString(t *testing.T) {
+	if Small.String() != "small" || Full.String() != "full" {
+		t.Fatal("preset names")
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range All() {
+		if r.Run == nil {
+			t.Fatalf("%s has no runner", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	// Every paper artifact in DESIGN.md §3 must be present.
+	for _, id := range []string{"T1", "T2", "T2b", "T3", "F1", "F4", "F5", "E1", "E2", "A1", "A2", "A3", "A4"} {
+		if !ids[id] {
+			t.Fatalf("experiment %s missing", id)
+		}
+	}
+}
+
+func TestRunFigure1SmallProducesArtifact(t *testing.T) {
+	rep := RunFigure1(Small)
+	if len(rep.Artifacts) == 0 {
+		t.Fatal("Figure 1 must attach a scatter artifact")
+	}
+	if !strings.Contains(rep.Artifacts[0].Text, "#") {
+		t.Fatal("scatter artifact empty")
+	}
+	// The three-building structure shows as three separate clusters —
+	// at minimum, the scatter must have blank (dead-space) regions.
+	if !strings.Contains(rep.Artifacts[0].Text, ".") {
+		t.Fatal("scatter has no dead space — structure missing")
+	}
+}
+
+func TestRunEnergyWiFiSmall(t *testing.T) {
+	rep := RunEnergyWiFi(Small)
+	var buf bytes.Buffer
+	if err := rep.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"0.00518", "paper-scale"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("energy report missing %q", want)
+		}
+	}
+}
+
+func TestPaperScaleMACEstimates(t *testing.T) {
+	// §IV-A: 520 inputs, 2×128 trunk, ≈1100 outputs ⇒ ≈0.23 MMAC.
+	if m := paperWiFiMACs(); m < 150_000 || m > 400_000 {
+		t.Fatalf("paper WiFi MACs %d implausible", m)
+	}
+	// §V-B: 50 segments of 768×6 readings through a shared projection
+	// ⇒ several MMAC.
+	if m := paperIMUMACs(); m < 2_000_000 || m > 10_000_000 {
+		t.Fatalf("paper IMU MACs %d implausible", m)
+	}
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"noble/internal/baseline"
+	"noble/internal/core"
+	"noble/internal/energy"
+	"noble/internal/eval"
+	"noble/internal/floorplan"
+	"noble/internal/geo"
+	"noble/internal/imu"
+)
+
+// imuPathDataset builds the synthetic campus-walk dataset for a preset,
+// following the paper's collection protocol (§V-A).
+func imuPathDataset(p Preset) *imu.PathDataset {
+	if p == Full {
+		net := imu.NewCampusNetwork(3)
+		cfg := imu.DefaultConfig() // 293 segments × 768 readings @ 50 Hz ≈ 75 min
+		track := imu.Synthesize(net, cfg, 2021)
+		return imu.BuildPaths(track, imu.DefaultPathConfig())
+	}
+	net := imu.NewCampusNetwork(6)
+	cfg := imu.DefaultConfig()
+	cfg.ReadingsPerSegment = 96
+	cfg.TotalSegments = 160
+	track := imu.Synthesize(net, cfg, 2021)
+	pcfg := imu.PathConfig{
+		NumPaths: 1200, MaxLen: 12, Frames: 6,
+		TrainFrac: 4389.0 / 6857.0, ValFrac: 1096.0 / 6857.0, Seed: 7,
+	}
+	return imu.BuildPaths(track, pcfg)
+}
+
+// nobleIMUConfig returns the NObLe tracking configuration for a preset.
+func nobleIMUConfig(p Preset) core.IMUConfig {
+	cfg := core.DefaultIMUConfig()
+	if p == Small {
+		cfg.Hidden = []int{64, 64}
+		cfg.Epochs = 40
+		cfg.Tau = 1.0
+	}
+	return cfg
+}
+
+// imuEnds extracts ground-truth end positions.
+func imuEnds(paths []imu.Path) []geo.Point {
+	out := make([]geo.Point, len(paths))
+	for i := range paths {
+		out[i] = paths[i].End
+	}
+	return out
+}
+
+// RunTable3 reproduces Table III: IMU tracking end-position errors for
+// Deep Regression, the paper's map-heuristic comparator [8] (quoted), and
+// NObLe.
+func RunTable3(p Preset) *Report {
+	ds := imuPathDataset(p)
+	truth := imuEnds(ds.Test)
+
+	r := &Report{
+		ID:     "T3",
+		Title:  "IMU tracking position error (synthetic campus walks)",
+		Header: []string{"model", "paper mean", "paper median", "mean", "median"},
+	}
+
+	regCfg := regConfig(p)
+	reg := baseline.TrainIMURegression(ds, regCfg)
+	regStats := eval.Stats(eval.Errors(reg.PredictPaths(ds.Test), truth))
+	r.AddRow("Deep Regression", "10.41", "10.05", f2(regStats.Mean), f2(regStats.Median))
+
+	r.AddRow("IMU+map heuristics [8]", "4.3", "-", "(quoted)", "(quoted)")
+
+	noble := core.TrainIMU(ds, nobleIMUConfig(p))
+	preds := noble.PredictPaths(ds.Test)
+	ends := make([]geo.Point, len(preds))
+	for i, pr := range preds {
+		ends[i] = pr.End
+	}
+	nobleStats := eval.Stats(eval.Errors(ends, truth))
+	r.AddRow("NObLe", "2.52", "0.40", f2(nobleStats.Mean), f2(nobleStats.Median))
+
+	r.AddNote("paths=%d (train %d / val %d / test %d), refs=%d",
+		len(ds.Train)+len(ds.Validation)+len(ds.Test),
+		len(ds.Train), len(ds.Validation), len(ds.Test), len(ds.Net.Refs))
+	r.AddNote("shape target: NObLe < [8] < Deep Regression")
+	return r
+}
+
+// RunFigure5 reproduces Fig. 5(b–d): the test-path ground truth and the
+// predicted end-point scatters of Deep Regression vs NObLe.
+func RunFigure5(p Preset) *Report {
+	ds := imuPathDataset(p)
+	plan := floorplan.OutdoorCampus()
+	bounds := plan.Bounds().Expand(8)
+	truth := imuEnds(ds.Test)
+
+	r := &Report{
+		ID:     "F5",
+		Title:  "IMU predicted coordinates (cf. Fig. 5)",
+		Header: []string{"model", "on-map rate", "structure score (m)"},
+	}
+	r.AddArtifact("(b) ground-truth end positions", eval.ScatterASCII(truth, bounds, 96, 24))
+
+	reg := baseline.TrainIMURegression(ds, regConfig(p))
+	regPreds := reg.PredictPaths(ds.Test)
+	r.AddRow("(c) Deep Regression", pct(eval.OnMapRate(plan, regPreds)), f2(eval.StructureScore(plan, regPreds)))
+	r.AddArtifact("(c) Deep Regression predictions", eval.ScatterASCII(regPreds, bounds, 96, 24))
+
+	noble := core.TrainIMU(ds, nobleIMUConfig(p))
+	preds := noble.PredictPaths(ds.Test)
+	ends := make([]geo.Point, len(preds))
+	for i, pr := range preds {
+		ends[i] = pr.End
+	}
+	r.AddRow("(d) NObLe", pct(eval.OnMapRate(plan, ends)), f2(eval.StructureScore(plan, ends)))
+	r.AddArtifact("(d) NObLe predictions", eval.ScatterASCII(ends, bounds, 96, 24))
+
+	r.AddNote("shape target: regression scatters into the lawns; NObLe stays on the walkway network")
+	return r
+}
+
+// paperWiFiMACs estimates the multiply-accumulate count of the paper's
+// actual Wi-Fi architecture: 520 RSSI inputs → two 128-unit hidden layers
+// → multi-hot output over ≈933 fine classes + coarse classes + 3 buildings
+// + 5 floors (§IV-A). Energy depends on architecture, not on trained
+// weights, so the paper-scale network is what the device model consumes.
+func paperWiFiMACs() int64 {
+	const (
+		inputs  = 520
+		hidden  = 128
+		fine    = 933
+		coarse  = 200
+		bld     = 3
+		floors  = 5
+		outputs = fine + coarse + bld + floors
+	)
+	return int64(inputs*hidden + hidden*hidden + hidden*outputs)
+}
+
+// paperIMUMACs estimates the paper's IMU architecture: a shared projection
+// over 50 segments of 768×6 raw readings into 16 dims, a two-layer
+// displacement network, and the location network over 177 classes (§V-B).
+func paperIMUMACs() int64 {
+	const (
+		segments = 50
+		segIn    = 768 * 6
+		projDim  = 16
+		hidden   = 128
+		classes  = 177
+	)
+	proj := int64(segments) * int64(segIn*projDim)
+	disp := int64(segments*projDim*hidden + hidden*hidden + hidden*2)
+	loc := int64((2 + classes) * classes)
+	return proj + disp + loc
+}
+
+// RunEnergyWiFi reproduces §IV-C: per-inference energy and latency of the
+// Wi-Fi model on the TX2-class device model, using the paper-scale
+// architecture. The preset's (smaller) trained model is reported alongside.
+func RunEnergyWiFi(p Preset) *Report {
+	profile := energy.JetsonTX2()
+	paperEst := profile.Inference(paperWiFiMACs())
+
+	ds := ujiDataset(p)
+	cfg := nobleWiFiConfig(p)
+	cfg.Epochs = 1 // energy depends on architecture, not weights
+	model := core.TrainWiFi(ds, cfg)
+	presetEst := profile.Inference(model.FLOPs())
+
+	r := &Report{
+		ID:     "E1",
+		Title:  "Wi-Fi inference cost on Jetson TX2 (device model)",
+		Header: []string{"metric", "paper", "paper-scale model", "this preset's model"},
+	}
+	r.AddRow("energy per inference (J)", "0.00518", f5(paperEst.Energy), f5(presetEst.Energy))
+	r.AddRow("latency (ms)", "2", f2(paperEst.Latency*1000), f2(presetEst.Latency*1000))
+	r.AddNote("paper-scale MACs=%d, preset MACs=%d", paperWiFiMACs(), model.FLOPs())
+	return r
+}
+
+// RunEnergyIMU reproduces §V-D: the full path-tracking energy budget and
+// the ≈27× GPS comparison, using the paper-scale architecture.
+func RunEnergyIMU(p Preset) *Report {
+	profile := energy.JetsonTX2()
+	budget := profile.TrackPath(paperIMUMACs(), 8)
+
+	ds := imuPathDataset(p)
+	cfg := nobleIMUConfig(p)
+	cfg.Epochs = 1
+	model := core.TrainIMU(ds, cfg)
+	presetBudget := profile.TrackPath(model.FLOPs(), 8)
+
+	r := &Report{
+		ID:     "E2",
+		Title:  "IMU path energy budget on Jetson TX2 (device model, 8 s path)",
+		Header: []string{"metric", "paper", "paper-scale model", "this preset's model"},
+	}
+	r.AddRow("inference energy (J)", "0.08599", f5(budget.Inference.Energy), f5(presetBudget.Inference.Energy))
+	r.AddRow("inference latency (ms)", "5", f2(budget.Inference.Latency*1000), f2(presetBudget.Inference.Latency*1000))
+	r.AddRow("sensor energy (J)", "0.1356", f5(budget.Sensor), f5(presetBudget.Sensor))
+	r.AddRow("total energy (J)", "0.22159", f5(budget.Total), f5(presetBudget.Total))
+	r.AddRow("GPS energy (J)", "5.925", f5(budget.GPS), f5(presetBudget.GPS))
+	r.AddRow("GPS / total ratio", "27x", f2(budget.Ratio)+"x", f2(presetBudget.Ratio)+"x")
+	r.AddNote("paper-scale MACs=%d, preset MACs=%d; sensor and GPS constants quoted from [8] as in the paper",
+		paperIMUMACs(), model.FLOPs())
+	return r
+}
+
+// RunAblationIMUArch ablates the location-module design (§V-B): the wired
+// end-estimate input, the geometric-decoder initialization, and the
+// one-hot start encoding.
+func RunAblationIMUArch(p Preset) *Report {
+	ds := imuPathDataset(p)
+	truth := imuEnds(ds.Test)
+
+	r := &Report{
+		ID:     "A4",
+		Title:  "Ablation: IMU location-module design",
+		Header: []string{"variant", "mean (m)", "median (m)", "class acc"},
+	}
+	variants := []struct {
+		name string
+		mod  func(*core.IMUConfig)
+	}{
+		{"full (wired sum + geo init + one-hot)", func(c *core.IMUConfig) {}},
+		{"no geometric init", func(c *core.IMUConfig) { c.GeoInit = false }},
+		{"no wired sum (paper input only)", func(c *core.IMUConfig) { c.WireSum = false; c.GeoInit = false; c.LocHidden = 96 }},
+		{"no one-hot start", func(c *core.IMUConfig) { c.StartOneHot = false }},
+		{"MLP location head", func(c *core.IMUConfig) { c.LocHidden = 96; c.GeoInit = false }},
+	}
+	for _, v := range variants {
+		cfg := nobleIMUConfig(p)
+		v.mod(&cfg)
+		model := core.TrainIMU(ds, cfg)
+		preds := model.PredictPaths(ds.Test)
+		ends := make([]geo.Point, len(preds))
+		hits := 0
+		for i, pr := range preds {
+			ends[i] = pr.End
+			if pr.Class == model.Grid.NearestClass(ds.Test[i].End) {
+				hits++
+			}
+		}
+		stats := eval.Stats(eval.Errors(ends, truth))
+		r.AddRow(v.name, f2(stats.Mean), f2(stats.Median),
+			pct(float64(hits)/float64(len(preds))))
+	}
+	r.AddNote("the wired sum and geometric init are this reproduction's trainability fixes; see DESIGN.md")
+	return r
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// These tests pin the *reproduction shape* — the paper's qualitative
+// claims — as CI assertions at the Small preset. If a refactor breaks the
+// method (or a substrate), the ordering flips and these fail.
+
+// cell parses a float table cell.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil {
+		t.Fatalf("unparseable cell %q: %v", s, err)
+	}
+	return v
+}
+
+// row finds the first row whose first cell contains name.
+func row(t *testing.T, r *Report, name string) []string {
+	t.Helper()
+	for _, row := range r.Rows {
+		if strings.Contains(row[0], name) {
+			return row
+		}
+	}
+	t.Fatalf("report %s has no row %q", r.ID, name)
+	return nil
+}
+
+func TestShapeTable2NObLeWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains five models")
+	}
+	r := RunTable2(Small)
+	nobleMean := cell(t, row(t, r, "NObLe")[3])
+	regMean := cell(t, row(t, r, "Deep Regression")[3])
+	projMean := cell(t, row(t, r, "Regression Projection")[3])
+
+	// Paper claim 1: NObLe beats Deep Regression by a wide margin.
+	if nobleMean >= regMean/1.5 {
+		t.Fatalf("NObLe mean %v not clearly below regression %v", nobleMean, regMean)
+	}
+	// Paper claim 2: projection helps only marginally.
+	if projMean > regMean*1.05 {
+		t.Fatalf("projection (%v) should not be worse than regression (%v)", projMean, regMean)
+	}
+	if projMean < regMean/2 {
+		t.Fatalf("projection (%v) improved too much over regression (%v) — 'marginal' claim broken", projMean, regMean)
+	}
+	// Paper claim 3: NObLe's median collapses to the sub-meter regime.
+	nobleMedian := cell(t, row(t, r, "NObLe")[4])
+	regMedian := cell(t, row(t, r, "Deep Regression")[4])
+	if nobleMedian > 1 || nobleMedian >= regMedian/2 {
+		t.Fatalf("NObLe median %v (regression %v) lost the cell-exact property", nobleMedian, regMedian)
+	}
+}
+
+func TestShapeTable3NObLeWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two models")
+	}
+	r := RunTable3(Small)
+	nobleMean := cell(t, row(t, r, "NObLe")[3])
+	regMean := cell(t, row(t, r, "Deep Regression")[3])
+	if nobleMean >= regMean {
+		t.Fatalf("IMU NObLe mean %v must beat regression %v", nobleMean, regMean)
+	}
+	nobleMedian := cell(t, row(t, r, "NObLe")[4])
+	if nobleMedian > 1 {
+		t.Fatalf("IMU NObLe median %v lost the snap-to-reference property", nobleMedian)
+	}
+}
+
+func TestShapeFigure4StructureOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains four models")
+	}
+	r := RunFigure4(Small)
+	regRate := cell(t, row(t, r, "Deep Regression")[1])
+	nobleRate := cell(t, row(t, r, "NObLe")[1])
+	projRate := cell(t, row(t, r, "Regression Projection")[1])
+	if nobleRate < 99.9 || projRate < 99.9 {
+		t.Fatalf("NObLe (%v%%) and projection (%v%%) must be fully on-map", nobleRate, projRate)
+	}
+	if regRate > 95 {
+		t.Fatalf("regression on-map rate %v%% — dead-space leakage disappeared, Fig. 4 contrast lost", regRate)
+	}
+}
+
+func TestShapeEnergyRatioNearPaper(t *testing.T) {
+	r := RunEnergyIMU(Small)
+	ratio := cell(t, strings.TrimSuffix(row(t, r, "GPS / total")[2], "x"))
+	if ratio < 15 || ratio > 45 {
+		t.Fatalf("paper-scale GPS ratio %v far from the paper's 27", ratio)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"noble/internal/core"
+	"noble/internal/eval"
+	"noble/internal/floorplan"
+	"noble/internal/geo"
+	"noble/internal/imu"
+)
+
+// RunOnlineTracking is an extension experiment (X1): it compares three
+// online trajectory decoders built on the trained NObLe IMU model —
+// greedy chaining with a long window, greedy chaining with single-segment
+// re-anchoring, and map-constrained Viterbi decoding over the walkway
+// graph. The Viterbi decoder is the probabilistic analogue of the
+// hand-written map heuristics in the paper's comparators [8] and LocMe
+// [19].
+func RunOnlineTracking(p Preset) *Report {
+	// A dedicated evaluation walk, disjoint from the training track.
+	var net *imu.Network
+	var trainTrack, evalTrack *imu.Track
+	if p == Full {
+		net = imu.NewCampusNetwork(3)
+		cfg := imu.DefaultConfig()
+		trainTrack = imu.Synthesize(net, cfg, 2021)
+		evalCfg := cfg
+		evalCfg.TotalSegments = 80
+		evalCfg.Walks = 1
+		evalTrack = imu.Synthesize(net, evalCfg, 4242)
+	} else {
+		net = imu.NewCampusNetwork(6)
+		cfg := imu.DefaultConfig()
+		cfg.ReadingsPerSegment = 96
+		cfg.TotalSegments = 160
+		trainTrack = imu.Synthesize(net, cfg, 2021)
+		evalCfg := cfg
+		evalCfg.TotalSegments = 60
+		evalCfg.Walks = 1
+		evalTrack = imu.Synthesize(net, evalCfg, 4242)
+	}
+	var pcfg imu.PathConfig
+	if p == Full {
+		pcfg = imu.DefaultPathConfig()
+	} else {
+		pcfg = imu.PathConfig{
+			NumPaths: 1200, MaxLen: 12, Frames: 6,
+			TrainFrac: 4389.0 / 6857.0, ValFrac: 1096.0 / 6857.0, Seed: 7,
+		}
+	}
+	ds := imu.BuildPaths(trainTrack, pcfg)
+	model := core.TrainIMU(ds, nobleIMUConfig(p))
+
+	walk := evalTrack.Walks[0]
+	meanErr := func(preds []core.IMUPrediction) float64 {
+		var s float64
+		for i, pr := range preds {
+			s += geo.Dist(pr.End, net.Refs[walk.RefSeq[i+1]])
+		}
+		return s / float64(len(preds))
+	}
+	plan := floorplan.OutdoorCampus()
+	onMap := func(preds []core.IMUPrediction) float64 {
+		pts := make([]geo.Point, len(preds))
+		for i, pr := range preds {
+			pts[i] = pr.End
+		}
+		return eval.OnMapRate(plan, pts)
+	}
+
+	r := &Report{
+		ID:     "X1",
+		Title:  "Extension: online trajectory decoding on an unseen walk",
+		Header: []string{"decoder", "mean error (m)", "on-map rate"},
+	}
+	greedyLong := model.TrackWalk(net, walk, 1<<30) // clamped to trained max
+	r.AddRow("greedy chaining (max window)", f2(meanErr(greedyLong)), pct(onMap(greedyLong)))
+	greedyShort := model.TrackWalk(net, walk, 1)
+	r.AddRow("greedy chaining (1-segment)", f2(meanErr(greedyShort)), pct(onMap(greedyShort)))
+	viterbi := model.TrackWalkViterbi(net, walk)
+	r.AddRow("map-constrained Viterbi", f2(meanErr(viterbi)), pct(onMap(viterbi)))
+	r.AddNote("walk: %d segments, unseen during training; the Viterbi decoder replaces the hand heuristics of [8]/[19]", len(walk.Segments))
+	return r
+}

@@ -1,0 +1,272 @@
+// Package floorplan models the structured localization spaces at the heart
+// of the paper's argument: buildings with inaccessible courtyards, multiple
+// floors, and the dead space between buildings. The Wi-Fi experiments use a
+// UJIIndoorLoc-like three-building campus and an IPIN2016-like single
+// building; the Deep Regression Projection baseline uses Plan.Project to
+// snap off-map predictions to the nearest accessible position, exactly the
+// map-projection post-processing of [8]/[19].
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"noble/internal/geo"
+)
+
+// Building is one structure on a plan: an outer footprint, optional
+// inaccessible courtyards (holes), and a floor count. The UJI buildings in
+// Fig. 1 are rectangular rings around central courtyards.
+type Building struct {
+	ID         int
+	Name       string
+	Footprint  geo.Polygon
+	Courtyards []geo.Polygon
+	Floors     int
+}
+
+// ContainsXY reports whether the planar point lies in the building's
+// accessible area: inside the footprint and not strictly inside any
+// courtyard (courtyard boundaries count as accessible walkway).
+func (b *Building) ContainsXY(p geo.Point) bool {
+	if !b.Footprint.Contains(p) {
+		return false
+	}
+	for _, c := range b.Courtyards {
+		if strictlyInside(c, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func strictlyInside(poly geo.Polygon, p geo.Point) bool {
+	if !poly.Contains(p) {
+		return false
+	}
+	return geo.Dist(poly.ClosestBoundaryPoint(p), p) > 1e-9
+}
+
+// Plan is a localization space: a set of buildings plus optional accessible
+// outdoor regions (walkways between buildings).
+type Plan struct {
+	Name      string
+	Buildings []*Building
+	Outdoor   []geo.Polygon
+}
+
+// Bounds returns the bounding box of everything on the plan.
+func (pl *Plan) Bounds() geo.Rect {
+	var r geo.Rect
+	first := true
+	grow := func(b geo.Rect) {
+		if first {
+			r, first = b, false
+		} else {
+			r = r.Union(b)
+		}
+	}
+	for _, b := range pl.Buildings {
+		grow(b.Footprint.Bounds())
+	}
+	for _, o := range pl.Outdoor {
+		grow(o.Bounds())
+	}
+	return r
+}
+
+// Accessible reports whether p lies in any building's accessible area or
+// any outdoor region. This is the ground-truth structure that NObLe's
+// quantization discovers implicitly from data.
+func (pl *Plan) Accessible(p geo.Point) bool {
+	for _, b := range pl.Buildings {
+		if b.ContainsXY(p) {
+			return true
+		}
+	}
+	for _, o := range pl.Outdoor {
+		if o.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildingAt returns the ID of the building whose accessible area contains
+// p, or -1 when p is outdoors or in dead space.
+func (pl *Plan) BuildingAt(p geo.Point) int {
+	for _, b := range pl.Buildings {
+		if b.ContainsXY(p) {
+			return b.ID
+		}
+	}
+	return -1
+}
+
+// Project returns the accessible point nearest to p — itself when p is
+// already accessible. This implements the Deep Regression Projection
+// baseline's "project the predicted coordinates to the nearest position on
+// the map" step.
+func (pl *Plan) Project(p geo.Point) geo.Point {
+	if pl.Accessible(p) {
+		return p
+	}
+	best := p
+	bestD := math.Inf(1)
+	consider := func(c geo.Point) {
+		if d := geo.Dist2(c, p); d < bestD {
+			bestD, best = d, c
+		}
+	}
+	for _, b := range pl.Buildings {
+		if b.Footprint.Contains(p) {
+			// Inside the footprint but blocked by a courtyard:
+			// project to the courtyard ring.
+			for _, cy := range b.Courtyards {
+				if strictlyInside(cy, p) {
+					consider(cy.ClosestBoundaryPoint(p))
+				}
+			}
+			continue
+		}
+		consider(b.Footprint.ClosestBoundaryPoint(p))
+	}
+	for _, o := range pl.Outdoor {
+		if !o.Contains(p) {
+			consider(o.ClosestBoundaryPoint(p))
+		}
+	}
+	return best
+}
+
+// RefPoint is one survey location: a position, the building it belongs to
+// (-1 for outdoor) and the floor index.
+type RefPoint struct {
+	Pos      geo.Point
+	Building int
+	Floor    int
+}
+
+// ReferencePoints lays out the offline survey grid: accessible positions at
+// the given spacing (with optional uniform jitter) on every floor of every
+// building, plus ground-floor points in outdoor regions. This mirrors how
+// fingerprint datasets such as UJIIndoorLoc are collected — only reachable
+// positions are ever sampled, which is what lets NObLe's quantization drop
+// dead space.
+func (pl *Plan) ReferencePoints(rng *rand.Rand, spacing, jitter float64) []RefPoint {
+	if spacing <= 0 {
+		panic(fmt.Sprintf("floorplan: non-positive spacing %v", spacing))
+	}
+	var out []RefPoint
+	for _, b := range pl.Buildings {
+		bounds := b.Footprint.Bounds()
+		for y := bounds.Min.Y + spacing/2; y < bounds.Max.Y; y += spacing {
+			for x := bounds.Min.X + spacing/2; x < bounds.Max.X; x += spacing {
+				p := geo.Point{X: x, Y: y}
+				if jitter > 0 {
+					p.X += (rng.Float64() - 0.5) * jitter
+					p.Y += (rng.Float64() - 0.5) * jitter
+				}
+				if !b.ContainsXY(p) {
+					continue
+				}
+				for f := 0; f < b.Floors; f++ {
+					out = append(out, RefPoint{Pos: p, Building: b.ID, Floor: f})
+				}
+			}
+		}
+	}
+	for _, o := range pl.Outdoor {
+		bounds := o.Bounds()
+		for y := bounds.Min.Y + spacing/2; y < bounds.Max.Y; y += spacing {
+			for x := bounds.Min.X + spacing/2; x < bounds.Max.X; x += spacing {
+				p := geo.Point{X: x, Y: y}
+				if jitter > 0 {
+					p.X += (rng.Float64() - 0.5) * jitter
+					p.Y += (rng.Float64() - 0.5) * jitter
+				}
+				if o.Contains(p) && pl.Accessible(p) {
+					out = append(out, RefPoint{Pos: p, Building: -1, Floor: 0})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FloorCount returns the maximum floor count across buildings (at least 1).
+func (pl *Plan) FloorCount() int {
+	n := 1
+	for _, b := range pl.Buildings {
+		if b.Floors > n {
+			n = b.Floors
+		}
+	}
+	return n
+}
+
+// ring builds a rectangular building footprint with a centered rectangular
+// courtyard hole, the shape of the UJI buildings in Fig. 1.
+func ring(id int, name string, origin geo.Point, w, h, wall float64, floors int) *Building {
+	outer := geo.NewRect(origin, origin.Add(geo.Point{X: w, Y: h}))
+	inner := geo.NewRect(
+		origin.Add(geo.Point{X: wall, Y: wall}),
+		origin.Add(geo.Point{X: w - wall, Y: h - wall}),
+	)
+	return &Building{
+		ID:         id,
+		Name:       name,
+		Footprint:  outer.Polygon(),
+		Courtyards: []geo.Polygon{inner.Polygon()},
+		Floors:     floors,
+	}
+}
+
+// UJICampus returns the synthetic stand-in for the UJIIndoorLoc space: a
+// 397 m × 273 m campus with three ring-shaped buildings (four floors each)
+// arranged along a diagonal, as in the satellite view of Fig. 1. The space
+// between and inside the rings is inaccessible — the structure NObLe should
+// discover.
+func UJICampus() *Plan {
+	return &Plan{
+		Name: "uji-synthetic",
+		Buildings: []*Building{
+			ring(0, "TI", geo.Point{X: 20, Y: 150}, 110, 90, 22, 4),
+			ring(1, "TD", geo.Point{X: 150, Y: 80}, 110, 90, 22, 4),
+			ring(2, "TC", geo.Point{X: 275, Y: 15}, 110, 90, 22, 4),
+		},
+	}
+}
+
+// IPINBuilding returns the synthetic stand-in for the IPIN2016 Tutorial
+// dataset: one small building (~40 m × 17 m, three floors) without a
+// courtyard.
+func IPINBuilding() *Plan {
+	b := &Building{
+		ID:        0,
+		Name:      "UB",
+		Footprint: geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 40, Y: 17}).Polygon(),
+		Floors:    3,
+	}
+	return &Plan{Name: "ipin-synthetic", Buildings: []*Building{b}}
+}
+
+// OutdoorCampus returns the 160 m × 60 m outdoor tracking space of §V: a
+// rectangular campus quad whose walkable surface is a sidewalk loop plus a
+// diagonal cut-through, matching the "user travel paths" of Fig. 5(b).
+// The interior lawn is inaccessible, giving the output space the structure
+// NObLe exploits.
+func OutdoorCampus() *Plan {
+	outerRect := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 160, Y: 60})
+	lawnA := geo.NewRect(geo.Point{X: 12, Y: 12}, geo.Point{X: 72, Y: 48}).Polygon()
+	lawnB := geo.NewRect(geo.Point{X: 88, Y: 12}, geo.Point{X: 148, Y: 48}).Polygon()
+	quad := &Building{
+		ID:         0,
+		Name:       "quad",
+		Footprint:  outerRect.Polygon(),
+		Courtyards: []geo.Polygon{lawnA, lawnB},
+		Floors:     1,
+	}
+	return &Plan{Name: "campus-outdoor", Buildings: []*Building{quad}}
+}

@@ -1,0 +1,245 @@
+package floorplan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"noble/internal/geo"
+)
+
+func TestRingBuildingAccessibility(t *testing.T) {
+	b := ring(0, "r", geo.Point{X: 0, Y: 0}, 100, 80, 20, 4)
+	// In the ring wall: accessible.
+	if !b.ContainsXY(geo.Point{X: 10, Y: 40}) {
+		t.Fatal("wall interior must be accessible")
+	}
+	// Courtyard center: blocked.
+	if b.ContainsXY(geo.Point{X: 50, Y: 40}) {
+		t.Fatal("courtyard must be inaccessible")
+	}
+	// Outside entirely.
+	if b.ContainsXY(geo.Point{X: -5, Y: 40}) {
+		t.Fatal("outside footprint must be inaccessible")
+	}
+	// Courtyard boundary counts as accessible walkway.
+	if !b.ContainsXY(geo.Point{X: 20, Y: 40}) {
+		t.Fatal("courtyard boundary must be accessible")
+	}
+}
+
+func TestUJICampusShape(t *testing.T) {
+	plan := UJICampus()
+	if len(plan.Buildings) != 3 {
+		t.Fatalf("buildings=%d want 3", len(plan.Buildings))
+	}
+	for _, b := range plan.Buildings {
+		if b.Floors != 4 {
+			t.Fatalf("building %d floors=%d want 4", b.ID, b.Floors)
+		}
+	}
+	bounds := plan.Bounds()
+	if bounds.Width() < 300 || bounds.Width() > 397 {
+		t.Fatalf("campus width %v out of UJI range", bounds.Width())
+	}
+	if bounds.Height() < 180 || bounds.Height() > 273 {
+		t.Fatalf("campus height %v out of UJI range", bounds.Height())
+	}
+}
+
+func TestUJICampusDeadSpace(t *testing.T) {
+	plan := UJICampus()
+	// A point between the buildings is dead space.
+	if plan.Accessible(geo.Point{X: 140, Y: 200}) {
+		t.Fatal("gap between buildings must be inaccessible")
+	}
+	if plan.BuildingAt(geo.Point{X: 140, Y: 200}) != -1 {
+		t.Fatal("BuildingAt in dead space must be -1")
+	}
+	// A point in the first building's wall.
+	p := geo.Point{X: 25, Y: 200}
+	if !plan.Accessible(p) {
+		t.Fatal("building wall must be accessible")
+	}
+	if plan.BuildingAt(p) != 0 {
+		t.Fatalf("BuildingAt=%d want 0", plan.BuildingAt(p))
+	}
+}
+
+func TestIPINBuilding(t *testing.T) {
+	plan := IPINBuilding()
+	if len(plan.Buildings) != 1 || plan.Buildings[0].Floors != 3 {
+		t.Fatal("IPIN plan must be one 3-floor building")
+	}
+	if !plan.Accessible(geo.Point{X: 20, Y: 8}) {
+		t.Fatal("building interior must be accessible")
+	}
+	if plan.Accessible(geo.Point{X: 50, Y: 8}) {
+		t.Fatal("outside must be inaccessible")
+	}
+	if plan.FloorCount() != 3 {
+		t.Fatalf("FloorCount=%d", plan.FloorCount())
+	}
+}
+
+func TestOutdoorCampus(t *testing.T) {
+	plan := OutdoorCampus()
+	bounds := plan.Bounds()
+	if bounds.Width() != 160 || bounds.Height() != 60 {
+		t.Fatalf("outdoor campus %vx%v want 160x60", bounds.Width(), bounds.Height())
+	}
+	// Sidewalk along the south edge.
+	if !plan.Accessible(geo.Point{X: 80, Y: 6}) {
+		t.Fatal("sidewalk must be accessible")
+	}
+	// Lawn centers blocked.
+	if plan.Accessible(geo.Point{X: 40, Y: 30}) || plan.Accessible(geo.Point{X: 120, Y: 30}) {
+		t.Fatal("lawns must be inaccessible")
+	}
+	// Middle cut-through between the two lawns is walkable.
+	if !plan.Accessible(geo.Point{X: 80, Y: 30}) {
+		t.Fatal("cut-through must be accessible")
+	}
+}
+
+func TestProjectIdentityOnAccessible(t *testing.T) {
+	plan := UJICampus()
+	p := geo.Point{X: 25, Y: 200}
+	if plan.Project(p) != p {
+		t.Fatal("accessible points must project to themselves")
+	}
+}
+
+func TestProjectFromDeadSpace(t *testing.T) {
+	plan := UJICampus()
+	// From inside a courtyard, projection lands on the courtyard ring.
+	b := plan.Buildings[0]
+	center := b.Courtyards[0].Bounds().Center()
+	proj := plan.Project(center)
+	if !plan.Accessible(proj) {
+		t.Fatalf("projection %v must be accessible", proj)
+	}
+	if geo.Dist(center, proj) == 0 {
+		t.Fatal("courtyard center must move")
+	}
+	// From far outside the campus, projection lands on some footprint.
+	out := geo.Point{X: -50, Y: -50}
+	proj = plan.Project(out)
+	if !plan.Accessible(proj) {
+		t.Fatalf("projection %v from outside must be accessible", proj)
+	}
+}
+
+func TestProjectImprovesOrKeepsDistanceProperty(t *testing.T) {
+	plan := UJICampus()
+	rng := rand.New(rand.NewSource(3))
+	f := func(x8, y8 uint16) bool {
+		p := geo.Point{X: float64(x8 % 400), Y: float64(y8 % 280)}
+		proj := plan.Project(p)
+		if !plan.Accessible(proj) {
+			return false
+		}
+		// Projection of an accessible point is the identity.
+		if plan.Accessible(p) && proj != p {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectIsNearestAmongSamples(t *testing.T) {
+	plan := IPINBuilding()
+	p := geo.Point{X: 60, Y: 8} // 20 m east of the building
+	proj := plan.Project(p)
+	want := geo.Point{X: 40, Y: 8}
+	if geo.Dist(proj, want) > 1e-9 {
+		t.Fatalf("Project=%v want %v", proj, want)
+	}
+}
+
+func TestReferencePointsAccessibleAndPerFloor(t *testing.T) {
+	plan := UJICampus()
+	rng := rand.New(rand.NewSource(4))
+	refs := plan.ReferencePoints(rng, 10, 0)
+	if len(refs) == 0 {
+		t.Fatal("no reference points generated")
+	}
+	floorsSeen := map[int]bool{}
+	buildingsSeen := map[int]bool{}
+	for _, r := range refs {
+		if !plan.Accessible(r.Pos) {
+			t.Fatalf("reference point %v not accessible", r.Pos)
+		}
+		if plan.BuildingAt(r.Pos) != r.Building {
+			t.Fatalf("reference point %v building mismatch", r.Pos)
+		}
+		floorsSeen[r.Floor] = true
+		buildingsSeen[r.Building] = true
+	}
+	for f := 0; f < 4; f++ {
+		if !floorsSeen[f] {
+			t.Fatalf("floor %d has no reference points", f)
+		}
+	}
+	for b := 0; b < 3; b++ {
+		if !buildingsSeen[b] {
+			t.Fatalf("building %d has no reference points", b)
+		}
+	}
+}
+
+func TestReferencePointsSpacingControlsCount(t *testing.T) {
+	plan := IPINBuilding()
+	rng := rand.New(rand.NewSource(5))
+	coarse := plan.ReferencePoints(rng, 8, 0)
+	fine := plan.ReferencePoints(rand.New(rand.NewSource(5)), 2, 0)
+	if len(fine) <= len(coarse) {
+		t.Fatalf("finer spacing must yield more points: %d vs %d", len(fine), len(coarse))
+	}
+}
+
+func TestReferencePointsJitterStaysAccessible(t *testing.T) {
+	plan := UJICampus()
+	rng := rand.New(rand.NewSource(6))
+	refs := plan.ReferencePoints(rng, 8, 2)
+	for _, r := range refs {
+		if !plan.Accessible(r.Pos) {
+			t.Fatalf("jittered reference %v not accessible", r.Pos)
+		}
+	}
+}
+
+func TestReferencePointsBadSpacingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	UJICampus().ReferencePoints(rand.New(rand.NewSource(1)), 0, 0)
+}
+
+func TestOutdoorRegionRefPoints(t *testing.T) {
+	plan := &Plan{
+		Name:    "outdoor-only",
+		Outdoor: []geo.Polygon{geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 20, Y: 20}).Polygon()},
+	}
+	rng := rand.New(rand.NewSource(7))
+	refs := plan.ReferencePoints(rng, 5, 0)
+	if len(refs) == 0 {
+		t.Fatal("outdoor regions must produce reference points")
+	}
+	for _, r := range refs {
+		if r.Building != -1 || r.Floor != 0 {
+			t.Fatal("outdoor refs must have building=-1 floor=0")
+		}
+	}
+	if !plan.Accessible(geo.Point{X: 10, Y: 10}) {
+		t.Fatal("outdoor region must be accessible")
+	}
+	if plan.Project(geo.Point{X: 30, Y: 10}) != (geo.Point{X: 20, Y: 10}) {
+		t.Fatal("projection onto outdoor region")
+	}
+}

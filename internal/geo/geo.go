@@ -1,0 +1,284 @@
+// Package geo provides the small amount of planar computational geometry
+// the NObLe reproduction needs: points, rectangles, polygons with
+// containment tests, closest-point projection onto segments/polygons (the
+// Deep Regression Projection baseline projects off-map predictions to the
+// nearest position on the map), and polylines for IMU walking paths.
+//
+// Coordinates are planar meters (longitude/latitude in the paper's datasets
+// are already projected); Y grows north, X grows east.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q component-wise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q component-wise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q — the paper's
+// position-error metric.
+func Dist(p, q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance (avoids the square root in
+// comparisons).
+func Dist2(p, q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp linearly interpolates from p to q; t=0 gives p, t=1 gives q.
+func Lerp(p, q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Rect is an axis-aligned rectangle spanning [Min.X, Max.X] × [Min.Y, Max.Y].
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect builds a rectangle from any two opposite corners.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Center returns the rectangle's midpoint.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Width returns the X extent.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the Y extent.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Expand returns r grown by d on every side.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{Point{r.Min.X - d, r.Min.Y - d}, Point{r.Max.X + d, r.Max.Y + d}}
+}
+
+// Corners returns the rectangle's four corners counter-clockwise starting
+// at Min.
+func (r Rect) Corners() []Point {
+	return []Point{
+		r.Min,
+		{r.Max.X, r.Min.Y},
+		r.Max,
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// Polygon converts the rectangle to a Polygon.
+func (r Rect) Polygon() Polygon { return Polygon(r.Corners()) }
+
+// ClosestPoint returns the point in r (interior included) nearest to p.
+func (r Rect) ClosestPoint(p Point) Point {
+	return Point{clamp(p.X, r.Min.X, r.Max.X), clamp(p.Y, r.Min.Y, r.Max.Y)}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClosestOnSegment returns the point on segment [a, b] nearest to p.
+func ClosestOnSegment(p, a, b Point) Point {
+	ab := b.Sub(a)
+	denom := ab.Dot(ab)
+	if denom == 0 {
+		return a
+	}
+	t := clamp(p.Sub(a).Dot(ab)/denom, 0, 1)
+	return a.Add(ab.Scale(t))
+}
+
+// Polygon is a simple polygon given by its vertices in order (either
+// winding); the edge list closes implicitly from the last vertex back to
+// the first.
+type Polygon []Point
+
+// Contains reports whether p lies strictly inside or on the boundary of the
+// polygon, via the even-odd ray casting rule with an explicit boundary
+// check for robustness at edges.
+func (poly Polygon) Contains(p Point) bool {
+	n := len(poly)
+	if n < 3 {
+		return false
+	}
+	// Boundary counts as inside.
+	for i := 0; i < n; i++ {
+		a, b := poly[i], poly[(i+1)%n]
+		if Dist(ClosestOnSegment(p, a, b), p) < 1e-9 {
+			return true
+		}
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := poly[i], poly[j]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			xCross := (b.X-a.X)*(p.Y-a.Y)/(b.Y-a.Y) + a.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// ClosestBoundaryPoint returns the point on the polygon's boundary nearest
+// to p.
+func (poly Polygon) ClosestBoundaryPoint(p Point) Point {
+	if len(poly) == 0 {
+		panic("geo: ClosestBoundaryPoint on empty polygon")
+	}
+	best := poly[0]
+	bestD := math.Inf(1)
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		c := ClosestOnSegment(p, poly[i], poly[(i+1)%n])
+		if d := Dist2(c, p); d < bestD {
+			bestD, best = d, c
+		}
+	}
+	return best
+}
+
+// Bounds returns the polygon's axis-aligned bounding box.
+func (poly Polygon) Bounds() Rect {
+	if len(poly) == 0 {
+		return Rect{}
+	}
+	r := Rect{poly[0], poly[0]}
+	for _, p := range poly[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}
+
+// Area returns the polygon's unsigned area (shoelace formula).
+func (poly Polygon) Area() float64 {
+	n := len(poly)
+	if n < 3 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		a, b := poly[i], poly[(i+1)%n]
+		s += a.X*b.Y - b.X*a.Y
+	}
+	return math.Abs(s) / 2
+}
+
+// Polyline is an open chain of points, used for IMU walking paths.
+type Polyline []Point
+
+// Length returns the total arc length.
+func (pl Polyline) Length() float64 {
+	var s float64
+	for i := 1; i < len(pl); i++ {
+		s += Dist(pl[i-1], pl[i])
+	}
+	return s
+}
+
+// PointAt returns the point at arc-length distance d from the start,
+// clamped to the ends.
+func (pl Polyline) PointAt(d float64) Point {
+	if len(pl) == 0 {
+		panic("geo: PointAt on empty polyline")
+	}
+	if d <= 0 {
+		return pl[0]
+	}
+	for i := 1; i < len(pl); i++ {
+		seg := Dist(pl[i-1], pl[i])
+		if d <= seg {
+			if seg == 0 {
+				return pl[i]
+			}
+			return Lerp(pl[i-1], pl[i], d/seg)
+		}
+		d -= seg
+	}
+	return pl[len(pl)-1]
+}
+
+// HeadingAt returns the walking direction (radians, CCW from +X) of the
+// segment containing arc-length position d.
+func (pl Polyline) HeadingAt(d float64) float64 {
+	if len(pl) < 2 {
+		return 0
+	}
+	if d < 0 {
+		d = 0
+	}
+	for i := 1; i < len(pl); i++ {
+		seg := Dist(pl[i-1], pl[i])
+		if d <= seg || i == len(pl)-1 {
+			v := pl[i].Sub(pl[i-1])
+			return math.Atan2(v.Y, v.X)
+		}
+		d -= seg
+	}
+	v := pl[len(pl)-1].Sub(pl[len(pl)-2])
+	return math.Atan2(v.Y, v.X)
+}
+
+// String renders the point for debugging.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// WrapAngle normalizes an angle to (-π, π].
+func WrapAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

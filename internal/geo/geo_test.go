@@ -1,0 +1,295 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Point{1, 2}, Point{3, 4}
+	if p.Add(q) != (Point{4, 6}) {
+		t.Fatal("Add")
+	}
+	if q.Sub(p) != (Point{2, 2}) {
+		t.Fatal("Sub")
+	}
+	if p.Scale(2) != (Point{2, 4}) {
+		t.Fatal("Scale")
+	}
+	if p.Dot(q) != 11 {
+		t.Fatal("Dot")
+	}
+	if math.Abs(Point{3, 4}.Norm()-5) > 1e-15 {
+		t.Fatal("Norm")
+	}
+}
+
+func TestDist(t *testing.T) {
+	if Dist(Point{0, 0}, Point{3, 4}) != 5 {
+		t.Fatal("Dist")
+	}
+	if Dist2(Point{0, 0}, Point{3, 4}) != 25 {
+		t.Fatal("Dist2")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 20}
+	if Lerp(a, b, 0) != a || Lerp(a, b, 1) != b {
+		t.Fatal("Lerp endpoints")
+	}
+	if Lerp(a, b, 0.5) != (Point{5, 10}) {
+		t.Fatal("Lerp midpoint")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(Point{5, 1}, Point{1, 3}) // corners any order
+	if r.Min != (Point{1, 1}) || r.Max != (Point{5, 3}) {
+		t.Fatalf("NewRect normalized wrong: %+v", r)
+	}
+	if !r.Contains(Point{3, 2}) || r.Contains(Point{0, 0}) {
+		t.Fatal("Contains")
+	}
+	if !r.Contains(r.Min) || !r.Contains(r.Max) {
+		t.Fatal("Rect boundary must be inclusive")
+	}
+	if r.Center() != (Point{3, 2}) {
+		t.Fatal("Center")
+	}
+	if r.Width() != 4 || r.Height() != 2 || r.Area() != 8 {
+		t.Fatal("dims")
+	}
+}
+
+func TestRectUnionExpand(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{1, 1})
+	b := NewRect(Point{2, -1}, Point{3, 4})
+	u := a.Union(b)
+	if u.Min != (Point{0, -1}) || u.Max != (Point{3, 4}) {
+		t.Fatalf("Union=%+v", u)
+	}
+	e := a.Expand(1)
+	if e.Min != (Point{-1, -1}) || e.Max != (Point{2, 2}) {
+		t.Fatalf("Expand=%+v", e)
+	}
+}
+
+func TestRectClosestPoint(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{2, 2})
+	if r.ClosestPoint(Point{1, 1}) != (Point{1, 1}) {
+		t.Fatal("inner point should project to itself")
+	}
+	if r.ClosestPoint(Point{5, 1}) != (Point{2, 1}) {
+		t.Fatal("right side projection")
+	}
+	if r.ClosestPoint(Point{-3, -3}) != (Point{0, 0}) {
+		t.Fatal("corner projection")
+	}
+}
+
+func TestRectCornersAndPolygon(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{1, 2})
+	c := r.Corners()
+	if len(c) != 4 || c[0] != r.Min || c[2] != r.Max {
+		t.Fatalf("Corners=%v", c)
+	}
+	poly := r.Polygon()
+	if !poly.Contains(Point{0.5, 1}) {
+		t.Fatal("rect polygon containment")
+	}
+	if math.Abs(poly.Area()-2) > 1e-12 {
+		t.Fatalf("rect polygon area=%v", poly.Area())
+	}
+}
+
+func TestClosestOnSegment(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 0}
+	if ClosestOnSegment(Point{5, 3}, a, b) != (Point{5, 0}) {
+		t.Fatal("perpendicular foot")
+	}
+	if ClosestOnSegment(Point{-5, 3}, a, b) != a {
+		t.Fatal("clamp to start")
+	}
+	if ClosestOnSegment(Point{15, 3}, a, b) != b {
+		t.Fatal("clamp to end")
+	}
+	if ClosestOnSegment(Point{1, 1}, a, a) != a {
+		t.Fatal("degenerate segment")
+	}
+}
+
+func TestClosestOnSegmentIsMinimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a := Point{rng.Float64() * 10, rng.Float64() * 10}
+		b := Point{rng.Float64() * 10, rng.Float64() * 10}
+		p := Point{rng.Float64()*20 - 5, rng.Float64()*20 - 5}
+		c := ClosestOnSegment(p, a, b)
+		dc := Dist(p, c)
+		// No sampled point on the segment may be closer.
+		for i := 0; i <= 50; i++ {
+			s := Lerp(a, b, float64(i)/50)
+			if Dist(p, s) < dc-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 100; i++ {
+		if !f() {
+			t.Fatal("found a closer point than ClosestOnSegment's answer")
+		}
+	}
+}
+
+func TestPolygonContainsSquare(t *testing.T) {
+	sq := Polygon{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	if !sq.Contains(Point{2, 2}) {
+		t.Fatal("center must be inside")
+	}
+	if sq.Contains(Point{5, 2}) || sq.Contains(Point{-1, -1}) {
+		t.Fatal("outside points must not be inside")
+	}
+	if !sq.Contains(Point{0, 2}) || !sq.Contains(Point{4, 4}) {
+		t.Fatal("boundary must count as inside")
+	}
+}
+
+func TestPolygonContainsLShape(t *testing.T) {
+	// L-shaped building footprint: notch at top-right.
+	l := Polygon{{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}}
+	if !l.Contains(Point{1, 3}) || !l.Contains(Point{3, 1}) {
+		t.Fatal("points in L arms must be inside")
+	}
+	if l.Contains(Point{3, 3}) {
+		t.Fatal("notch must be outside")
+	}
+}
+
+func TestPolygonDegenerate(t *testing.T) {
+	if (Polygon{{0, 0}, {1, 1}}).Contains(Point{0.5, 0.5}) {
+		t.Fatal("2-vertex polygon contains nothing")
+	}
+	if (Polygon{}).Area() != 0 {
+		t.Fatal("empty polygon area")
+	}
+}
+
+func TestPolygonClosestBoundaryPoint(t *testing.T) {
+	sq := Polygon{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	got := sq.ClosestBoundaryPoint(Point{2, 6})
+	if got != (Point{2, 4}) {
+		t.Fatalf("projection=%v want (2,4)", got)
+	}
+	// From the inside the closest boundary point is the nearest wall.
+	got = sq.ClosestBoundaryPoint(Point{1, 2})
+	if got != (Point{0, 2}) {
+		t.Fatalf("inner projection=%v want (0,2)", got)
+	}
+}
+
+func TestPolygonClosestBoundaryEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Polygon{}.ClosestBoundaryPoint(Point{0, 0})
+}
+
+func TestPolygonProjectionOnBoundaryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sq := Polygon{{0, 0}, {10, 0}, {10, 10}, {0, 10}}
+	f := func(x8, y8 uint8) bool {
+		p := Point{float64(x8%40) - 15, float64(y8%40) - 15}
+		c := sq.ClosestBoundaryPoint(p)
+		// The projection must lie on the polygon (boundary inclusive).
+		if !sq.Contains(c) {
+			return false
+		}
+		// And be no farther than any vertex.
+		for _, v := range sq {
+			if Dist(p, v) < Dist(p, c)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolygonBoundsArea(t *testing.T) {
+	tri := Polygon{{0, 0}, {4, 0}, {0, 3}}
+	b := tri.Bounds()
+	if b.Min != (Point{0, 0}) || b.Max != (Point{4, 3}) {
+		t.Fatalf("Bounds=%+v", b)
+	}
+	if math.Abs(tri.Area()-6) > 1e-12 {
+		t.Fatalf("Area=%v want 6", tri.Area())
+	}
+}
+
+func TestPolylineLengthPointAt(t *testing.T) {
+	pl := Polyline{{0, 0}, {3, 0}, {3, 4}}
+	if pl.Length() != 7 {
+		t.Fatalf("Length=%v", pl.Length())
+	}
+	if pl.PointAt(0) != (Point{0, 0}) {
+		t.Fatal("start")
+	}
+	if pl.PointAt(3) != (Point{3, 0}) {
+		t.Fatal("vertex")
+	}
+	if pl.PointAt(5) != (Point{3, 2}) {
+		t.Fatal("mid second segment")
+	}
+	if pl.PointAt(100) != (Point{3, 4}) {
+		t.Fatal("clamp to end")
+	}
+	if pl.PointAt(-5) != (Point{0, 0}) {
+		t.Fatal("clamp to start")
+	}
+}
+
+func TestPolylineHeading(t *testing.T) {
+	pl := Polyline{{0, 0}, {3, 0}, {3, 4}}
+	if pl.HeadingAt(1) != 0 {
+		t.Fatal("east heading")
+	}
+	if math.Abs(pl.HeadingAt(5)-math.Pi/2) > 1e-12 {
+		t.Fatal("north heading")
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	if math.Abs(WrapAngle(3*math.Pi)-math.Pi) > 1e-12 {
+		t.Fatalf("WrapAngle(3π)=%v", WrapAngle(3*math.Pi))
+	}
+	if math.Abs(WrapAngle(-3*math.Pi)-math.Pi) > 1e-12 {
+		t.Fatalf("WrapAngle(-3π)=%v", WrapAngle(-3*math.Pi))
+	}
+	if WrapAngle(0.5) != 0.5 {
+		t.Fatal("in-range angle must be unchanged")
+	}
+}
+
+func TestPointAtEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Polyline{}.PointAt(1)
+}
+
+func TestPointString(t *testing.T) {
+	if (Point{1, 2}).String() != "(1.00, 2.00)" {
+		t.Fatalf("String=%q", Point{1, 2}.String())
+	}
+}

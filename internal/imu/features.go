@@ -1,0 +1,175 @@
+package imu
+
+import (
+	"fmt"
+	"math"
+
+	"noble/internal/geo"
+	"noble/internal/mat"
+)
+
+// FeaturesPerFrame is the per-frame summary width: the mean of each of the
+// six channels plus the standard deviation of the accelerometer magnitude
+// (a step-energy proxy).
+const FeaturesPerFrame = Channels + 1
+
+// SegmentFeatureDim returns the feature width of one segment summarized
+// into frames time windows.
+func SegmentFeatureDim(frames int) int { return frames * FeaturesPerFrame }
+
+// SegmentFeatures summarizes raw readings into frames equal time windows.
+// This is the fixed preprocessing in front of the paper's projection
+// module: g_i stays a per-segment tensor, just at a tractable width. The
+// gyro means preserve integrated turn rate; the accel-magnitude deviation
+// preserves step energy (stride/speed); both are what dead reckoning needs.
+func SegmentFeatures(readings *mat.Dense, frames int) []float64 {
+	if frames <= 0 {
+		panic(fmt.Sprintf("imu: non-positive frame count %d", frames))
+	}
+	n := readings.Rows
+	out := make([]float64, SegmentFeatureDim(frames))
+	for f := 0; f < frames; f++ {
+		lo := f * n / frames
+		hi := (f + 1) * n / frames
+		if hi <= lo {
+			hi = lo + 1
+			if hi > n {
+				lo, hi = n-1, n
+			}
+		}
+		count := float64(hi - lo)
+		base := f * FeaturesPerFrame
+		var mags []float64
+		for i := lo; i < hi; i++ {
+			row := readings.Row(i)
+			for c := 0; c < Channels; c++ {
+				out[base+c] += row[c]
+			}
+			mags = append(mags, math.Sqrt(row[0]*row[0]+row[1]*row[1]+row[2]*row[2]))
+		}
+		for c := 0; c < Channels; c++ {
+			out[base+c] /= count
+		}
+		out[base+Channels] = mat.Std(mags)
+	}
+	return out
+}
+
+// Path is one training example built by the paper's protocol: a start
+// reference, a run of consecutive segments from one walk, and the end
+// reference reached.
+type Path struct {
+	StartRef, EndRef int
+	Start, End       geo.Point
+	NumSegments      int
+	Features         []float64 // NumSegments × SegmentFeatureDim, not padded
+}
+
+// PathDataset is the materialized path collection with the paper's splits.
+type PathDataset struct {
+	Net        *Network
+	Frames     int
+	MaxLen     int
+	Train      []Path
+	Validation []Path
+	Test       []Path
+}
+
+// PathConfig controls BuildPaths.
+type PathConfig struct {
+	NumPaths int // 6857 in the paper
+	MaxLen   int // path length strictly less than 50 segments
+	Frames   int // time windows per segment for feature extraction
+	// TrainFrac and ValFrac partition the paths (paper: 4389/1096/1372
+	// ≈ 64%/16%/20%).
+	TrainFrac, ValFrac float64
+	Seed               int64
+}
+
+// DefaultPathConfig mirrors the paper's numbers.
+func DefaultPathConfig() PathConfig {
+	return PathConfig{
+		NumPaths:  6857,
+		MaxLen:    50,
+		Frames:    8,
+		TrainFrac: 4389.0 / 6857.0,
+		ValFrac:   1096.0 / 6857.0,
+		Seed:      7,
+	}
+}
+
+// BuildPaths constructs the path dataset from a track following §V-A:
+// (1) randomly choose a reference location (a position within a walk) as
+// start, (2) randomly choose a path length less than MaxLen, (3)
+// concatenate the IMU readings between start and end. Per-segment features
+// are extracted once and shared across overlapping paths.
+func BuildPaths(track *Track, cfg PathConfig) *PathDataset {
+	if cfg.NumPaths <= 0 || cfg.MaxLen < 2 {
+		panic(fmt.Sprintf("imu: bad path config %+v", cfg))
+	}
+	rng := mat.NewRand(cfg.Seed)
+	// Pre-extract features per walk segment.
+	segFeats := make([][][]float64, len(track.Walks))
+	for wi, w := range track.Walks {
+		segFeats[wi] = make([][]float64, len(w.Segments))
+		for si, s := range w.Segments {
+			segFeats[wi][si] = SegmentFeatures(s.Readings, cfg.Frames)
+		}
+	}
+	dim := SegmentFeatureDim(cfg.Frames)
+	paths := make([]Path, 0, cfg.NumPaths)
+	for len(paths) < cfg.NumPaths {
+		wi := rng.Intn(len(track.Walks))
+		w := track.Walks[wi]
+		if len(w.Segments) < 1 {
+			continue
+		}
+		length := 1 + rng.Intn(cfg.MaxLen-1) // 1 .. MaxLen-1 segments
+		if length > len(w.Segments) {
+			length = len(w.Segments)
+		}
+		start := rng.Intn(len(w.Segments) - length + 1)
+		feats := make([]float64, 0, length*dim)
+		for s := start; s < start+length; s++ {
+			feats = append(feats, segFeats[wi][s]...)
+		}
+		startRef := w.RefSeq[start]
+		endRef := w.RefSeq[start+length]
+		paths = append(paths, Path{
+			StartRef:    startRef,
+			EndRef:      endRef,
+			Start:       track.Net.Refs[startRef],
+			End:         track.Net.Refs[endRef],
+			NumSegments: length,
+			Features:    feats,
+		})
+	}
+	nTrain := int(cfg.TrainFrac * float64(len(paths)))
+	nVal := int(cfg.ValFrac * float64(len(paths)))
+	perm := rng.Perm(len(paths))
+	shuffled := make([]Path, len(paths))
+	for i, p := range perm {
+		shuffled[i] = paths[p]
+	}
+	return &PathDataset{
+		Net:        track.Net,
+		Frames:     cfg.Frames,
+		MaxLen:     cfg.MaxLen,
+		Train:      shuffled[:nTrain],
+		Validation: shuffled[nTrain : nTrain+nVal],
+		Test:       shuffled[nTrain+nVal:],
+	}
+}
+
+// PaddedFeatures returns the path's features zero-padded to maxLen
+// segments, the fixed-width input the projection module expects.
+func (p *Path) PaddedFeatures(maxLen, frames int) []float64 {
+	dim := SegmentFeatureDim(frames)
+	out := make([]float64, maxLen*dim)
+	copy(out, p.Features)
+	return out
+}
+
+// Displacement returns the ground-truth displacement vector (end - start),
+// the target of the displacement module.
+func (p *Path) Displacement() geo.Point { return p.End.Sub(p.Start) }

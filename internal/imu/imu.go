@@ -1,0 +1,304 @@
+// Package imu synthesizes inertial measurement traces for the device
+// tracking application of §V. The paper's dataset is a private campus walk
+// (160 m × 60 m, 50 Hz, 177 reference locations, 768 readings per sensor
+// axis between consecutive references, two walks totalling ~75 minutes);
+// this package reproduces that collection protocol on the synthetic
+// outdoor campus: a walker follows the sidewalk network, and each segment
+// between reference locations yields 768 six-channel readings (3-axis
+// accelerometer + 3-axis gyroscope) from a gait model with step impulses,
+// turn-rate spikes, white noise, and slowly drifting gyro bias — the same
+// error modes that make raw double-integration useless and motivate
+// learned tracking.
+package imu
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"noble/internal/geo"
+	"noble/internal/mat"
+)
+
+// Channels is the number of inertial channels per reading: accelerometer
+// x/y/z then gyroscope x/y/z.
+const Channels = 6
+
+// Coordinate convention: accelerometer channels hold *orientation-fused,
+// gravity-separated* linear acceleration in the world frame (x east,
+// y north), plus gravity on z — what a phone's attitude/rotation-vector
+// filter exposes. The gyroscope channels stay in the body frame (z = yaw
+// rate). This substitution (documented in DESIGN.md) keeps the tracking
+// problem well-posed: with raw body-frame accelerometry alone, a path's
+// absolute initial heading is unobservable and *no* model — the paper's
+// included — could recover the displacement direction.
+
+// Config holds the collection-protocol and sensor-model parameters. The
+// defaults mirror the paper's protocol.
+type Config struct {
+	SampleRateHz       float64 // 50 Hz in the paper
+	ReadingsPerSegment int     // 768 readings between reference locations
+	RefSpacing         float64 // meters between reference locations along routes
+	TotalSegments      int     // total recorded segments across all walks
+	Walks              int     // number of independent walks (2 in the paper)
+
+	// Gait model.
+	StepFreqHz  float64 // nominal step frequency
+	StepAccAmp  float64 // vertical step impulse amplitude (m/s²)
+	AccNoise    float64 // accelerometer white noise σ (m/s²)
+	GyroNoise   float64 // gyroscope white noise σ (rad/s)
+	GyroBiasRW  float64 // gyro bias random-walk σ per sample (rad/s)
+	TurnSeconds float64 // time spent executing a turn at segment start
+}
+
+// DefaultConfig returns the paper-protocol configuration.
+func DefaultConfig() Config {
+	return Config{
+		SampleRateHz:       50,
+		ReadingsPerSegment: 768,
+		RefSpacing:         3,
+		TotalSegments:      293,
+		Walks:              2,
+		StepFreqHz:         1.8,
+		StepAccAmp:         3.0,
+		AccNoise:           1.2,
+		GyroNoise:          0.08,
+		GyroBiasRW:         0.001,
+		TurnSeconds:        1.0,
+	}
+}
+
+// Network is the walkable reference-location graph: positions plus
+// adjacency, built along the campus sidewalk routes.
+type Network struct {
+	Refs []geo.Point
+	Adj  [][]int
+}
+
+// NewCampusNetwork lays reference locations along the outdoor campus
+// sidewalk midlines (outer loop plus the central cut-through between the
+// two lawns) at the given spacing, and connects consecutive and coincident
+// references. The default spacing of 3 m yields ≈177 references, matching
+// the paper's count.
+func NewCampusNetwork(spacing float64) *Network {
+	if spacing <= 0 {
+		panic(fmt.Sprintf("imu: non-positive ref spacing %v", spacing))
+	}
+	routes := []geo.Polyline{
+		// Outer sidewalk loop (midline of the 12 m-wide walkway ring).
+		{{X: 6, Y: 6}, {X: 154, Y: 6}, {X: 154, Y: 54}, {X: 6, Y: 54}, {X: 6, Y: 6}},
+		// Central cut-through between the lawns.
+		{{X: 80, Y: 6}, {X: 80, Y: 54}},
+	}
+	n := &Network{}
+	addRef := func(p geo.Point) int {
+		for i, q := range n.Refs {
+			if geo.Dist(p, q) < spacing/2 {
+				return i
+			}
+		}
+		n.Refs = append(n.Refs, p)
+		n.Adj = append(n.Adj, nil)
+		return len(n.Refs) - 1
+	}
+	connect := func(a, b int) {
+		if a == b {
+			return
+		}
+		for _, x := range n.Adj[a] {
+			if x == b {
+				return
+			}
+		}
+		n.Adj[a] = append(n.Adj[a], b)
+		n.Adj[b] = append(n.Adj[b], a)
+	}
+	for _, route := range routes {
+		length := route.Length()
+		var prev = -1
+		for d := 0.0; d <= length+1e-9; d += spacing {
+			id := addRef(route.PointAt(d))
+			if prev >= 0 {
+				connect(prev, id)
+			}
+			prev = id
+		}
+	}
+	return n
+}
+
+// Segment is the recording between two consecutive reference locations of
+// a walk: ReadingsPerSegment × Channels samples in the device body frame.
+type Segment struct {
+	From, To int
+	Readings *mat.Dense // rows: time, cols: [ax ay az gx gy gz]
+}
+
+// Walk is one continuous recording session.
+type Walk struct {
+	RefSeq   []int // visited reference indices, len = len(Segments)+1
+	Segments []Segment
+}
+
+// Track is the full collected dataset: the reference network plus the
+// recorded walks.
+type Track struct {
+	Net   *Network
+	Walks []*Walk
+	Cfg   Config
+}
+
+// Synthesize records cfg.Walks random walks over the network totalling
+// cfg.TotalSegments segments. Each walk gets its own gait personality
+// (stride, step frequency and noise multipliers), mirroring how different
+// sessions/walkers differ.
+func Synthesize(net *Network, cfg Config, seed int64) *Track {
+	if cfg.Walks <= 0 || cfg.TotalSegments < cfg.Walks {
+		panic(fmt.Sprintf("imu: bad walk plan %d walks / %d segments", cfg.Walks, cfg.TotalSegments))
+	}
+	rng := mat.NewRand(seed)
+	track := &Track{Net: net, Cfg: cfg}
+	per := cfg.TotalSegments / cfg.Walks
+	for w := 0; w < cfg.Walks; w++ {
+		count := per
+		if w == cfg.Walks-1 {
+			count = cfg.TotalSegments - per*(cfg.Walks-1)
+		}
+		track.Walks = append(track.Walks, synthesizeWalk(net, cfg, count, rng))
+	}
+	return track
+}
+
+// gait is a per-walk personality.
+type gait struct {
+	stepFreq float64
+	stepAmp  float64
+	accNoise float64
+	gyrNoise float64
+	biasRW   float64
+}
+
+func synthesizeWalk(net *Network, cfg Config, segments int, rng *rand.Rand) *Walk {
+	g := gait{
+		stepFreq: cfg.StepFreqHz * (0.9 + 0.2*rng.Float64()),
+		stepAmp:  cfg.StepAccAmp * (0.85 + 0.3*rng.Float64()),
+		accNoise: cfg.AccNoise * (0.8 + 0.4*rng.Float64()),
+		gyrNoise: cfg.GyroNoise * (0.8 + 0.4*rng.Float64()),
+		biasRW:   cfg.GyroBiasRW * (0.8 + 0.4*rng.Float64()),
+	}
+	walk := &Walk{}
+	cur := rng.Intn(len(net.Refs))
+	prev := -1
+	walk.RefSeq = append(walk.RefSeq, cur)
+	heading := 0.0
+	first := true
+	bias := [3]float64{}
+	for s := 0; s < segments; s++ {
+		next := pickNext(net, cur, prev, rng)
+		dir := net.Refs[next].Sub(net.Refs[cur])
+		newHeading := math.Atan2(dir.Y, dir.X)
+		prevHeading := heading
+		if first {
+			prevHeading = newHeading
+		}
+		first = false
+		heading = newHeading
+		seg := Segment{
+			From:     cur,
+			To:       next,
+			Readings: synthesizeSegment(cfg, g, prevHeading, newHeading, &bias, rng),
+		}
+		walk.Segments = append(walk.Segments, seg)
+		walk.RefSeq = append(walk.RefSeq, next)
+		prev, cur = cur, next
+	}
+	return walk
+}
+
+// pickNext chooses the next reference, avoiding an immediate U-turn when
+// possible.
+func pickNext(net *Network, cur, prev int, rng *rand.Rand) int {
+	nbrs := net.Adj[cur]
+	if len(nbrs) == 0 {
+		panic(fmt.Sprintf("imu: reference %d has no neighbors", cur))
+	}
+	candidates := make([]int, 0, len(nbrs))
+	for _, nb := range nbrs {
+		if nb != prev {
+			candidates = append(candidates, nb)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = nbrs
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// synthesizeSegment produces the readings for one segment. The heading
+// rotates from prevHeading to newHeading over the first TurnSeconds (the
+// corner turn); gravity sits on the accelerometer z axis together with the
+// vertical step bounce; the horizontal channels carry the world-frame
+// walking surge (positive pulses along the heading, the output of an
+// orientation filter — see the package comment) plus lateral sway; the
+// gyro z channel integrates to the executed turn and, like all gyro
+// channels, carries a drifting bias.
+func synthesizeSegment(cfg Config, g gait, prevHeading, newHeading float64, bias *[3]float64, rng *rand.Rand) *mat.Dense {
+	n := cfg.ReadingsPerSegment
+	dt := 1 / cfg.SampleRateHz
+	out := mat.New(n, Channels)
+	turnSamples := int(cfg.TurnSeconds * cfg.SampleRateHz)
+	if turnSamples < 1 {
+		turnSamples = 1
+	}
+	if turnSamples > n {
+		turnSamples = n
+	}
+	turn := geo.WrapAngle(newHeading - prevHeading)
+	turnRate := turn / (float64(turnSamples) * dt)
+	phase := rng.Float64() * 2 * math.Pi
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		t := float64(i) * dt
+		heading := newHeading
+		if i < turnSamples {
+			heading = prevHeading + turn*float64(i+1)/float64(turnSamples)
+		}
+		stepPhase := 2*math.Pi*g.stepFreq*t + phase
+		// Positive surge pulses during each stance phase, directed
+		// along the walking heading; sway is perpendicular.
+		surge := 0.5 * g.stepAmp * math.Max(0, math.Sin(stepPhase))
+		sway := 0.15 * g.stepAmp * math.Sin(stepPhase)
+		row[0] = surge*math.Cos(heading) - sway*math.Sin(heading) + rng.NormFloat64()*g.accNoise
+		row[1] = surge*math.Sin(heading) + sway*math.Cos(heading) + rng.NormFloat64()*g.accNoise
+		row[2] = 9.81 + g.stepAmp*math.Max(0, math.Sin(stepPhase)) + rng.NormFloat64()*g.accNoise
+
+		// Gyro bias random walk.
+		for a := 0; a < 3; a++ {
+			bias[a] += rng.NormFloat64() * g.biasRW
+		}
+		row[3] = bias[0] + rng.NormFloat64()*g.gyrNoise
+		row[4] = bias[1] + rng.NormFloat64()*g.gyrNoise
+		gz := bias[2] + rng.NormFloat64()*g.gyrNoise
+		if i < turnSamples {
+			gz += turnRate
+		}
+		row[5] = gz
+	}
+	return out
+}
+
+// TotalReadings returns the total number of readings across all walks.
+func (t *Track) TotalReadings() int {
+	total := 0
+	for _, w := range t.Walks {
+		for _, s := range w.Segments {
+			total += s.Readings.Rows
+		}
+	}
+	return total
+}
+
+// Duration returns the recorded wall-clock time in seconds.
+func (t *Track) Duration() float64 {
+	return float64(t.TotalReadings()) / t.Cfg.SampleRateHz
+}

@@ -1,0 +1,330 @@
+package imu
+
+import (
+	"math"
+	"testing"
+
+	"noble/internal/floorplan"
+	"noble/internal/geo"
+	"noble/internal/mat"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ReadingsPerSegment = 64
+	cfg.TotalSegments = 24
+	cfg.Walks = 2
+	return cfg
+}
+
+func TestNetworkRefCountNearPaper(t *testing.T) {
+	net := NewCampusNetwork(3)
+	// The paper's dataset has 177 reference locations.
+	if len(net.Refs) < 140 || len(net.Refs) > 210 {
+		t.Fatalf("refs=%d, want ≈177", len(net.Refs))
+	}
+}
+
+func TestNetworkRefsAreAccessible(t *testing.T) {
+	net := NewCampusNetwork(3)
+	plan := floorplan.OutdoorCampus()
+	for i, r := range net.Refs {
+		if !plan.Accessible(r) {
+			t.Fatalf("ref %d at %v is off the sidewalk", i, r)
+		}
+	}
+}
+
+func TestNetworkConnectivity(t *testing.T) {
+	net := NewCampusNetwork(3)
+	for i, adj := range net.Adj {
+		if len(adj) == 0 {
+			t.Fatalf("ref %d isolated", i)
+		}
+	}
+	// BFS from 0 must reach everything (single connected component).
+	seen := make([]bool, len(net.Refs))
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range net.Adj[cur] {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("ref %d unreachable", i)
+		}
+	}
+}
+
+func TestNetworkAdjacentRefsClose(t *testing.T) {
+	spacing := 3.0
+	net := NewCampusNetwork(spacing)
+	for i, adj := range net.Adj {
+		for _, j := range adj {
+			if d := geo.Dist(net.Refs[i], net.Refs[j]); d > 2.5*spacing {
+				t.Fatalf("adjacent refs %d-%d are %v m apart", i, j, d)
+			}
+		}
+	}
+}
+
+func TestNetworkBadSpacingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCampusNetwork(0)
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	net := NewCampusNetwork(3)
+	cfg := smallConfig()
+	track := Synthesize(net, cfg, 1)
+	if len(track.Walks) != 2 {
+		t.Fatalf("walks=%d", len(track.Walks))
+	}
+	total := 0
+	for _, w := range track.Walks {
+		total += len(w.Segments)
+		if len(w.RefSeq) != len(w.Segments)+1 {
+			t.Fatal("RefSeq must have one more entry than Segments")
+		}
+		for i, s := range w.Segments {
+			if s.Readings.Rows != cfg.ReadingsPerSegment || s.Readings.Cols != Channels {
+				t.Fatalf("segment readings %d×%d", s.Readings.Rows, s.Readings.Cols)
+			}
+			if s.From != w.RefSeq[i] || s.To != w.RefSeq[i+1] {
+				t.Fatal("segment endpoints disagree with RefSeq")
+			}
+			// Consecutive refs must be graph neighbors.
+			ok := false
+			for _, nb := range net.Adj[s.From] {
+				if nb == s.To {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("segment %d-%d not an edge", s.From, s.To)
+			}
+		}
+	}
+	if total != cfg.TotalSegments {
+		t.Fatalf("total segments=%d want %d", total, cfg.TotalSegments)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	net := NewCampusNetwork(3)
+	cfg := smallConfig()
+	a := Synthesize(net, cfg, 5)
+	b := Synthesize(net, cfg, 5)
+	if a.Walks[0].RefSeq[0] != b.Walks[0].RefSeq[0] {
+		t.Fatal("same seed must give same walk")
+	}
+	if !mat.Equal(a.Walks[0].Segments[0].Readings, b.Walks[0].Segments[0].Readings, 0) {
+		t.Fatal("same seed must give identical readings")
+	}
+	c := Synthesize(net, cfg, 6)
+	if mat.Equal(a.Walks[0].Segments[0].Readings, c.Walks[0].Segments[0].Readings, 0) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGravityOnZAxis(t *testing.T) {
+	net := NewCampusNetwork(3)
+	track := Synthesize(net, smallConfig(), 2)
+	seg := track.Walks[0].Segments[0]
+	az := mat.Mean(seg.Readings.Col(2))
+	if az < 9 || az > 12 {
+		t.Fatalf("mean vertical accel %v, want ≈ 9.81 + step energy", az)
+	}
+	ax := mat.Mean(seg.Readings.Col(0))
+	if math.Abs(ax) > 1.5 {
+		t.Fatalf("mean forward accel %v should be near zero", ax)
+	}
+}
+
+func TestGyroIntegratesTurn(t *testing.T) {
+	// Build a track long enough to contain turns, find a segment whose
+	// heading change is significant, and verify ∫gyro_z ≈ turn.
+	net := NewCampusNetwork(3)
+	cfg := smallConfig()
+	cfg.TotalSegments = 120
+	track := Synthesize(net, cfg, 3)
+	dt := 1 / cfg.SampleRateHz
+	checked := 0
+	for _, w := range track.Walks {
+		heading := math.NaN()
+		for _, s := range w.Segments {
+			dir := net.Refs[s.To].Sub(net.Refs[s.From])
+			newHeading := math.Atan2(dir.Y, dir.X)
+			if !math.IsNaN(heading) {
+				turn := geo.WrapAngle(newHeading - heading)
+				if math.Abs(turn) > 0.5 { // a real corner
+					var integ float64
+					for i := 0; i < s.Readings.Rows; i++ {
+						integ += s.Readings.At(i, 5) * dt
+					}
+					if math.Abs(integ-turn) > 0.35 {
+						t.Fatalf("∫gyro=%v for turn %v", integ, turn)
+					}
+					checked++
+				}
+			}
+			heading = newHeading
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no turns found in 120 segments — network walk broken")
+	}
+}
+
+func TestTrackDuration(t *testing.T) {
+	net := NewCampusNetwork(3)
+	cfg := DefaultConfig()
+	cfg.TotalSegments = 293
+	cfg.ReadingsPerSegment = 768
+	// Don't synthesize the full track (slow); verify arithmetic on a
+	// small one instead.
+	cfg.TotalSegments = 10
+	cfg.ReadingsPerSegment = 100
+	track := Synthesize(net, cfg, 4)
+	if track.TotalReadings() != 1000 {
+		t.Fatalf("TotalReadings=%d", track.TotalReadings())
+	}
+	if track.Duration() != 20 {
+		t.Fatalf("Duration=%v want 20s", track.Duration())
+	}
+}
+
+func TestPaperProtocolDuration(t *testing.T) {
+	// 293 segments × 768 readings at 50 Hz ≈ 75 minutes, the paper's
+	// "around 1 hour and 15 minutes".
+	secs := 293.0 * 768.0 / 50.0
+	if secs < 70*60 || secs > 80*60 {
+		t.Fatalf("protocol duration %v s disagrees with the paper", secs)
+	}
+}
+
+func TestSegmentFeaturesShape(t *testing.T) {
+	net := NewCampusNetwork(3)
+	track := Synthesize(net, smallConfig(), 5)
+	f := SegmentFeatures(track.Walks[0].Segments[0].Readings, 8)
+	if len(f) != SegmentFeatureDim(8) {
+		t.Fatalf("features len=%d want %d", len(f), SegmentFeatureDim(8))
+	}
+	if SegmentFeatureDim(8) != 8*7 {
+		t.Fatalf("SegmentFeatureDim(8)=%d", SegmentFeatureDim(8))
+	}
+}
+
+func TestSegmentFeaturesCaptureGravity(t *testing.T) {
+	net := NewCampusNetwork(3)
+	track := Synthesize(net, smallConfig(), 6)
+	f := SegmentFeatures(track.Walks[0].Segments[0].Readings, 4)
+	// Every frame's az mean (index 2 within each frame) should be ≈ g.
+	for frame := 0; frame < 4; frame++ {
+		az := f[frame*FeaturesPerFrame+2]
+		if az < 9 || az > 12 {
+			t.Fatalf("frame %d az mean %v", frame, az)
+		}
+	}
+}
+
+func TestSegmentFeaturesBadFramesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SegmentFeatures(mat.New(10, Channels), 0)
+}
+
+func TestBuildPathsProtocol(t *testing.T) {
+	net := NewCampusNetwork(3)
+	cfg := smallConfig()
+	cfg.TotalSegments = 60
+	track := Synthesize(net, cfg, 7)
+	pcfg := PathConfig{NumPaths: 300, MaxLen: 10, Frames: 4, TrainFrac: 0.6, ValFrac: 0.2, Seed: 1}
+	ds := BuildPaths(track, pcfg)
+	if got := len(ds.Train) + len(ds.Validation) + len(ds.Test); got != 300 {
+		t.Fatalf("total paths=%d", got)
+	}
+	if len(ds.Train) != 180 || len(ds.Validation) != 60 {
+		t.Fatalf("split %d/%d/%d", len(ds.Train), len(ds.Validation), len(ds.Test))
+	}
+	dim := SegmentFeatureDim(4)
+	for _, p := range ds.Train {
+		if p.NumSegments < 1 || p.NumSegments >= 10 {
+			t.Fatalf("path length %d outside [1,10)", p.NumSegments)
+		}
+		if len(p.Features) != p.NumSegments*dim {
+			t.Fatalf("features len=%d want %d", len(p.Features), p.NumSegments*dim)
+		}
+		if p.Start != net.Refs[p.StartRef] || p.End != net.Refs[p.EndRef] {
+			t.Fatal("path endpoints must match referenced locations")
+		}
+	}
+}
+
+func TestBuildPathsPaperSplitFractions(t *testing.T) {
+	cfg := DefaultPathConfig()
+	if math.Abs(cfg.TrainFrac*6857-4389) > 1 || math.Abs(cfg.ValFrac*6857-1096) > 1 {
+		t.Fatal("default split must reproduce 4389/1096/1372")
+	}
+}
+
+func TestPaddedFeatures(t *testing.T) {
+	p := Path{NumSegments: 2, Features: []float64{1, 2, 3, 4}}
+	out := p.PaddedFeatures(4, 1) // dim per segment = 7 → wait, frames=1 ⇒ dim=7
+	if len(out) != 4*SegmentFeatureDim(1) {
+		t.Fatalf("padded len=%d", len(out))
+	}
+	if out[0] != 1 || out[3] != 4 {
+		t.Fatal("padded features must start with the raw features")
+	}
+	for _, v := range out[4:] {
+		if v != 0 {
+			t.Fatal("padding must be zero")
+		}
+	}
+}
+
+func TestDisplacement(t *testing.T) {
+	p := Path{Start: geo.Point{X: 1, Y: 2}, End: geo.Point{X: 4, Y: 6}}
+	if p.Displacement() != (geo.Point{X: 3, Y: 4}) {
+		t.Fatalf("Displacement=%v", p.Displacement())
+	}
+}
+
+func TestBuildPathsBadConfigPanics(t *testing.T) {
+	net := NewCampusNetwork(3)
+	track := Synthesize(net, smallConfig(), 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildPaths(track, PathConfig{NumPaths: 0, MaxLen: 10, Frames: 4})
+}
+
+func TestSynthesizeBadPlanPanics(t *testing.T) {
+	net := NewCampusNetwork(3)
+	cfg := smallConfig()
+	cfg.Walks = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Synthesize(net, cfg, 1)
+}

@@ -1,0 +1,103 @@
+package manifold
+
+import (
+	"fmt"
+	"math"
+
+	"noble/internal/mat"
+)
+
+// Isomap is a fitted isometric-mapping model [14]: landmark inputs, their
+// graph-geodesic distance matrix, and the Nyström machinery for embedding
+// unseen points.
+type Isomap struct {
+	X   *mat.Dense // m×d landmark inputs
+	Emb *mat.Dense // m×dim landmark embedding
+	K   int
+	Dim int
+
+	geo     *mat.Dense // m×m geodesic distances
+	eigVals []float64
+	eigVecs *mat.Dense // m×dim
+	colMean []float64  // column means of squared geodesic distances
+}
+
+// FitIsomap fits Isomap with a k-neighbor graph and a dim-dimensional
+// embedding on the rows of x (the landmarks).
+func FitIsomap(x *mat.Dense, k, dim int) (*Isomap, error) {
+	if dim < 1 || dim >= x.Rows {
+		return nil, fmt.Errorf("manifold: Isomap dim %d outside [1,%d)", dim, x.Rows)
+	}
+	geo := GeodesicDistances(x, k)
+	b := gramFromDistances(geo)
+	vals, vecs, err := mat.TopEig(b, dim)
+	if err != nil {
+		return nil, err
+	}
+	m := x.Rows
+	emb := mat.New(m, dim)
+	for a := 0; a < dim; a++ {
+		scale := 0.0
+		if vals[a] > 0 {
+			scale = math.Sqrt(vals[a])
+		}
+		for i := 0; i < m; i++ {
+			emb.Set(i, a, vecs.At(i, a)*scale)
+		}
+	}
+	colMean := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < m; j++ {
+			g := geo.At(i, j)
+			s += g * g
+		}
+		colMean[i] = s / float64(m)
+	}
+	return &Isomap{
+		X: x, Emb: emb, K: k, Dim: dim,
+		geo: geo, eigVals: vals, eigVecs: vecs, colMean: colMean,
+	}, nil
+}
+
+// Transform embeds an unseen point by the landmark-MDS (Nyström) formula:
+// the point's geodesic distance to each landmark is approximated through
+// its nearest landmarks, then z_a = v_aᵀ(colMean - δ)/(2√λ_a).
+func (iso *Isomap) Transform(q []float64) []float64 {
+	m := iso.X.Rows
+	// Geodesic estimate: hop to one of the k nearest landmarks, then
+	// follow the landmark graph.
+	near := NearestTo(iso.X, q, iso.K)
+	d2 := make([]float64, m)
+	for i := 0; i < m; i++ {
+		best := math.Inf(1)
+		for _, j := range near {
+			d := math.Sqrt(sqDist(q, iso.X.Row(j))) + iso.geo.At(j, i)
+			if d < best {
+				best = d
+			}
+		}
+		d2[i] = best * best
+	}
+	z := make([]float64, iso.Dim)
+	for a := 0; a < iso.Dim; a++ {
+		if iso.eigVals[a] <= 0 {
+			continue
+		}
+		var s float64
+		for i := 0; i < m; i++ {
+			s += iso.eigVecs.At(i, a) * (iso.colMean[i] - d2[i])
+		}
+		z[a] = s / (2 * math.Sqrt(iso.eigVals[a]))
+	}
+	return z
+}
+
+// TransformBatch embeds every row of q.
+func (iso *Isomap) TransformBatch(q *mat.Dense) *mat.Dense {
+	out := mat.New(q.Rows, iso.Dim)
+	for i := 0; i < q.Rows; i++ {
+		copy(out.Row(i), iso.Transform(q.Row(i)))
+	}
+	return out
+}

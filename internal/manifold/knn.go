@@ -1,0 +1,254 @@
+// Package manifold implements the classical neighbor-based manifold
+// learning methods the paper compares against (§II, Table II): k-nearest
+// neighbor graphs, Dijkstra geodesic distances, classical multidimensional
+// scaling, Isomap [14] and locally linear embedding [13], each with a
+// Nyström-style out-of-sample transform so they can embed test
+// fingerprints. These methods actively use input-space Euclidean
+// neighborhoods — exactly the information NObLe deliberately ignores — and
+// the contrast between them is the paper's central ablation.
+//
+// Following standard practice at scale, both Isomap and LLE are fitted on a
+// landmark subsample (the paper used the full 20k-point UJI set with a
+// d=400 embedding, which is an O(n³) eigenproblem; landmarks preserve the
+// estimator's character at tractable cost — see DESIGN.md).
+package manifold
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"noble/internal/mat"
+)
+
+// KNN returns, for each row of x, the indices of its k nearest other rows
+// by Euclidean distance, nearest first. k is clamped to n-1.
+func KNN(x *mat.Dense, k int) [][]int {
+	idx, _ := KNNDistances(x, k)
+	return idx
+}
+
+// KNNDistances returns the k nearest neighbor indices and their distances
+// for every row of x (self excluded), nearest first.
+func KNNDistances(x *mat.Dense, k int) ([][]int, [][]float64) {
+	n := x.Rows
+	if k >= n {
+		k = n - 1
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("manifold: KNN with k=%d over %d points", k, n))
+	}
+	idx := make([][]int, n)
+	dist := make([][]float64, n)
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				d2[j] = math.Inf(1)
+				continue
+			}
+			d2[j] = sqDist(xi, x.Row(j))
+		}
+		order := argsortK(d2, k)
+		idx[i] = order
+		dist[i] = make([]float64, k)
+		for a, j := range order {
+			dist[i][a] = math.Sqrt(d2[j])
+		}
+	}
+	return idx, dist
+}
+
+// NearestTo returns the indices of the k rows of x nearest to the external
+// query point q, nearest first.
+func NearestTo(x *mat.Dense, q []float64, k int) []int {
+	n := x.Rows
+	if k > n {
+		k = n
+	}
+	d2 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		d2[j] = sqDist(q, x.Row(j))
+	}
+	return argsortK(d2, k)
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// argsortK returns the indices of the k smallest values, ascending, using
+// a simple selection over a copied index slice (n is small in this
+// repository's use).
+func argsortK(vals []float64, k int) []int {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: k passes of O(n).
+	for a := 0; a < k; a++ {
+		best := a
+		for b := a + 1; b < n; b++ {
+			if vals[idx[b]] < vals[idx[best]] {
+				best = b
+			}
+		}
+		idx[a], idx[best] = idx[best], idx[a]
+	}
+	return idx[:k]
+}
+
+// edge is one weighted, undirected neighborhood-graph edge.
+type edge struct {
+	to int
+	w  float64
+}
+
+// buildGraph symmetrizes the kNN relation into an adjacency list and
+// guarantees connectivity by linking each disconnected component to the
+// component of node 0 through the nearest inter-component pair (standard
+// Isomap practice — without it geodesics are infinite).
+func buildGraph(x *mat.Dense, k int) [][]edge {
+	idx, dist := KNNDistances(x, k)
+	n := x.Rows
+	adj := make([][]edge, n)
+	add := func(a, b int, w float64) {
+		for _, e := range adj[a] {
+			if e.to == b {
+				return
+			}
+		}
+		adj[a] = append(adj[a], edge{b, w})
+	}
+	for i := range idx {
+		for a, j := range idx[i] {
+			add(i, j, dist[i][a])
+			add(j, i, dist[i][a])
+		}
+	}
+	// Connectivity repair.
+	comp := components(adj)
+	for {
+		maxComp := 0
+		for _, c := range comp {
+			if c > maxComp {
+				maxComp = c
+			}
+		}
+		if maxComp == 0 {
+			break
+		}
+		// Nearest pair bridging component 0 and any other component.
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if comp[i] != 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if comp[j] == 0 {
+					continue
+				}
+				if d := sqDist(x.Row(i), x.Row(j)); d < bd {
+					bd, bi, bj = d, i, j
+				}
+			}
+		}
+		w := math.Sqrt(bd)
+		add(bi, bj, w)
+		add(bj, bi, w)
+		comp = components(adj)
+	}
+	return adj
+}
+
+func components(adj [][]edge) []int {
+	n := len(adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		queue := []int{s}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[cur] {
+				if comp[e.to] == -1 {
+					comp[e.to] = next
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// pqItem is a Dijkstra priority-queue entry.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstra returns single-source shortest path distances over adj.
+func dijkstra(adj [][]edge, src int) []float64 {
+	n := len(adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range adj[it.node] {
+			if nd := it.dist + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(q, pqItem{e.to, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// GeodesicDistances returns the n×n matrix of shortest-path distances over
+// the symmetrized k-nearest-neighbor graph of x — the Isomap approximation
+// of manifold distance.
+func GeodesicDistances(x *mat.Dense, k int) *mat.Dense {
+	adj := buildGraph(x, k)
+	n := x.Rows
+	out := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i), dijkstra(adj, i))
+	}
+	return out
+}

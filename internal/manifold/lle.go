@@ -1,0 +1,153 @@
+package manifold
+
+import (
+	"fmt"
+	"math"
+
+	"noble/internal/mat"
+)
+
+// LLE is a fitted locally-linear-embedding model [13]: each landmark is
+// expressed as an affine combination of its k nearest landmarks, and the
+// embedding preserves those reconstruction weights. Out-of-sample points
+// are embedded by reconstructing them from their nearest landmarks with
+// freshly solved weights — the standard LLE extension.
+type LLE struct {
+	X   *mat.Dense // m×d landmark inputs
+	Emb *mat.Dense // m×dim landmark embedding
+	K   int
+	Dim int
+	Reg float64
+}
+
+// FitLLE fits LLE with k neighbors, a dim-dimensional embedding, and
+// Tikhonov regularization reg (relative to the local Gram trace) for the
+// weight solves.
+func FitLLE(x *mat.Dense, k, dim int, reg float64) (*LLE, error) {
+	m := x.Rows
+	if dim < 1 || dim >= m {
+		return nil, fmt.Errorf("manifold: LLE dim %d outside [1,%d)", dim, m)
+	}
+	if reg <= 0 {
+		reg = 1e-3
+	}
+	neighbors := KNN(x, k)
+	// Reconstruction weight matrix W (sparse rows over neighbors).
+	w := mat.New(m, m)
+	for i := 0; i < m; i++ {
+		weights, err := reconstructionWeights(x, x.Row(i), neighbors[i], reg)
+		if err != nil {
+			return nil, fmt.Errorf("manifold: LLE weights for landmark %d: %w", i, err)
+		}
+		for a, j := range neighbors[i] {
+			w.Set(i, j, weights[a])
+		}
+	}
+	// M = (I-W)ᵀ(I-W); embedding = eigenvectors of the smallest nonzero
+	// eigenvalues.
+	iw := mat.Identity(m)
+	iw.SubInPlace(w)
+	mm := mat.MatMulATB(iw, iw)
+	_, vecs, err := mat.EigSym(mm)
+	if err != nil {
+		return nil, err
+	}
+	// vals are descending; the constant eigenvector sits at the very end
+	// (eigenvalue ≈ 0). Take the dim columns before it.
+	emb := mat.New(m, dim)
+	for a := 0; a < dim; a++ {
+		col := m - 2 - a
+		if col < 0 {
+			return nil, fmt.Errorf("manifold: LLE ran out of eigenvectors (m=%d dim=%d)", m, dim)
+		}
+		scale := math.Sqrt(float64(m)) // conventional scaling
+		for i := 0; i < m; i++ {
+			emb.Set(i, a, vecs.At(i, col)*scale)
+		}
+	}
+	return &LLE{X: x, Emb: emb, K: k, Dim: dim, Reg: reg}, nil
+}
+
+// reconstructionWeights solves the constrained least squares for the
+// affine weights reconstructing point p from the given neighbor rows of x:
+// minimize ‖p - Σ w_j x_j‖² subject to Σ w_j = 1.
+func reconstructionWeights(x *mat.Dense, p []float64, neighbors []int, reg float64) ([]float64, error) {
+	k := len(neighbors)
+	g := mat.New(k, k)
+	diffs := make([][]float64, k)
+	for a, j := range neighbors {
+		row := x.Row(j)
+		d := make([]float64, len(p))
+		for c := range p {
+			d[c] = p[c] - row[c]
+		}
+		diffs[a] = d
+	}
+	var trace float64
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			var s float64
+			for c := range diffs[a] {
+				s += diffs[a][c] * diffs[b][c]
+			}
+			g.Set(a, b, s)
+			g.Set(b, a, s)
+			if a == b {
+				trace += s
+			}
+		}
+	}
+	lambda := reg * trace / float64(k)
+	if lambda <= 0 {
+		lambda = reg
+	}
+	ones := make([]float64, k)
+	for i := range ones {
+		ones[i] = 1
+	}
+	w, err := mat.SolveRegularized(g, ones, lambda)
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("degenerate reconstruction weights")
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w, nil
+}
+
+// Transform embeds an unseen point: solve reconstruction weights against
+// its k nearest landmarks, then combine those landmarks' embeddings.
+func (l *LLE) Transform(q []float64) []float64 {
+	near := NearestTo(l.X, q, l.K)
+	w, err := reconstructionWeights(l.X, q, near, l.Reg)
+	if err != nil {
+		// Degenerate geometry: fall back to the nearest landmark.
+		out := make([]float64, l.Dim)
+		copy(out, l.Emb.Row(near[0]))
+		return out
+	}
+	out := make([]float64, l.Dim)
+	for a, j := range near {
+		emb := l.Emb.Row(j)
+		for c := 0; c < l.Dim; c++ {
+			out[c] += w[a] * emb[c]
+		}
+	}
+	return out
+}
+
+// TransformBatch embeds every row of q.
+func (l *LLE) TransformBatch(q *mat.Dense) *mat.Dense {
+	out := mat.New(q.Rows, l.Dim)
+	for i := 0; i < q.Rows; i++ {
+		copy(out.Row(i), l.Transform(q.Row(i)))
+	}
+	return out
+}

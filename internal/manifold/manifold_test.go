@@ -1,0 +1,336 @@
+package manifold
+
+import (
+	"math"
+	"testing"
+
+	"noble/internal/mat"
+)
+
+// lineData returns n points along a 1-D line embedded in 3-D with tiny
+// off-axis noise.
+func lineData(n int, seed int64) *mat.Dense {
+	rng := mat.NewRand(seed)
+	x := mat.New(n, 3)
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		x.Set(i, 0, t)
+		x.Set(i, 1, rng.NormFloat64()*0.01)
+		x.Set(i, 2, rng.NormFloat64()*0.01)
+	}
+	return x
+}
+
+// arcData returns points along a semicircular arc in 2-D: a 1-D manifold
+// whose geodesic distances exceed Euclidean chords.
+func arcData(n int) *mat.Dense {
+	x := mat.New(n, 2)
+	for i := 0; i < n; i++ {
+		theta := math.Pi * float64(i) / float64(n-1)
+		x.Set(i, 0, math.Cos(theta))
+		x.Set(i, 1, math.Sin(theta))
+	}
+	return x
+}
+
+func TestKNNOnLine(t *testing.T) {
+	x := lineData(10, 1)
+	idx := KNN(x, 2)
+	// Interior point 5: neighbors must be 4 and 6.
+	n5 := map[int]bool{idx[5][0]: true, idx[5][1]: true}
+	if !n5[4] || !n5[6] {
+		t.Fatalf("neighbors of 5 = %v want {4,6}", idx[5])
+	}
+	// Endpoint 0: nearest is 1 then 2.
+	if idx[0][0] != 1 || idx[0][1] != 2 {
+		t.Fatalf("neighbors of 0 = %v", idx[0])
+	}
+}
+
+func TestKNNExcludesSelf(t *testing.T) {
+	x := lineData(6, 2)
+	idx := KNN(x, 3)
+	for i, nbrs := range idx {
+		for _, j := range nbrs {
+			if j == i {
+				t.Fatal("KNN must exclude the query point")
+			}
+		}
+	}
+}
+
+func TestKNNClampsK(t *testing.T) {
+	x := lineData(4, 3)
+	idx := KNN(x, 99)
+	if len(idx[0]) != 3 {
+		t.Fatalf("k should clamp to n-1=3, got %d", len(idx[0]))
+	}
+}
+
+func TestKNNDistancesSorted(t *testing.T) {
+	x := lineData(12, 4)
+	_, dist := KNNDistances(x, 5)
+	for i, ds := range dist {
+		for a := 1; a < len(ds); a++ {
+			if ds[a] < ds[a-1] {
+				t.Fatalf("distances for %d not ascending: %v", i, ds)
+			}
+		}
+	}
+}
+
+func TestKNNBadKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KNN(lineData(5, 5), 0)
+}
+
+func TestNearestTo(t *testing.T) {
+	x := lineData(10, 6)
+	got := NearestTo(x, []float64{4.1, 0, 0}, 3)
+	if got[0] != 4 {
+		t.Fatalf("nearest to 4.1 is %d want 4", got[0])
+	}
+	if len(got) != 3 {
+		t.Fatalf("len=%d", len(got))
+	}
+}
+
+func TestGeodesicLineEqualsArcLength(t *testing.T) {
+	x := lineData(10, 7)
+	g := GeodesicDistances(x, 2)
+	// Geodesic 0→9 must be ≈ 9 (hop along the line), not the direct 9.0
+	// (same here since it's a line) — but for each adjacent pair exactly
+	// the gap.
+	if math.Abs(g.At(0, 9)-9) > 0.1 {
+		t.Fatalf("geodesic(0,9)=%v want ≈9", g.At(0, 9))
+	}
+	if g.At(3, 3) != 0 {
+		t.Fatal("self geodesic must be 0")
+	}
+	// Symmetry.
+	if math.Abs(g.At(2, 7)-g.At(7, 2)) > 1e-12 {
+		t.Fatal("geodesics must be symmetric")
+	}
+}
+
+func TestGeodesicExceedsChordOnArc(t *testing.T) {
+	x := arcData(40)
+	g := GeodesicDistances(x, 2)
+	chord := math.Sqrt(sqDist(x.Row(0), x.Row(39))) // = 2 (diameter)
+	if g.At(0, 39) < chord+0.5 {
+		t.Fatalf("arc geodesic %v should exceed chord %v by ≈π-2", g.At(0, 39), chord)
+	}
+	if math.Abs(g.At(0, 39)-math.Pi) > 0.2 {
+		t.Fatalf("arc geodesic %v want ≈π", g.At(0, 39))
+	}
+}
+
+func TestGeodesicConnectsComponents(t *testing.T) {
+	// Two well-separated clusters: kNN graph is disconnected, the
+	// builder must bridge it.
+	rng := mat.NewRand(8)
+	x := mat.New(20, 2)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, rng.Float64())
+		x.Set(i, 1, rng.Float64())
+		x.Set(i+10, 0, 100+rng.Float64())
+		x.Set(i+10, 1, rng.Float64())
+	}
+	g := GeodesicDistances(x, 3)
+	if math.IsInf(g.At(0, 15), 0) {
+		t.Fatal("cross-cluster geodesic must be finite after bridging")
+	}
+	if g.At(0, 15) < 90 {
+		t.Fatalf("cross-cluster geodesic %v suspiciously small", g.At(0, 15))
+	}
+}
+
+func TestMDSRecoversPlanarConfiguration(t *testing.T) {
+	// Points in 2-D; MDS from their exact distance matrix must
+	// reproduce all pairwise distances.
+	pts := mat.FromRows([][]float64{{0, 0}, {3, 0}, {3, 4}, {0, 4}, {1.5, 2}})
+	n := pts.Rows
+	dist := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dist.Set(i, j, math.Sqrt(sqDist(pts.Row(i), pts.Row(j))))
+		}
+	}
+	z, err := MDS(dist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			got := math.Sqrt(sqDist(z.Row(i), z.Row(j)))
+			want := dist.At(i, j)
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("embedded distance (%d,%d)=%v want %v", i, j, got, want)
+			}
+		}
+	}
+	if s := MDSStress(z, dist); s > 1e-6 {
+		t.Fatalf("stress=%v", s)
+	}
+}
+
+func TestMDSBadInputs(t *testing.T) {
+	if _, err := MDS(mat.New(3, 4), 2); err == nil {
+		t.Fatal("non-square must error")
+	}
+	if _, err := MDS(mat.New(3, 3), 0); err == nil {
+		t.Fatal("dim 0 must error")
+	}
+	if _, err := MDS(mat.New(3, 3), 3); err == nil {
+		t.Fatal("dim ≥ n must error")
+	}
+}
+
+func TestIsomapUnrollsArc(t *testing.T) {
+	x := arcData(30)
+	iso, err := FitIsomap(x, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-D embedding of an arc must be monotone in arc order.
+	sign := 0.0
+	for i := 1; i < 30; i++ {
+		d := iso.Emb.At(i, 0) - iso.Emb.At(i-1, 0)
+		if sign == 0 && d != 0 {
+			sign = d
+		}
+		if d*sign < 0 {
+			t.Fatalf("embedding not monotone at %d", i)
+		}
+	}
+	// Embedded span ≈ arc length π.
+	span := math.Abs(iso.Emb.At(29, 0) - iso.Emb.At(0, 0))
+	if math.Abs(span-math.Pi) > 0.3 {
+		t.Fatalf("embedded span %v want ≈π", span)
+	}
+}
+
+func TestIsomapTransformConsistentOnTrainingPoints(t *testing.T) {
+	x := arcData(25)
+	iso, err := FitIsomap(x, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 7, 12, 24} {
+		z := iso.Transform(x.Row(i))
+		if math.Abs(z[0]-iso.Emb.At(i, 0)) > 0.25 {
+			t.Fatalf("transform(train %d)=%v emb=%v", i, z[0], iso.Emb.At(i, 0))
+		}
+	}
+}
+
+func TestIsomapTransformInterpolates(t *testing.T) {
+	x := arcData(25)
+	iso, err := FitIsomap(x, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query between points 10 and 11 must embed between them.
+	q := []float64{
+		(x.At(10, 0) + x.At(11, 0)) / 2,
+		(x.At(10, 1) + x.At(11, 1)) / 2,
+	}
+	z := iso.Transform(q)[0]
+	lo := math.Min(iso.Emb.At(10, 0), iso.Emb.At(11, 0)) - 0.2
+	hi := math.Max(iso.Emb.At(10, 0), iso.Emb.At(11, 0)) + 0.2
+	if z < lo || z > hi {
+		t.Fatalf("midpoint embeds at %v outside [%v,%v]", z, lo, hi)
+	}
+}
+
+func TestIsomapBatchShape(t *testing.T) {
+	x := arcData(20)
+	iso, err := FitIsomap(x, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := iso.TransformBatch(x)
+	if out.Rows != 20 || out.Cols != 2 {
+		t.Fatalf("batch shape %d×%d", out.Rows, out.Cols)
+	}
+}
+
+func TestIsomapBadDim(t *testing.T) {
+	if _, err := FitIsomap(arcData(10), 2, 0); err == nil {
+		t.Fatal("dim 0 must error")
+	}
+	if _, err := FitIsomap(arcData(10), 2, 10); err == nil {
+		t.Fatal("dim ≥ m must error")
+	}
+}
+
+func TestLLEPreservesLineOrder(t *testing.T) {
+	x := lineData(20, 9)
+	lle, err := FitLLE(x, 3, 1, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sign := 0.0
+	for i := 1; i < 20; i++ {
+		d := lle.Emb.At(i, 0) - lle.Emb.At(i-1, 0)
+		if sign == 0 && d != 0 {
+			sign = d
+		}
+		if d*sign < -1e-9 {
+			t.Fatalf("LLE embedding not monotone at %d", i)
+		}
+	}
+}
+
+func TestLLEWeightsSumToOne(t *testing.T) {
+	x := lineData(10, 10)
+	neighbors := KNN(x, 3)
+	w, err := reconstructionWeights(x, x.Row(4), neighbors[4], 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum %v", sum)
+	}
+}
+
+func TestLLETransformNearTrainingEmbedding(t *testing.T) {
+	x := lineData(20, 11)
+	lle, err := FitLLE(x, 3, 1, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := lle.Transform(x.Row(7))
+	if math.Abs(z[0]-lle.Emb.At(7, 0)) > 0.5 {
+		t.Fatalf("transform(train)=%v emb=%v", z[0], lle.Emb.At(7, 0))
+	}
+}
+
+func TestLLETransformBatchShape(t *testing.T) {
+	x := lineData(15, 12)
+	lle, err := FitLLE(x, 3, 2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := lle.TransformBatch(x)
+	if out.Rows != 15 || out.Cols != 2 {
+		t.Fatalf("batch %d×%d", out.Rows, out.Cols)
+	}
+}
+
+func TestLLEBadDim(t *testing.T) {
+	if _, err := FitLLE(lineData(8, 13), 2, 0, 1e-3); err == nil {
+		t.Fatal("dim 0 must error")
+	}
+	if _, err := FitLLE(lineData(8, 13), 2, 8, 1e-3); err == nil {
+		t.Fatal("dim ≥ m must error")
+	}
+}

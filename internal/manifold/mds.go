@@ -1,0 +1,89 @@
+package manifold
+
+import (
+	"fmt"
+	"math"
+
+	"noble/internal/mat"
+)
+
+// MDS performs classical multidimensional scaling (§III-C introduces its
+// objective as the manifold-learning template NObLe implicitly optimizes):
+// given an n×n matrix of pairwise distances, it double-centers the squared
+// distances into a Gram matrix B = -½·J·D²·J and returns the embedding
+// Z = V·Λ^½ from B's top dim eigenpairs. Negative eigenvalues (non-
+// Euclidean distance data) are clamped to zero.
+func MDS(dist *mat.Dense, dim int) (*mat.Dense, error) {
+	n := dist.Rows
+	if dist.Cols != n {
+		return nil, fmt.Errorf("manifold: MDS needs a square distance matrix, got %d×%d", dist.Rows, dist.Cols)
+	}
+	if dim < 1 || dim >= n {
+		return nil, fmt.Errorf("manifold: MDS dim %d outside [1,%d)", dim, n)
+	}
+	b := gramFromDistances(dist)
+	vals, vecs, err := mat.TopEig(b, dim)
+	if err != nil {
+		return nil, err
+	}
+	z := mat.New(n, dim)
+	for a := 0; a < dim; a++ {
+		scale := 0.0
+		if vals[a] > 0 {
+			scale = math.Sqrt(vals[a])
+		}
+		for i := 0; i < n; i++ {
+			z.Set(i, a, vecs.At(i, a)*scale)
+		}
+	}
+	return z, nil
+}
+
+// gramFromDistances double-centers squared distances: B = -½·J·D²·J with
+// J = I - 11ᵀ/n.
+func gramFromDistances(dist *mat.Dense) *mat.Dense {
+	n := dist.Rows
+	d2 := mat.New(n, n)
+	for i, v := range dist.Data {
+		d2.Data[i] = v * v
+	}
+	rowMean := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		row := d2.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		rowMean[i] = s / float64(n)
+		total += s
+	}
+	grand := total / float64(n*n)
+	b := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, -0.5*(d2.At(i, j)-rowMean[i]-rowMean[j]+grand))
+		}
+	}
+	return b
+}
+
+// MDSStress returns the normalized stress between an embedding and target
+// distances: ‖d_emb - d_target‖_F / ‖d_target‖_F over all pairs. Used in
+// tests and diagnostics.
+func MDSStress(z, dist *mat.Dense) float64 {
+	n := dist.Rows
+	var num, den float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			de := math.Sqrt(sqDist(z.Row(i), z.Row(j)))
+			dt := dist.At(i, j)
+			num += (de - dt) * (de - dt)
+			den += dt * dt
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}

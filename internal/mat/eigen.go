@@ -1,0 +1,124 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigSym computes the full eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi rotation method. It returns the eigenvalues in
+// descending order and a matrix whose columns are the corresponding unit
+// eigenvectors, so that a ≈ V·diag(vals)·Vᵀ. a is not modified; symmetry is
+// assumed, only the upper triangle drives the rotations.
+//
+// Jacobi is O(n³) with a small constant and excellent numerical behaviour on
+// the sizes this repository needs (landmark MDS / Isomap / LLE kernels of a
+// few hundred rows).
+func EigSym(a *Dense) (vals []float64, vecs *Dense, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("mat: EigSym on non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	w := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < 1e-12*(1+w.MaxAbs()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) to w (two-sided) and
+// accumulates it into the eigenvector matrix v (one-sided).
+func rotate(w, v *Dense, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj, wqj := w.At(p, j), w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(m *Dense) float64 {
+	var s float64
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := m.At(i, j)
+			s += 2 * v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// TopEig returns the k leading eigenpairs of the symmetric matrix a, as a
+// convenience wrapper over EigSym for callers (MDS) that only need the top
+// of the spectrum.
+func TopEig(a *Dense, k int) (vals []float64, vecs *Dense, err error) {
+	allVals, allVecs, err := EigSym(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	if k > len(allVals) {
+		k = len(allVals)
+	}
+	vals = allVals[:k]
+	vecs = New(a.Rows, k)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < k; j++ {
+			vecs.Set(i, j, allVecs.At(i, j))
+		}
+	}
+	return vals, vecs, nil
+}

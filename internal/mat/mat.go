@@ -1,0 +1,396 @@
+// Package mat implements the dense linear algebra substrate used by the
+// NObLe reproduction: a row-major float64 matrix type, the handful of
+// BLAS-like kernels needed for feed-forward networks (GEMM in the three
+// orientations required by backpropagation), element-wise helpers,
+// deterministic random fills, a Gaussian-elimination linear solver, and a
+// Jacobi eigendecomposition for symmetric matrices (used by the classical
+// MDS / Isomap / LLE baselines).
+//
+// Everything is written against the standard library only. Matrices are
+// deliberately simple — a shape plus a flat backing slice — because the
+// networks in this repository are small, static graphs; clarity and
+// determinism matter more than peak throughput.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major matrix of float64 values. The zero value is an empty
+// matrix; use New or FromSlice to construct a usable one. Data holds
+// Rows*Cols elements with element (i,j) at Data[i*Cols+j].
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed r×c matrix. It panics if either dimension is
+// negative or if both are zero in a way that would alias (r*c must be
+// representable).
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: New with negative dimension %d×%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data as an r×c matrix without copying. The caller must not
+// reuse data independently afterwards. It panics if len(data) != r*c.
+func FromSlice(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: FromSlice got %d values for %d×%d", len(data), r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: data}
+}
+
+// FromRows builds a matrix by copying the given rows. All rows must have the
+// same length; it panics otherwise or when rows is empty.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		panic("mat: FromRows with no rows")
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: FromRows row %d has %d values, want %d", i, len(row), c))
+		}
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j). Bounds are checked by the underlying slice
+// access in debug scenarios; no extra checks are performed here.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i (no copy).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i; it panics if len(v) != Cols.
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: SetRow len %d want %d", len(v), m.Cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Reshape returns a view of m with new shape r×c sharing the same backing
+// data. It panics if r*c != Rows*Cols.
+func (m *Dense) Reshape(r, c int) *Dense {
+	if r*c != m.Rows*m.Cols {
+		panic(fmt.Sprintf("mat: Reshape %d×%d to %d×%d", m.Rows, m.Cols, r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: m.Data}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// Zero sets every element of m to 0.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Apply replaces every element x with f(x).
+func (m *Dense) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// Map returns a new matrix whose elements are f applied to m's elements.
+func (m *Dense) Map(f func(float64) float64) *Dense {
+	out := m.Clone()
+	out.Apply(f)
+	return out
+}
+
+// Scale multiplies every element by s in place.
+func (m *Dense) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddInPlace adds b to m element-wise. Shapes must match.
+func (m *Dense) AddInPlace(b *Dense) {
+	sameShape("AddInPlace", m, b)
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+}
+
+// SubInPlace subtracts b from m element-wise. Shapes must match.
+func (m *Dense) SubInPlace(b *Dense) {
+	sameShape("SubInPlace", m, b)
+	for i, v := range b.Data {
+		m.Data[i] -= v
+	}
+}
+
+// AxpyInPlace computes m += alpha*b element-wise. Shapes must match.
+func (m *Dense) AxpyInPlace(alpha float64, b *Dense) {
+	sameShape("AxpyInPlace", m, b)
+	for i, v := range b.Data {
+		m.Data[i] += alpha * v
+	}
+}
+
+// MulElemInPlace multiplies m by b element-wise (Hadamard product).
+func (m *Dense) MulElemInPlace(b *Dense) {
+	sameShape("MulElemInPlace", m, b)
+	for i, v := range b.Data {
+		m.Data[i] *= v
+	}
+}
+
+// Add returns a+b as a new matrix.
+func Add(a, b *Dense) *Dense {
+	out := a.Clone()
+	out.AddInPlace(b)
+	return out
+}
+
+// Sub returns a-b as a new matrix.
+func Sub(a, b *Dense) *Dense {
+	out := a.Clone()
+	out.SubInPlace(b)
+	return out
+}
+
+// MulElem returns the Hadamard (element-wise) product of a and b.
+func MulElem(a, b *Dense) *Dense {
+	out := a.Clone()
+	out.MulElemInPlace(b)
+	return out
+}
+
+// AddRowVec adds the 1×c row vector v to every row of m in place.
+func (m *Dense) AddRowVec(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: AddRowVec len %d want %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, x := range v {
+			row[j] += x
+		}
+	}
+}
+
+// SumRows returns the column-wise sum of m as a length-Cols slice
+// (i.e. the sum over the batch dimension).
+func (m *Dense) SumRows() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// MatMul returns a*b. It panics if a.Cols != b.Rows.
+func MatMul(a, b *Dense) *Dense {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a*b, overwriting dst. dst must be a.Rows×b.Cols
+// and must not alias a or b.
+func MatMulInto(dst, a, b *Dense) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMul %d×%d by %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulInto dst %d×%d want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATB returns aᵀ*b without materializing the transpose. a is r×m,
+// b is r×n; the result is m×n. Used for weight gradients (xᵀ · dout).
+func MatMulATB(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MatMulATB %d×%d by %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	n := b.Cols
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a*bᵀ without materializing the transpose. a is r×m,
+// b is n×m; the result is r×n. Used for input gradients (dout · Wᵀ).
+func MatMulABT(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulABT %d×%d by %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MulVec returns m*v for a length-Cols vector v.
+func (m *Dense) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec len %d want %d", len(v), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Norm returns the Frobenius norm of m.
+func (m *Dense) Norm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value in m (0 for empty).
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Equal reports whether a and b have identical shape and every pair of
+// elements differs by at most tol.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Dense) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Dense(%d×%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Dense(%d×%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+func sameShape(op string, a, b *Dense) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %d×%d vs %d×%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,33 @@
+package mat
+
+import "math/rand"
+
+// NewRand returns a deterministic pseudo-random generator for the given
+// seed. Every stochastic component in this repository draws from an explicit
+// *rand.Rand created here so that experiments are bit-reproducible.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// FillNormal fills m with independent Gaussian samples of the given mean and
+// standard deviation.
+func FillNormal(m *Dense, rng *rand.Rand, mean, std float64) {
+	for i := range m.Data {
+		m.Data[i] = mean + std*rng.NormFloat64()
+	}
+}
+
+// FillUniform fills m with independent uniform samples in [lo, hi).
+func FillUniform(m *Dense, rng *rand.Rand, lo, hi float64) {
+	span := hi - lo
+	for i := range m.Data {
+		m.Data[i] = lo + span*rng.Float64()
+	}
+}
+
+// Perm returns a random permutation of [0, n) drawn from rng, as a
+// convenience mirroring rand.Perm but documented as the canonical shuffle
+// used for minibatch ordering.
+func Perm(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}

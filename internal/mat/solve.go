@@ -1,0 +1,109 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when Gaussian elimination encounters a pivot too
+// small to divide by, i.e. the system is singular or numerically near it.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// Solve solves the linear system A·x = b for x using Gaussian elimination
+// with partial pivoting. A must be square with len(b) == A.Rows. A and b are
+// not modified. It returns ErrSingular when a pivot underflows.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	rhs := FromSlice(len(b), 1, append([]float64(nil), b...))
+	x, err := SolveMulti(a, rhs)
+	if err != nil {
+		return nil, err
+	}
+	return x.Col(0), nil
+}
+
+// SolveMulti solves A·X = B for X with B holding multiple right-hand sides
+// as columns. A must be square and B.Rows == A.Rows. Inputs are preserved.
+func SolveMulti(a, b *Dense) (*Dense, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("mat: Solve on non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	if b.Rows != n {
+		return nil, fmt.Errorf("mat: Solve rhs has %d rows, want %d", b.Rows, n)
+	}
+	aug := a.Clone()
+	rhs := b.Clone()
+	// Forward elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-13 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(aug, pivot, col)
+			swapRows(rhs, pivot, col)
+		}
+		pv := aug.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aug.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			arow, prow := aug.Row(r), aug.Row(col)
+			for j := col; j < n; j++ {
+				arow[j] -= f * prow[j]
+			}
+			brow, qrow := rhs.Row(r), rhs.Row(col)
+			for j := range brow {
+				brow[j] -= f * qrow[j]
+			}
+		}
+	}
+	// Back substitution.
+	x := New(n, rhs.Cols)
+	for col := n - 1; col >= 0; col-- {
+		xrow := x.Row(col)
+		copy(xrow, rhs.Row(col))
+		arow := aug.Row(col)
+		for j := col + 1; j < n; j++ {
+			f := arow[j]
+			if f == 0 {
+				continue
+			}
+			xj := x.Row(j)
+			for k := range xrow {
+				xrow[k] -= f * xj[k]
+			}
+		}
+		inv := 1 / arow[col]
+		for k := range xrow {
+			xrow[k] *= inv
+		}
+	}
+	return x, nil
+}
+
+// SolveRegularized solves (A + λI)·x = b, the Tikhonov-damped system used by
+// LLE when local Gram matrices are rank-deficient.
+func SolveRegularized(a *Dense, b []float64, lambda float64) ([]float64, error) {
+	damped := a.Clone()
+	n := damped.Rows
+	for i := 0; i < n; i++ {
+		damped.Data[i*n+i] += lambda
+	}
+	return Solve(damped, b)
+}
+
+func swapRows(m *Dense, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"noble/internal/mat"
+)
+
+// numericGrad approximates df/dv by central differences where v is a single
+// element of a tensor reachable through get/set.
+func numericGrad(f func() float64, data []float64, i int) float64 {
+	const eps = 1e-5
+	orig := data[i]
+	data[i] = orig + eps
+	plus := f()
+	data[i] = orig - eps
+	minus := f()
+	data[i] = orig
+	return (plus - minus) / (2 * eps)
+}
+
+// checkGrads verifies analytic parameter and input gradients of a
+// layer+loss composition against central differences.
+func checkGrads(t *testing.T, layer Layer, loss Loss, x, target *mat.Dense, tol float64) {
+	t.Helper()
+	forward := func() float64 {
+		out := layer.Forward(x, true)
+		return loss.Forward(out, target)
+	}
+	// Analytic pass.
+	params := layer.Params()
+	ZeroGrads(params)
+	out := layer.Forward(x, true)
+	loss.Forward(out, target)
+	dx := layer.Backward(loss.Backward())
+
+	for _, p := range params {
+		for i := range p.W.Data {
+			want := numericGrad(forward, p.W.Data, i)
+			got := p.G.Data[i]
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("param %s[%d]: analytic %g numeric %g", p.Name, i, got, want)
+			}
+		}
+	}
+	for i := range x.Data {
+		want := numericGrad(forward, x.Data, i)
+		got := dx.Data[i]
+		if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+			t.Fatalf("input[%d]: analytic %g numeric %g", i, got, want)
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := mat.NewRand(100)
+	layer := NewDense("d", 4, 3, InitXavier, rng)
+	x := mat.New(5, 4)
+	mat.FillNormal(x, rng, 0, 1)
+	target := mat.New(5, 3)
+	mat.FillNormal(target, rng, 0, 1)
+	checkGrads(t, layer, NewMSE(), x, target, 1e-6)
+}
+
+func TestDenseWithSoftmaxCEGradients(t *testing.T) {
+	rng := mat.NewRand(101)
+	layer := NewDense("d", 4, 3, InitXavier, rng)
+	x := mat.New(6, 4)
+	mat.FillNormal(x, rng, 0, 1)
+	target := OneHotBatch([]int{0, 1, 2, 0, 1, 2}, 3)
+	checkGrads(t, layer, NewSoftmaxCE(), x, target, 1e-6)
+}
+
+func TestDenseWithBCEGradients(t *testing.T) {
+	rng := mat.NewRand(102)
+	layer := NewDense("d", 5, 4, InitXavier, rng)
+	x := mat.New(4, 5)
+	mat.FillNormal(x, rng, 0, 1)
+	target := mat.New(4, 4)
+	// Multi-label target: several positives per row.
+	for i := 0; i < 4; i++ {
+		target.Set(i, i%4, 1)
+		target.Set(i, (i+1)%4, 0.5)
+	}
+	checkGrads(t, layer, NewBCEWithLogits(), x, target, 1e-6)
+}
+
+func TestTanhNetworkGradients(t *testing.T) {
+	rng := mat.NewRand(103)
+	net := NewSequential(
+		NewDense("fc1", 3, 6, InitXavier, rng),
+		NewTanh(),
+		NewDense("fc2", 6, 2, InitXavier, rng),
+	)
+	x := mat.New(4, 3)
+	mat.FillNormal(x, rng, 0, 1)
+	target := mat.New(4, 2)
+	mat.FillNormal(target, rng, 0, 1)
+	checkGrads(t, net, NewMSE(), x, target, 1e-5)
+}
+
+func TestReLUNetworkGradients(t *testing.T) {
+	rng := mat.NewRand(104)
+	net := NewSequential(
+		NewDense("fc1", 3, 8, InitHe, rng),
+		NewReLU(),
+		NewDense("fc2", 8, 2, InitHe, rng),
+	)
+	x := mat.New(4, 3)
+	// Keep activations away from the ReLU kink for stable differences.
+	mat.FillNormal(x, rng, 0.5, 1)
+	target := mat.New(4, 2)
+	mat.FillNormal(target, rng, 0, 1)
+	checkGrads(t, net, NewMSE(), x, target, 1e-4)
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	rng := mat.NewRand(105)
+	net := NewSequential(
+		NewDense("fc1", 3, 4, InitXavier, rng),
+		NewSigmoid(),
+	)
+	x := mat.New(3, 3)
+	mat.FillNormal(x, rng, 0, 1)
+	target := mat.New(3, 4)
+	mat.FillNormal(target, rng, 0.5, 0.2)
+	checkGrads(t, net, NewMSE(), x, target, 1e-6)
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := mat.NewRand(106)
+	net := NewSequential(
+		NewDense("fc", 3, 4, InitXavier, rng),
+		NewBatchNorm("bn", 4),
+		NewTanh(),
+	)
+	x := mat.New(6, 3)
+	mat.FillNormal(x, rng, 0, 1)
+	target := mat.New(6, 4)
+	mat.FillNormal(target, rng, 0, 1)
+	checkGrads(t, net, NewMSE(), x, target, 1e-4)
+}
+
+func TestBlockDenseGradients(t *testing.T) {
+	rng := mat.NewRand(107)
+	layer := NewBlockDense("proj", 3, 4, 2, InitXavier, rng)
+	x := mat.New(5, 12)
+	mat.FillNormal(x, rng, 0, 1)
+	target := mat.New(5, 6)
+	mat.FillNormal(target, rng, 0, 1)
+	checkGrads(t, layer, NewMSE(), x, target, 1e-6)
+}
+
+func TestFullPaperTrunkGradients(t *testing.T) {
+	// The actual architecture from §IV-A: two hidden tanh+BN layers.
+	rng := mat.NewRand(108)
+	net := NewMLP("trunk", 5, []int{8, 8}, true, rng)
+	x := mat.New(6, 5)
+	mat.FillNormal(x, rng, 0, 1)
+	target := mat.New(6, 8)
+	mat.FillNormal(target, rng, 0, 1)
+	checkGrads(t, net, NewMSE(), x, target, 1e-4)
+}

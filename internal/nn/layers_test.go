@@ -1,0 +1,345 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"noble/internal/mat"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	rng := mat.NewRand(1)
+	d := NewDense("d", 2, 2, InitZero, rng)
+	d.Weight.W.SetRow(0, []float64{1, 2})
+	d.Weight.W.SetRow(1, []float64{3, 4})
+	d.Bias.W.SetRow(0, []float64{10, 20})
+	x := mat.FromRows([][]float64{{1, 1}})
+	out := d.Forward(x, false)
+	if out.At(0, 0) != 14 || out.At(0, 1) != 26 {
+		t.Fatalf("Dense forward = %v", out)
+	}
+}
+
+func TestDenseShapePanic(t *testing.T) {
+	rng := mat.NewRand(2)
+	d := NewDense("d", 3, 2, InitXavier, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input width")
+		}
+	}()
+	d.Forward(mat.New(1, 4), false)
+}
+
+func TestDenseBackwardBeforeForwardPanics(t *testing.T) {
+	rng := mat.NewRand(3)
+	d := NewDense("d", 2, 2, InitXavier, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Backward(mat.New(1, 2))
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := mat.NewRand(4)
+	d := NewDense("d", 100, 100, InitXavier, rng)
+	bound := math.Sqrt(6.0 / 200.0)
+	lo, hi := mat.MinMax(d.Weight.W.Data)
+	if lo < -bound || hi > bound {
+		t.Fatalf("Xavier weights outside ±%v: [%v, %v]", bound, lo, hi)
+	}
+	if mat.Std(d.Weight.W.Data) < bound/4 {
+		t.Fatal("Xavier weights suspiciously concentrated")
+	}
+	for _, b := range d.Bias.W.Data {
+		if b != 0 {
+			t.Fatal("bias must start at zero")
+		}
+	}
+}
+
+func TestHeInitStd(t *testing.T) {
+	rng := mat.NewRand(5)
+	d := NewDense("d", 200, 50, InitHe, rng)
+	want := math.Sqrt(2.0 / 200.0)
+	got := mat.Std(d.Weight.W.Data)
+	if math.Abs(got-want) > want/4 {
+		t.Fatalf("He std=%v want≈%v", got, want)
+	}
+}
+
+func TestDenseFLOPs(t *testing.T) {
+	rng := mat.NewRand(6)
+	d := NewDense("d", 10, 20, InitXavier, rng)
+	if d.FLOPs() != int64(2*10*20+20) {
+		t.Fatalf("FLOPs=%d", d.FLOPs())
+	}
+}
+
+func TestTanhForwardValues(t *testing.T) {
+	x := mat.FromRows([][]float64{{0, 1, -1}})
+	out := NewTanh().Forward(x, false)
+	if out.At(0, 0) != 0 {
+		t.Fatal("tanh(0) != 0")
+	}
+	if math.Abs(out.At(0, 1)-math.Tanh(1)) > 1e-15 {
+		t.Fatal("tanh(1) wrong")
+	}
+	if out.At(0, 2) != -out.At(0, 1) {
+		t.Fatal("tanh must be odd")
+	}
+}
+
+func TestReLUForward(t *testing.T) {
+	x := mat.FromRows([][]float64{{-1, 0, 2}})
+	out := NewReLU().Forward(x, false)
+	if out.At(0, 0) != 0 || out.At(0, 1) != 0 || out.At(0, 2) != 2 {
+		t.Fatalf("relu = %v", out)
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	x := mat.FromRows([][]float64{{-1000, 0, 1000}})
+	out := NewSigmoid().Forward(x, false)
+	if out.At(0, 0) != 0 && out.At(0, 0) > 1e-300 {
+		t.Fatalf("sigmoid(-1000)=%v", out.At(0, 0))
+	}
+	if out.At(0, 1) != 0.5 {
+		t.Fatalf("sigmoid(0)=%v", out.At(0, 1))
+	}
+	if out.At(0, 2) != 1 {
+		t.Fatalf("sigmoid(1000)=%v", out.At(0, 2))
+	}
+	for _, v := range out.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("sigmoid produced non-finite value")
+		}
+	}
+}
+
+func TestBatchNormTrainNormalizes(t *testing.T) {
+	bn := NewBatchNorm("bn", 3)
+	rng := mat.NewRand(7)
+	x := mat.New(64, 3)
+	mat.FillNormal(x, rng, 5, 3) // far from standard
+	out := bn.Forward(x, true)
+	for j := 0; j < 3; j++ {
+		col := out.Col(j)
+		if m := mat.Mean(col); math.Abs(m) > 1e-9 {
+			t.Fatalf("feature %d mean %v after BN", j, m)
+		}
+		if s := mat.Std(col); math.Abs(s-1) > 0.02 {
+			t.Fatalf("feature %d std %v after BN", j, s)
+		}
+	}
+}
+
+func TestBatchNormRunningStatsConverge(t *testing.T) {
+	bn := NewBatchNorm("bn", 2)
+	rng := mat.NewRand(8)
+	for i := 0; i < 200; i++ {
+		x := mat.New(32, 2)
+		mat.FillNormal(x, rng, 4, 2)
+		bn.Forward(x, true)
+	}
+	if math.Abs(bn.RunningMean[0]-4) > 0.3 {
+		t.Fatalf("running mean %v want ≈4", bn.RunningMean[0])
+	}
+	if math.Abs(bn.RunningVar[0]-4) > 1.0 {
+		t.Fatalf("running var %v want ≈4", bn.RunningVar[0])
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm("bn", 1)
+	bn.RunningMean[0] = 10
+	bn.RunningVar[0] = 4
+	x := mat.FromRows([][]float64{{12}})
+	out := bn.Forward(x, false)
+	want := (12.0 - 10.0) / math.Sqrt(4+bn.Eps)
+	if math.Abs(out.At(0, 0)-want) > 1e-9 {
+		t.Fatalf("eval BN=%v want %v", out.At(0, 0), want)
+	}
+}
+
+func TestBatchNormShapePanic(t *testing.T) {
+	bn := NewBatchNorm("bn", 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bn.Forward(mat.New(2, 4), true)
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	rng := mat.NewRand(9)
+	d := NewDropout(0.5, rng)
+	x := mat.FromRows([][]float64{{1, 2, 3}})
+	out := d.Forward(x, false)
+	if !mat.Equal(out, x, 0) {
+		t.Fatal("dropout must be identity at eval")
+	}
+}
+
+func TestDropoutMaskConsistency(t *testing.T) {
+	rng := mat.NewRand(10)
+	d := NewDropout(0.5, rng)
+	x := mat.New(4, 50)
+	x.Fill(1)
+	out := d.Forward(x, true)
+	dout := mat.New(4, 50)
+	dout.Fill(1)
+	dx := d.Backward(dout)
+	dropped, kept := 0, 0
+	for i := range out.Data {
+		if out.Data[i] == 0 {
+			dropped++
+			if dx.Data[i] != 0 {
+				t.Fatal("gradient must be zero where activation was dropped")
+			}
+		} else {
+			kept++
+			if out.Data[i] != 2 { // 1/(1-0.5)
+				t.Fatalf("kept activation scaled to %v want 2", out.Data[i])
+			}
+			if dx.Data[i] != 2 {
+				t.Fatal("kept gradient must carry the same scale")
+			}
+		}
+	}
+	if dropped == 0 || kept == 0 {
+		t.Fatalf("dropout mask degenerate: %d dropped, %d kept", dropped, kept)
+	}
+}
+
+func TestBlockDenseMatchesPerBlockDense(t *testing.T) {
+	rng := mat.NewRand(11)
+	bd := NewBlockDense("p", 3, 4, 2, InitXavier, rng)
+	x := mat.New(2, 12)
+	mat.FillNormal(x, rng, 0, 1)
+	out := bd.Forward(x, false)
+	// Manually apply the shared inner layer to each block.
+	for blk := 0; blk < 3; blk++ {
+		sub := mat.New(2, 4)
+		for i := 0; i < 2; i++ {
+			copy(sub.Row(i), x.Row(i)[blk*4:(blk+1)*4])
+		}
+		want := bd.Inner.Forward(sub, false)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if math.Abs(out.At(i, blk*2+j)-want.At(i, j)) > 1e-12 {
+					t.Fatalf("block %d mismatch", blk)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockDenseShapePanic(t *testing.T) {
+	rng := mat.NewRand(12)
+	bd := NewBlockDense("p", 3, 4, 2, InitXavier, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bd.Forward(mat.New(1, 13), false)
+}
+
+func TestSequentialComposes(t *testing.T) {
+	rng := mat.NewRand(13)
+	s := NewSequential(NewDense("a", 2, 3, InitXavier, rng))
+	s.Add(NewTanh())
+	if len(s.Params()) != 2 {
+		t.Fatalf("params=%d", len(s.Params()))
+	}
+	out := s.Forward(mat.New(1, 2), false)
+	if out.Cols != 3 {
+		t.Fatalf("out cols=%d", out.Cols)
+	}
+}
+
+func TestNewMLPStructure(t *testing.T) {
+	rng := mat.NewRand(14)
+	m := NewMLP("t", 10, []int{128, 128}, true, rng)
+	// 2 × (Dense + BN + Tanh)
+	if len(m.Layers) != 6 {
+		t.Fatalf("layers=%d want 6", len(m.Layers))
+	}
+	out := m.Forward(mat.New(3, 10), false)
+	if out.Rows != 3 || out.Cols != 128 {
+		t.Fatalf("MLP out %d×%d", out.Rows, out.Cols)
+	}
+	if m.FLOPs() <= 0 {
+		t.Fatal("MLP FLOPs must be positive")
+	}
+}
+
+func TestOneHotBatch(t *testing.T) {
+	oh := OneHotBatch([]int{2, 0}, 3)
+	if oh.At(0, 2) != 1 || oh.At(1, 0) != 1 {
+		t.Fatalf("one-hot wrong: %v", oh)
+	}
+	var sum float64
+	for _, v := range oh.Data {
+		sum += v
+	}
+	if sum != 2 {
+		t.Fatal("one-hot must have exactly one 1 per row")
+	}
+}
+
+func TestOneHotBatchOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OneHotBatch([]int{3}, 3)
+}
+
+func TestConcatSplitRoundTripProperty(t *testing.T) {
+	rng := mat.NewRand(15)
+	f := func(r8, a8, b8 uint8) bool {
+		r, ca, cb := int(r8%4)+1, int(a8%4)+1, int(b8%4)+1
+		a := mat.New(r, ca)
+		b := mat.New(r, cb)
+		mat.FillNormal(a, rng, 0, 1)
+		mat.FillNormal(b, rng, 0, 1)
+		joined := Concat(a, b)
+		left, right := SplitCols(joined, ca)
+		return mat.Equal(left, a, 0) && mat.Equal(right, b, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Concat(mat.New(2, 1), mat.New(3, 1))
+}
+
+func TestSelectRows(t *testing.T) {
+	m := mat.FromRows([][]float64{{1}, {2}, {3}})
+	got := SelectRows(m, []int{2, 0})
+	if got.At(0, 0) != 3 || got.At(1, 0) != 1 {
+		t.Fatalf("SelectRows=%v", got)
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	rng := mat.NewRand(16)
+	d := NewDense("d", 3, 4, InitXavier, rng)
+	if ParamCount(d.Params()) != 3*4+4 {
+		t.Fatalf("ParamCount=%d", ParamCount(d.Params()))
+	}
+}

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"noble/internal/mat"
+)
+
+// Loss scores a batch of predictions against targets and produces the
+// gradient of the mean loss with respect to the predictions.
+type Loss interface {
+	// Forward returns the mean loss over the batch.
+	Forward(pred, target *mat.Dense) float64
+	// Backward returns dLoss/dPred for the most recent Forward.
+	Backward() *mat.Dense
+}
+
+// MSE is the mean squared error loss, L = 1/(2n) Σᵢ ‖predᵢ-targetᵢ‖². This
+// is the objective of the paper's Deep Regression baseline and of NObLe's
+// IMU displacement module.
+type MSE struct {
+	diff *mat.Dense
+	n    float64
+}
+
+// NewMSE returns a mean-squared-error loss.
+func NewMSE() *MSE { return &MSE{} }
+
+// Forward computes the mean squared error over the batch.
+func (l *MSE) Forward(pred, target *mat.Dense) float64 {
+	shapeCheck("MSE", pred, target)
+	l.diff = mat.Sub(pred, target)
+	l.n = float64(pred.Rows)
+	var s float64
+	for _, v := range l.diff.Data {
+		s += v * v
+	}
+	return s / (2 * l.n)
+}
+
+// Backward returns (pred-target)/n.
+func (l *MSE) Backward() *mat.Dense {
+	if l.diff == nil {
+		panic("nn: MSE.Backward before Forward")
+	}
+	g := l.diff.Clone()
+	g.Scale(1 / l.n)
+	return g
+}
+
+// SoftmaxCE is the softmax cross-entropy loss over mutually exclusive
+// classes; target rows are probability distributions (typically one-hot).
+// Used by NObLe's building / floor / neighborhood-class heads.
+type SoftmaxCE struct {
+	probs  *mat.Dense
+	target *mat.Dense
+	n      float64
+}
+
+// NewSoftmaxCE returns a softmax cross-entropy loss.
+func NewSoftmaxCE() *SoftmaxCE { return &SoftmaxCE{} }
+
+// Forward computes mean(-Σ target·log softmax(pred)).
+func (l *SoftmaxCE) Forward(pred, target *mat.Dense) float64 {
+	shapeCheck("SoftmaxCE", pred, target)
+	l.probs = Softmax(pred)
+	l.target = target
+	l.n = float64(pred.Rows)
+	var loss float64
+	for i, t := range target.Data {
+		if t != 0 {
+			loss -= t * math.Log(l.probs.Data[i]+1e-12)
+		}
+	}
+	return loss / l.n
+}
+
+// Backward returns (softmax(pred) - target)/n.
+func (l *SoftmaxCE) Backward() *mat.Dense {
+	if l.probs == nil {
+		panic("nn: SoftmaxCE.Backward before Forward")
+	}
+	g := mat.Sub(l.probs, l.target)
+	g.Scale(1 / l.n)
+	return g
+}
+
+// BCEWithLogits is the element-wise binary cross-entropy over logits, the
+// multi-label objective J(h, ĥ) of §III-C: every output unit is an
+// independent Bernoulli, so a sample may carry several positive labels
+// (fine class plus its adjacent cells, building, floor...).
+type BCEWithLogits struct {
+	probs  *mat.Dense
+	target *mat.Dense
+	n      float64
+}
+
+// NewBCEWithLogits returns a multi-label binary cross-entropy loss.
+func NewBCEWithLogits() *BCEWithLogits { return &BCEWithLogits{} }
+
+// Forward computes mean over samples of Σ_c -[t log σ(z) + (1-t) log(1-σ(z))]
+// using the numerically stable log-sum-exp form.
+func (l *BCEWithLogits) Forward(pred, target *mat.Dense) float64 {
+	shapeCheck("BCEWithLogits", pred, target)
+	l.target = target
+	l.n = float64(pred.Rows)
+	l.probs = pred.Map(sigmoid)
+	var loss float64
+	for i, z := range pred.Data {
+		t := target.Data[i]
+		// max(z,0) - z·t + log(1+exp(-|z|))
+		loss += math.Max(z, 0) - z*t + math.Log1p(math.Exp(-math.Abs(z)))
+	}
+	return loss / l.n
+}
+
+// Backward returns (σ(pred) - target)/n.
+func (l *BCEWithLogits) Backward() *mat.Dense {
+	if l.probs == nil {
+		panic("nn: BCEWithLogits.Backward before Forward")
+	}
+	g := mat.Sub(l.probs, l.target)
+	g.Scale(1 / l.n)
+	return g
+}
+
+// Softmax returns row-wise softmax probabilities with the usual max-shift
+// for numerical stability.
+func Softmax(logits *mat.Dense) *mat.Dense {
+	out := mat.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row, orow := logits.Row(i), out.Row(i)
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+func shapeCheck(op string, a, b *mat.Dense) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: %s shape mismatch %d×%d vs %d×%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

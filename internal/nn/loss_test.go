@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"noble/internal/mat"
+)
+
+func TestMSEKnown(t *testing.T) {
+	pred := mat.FromRows([][]float64{{1, 2}})
+	target := mat.FromRows([][]float64{{0, 0}})
+	l := NewMSE()
+	got := l.Forward(pred, target)
+	if math.Abs(got-2.5) > 1e-12 { // (1+4)/2
+		t.Fatalf("MSE=%v want 2.5", got)
+	}
+	g := l.Backward()
+	if g.At(0, 0) != 1 || g.At(0, 1) != 2 {
+		t.Fatalf("MSE grad=%v", g)
+	}
+}
+
+func TestMSEZeroAtPerfect(t *testing.T) {
+	pred := mat.FromRows([][]float64{{3, 4}, {5, 6}})
+	if l := NewMSE().Forward(pred, pred.Clone()); l != 0 {
+		t.Fatalf("perfect MSE=%v", l)
+	}
+}
+
+func TestSoftmaxRowsSumToOneProperty(t *testing.T) {
+	rng := mat.NewRand(20)
+	f := func(r8, c8 uint8) bool {
+		r, c := int(r8%5)+1, int(c8%5)+2
+		logits := mat.New(r, c)
+		mat.FillNormal(logits, rng, 0, 5)
+		p := Softmax(logits)
+		for i := 0; i < r; i++ {
+			var sum float64
+			for _, v := range p.Row(i) {
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 2, 3}})
+	b := mat.FromRows([][]float64{{1001, 1002, 1003}})
+	pa, pb := Softmax(a), Softmax(b)
+	if !mat.Equal(pa, pb, 1e-12) {
+		t.Fatal("softmax must be shift-invariant")
+	}
+}
+
+func TestSoftmaxCEPerfectPrediction(t *testing.T) {
+	logits := mat.FromRows([][]float64{{100, 0, 0}})
+	target := OneHotBatch([]int{0}, 3)
+	l := NewSoftmaxCE().Forward(logits, target)
+	if l > 1e-6 {
+		t.Fatalf("CE of confident correct prediction = %v", l)
+	}
+}
+
+func TestSoftmaxCEUniformBaseline(t *testing.T) {
+	logits := mat.New(1, 4) // all-zero → uniform
+	target := OneHotBatch([]int{2}, 4)
+	l := NewSoftmaxCE().Forward(logits, target)
+	if math.Abs(l-math.Log(4)) > 1e-9 {
+		t.Fatalf("uniform CE=%v want ln4=%v", l, math.Log(4))
+	}
+}
+
+func TestSoftmaxCEGradientSumsToZero(t *testing.T) {
+	// d/dlogits of CE sums to zero per row (softmax sums to 1, target sums to 1).
+	rng := mat.NewRand(21)
+	logits := mat.New(3, 5)
+	mat.FillNormal(logits, rng, 0, 2)
+	target := OneHotBatch([]int{1, 4, 0}, 5)
+	l := NewSoftmaxCE()
+	l.Forward(logits, target)
+	g := l.Backward()
+	for i := 0; i < 3; i++ {
+		var sum float64
+		for _, v := range g.Row(i) {
+			sum += v
+		}
+		if math.Abs(sum) > 1e-10 {
+			t.Fatalf("row %d grad sum %v", i, sum)
+		}
+	}
+}
+
+func TestBCEWithLogitsKnown(t *testing.T) {
+	pred := mat.FromRows([][]float64{{0}})
+	target := mat.FromRows([][]float64{{1}})
+	l := NewBCEWithLogits().Forward(pred, target)
+	if math.Abs(l-math.Log(2)) > 1e-12 {
+		t.Fatalf("BCE(0,1)=%v want ln2", l)
+	}
+}
+
+func TestBCEWithLogitsExtremeStability(t *testing.T) {
+	pred := mat.FromRows([][]float64{{1000, -1000}})
+	target := mat.FromRows([][]float64{{1, 0}})
+	l := NewBCEWithLogits().Forward(pred, target)
+	if math.IsNaN(l) || math.IsInf(l, 0) || l > 1e-6 {
+		t.Fatalf("BCE extreme=%v", l)
+	}
+	// Wrong labels at extreme logits: loss ≈ 2000/1, still finite.
+	badTarget := mat.FromRows([][]float64{{0, 1}})
+	l = NewBCEWithLogits().Forward(pred, badTarget)
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		t.Fatal("BCE must stay finite at extreme wrong logits")
+	}
+}
+
+func TestBCESupportsMultiLabelTargets(t *testing.T) {
+	// A row may have several positive labels — the core of the paper's
+	// multi-label adjacency trick.
+	pred := mat.FromRows([][]float64{{10, 10, -10}})
+	target := mat.FromRows([][]float64{{1, 1, 0}})
+	l := NewBCEWithLogits().Forward(pred, target)
+	if l > 1e-3 {
+		t.Fatalf("multi-label BCE=%v", l)
+	}
+}
+
+func TestLossShapeMismatchPanics(t *testing.T) {
+	for name, l := range map[string]Loss{
+		"mse": NewMSE(), "ce": NewSoftmaxCE(), "bce": NewBCEWithLogits(),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			l.Forward(mat.New(1, 2), mat.New(1, 3))
+		}()
+	}
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	for name, l := range map[string]Loss{
+		"mse": NewMSE(), "ce": NewSoftmaxCE(), "bce": NewBCEWithLogits(),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			l.Backward()
+		}()
+	}
+}

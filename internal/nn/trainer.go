@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"math"
+
+	"noble/internal/mat"
+)
+
+// TrainConfig controls the deterministic minibatch loop in Train.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Seed      int64
+	Optimizer Optimizer
+	// LRDecay, when in (0,1), multiplies the optimizer learning rate by
+	// this factor after every epoch (requires the optimizer to implement
+	// LRScheduler).
+	LRDecay float64
+	// ClipNorm, when > 0, clips the global gradient norm before each
+	// optimizer step.
+	ClipNorm float64
+	// Logf, when non-nil, receives one progress line per epoch.
+	Logf func(format string, args ...any)
+}
+
+// EpochStats summarizes one epoch for the OnEpoch callback.
+type EpochStats struct {
+	Epoch    int
+	MeanLoss float64
+}
+
+// Train runs a shuffled minibatch loop over n samples. For every batch it
+// calls step with the selected sample indices; step must run the model
+// forward/backward (accumulating gradients into params) and return the
+// batch loss. Train then clips, applies the optimizer, and zeroes the
+// gradients. After each epoch onEpoch (if non-nil) may return true to stop
+// early. Train returns the final epoch's mean loss.
+func Train(cfg TrainConfig, n int, params []*Param, step func(batch []int) float64, onEpoch func(EpochStats) bool) float64 {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	rng := mat.NewRand(cfg.Seed)
+	lastMean := math.NaN()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(n)
+		var lossSum float64
+		batches := 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := order[start:end]
+			lossSum += step(batch)
+			batches++
+			if cfg.ClipNorm > 0 {
+				ClipGrads(params, cfg.ClipNorm)
+			}
+			cfg.Optimizer.Step(params)
+			ZeroGrads(params)
+		}
+		lastMean = lossSum / float64(batches)
+		if cfg.Logf != nil {
+			cfg.Logf("epoch %3d/%d  loss %.5f", epoch+1, cfg.Epochs, lastMean)
+		}
+		if onEpoch != nil && onEpoch(EpochStats{Epoch: epoch, MeanLoss: lastMean}) {
+			break
+		}
+		if cfg.LRDecay > 0 && cfg.LRDecay < 1 {
+			if sched, ok := cfg.Optimizer.(LRScheduler); ok {
+				sched.ScaleLR(cfg.LRDecay)
+			}
+		}
+	}
+	return lastMean
+}

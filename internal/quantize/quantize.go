@@ -1,0 +1,211 @@
+// Package quantize implements the paper's space quantization (§III-B): the
+// continuous output space is divided into non-overlapping square grid cells
+// of side τ; cells containing no training data are discarded — which is
+// precisely how inaccessible space (courtyards, gaps between buildings)
+// disappears from the output space — and the surviving cells become
+// neighborhood class IDs. At inference the predicted class is decoded to
+// its central coordinates.
+//
+// The package also provides the paper's two refinements for class-data
+// sparsity: multi-resolution grids (a fine grid of side τ plus a coarse
+// grid of side l > τ, giving the model output-manifold structure at two
+// granularities) are built by simply constructing two Grids, and
+// multi-label adjacency targets (a sample is additionally labeled with the
+// populated cells adjacent to its true cell) come from AdjacencyTargets.
+package quantize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"noble/internal/geo"
+	"noble/internal/mat"
+)
+
+// cellKey identifies a grid cell by its integer coordinates.
+type cellKey struct {
+	ix, iy int
+}
+
+// Grid is a fitted space quantizer: a set of populated τ-cells with stable
+// class IDs and per-class centroids.
+type Grid struct {
+	Tau    float64
+	Origin geo.Point
+
+	cells     []cellKey
+	byCell    map[cellKey]int
+	centroids []geo.Point
+	counts    []int
+}
+
+// NewGrid fits a quantizer of cell side tau to the given training
+// positions. Only populated cells receive class IDs; IDs are assigned in
+// row-major cell order so they are deterministic for a given point set.
+// The centroid of each class is the mean of the training points inside the
+// cell (the "central coordinates" used for decoding).
+func NewGrid(tau float64, points []geo.Point) *Grid {
+	if tau <= 0 {
+		panic(fmt.Sprintf("quantize: non-positive tau %v", tau))
+	}
+	if len(points) == 0 {
+		panic("quantize: NewGrid with no points")
+	}
+	origin := points[0]
+	for _, p := range points[1:] {
+		origin.X = math.Min(origin.X, p.X)
+		origin.Y = math.Min(origin.Y, p.Y)
+	}
+	g := &Grid{Tau: tau, Origin: origin, byCell: make(map[cellKey]int)}
+	sums := make(map[cellKey]geo.Point)
+	counts := make(map[cellKey]int)
+	for _, p := range points {
+		k := g.key(p)
+		sums[k] = sums[k].Add(p)
+		counts[k]++
+	}
+	g.cells = make([]cellKey, 0, len(sums))
+	for k := range sums {
+		g.cells = append(g.cells, k)
+	}
+	sort.Slice(g.cells, func(a, b int) bool {
+		if g.cells[a].iy != g.cells[b].iy {
+			return g.cells[a].iy < g.cells[b].iy
+		}
+		return g.cells[a].ix < g.cells[b].ix
+	})
+	g.centroids = make([]geo.Point, len(g.cells))
+	g.counts = make([]int, len(g.cells))
+	for id, k := range g.cells {
+		g.byCell[k] = id
+		g.centroids[id] = sums[k].Scale(1 / float64(counts[k]))
+		g.counts[id] = counts[k]
+	}
+	return g
+}
+
+func (g *Grid) key(p geo.Point) cellKey {
+	return cellKey{
+		ix: int(math.Floor((p.X - g.Origin.X) / g.Tau)),
+		iy: int(math.Floor((p.Y - g.Origin.Y) / g.Tau)),
+	}
+}
+
+// Classes returns the number of populated neighborhood classes.
+func (g *Grid) Classes() int { return len(g.cells) }
+
+// ClassOf returns the class ID of the cell containing p, and whether that
+// cell is populated. Training labels use this; it is an error (ok=false)
+// for positions in discarded dead space.
+func (g *Grid) ClassOf(p geo.Point) (id int, ok bool) {
+	id, ok = g.byCell[g.key(p)]
+	return id, ok
+}
+
+// NearestClass returns the class whose centroid is nearest to p; unlike
+// ClassOf it always succeeds. Useful for labeling points that fall just
+// outside any populated cell.
+func (g *Grid) NearestClass(p geo.Point) int {
+	if id, ok := g.ClassOf(p); ok {
+		return id
+	}
+	best, bestD := 0, math.Inf(1)
+	for id, c := range g.centroids {
+		if d := geo.Dist2(c, p); d < bestD {
+			bestD, best = d, id
+		}
+	}
+	return best
+}
+
+// Decode returns the central coordinates of a class — the position NObLe
+// reports when the classifier predicts that class.
+func (g *Grid) Decode(id int) geo.Point {
+	return g.centroids[id]
+}
+
+// CellCenter returns the geometric center of the class's cell (as opposed
+// to the training-data centroid returned by Decode).
+func (g *Grid) CellCenter(id int) geo.Point {
+	k := g.cells[id]
+	return geo.Point{
+		X: g.Origin.X + (float64(k.ix)+0.5)*g.Tau,
+		Y: g.Origin.Y + (float64(k.iy)+0.5)*g.Tau,
+	}
+}
+
+// Count returns how many training points populated the class's cell.
+func (g *Grid) Count(id int) int { return g.counts[id] }
+
+// AdjacentClasses returns the populated classes among the 8 neighbors of
+// the given class's cell, in deterministic order.
+func (g *Grid) AdjacentClasses(id int) []int {
+	k := g.cells[id]
+	var out []int
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if nb, ok := g.byCell[cellKey{k.ix + dx, k.iy + dy}]; ok {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}
+
+// Labels quantizes a batch of positions to class IDs, falling back to the
+// nearest populated class for stray points.
+func (g *Grid) Labels(points []geo.Point) []int {
+	out := make([]int, len(points))
+	for i, p := range points {
+		out[i] = g.NearestClass(p)
+	}
+	return out
+}
+
+// OneHot returns a len(classes)×Classes one-hot label matrix for the
+// softmax-CE heads.
+func (g *Grid) OneHot(classes []int) *mat.Dense {
+	out := mat.New(len(classes), g.Classes())
+	for i, c := range classes {
+		out.Set(i, c, 1)
+	}
+	return out
+}
+
+// AdjacencyTargets builds the multi-label targets of §III-B: each sample's
+// row has 1 at its true class and adjacentWeight at every populated
+// adjacent class. With adjacentWeight 0 this reduces to one-hot. Intended
+// for the BCEWithLogits multi-label head.
+func (g *Grid) AdjacencyTargets(classes []int, adjacentWeight float64) *mat.Dense {
+	out := mat.New(len(classes), g.Classes())
+	for i, c := range classes {
+		out.Set(i, c, 1)
+		if adjacentWeight > 0 {
+			for _, nb := range g.AdjacentClasses(c) {
+				out.Set(i, nb, adjacentWeight)
+			}
+		}
+	}
+	return out
+}
+
+// MultiRes couples the paper's fine grid (side τ) with a coarse grid
+// (side l > τ), the "different levels of granularity of the output
+// manifold" of §III-B.
+type MultiRes struct {
+	Fine   *Grid
+	Coarse *Grid
+}
+
+// NewMultiRes fits both grids to the same training positions. It panics
+// unless coarse > fine > 0.
+func NewMultiRes(fine, coarse float64, points []geo.Point) *MultiRes {
+	if !(coarse > fine) {
+		panic(fmt.Sprintf("quantize: coarse side %v must exceed fine side %v", coarse, fine))
+	}
+	return &MultiRes{Fine: NewGrid(fine, points), Coarse: NewGrid(coarse, points)}
+}

@@ -1,0 +1,277 @@
+package quantize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"noble/internal/geo"
+	"noble/internal/mat"
+)
+
+func gridPoints() []geo.Point {
+	// Two clusters with a hole between them.
+	var pts []geo.Point
+	for x := 0.0; x < 2; x += 0.5 {
+		for y := 0.0; y < 2; y += 0.5 {
+			pts = append(pts, geo.Point{X: x, Y: y})
+		}
+	}
+	for x := 10.0; x < 12; x += 0.5 {
+		for y := 10.0; y < 12; y += 0.5 {
+			pts = append(pts, geo.Point{X: x, Y: y})
+		}
+	}
+	return pts
+}
+
+func TestNewGridDiscardsEmptyCells(t *testing.T) {
+	g := NewGrid(1, gridPoints())
+	// 4 populated cells per cluster → 8 classes; the 10×10 hole adds none.
+	if g.Classes() != 8 {
+		t.Fatalf("classes=%d want 8", g.Classes())
+	}
+	// A point in the hole is in no populated cell.
+	if _, ok := g.ClassOf(geo.Point{X: 5, Y: 5}); ok {
+		t.Fatal("dead-space cell must not be a class")
+	}
+}
+
+func TestClassOfRoundTrip(t *testing.T) {
+	pts := gridPoints()
+	g := NewGrid(1, pts)
+	for _, p := range pts {
+		id, ok := g.ClassOf(p)
+		if !ok {
+			t.Fatalf("training point %v lost its class", p)
+		}
+		if d := geo.Dist(g.Decode(id), p); d > math.Sqrt2 {
+			t.Fatalf("decode error %v exceeds cell diagonal", d)
+		}
+	}
+}
+
+func TestDecodeWithinCellProperty(t *testing.T) {
+	rng := mat.NewRand(1)
+	f := func(tauSel uint8) bool {
+		tau := []float64{0.2, 0.4, 1.0, 2.0}[tauSel%4]
+		pts := make([]geo.Point, 200)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		}
+		g := NewGrid(tau, pts)
+		for _, p := range pts {
+			id, ok := g.ClassOf(p)
+			if !ok {
+				return false
+			}
+			// Centroid must lie in the same cell ⇒ error ≤ τ√2.
+			if geo.Dist(g.Decode(id), p) > tau*math.Sqrt2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentroidIsMeanOfCellPoints(t *testing.T) {
+	pts := []geo.Point{{X: 0.1, Y: 0.1}, {X: 0.3, Y: 0.5}, {X: 0.5, Y: 0.3}}
+	g := NewGrid(1, pts)
+	if g.Classes() != 1 {
+		t.Fatalf("classes=%d", g.Classes())
+	}
+	c := g.Decode(0)
+	if math.Abs(c.X-0.3) > 1e-12 || math.Abs(c.Y-0.3) > 1e-12 {
+		t.Fatalf("centroid=%v want (0.3,0.3)", c)
+	}
+	if g.Count(0) != 3 {
+		t.Fatalf("count=%d", g.Count(0))
+	}
+}
+
+func TestCellCenterVsCentroid(t *testing.T) {
+	pts := []geo.Point{{X: 0.1, Y: 0.1}}
+	g := NewGrid(1, pts)
+	center := g.CellCenter(0)
+	if math.Abs(center.X-0.6) > 1e-12 || math.Abs(center.Y-0.6) > 1e-12 {
+		// origin is (0.1,0.1); cell [0.1,1.1) → center (0.6,0.6)
+		t.Fatalf("cell center=%v", center)
+	}
+	if g.Decode(0) != pts[0] {
+		t.Fatal("centroid of single point is the point")
+	}
+}
+
+func TestClassIDsDeterministic(t *testing.T) {
+	a := NewGrid(1, gridPoints())
+	b := NewGrid(1, gridPoints())
+	for id := 0; id < a.Classes(); id++ {
+		if a.Decode(id) != b.Decode(id) {
+			t.Fatal("class IDs must be deterministic")
+		}
+	}
+}
+
+func TestNearestClassFallback(t *testing.T) {
+	g := NewGrid(1, gridPoints())
+	// Hole point snaps to some populated class.
+	id := g.NearestClass(geo.Point{X: 5, Y: 5})
+	if id < 0 || id >= g.Classes() {
+		t.Fatalf("NearestClass=%d", id)
+	}
+	// For a populated point, NearestClass agrees with ClassOf.
+	p := geo.Point{X: 0.5, Y: 0.5}
+	want, _ := g.ClassOf(p)
+	if g.NearestClass(p) != want {
+		t.Fatal("NearestClass must match ClassOf for populated cells")
+	}
+	// Point just right of cluster 2 snaps to a cluster-2 class.
+	near := g.NearestClass(geo.Point{X: 12.4, Y: 11})
+	c := g.Decode(near)
+	if c.X < 10 {
+		t.Fatalf("nearest class centroid %v should be in cluster 2", c)
+	}
+}
+
+func TestAdjacentClasses(t *testing.T) {
+	// 3×3 block of cells, all populated.
+	var pts []geo.Point
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			pts = append(pts, geo.Point{X: float64(x) + 0.5, Y: float64(y) + 0.5})
+		}
+	}
+	g := NewGrid(1, pts)
+	if g.Classes() != 9 {
+		t.Fatalf("classes=%d", g.Classes())
+	}
+	centerID, _ := g.ClassOf(geo.Point{X: 1.5, Y: 1.5})
+	adj := g.AdjacentClasses(centerID)
+	if len(adj) != 8 {
+		t.Fatalf("center cell adjacency=%d want 8", len(adj))
+	}
+	cornerID, _ := g.ClassOf(geo.Point{X: 0.5, Y: 0.5})
+	if len(g.AdjacentClasses(cornerID)) != 3 {
+		t.Fatalf("corner adjacency=%d want 3", len(g.AdjacentClasses(cornerID)))
+	}
+}
+
+func TestAdjacencyIsSymmetricProperty(t *testing.T) {
+	rng := mat.NewRand(2)
+	pts := make([]geo.Point, 120)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	}
+	g := NewGrid(1.5, pts)
+	for id := 0; id < g.Classes(); id++ {
+		for _, nb := range g.AdjacentClasses(id) {
+			found := false
+			for _, back := range g.AdjacentClasses(nb) {
+				if back == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d→%d", id, nb)
+			}
+		}
+	}
+}
+
+func TestLabelsAndOneHot(t *testing.T) {
+	g := NewGrid(1, gridPoints())
+	pts := []geo.Point{{X: 0.5, Y: 0.5}, {X: 11, Y: 11}}
+	labels := g.Labels(pts)
+	oh := g.OneHot(labels)
+	if oh.Rows != 2 || oh.Cols != g.Classes() {
+		t.Fatalf("one-hot %d×%d", oh.Rows, oh.Cols)
+	}
+	for i, c := range labels {
+		if oh.At(i, c) != 1 {
+			t.Fatal("one-hot must mark the label")
+		}
+	}
+}
+
+func TestAdjacencyTargets(t *testing.T) {
+	var pts []geo.Point
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			pts = append(pts, geo.Point{X: float64(x) + 0.5, Y: float64(y) + 0.5})
+		}
+	}
+	g := NewGrid(1, pts)
+	centerID, _ := g.ClassOf(geo.Point{X: 1.5, Y: 1.5})
+	targets := g.AdjacencyTargets([]int{centerID}, 0.3)
+	if targets.At(0, centerID) != 1 {
+		t.Fatal("true class weight must be 1")
+	}
+	var adjSum float64
+	for j := 0; j < targets.Cols; j++ {
+		if j != centerID {
+			adjSum += targets.At(0, j)
+		}
+	}
+	if math.Abs(adjSum-8*0.3) > 1e-12 {
+		t.Fatalf("adjacent weights sum %v want 2.4", adjSum)
+	}
+	// Zero weight reduces to one-hot.
+	plain := g.AdjacencyTargets([]int{centerID}, 0)
+	oh := g.OneHot([]int{centerID})
+	if !mat.Equal(plain, oh, 0) {
+		t.Fatal("zero adjacency weight must equal one-hot")
+	}
+}
+
+func TestMultiRes(t *testing.T) {
+	mr := NewMultiRes(0.5, 4, gridPoints())
+	if mr.Fine.Classes() <= mr.Coarse.Classes() {
+		t.Fatalf("fine grid (%d) must have more classes than coarse (%d)",
+			mr.Fine.Classes(), mr.Coarse.Classes())
+	}
+}
+
+func TestMultiResBadSidesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultiRes(2, 1, gridPoints())
+}
+
+func TestNewGridBadInputsPanic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero tau", func() { NewGrid(0, gridPoints()) }},
+		{"no points", func() { NewGrid(1, nil) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestTauControlsClassCount(t *testing.T) {
+	pts := gridPoints()
+	fine := NewGrid(0.25, pts)
+	coarse := NewGrid(4, pts)
+	if fine.Classes() <= coarse.Classes() {
+		t.Fatalf("τ=0.25 (%d classes) must beat τ=4 (%d classes)",
+			fine.Classes(), coarse.Classes())
+	}
+	if coarse.Classes() < 2 {
+		t.Fatal("two separated clusters must stay separate at τ=4")
+	}
+}

@@ -1,0 +1,293 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"noble/internal/floorplan"
+	"noble/internal/geo"
+	"noble/internal/mat"
+)
+
+func testSim(t *testing.T, numWAPs int) *Simulator {
+	t.Helper()
+	return NewSimulator(floorplan.UJICampus(), DefaultConfig(), numWAPs, 42)
+}
+
+func TestSimulatorPlacesRequestedWAPs(t *testing.T) {
+	sim := testSim(t, 50)
+	if sim.NumWAPs() != 50 {
+		t.Fatalf("NumWAPs=%d", sim.NumWAPs())
+	}
+	buildings := map[int]int{}
+	for _, w := range sim.WAPs {
+		buildings[w.Building]++
+		if w.TxPower > -28 || w.TxPower < -34 {
+			t.Fatalf("TxPower %v out of range", w.TxPower)
+		}
+	}
+	if len(buildings) < 3 {
+		t.Fatalf("WAPs concentrated in %d buildings", len(buildings))
+	}
+}
+
+func TestSimulatorZeroWAPsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSimulator(floorplan.UJICampus(), DefaultConfig(), 0, 1)
+}
+
+func TestMeasureVectorShapeAndRange(t *testing.T) {
+	sim := testSim(t, 40)
+	rng := mat.NewRand(1)
+	p := geo.Point{X: 30, Y: 200}
+	rssi := sim.Measure(p, 0, 1, rng)
+	if len(rssi) != 40 {
+		t.Fatalf("len=%d", len(rssi))
+	}
+	detected := 0
+	for _, v := range rssi {
+		if v == NotDetected {
+			continue
+		}
+		detected++
+		if v < sim.Cfg.DetectionThreshold-1e-9 || v > 0 {
+			t.Fatalf("detected RSSI %v outside (threshold, 0]", v)
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no WAP detected at an indoor position")
+	}
+	if detected == 40 {
+		t.Fatal("all 40 WAPs detected — censoring not working")
+	}
+}
+
+func TestSignalDecaysWithDistance(t *testing.T) {
+	plan := floorplan.IPINBuilding()
+	cfg := DefaultConfig()
+	cfg.ShadowSigma = 0
+	cfg.NoiseSigma = 0
+	cfg.DeviceBiasSigma = 0
+	cfg.DetectionThreshold = -500 // never censor for this test
+	sim := NewSimulator(plan, cfg, 1, 7)
+	w := sim.WAPs[0]
+	near := sim.RadioMap(w.Pos.Add(geo.Point{X: 2, Y: 0}), w.Building, w.Floor)
+	far := sim.RadioMap(w.Pos.Add(geo.Point{X: 20, Y: 0}), w.Building, w.Floor)
+	if near[0] <= far[0] {
+		t.Fatalf("RSSI must decay with distance: near %v far %v", near[0], far[0])
+	}
+	// Log-distance slope: doubling distance costs 10·n·log10(2) ≈ 9 dB.
+	d4 := sim.RadioMap(w.Pos.Add(geo.Point{X: 4, Y: 0}), w.Building, w.Floor)
+	drop := near[0] - d4[0]
+	want := 10 * cfg.PathLossExponent * math.Log10(2)
+	if math.Abs(drop-want) > 1e-9 {
+		t.Fatalf("2→4 m drop %v want %v", drop, want)
+	}
+}
+
+func TestFloorAttenuation(t *testing.T) {
+	plan := floorplan.IPINBuilding()
+	cfg := DefaultConfig()
+	cfg.ShadowSigma, cfg.NoiseSigma, cfg.DeviceBiasSigma = 0, 0, 0
+	cfg.DetectionThreshold = -500
+	sim := NewSimulator(plan, cfg, 1, 8)
+	w := sim.WAPs[0]
+	p := w.Pos.Add(geo.Point{X: 5, Y: 0})
+	same := sim.RadioMap(p, w.Building, w.Floor)
+	var other int
+	if w.Floor == 0 {
+		other = 1
+	}
+	diff := sim.RadioMap(p, w.Building, other)
+	if same[0]-diff[0] < cfg.FloorAttenuation-1 {
+		t.Fatalf("floor change must cost ≥ %v dB, got %v", cfg.FloorAttenuation, same[0]-diff[0])
+	}
+}
+
+func TestWallAttenuationAcrossBuildings(t *testing.T) {
+	plan := floorplan.UJICampus()
+	cfg := DefaultConfig()
+	cfg.ShadowSigma, cfg.NoiseSigma, cfg.DeviceBiasSigma = 0, 0, 0
+	cfg.DetectionThreshold = -500
+	sim := NewSimulator(plan, cfg, 30, 9)
+	// Find a WAP in building 0.
+	var w *WAP
+	for i := range sim.WAPs {
+		if sim.WAPs[i].Building == 0 {
+			w = &sim.WAPs[i]
+			break
+		}
+	}
+	if w == nil {
+		t.Skip("no WAP landed in building 0")
+	}
+	p := w.Pos.Add(geo.Point{X: 3, Y: 0})
+	inside := sim.measureOne(w, p, 0, w.Floor, 0, nil)
+	outside := sim.measureOne(w, p, 1, w.Floor, 0, nil)
+	if inside-outside < cfg.WallAttenuation-1e-9 {
+		t.Fatalf("cross-building penalty %v < %v", inside-outside, cfg.WallAttenuation)
+	}
+}
+
+func TestShadowFadingIsLocationConsistent(t *testing.T) {
+	sim := testSim(t, 10)
+	p := geo.Point{X: 40, Y: 180}
+	a := sim.RadioMap(p, 0, 2)
+	b := sim.RadioMap(p, 0, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("radio map must be deterministic")
+		}
+	}
+	// Different nearby cell gives different shadowing for at least one WAP.
+	q := geo.Point{X: 47, Y: 187}
+	c := sim.RadioMap(q, 0, 2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("shadow field must vary across space")
+	}
+}
+
+func TestMeasurementNoiseVariesPerSample(t *testing.T) {
+	sim := testSim(t, 10)
+	rng := mat.NewRand(2)
+	p := geo.Point{X: 40, Y: 180}
+	a := sim.Measure(p, 0, 2, rng)
+	b := sim.Measure(p, 0, 2, rng)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("repeated measurements must differ (noise)")
+	}
+}
+
+func TestMeasureDeterministicPerSeed(t *testing.T) {
+	sim := testSim(t, 10)
+	p := geo.Point{X: 40, Y: 180}
+	a := sim.Measure(p, 0, 2, mat.NewRand(5))
+	b := sim.Measure(p, 0, 2, mat.NewRand(5))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same rng seed must give identical measurements")
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	th := -93.0
+	in := []float64{NotDetected, -93, -20, -10, -56.5}
+	out := Normalize(in, th)
+	if out[0] != 0 {
+		t.Fatal("NotDetected must map to 0")
+	}
+	if out[1] != 0 {
+		t.Fatal("threshold must map to 0")
+	}
+	if out[2] != 1 || out[3] != 1 {
+		t.Fatal("strong signals must clamp to 1")
+	}
+	if out[4] <= 0 || out[4] >= 1 {
+		t.Fatalf("mid signal %v must be in (0,1)", out[4])
+	}
+	want := (-56.5 + 93) / 73
+	if math.Abs(out[4]-want) > 1e-12 {
+		t.Fatalf("normalize(-56.5)=%v want %v", out[4], want)
+	}
+}
+
+func TestNormalizeMonotone(t *testing.T) {
+	th := -93.0
+	prev := -1.0
+	for rssi := -92.0; rssi <= -21; rssi += 1 {
+		v := Normalize([]float64{rssi}, th)[0]
+		if v < prev {
+			t.Fatalf("Normalize not monotone at %v", rssi)
+		}
+		prev = v
+	}
+}
+
+func TestNearbyPositionsHaveSimilarFingerprints(t *testing.T) {
+	// The manifold premise: fingerprint distance correlates with physical
+	// distance at short range.
+	sim := testSim(t, 60)
+	p := geo.Point{X: 40, Y: 180}
+	near := geo.Point{X: 41, Y: 180}
+	far := geo.Point{X: 90, Y: 180}
+	fp := Normalize(sim.RadioMap(p, 0, 1), sim.Cfg.DetectionThreshold)
+	fnear := Normalize(sim.RadioMap(near, 0, 1), sim.Cfg.DetectionThreshold)
+	ffar := Normalize(sim.RadioMap(far, 0, 1), sim.Cfg.DetectionThreshold)
+	dNear, dFar := l2(fp, fnear), l2(fp, ffar)
+	if dNear >= dFar {
+		t.Fatalf("fingerprint distance should grow with physical distance: %v vs %v", dNear, dFar)
+	}
+}
+
+func l2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestNormalizeRangeProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		rssi := make([]float64, len(raw))
+		for i, v := range raw {
+			rssi[i] = float64(v) / 100
+		}
+		out := Normalize(rssi, -93)
+		for _, v := range out {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadioMapDeterministicAcrossSimulators(t *testing.T) {
+	// Two simulators with the same seed must build the same radio map.
+	a := NewSimulator(floorplan.UJICampus(), DefaultConfig(), 12, 99)
+	b := NewSimulator(floorplan.UJICampus(), DefaultConfig(), 12, 99)
+	p := geo.Point{X: 40, Y: 180}
+	fa, fb := a.RadioMap(p, 0, 1), b.RadioMap(p, 0, 1)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatal("same seed must give identical radio maps")
+		}
+	}
+	c := NewSimulator(floorplan.UJICampus(), DefaultConfig(), 12, 100)
+	fc := c.RadioMap(p, 0, 1)
+	same := true
+	for i := range fa {
+		if fa[i] != fc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}

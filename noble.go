@@ -1,0 +1,85 @@
+// Package noble is a from-scratch Go reproduction of "Neighbor Oblivious
+// Learning (NObLe) for Device Localization and Tracking" (Liu, Chou,
+// Shrivastava — DATE 2021, arXiv:2011.14954).
+//
+// NObLe turns localization — usually posed as coordinate regression — into
+// fine-grained classification over a quantized output space: the
+// continuous map is cut into small grid cells, cells that contain no
+// training data (inaccessible space: courtyards, walls, lawns) are
+// discarded, and a multi-head network classifies fingerprints into the
+// surviving "neighborhood classes". The penultimate layer then behaves
+// like a manifold embedding learned *without* input-space neighborhood
+// supervision — the property that names the method.
+//
+// The package exposes the complete system: synthetic survey substrates
+// standing in for the paper's proprietary datasets (UJIIndoorLoc-like
+// multi-building Wi-Fi, IPIN2016-like single building, campus IMU walks),
+// the NObLe Wi-Fi and IMU models, the paper's baselines (deep regression,
+// map projection, Isomap/LLE regression, weighted-kNN fingerprinting), an
+// energy model of the paper's Jetson TX2 measurements, evaluation metrics,
+// and a harness reproducing every table and figure. See README.md for a
+// tour and DESIGN.md for the substitution ledger.
+//
+// Quickstart:
+//
+//	ds := noble.SynthIPIN(noble.SmallIPINConfig())
+//	model := noble.TrainWiFi(ds, noble.DefaultWiFiConfig())
+//	pred := model.Predict(ds.Test[0].Features)
+//	fmt.Println(pred.Pos, pred.Building, pred.Floor)
+package noble
+
+import (
+	"noble/internal/core"
+	"noble/internal/dataset"
+	"noble/internal/quantize"
+)
+
+// WiFiConfig configures TrainWiFi; see core.WiFiConfig for field docs.
+type WiFiConfig = core.WiFiConfig
+
+// WiFiModel is a trained NObLe Wi-Fi localizer.
+type WiFiModel = core.WiFiModel
+
+// WiFiPrediction is one decoded Wi-Fi inference result.
+type WiFiPrediction = core.WiFiPrediction
+
+// DefaultWiFiConfig returns the paper's Wi-Fi training configuration
+// (two 128-unit tanh hidden layers with batch norm, τ=0.4 m fine grid,
+// coarse grid, building and floor heads).
+func DefaultWiFiConfig() WiFiConfig { return core.DefaultWiFiConfig() }
+
+// TrainWiFi fits NObLe on the dataset's training split.
+func TrainWiFi(ds *WiFiDataset, cfg WiFiConfig) *WiFiModel { return core.TrainWiFi(ds, cfg) }
+
+// IMUConfig configures TrainIMU; see core.IMUConfig for field docs.
+type IMUConfig = core.IMUConfig
+
+// IMUModel is a trained NObLe tracking model (projection → displacement →
+// location modules, Fig. 5a).
+type IMUModel = core.IMUModel
+
+// IMUPrediction is one decoded tracking result.
+type IMUPrediction = core.IMUPrediction
+
+// DefaultIMUConfig returns the paper's IMU training configuration
+// (τ=0.4 m).
+func DefaultIMUConfig() IMUConfig { return core.DefaultIMUConfig() }
+
+// TrainIMU fits the tracking model on the dataset's training paths.
+func TrainIMU(ds *IMUPathDataset, cfg IMUConfig) *IMUModel { return core.TrainIMU(ds, cfg) }
+
+// Grid is a fitted space quantizer (the neighborhood-class codebook).
+type Grid = quantize.Grid
+
+// MultiRes couples the fine and coarse quantization grids.
+type MultiRes = quantize.MultiRes
+
+// NewGrid fits a quantizer of cell side tau to training positions,
+// discarding empty cells.
+func NewGrid(tau float64, points []Point) *Grid { return quantize.NewGrid(tau, points) }
+
+// WiFiDataset is a fingerprinting dataset with train/val/test splits.
+type WiFiDataset = dataset.WiFi
+
+// WiFiSample is one fingerprint observation.
+type WiFiSample = dataset.WiFiSample

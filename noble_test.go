@@ -1,0 +1,291 @@
+package noble
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The facade tests exercise the public API end to end, the way the
+// examples and a downstream user would.
+
+func TestPublicWiFiPipeline(t *testing.T) {
+	cfg := SmallIPINConfig()
+	cfg.NumWAPs = 20
+	cfg.RefSpacing = 5
+	ds := SynthIPIN(cfg)
+	trainCfg := DefaultWiFiConfig()
+	trainCfg.Hidden = []int{32, 32}
+	trainCfg.Epochs = 15
+	model := TrainWiFi(ds, trainCfg)
+
+	pred := model.Predict(ds.Test[0].Features)
+	if !ds.Plan.Accessible(pred.Pos) {
+		t.Fatalf("prediction %v off-map", pred.Pos)
+	}
+
+	preds := model.PredictBatch(FeaturesMatrix(ds.Test))
+	pos := make([]Point, len(preds))
+	for i, p := range preds {
+		pos[i] = p.Pos
+	}
+	stats := Stats(Errors(pos, Positions(ds.Test)))
+	if stats.Mean > 8 {
+		t.Fatalf("mean error %v through the public API", stats.Mean)
+	}
+	if OnMapRate(ds.Plan, pos) < 0.99 {
+		t.Fatal("NObLe predictions must lie on the map")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	cfg := SmallIPINConfig()
+	cfg.NumWAPs = 20
+	cfg.RefSpacing = 5
+	ds := SynthIPIN(cfg)
+	regCfg := DefaultRegConfig()
+	regCfg.Hidden = []int{32, 32}
+	regCfg.Epochs = 10
+	reg := TrainWiFiRegression(ds, regCfg)
+	x := FeaturesMatrix(ds.Test)
+	raw := reg.PredictBatch(x)
+	proj := ProjectPredictions(ds.Plan, raw)
+	if OnMapRate(ds.Plan, proj) != 1 {
+		t.Fatal("projection must put everything on-map")
+	}
+	knn := NewKNNFingerprint(ds, 3)
+	knnStats := Stats(Errors(knn.PredictBatch(x), Positions(ds.Test)))
+	if knnStats.Mean > 10 {
+		t.Fatalf("kNN mean error %v", knnStats.Mean)
+	}
+}
+
+func TestPublicIMUPipeline(t *testing.T) {
+	net := NewCampusNetwork(6)
+	dataCfg := DefaultIMUDataConfig()
+	dataCfg.ReadingsPerSegment = 64
+	dataCfg.TotalSegments = 100
+	track := SynthesizeIMU(net, dataCfg, 3)
+	if track.Duration() <= 0 {
+		t.Fatal("track duration")
+	}
+	ds := BuildIMUPaths(track, IMUPathConfig{
+		NumPaths: 400, MaxLen: 8, Frames: 4,
+		TrainFrac: 0.7, ValFrac: 0.1, Seed: 4,
+	})
+	cfg := DefaultIMUConfig()
+	cfg.Hidden = []int{48, 48}
+	cfg.Tau = 1.0
+	cfg.Epochs = 25
+	model := TrainIMU(ds, cfg)
+	preds := model.PredictPaths(ds.Test)
+	truth := make([]Point, len(ds.Test))
+	ends := make([]Point, len(preds))
+	for i := range ds.Test {
+		truth[i] = ds.Test[i].End
+		ends[i] = preds[i].End
+	}
+	stats := Stats(Errors(ends, truth))
+	if stats.Mean > 15 {
+		t.Fatalf("IMU mean error %v through the public API", stats.Mean)
+	}
+}
+
+func TestPublicEnergyModel(t *testing.T) {
+	profile := JetsonTX2()
+	budget := profile.TrackPath(4_000_000, 8)
+	if budget.Ratio < 10 || budget.Ratio > 60 {
+		t.Fatalf("GPS ratio %v implausible", budget.Ratio)
+	}
+	if GPSEnergyPerFix != 5.925 {
+		t.Fatal("paper constant changed")
+	}
+}
+
+func TestPublicCustomPlan(t *testing.T) {
+	b := &Building{
+		ID:        0,
+		Name:      "lab",
+		Footprint: NewRect(Point{X: 0, Y: 0}, Point{X: 20, Y: 10}).Polygon(),
+		Floors:    1,
+	}
+	plan := &Plan{Name: "lab", Buildings: []*Building{b}}
+	cfg := WiFiDatasetConfig{
+		NumWAPs: 10, RefSpacing: 4, SamplesPerRef: 3,
+		TestSamplesPerRef: 1, Seed: 5, Radio: DefaultRadioConfig(),
+	}
+	ds := GenerateWiFi(plan, cfg)
+	if len(ds.Train) == 0 || len(ds.Test) == 0 {
+		t.Fatal("custom plan produced empty dataset")
+	}
+	for _, s := range ds.Train {
+		if !plan.Accessible(s.Pos) {
+			t.Fatal("sample off custom plan")
+		}
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	cfg := SmallIPINConfig()
+	cfg.NumWAPs = 8
+	cfg.RefSpacing = 8
+	ds := SynthIPIN(cfg)
+	var buf bytes.Buffer
+	if err := SaveUJICSV(&buf, ds.Train[:5]); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadUJICSV(&buf, cfg.Radio.DetectionThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 5 {
+		t.Fatalf("loaded %d", len(loaded))
+	}
+}
+
+func TestPublicQuantizer(t *testing.T) {
+	pts := []Point{{X: 0.1, Y: 0.1}, {X: 5, Y: 5}}
+	g := NewGrid(1, pts)
+	if g.Classes() != 2 {
+		t.Fatalf("classes=%d", g.Classes())
+	}
+	if id, ok := g.ClassOf(pts[0]); !ok || g.Decode(id) != pts[0] {
+		t.Fatal("quantizer round trip")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := Experiments()
+	if len(all) < 12 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Name == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"T1", "T2", "T2b", "T3", "F1", "F4", "F5", "E1", "E2"} {
+		if !seen[id] {
+			t.Fatalf("paper artifact %s missing from the registry", id)
+		}
+	}
+}
+
+func TestRunSingleExperimentReport(t *testing.T) {
+	// RunIPIN is the fastest trained experiment; verify its report
+	// carries paper-vs-measured rows and renders.
+	rep := RunIPIN(Small)
+	if rep.ID != "T2b" || len(rep.Rows) < 2 {
+		t.Fatalf("unexpected report %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := rep.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NObLe", "Deep Regression", "paper mean", "1.13"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScatterHelpers(t *testing.T) {
+	pts := []Point{{X: 1, Y: 1}}
+	art := ScatterASCII(pts, NewRect(Point{X: 0, Y: 0}, Point{X: 2, Y: 2}), 10, 5)
+	if !strings.Contains(art, "#") {
+		t.Fatal("scatter missing point")
+	}
+	var buf bytes.Buffer
+	if err := ScatterCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "x,y\n") {
+		t.Fatal("CSV header")
+	}
+}
+
+func TestSeededRandDeterministic(t *testing.T) {
+	if SeededRand(7).Float64() != SeededRand(7).Float64() {
+		t.Fatal("SeededRand must be deterministic")
+	}
+}
+
+func TestDistHelper(t *testing.T) {
+	if Dist(Point{X: 0, Y: 0}, Point{X: 3, Y: 4}) != 5 {
+		t.Fatal("Dist")
+	}
+}
+
+func TestPublicExtensionAPIs(t *testing.T) {
+	cfg := SmallIPINConfig()
+	cfg.NumWAPs = 20
+	cfg.RefSpacing = 5
+	ds := SynthIPIN(cfg)
+	trainCfg := DefaultWiFiConfig()
+	trainCfg.Hidden = []int{32, 32}
+	trainCfg.Epochs = 10
+	model := TrainWiFi(ds, trainCfg)
+
+	// Top-k decoding through the alias type.
+	top := model.PredictTopK(ds.Test[0].Features, 3)
+	if len(top) != 3 || top[0].Prob < top[2].Prob {
+		t.Fatalf("top-k through facade: %+v", top)
+	}
+
+	// Hierarchical decoding.
+	hier := model.PredictBatchHierarchical(FeaturesMatrix(ds.Test[:4]))
+	if len(hier) != 4 {
+		t.Fatalf("hierarchical preds %d", len(hier))
+	}
+
+	// Confusion and per-group breakdown.
+	preds := model.PredictBatch(FeaturesMatrix(ds.Test))
+	floors := make([]int, len(preds))
+	pos := make([]Point, len(preds))
+	for i, p := range preds {
+		floors[i] = p.Floor
+		pos[i] = p.Pos
+	}
+	cm := Confusion(floors, FloorLabels(ds.Test), ds.NumFloors)
+	if len(cm) != ds.NumFloors {
+		t.Fatalf("confusion size %d", len(cm))
+	}
+	if FormatConfusion(cm) == "" {
+		t.Fatal("empty confusion rendering")
+	}
+	stats := GroupStats(Errors(pos, Positions(ds.Test)), FloorLabels(ds.Test))
+	if len(stats) == 0 {
+		t.Fatal("no group stats")
+	}
+	if FormatGroupStats("floor", stats) == "" {
+		t.Fatal("empty group stats rendering")
+	}
+}
+
+func TestPublicViterbiTracking(t *testing.T) {
+	net := NewCampusNetwork(6)
+	dataCfg := DefaultIMUDataConfig()
+	dataCfg.ReadingsPerSegment = 64
+	dataCfg.TotalSegments = 100
+	track := SynthesizeIMU(net, dataCfg, 3)
+	ds := BuildIMUPaths(track, IMUPathConfig{
+		NumPaths: 400, MaxLen: 8, Frames: 4,
+		TrainFrac: 0.7, ValFrac: 0.1, Seed: 4,
+	})
+	cfg := DefaultIMUConfig()
+	cfg.Hidden = []int{48, 48}
+	cfg.Tau = 1.0
+	cfg.Epochs = 20
+	model := TrainIMU(ds, cfg)
+	walk := track.Walks[0]
+	preds := model.TrackWalkViterbi(net, walk)
+	if len(preds) != len(walk.Segments) {
+		t.Fatalf("viterbi preds %d for %d segments", len(preds), len(walk.Segments))
+	}
+}
