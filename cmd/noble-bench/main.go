@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -51,16 +52,35 @@ func main() {
 		}
 	}
 
+	// The output file is closed on every exit path with the close error
+	// checked: a bare `defer f.Close()` would silently drop write-back
+	// errors (a full disk would go unnoticed) and would never run at all
+	// past log.Fatalf, which exits without unwinding deferred calls.
 	out := os.Stdout
+	var outFile *os.File
 	if *outFlag != "" {
 		f, err := os.Create(*outFlag)
 		if err != nil {
 			log.Fatalf("creating %s: %v", *outFlag, err)
 		}
-		defer f.Close()
 		out = f
+		outFile = f
 	}
 
+	runErr := runExperiments(out, preset, want, *onlyFlag)
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			log.Fatalf("closing %s: %v", *outFlag, err)
+		}
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
+
+// runExperiments executes the selected experiments, writing each report to
+// out as it completes.
+func runExperiments(out io.Writer, preset experiments.Preset, want map[string]bool, onlyFlag string) error {
 	ran := 0
 	for _, e := range experiments.All() {
 		if len(want) > 0 && !want[e.ID] {
@@ -69,13 +89,16 @@ func main() {
 		start := time.Now()
 		report := e.Run(preset)
 		if err := report.Fprint(out); err != nil {
-			log.Fatalf("writing report %s: %v", e.ID, err)
+			return fmt.Errorf("writing report %s: %w", e.ID, err)
 		}
-		fmt.Fprintf(out, "[%s completed in %v at preset %s]\n\n",
-			e.ID, time.Since(start).Round(time.Millisecond), preset)
+		if _, err := fmt.Fprintf(out, "[%s completed in %v at preset %s]\n\n",
+			e.ID, time.Since(start).Round(time.Millisecond), preset); err != nil {
+			return fmt.Errorf("writing report %s: %w", e.ID, err)
+		}
 		ran++
 	}
 	if ran == 0 {
-		log.Fatalf("no experiments matched -only=%q", *onlyFlag)
+		return fmt.Errorf("no experiments matched -only=%q", onlyFlag)
 	}
+	return nil
 }

@@ -5,8 +5,15 @@
 // Usage:
 //
 //	noble-train [-dataset uji|ipin] [-size small|full] [-epochs N]
-//	            [-tau T] [-save model.gob]
+//	            [-tau T] [-save model.gob] [-bundle dir [-name n]]
 //	noble-train -train-csv train.csv -test-csv test.csv [-threshold -104]
+//
+// With -bundle, the trained model is published as a noble-serve bundle
+// (manifest.json + weights.gob) at <dir>/<name>/, ready to be picked up
+// by a running server's hot reload. Bundles require a synthetic dataset:
+// the manifest records the generation spec so the serving side can
+// rebuild the architecture deterministically, which is impossible for an
+// external CSV.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"noble/internal/dataset"
 	"noble/internal/eval"
 	"noble/internal/geo"
+	"noble/internal/serve"
 )
 
 func main() {
@@ -32,10 +40,15 @@ func main() {
 	epochs := flag.Int("epochs", 0, "training epochs (0 = config default)")
 	tau := flag.Float64("tau", 0, "fine quantization cell side in meters (0 = default 0.4)")
 	saveFlag := flag.String("save", "", "write trained weights to this file")
+	bundleFlag := flag.String("bundle", "", "publish the model as a noble-serve bundle under this directory")
+	nameFlag := flag.String("name", "", "bundle name (default <dataset>-<size>)")
 	verbose := flag.Bool("v", false, "log per-epoch loss")
 	flag.Parse()
 
-	ds := loadDataset(*datasetFlag, *sizeFlag, *trainCSV, *testCSV, *threshold)
+	ds, spec := loadDataset(*datasetFlag, *sizeFlag, *trainCSV, *testCSV, *threshold)
+	if *bundleFlag != "" && spec == nil {
+		log.Fatal("-bundle requires a synthetic dataset (the manifest must record a reproducible generation spec)")
+	}
 
 	cfg := core.DefaultWiFiConfig()
 	if *epochs > 0 {
@@ -58,7 +71,7 @@ func main() {
 
 	if len(ds.Test) > 0 {
 		x := dataset.FeaturesMatrix(ds.Test)
-		preds := model.PredictBatch(x)
+		preds := model.PredictMatrix(x)
 		pos := make([]geo.Point, len(preds))
 		floors := make([]int, len(preds))
 		buildings := make([]int, len(preds))
@@ -80,15 +93,39 @@ func main() {
 		if err != nil {
 			log.Fatalf("creating %s: %v", *saveFlag, err)
 		}
-		defer f.Close()
 		if err := model.Save(f); err != nil {
+			f.Close()
 			log.Fatalf("saving model: %v", err)
+		}
+		// Close errors carry write-back failures (full disk): check them
+		// instead of deferring, so we never report success over a
+		// truncated weights file.
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing %s: %v", *saveFlag, err)
 		}
 		fmt.Printf("weights written to %s\n", *saveFlag)
 	}
+
+	if *bundleFlag != "" {
+		spec.Config = cfg
+		name := *nameFlag
+		if name == "" {
+			name = fmt.Sprintf("%s-%s", *datasetFlag, *sizeFlag)
+		}
+		man := serve.Manifest{Kind: serve.KindWiFi, WiFi: spec}
+		if err := serve.WriteBundle(*bundleFlag, name, man, func(f *os.File) error {
+			return model.Save(f)
+		}); err != nil {
+			log.Fatalf("publishing bundle: %v", err)
+		}
+		fmt.Printf("bundle published to %s/%s\n", *bundleFlag, name)
+	}
 }
 
-func loadDataset(name, size, trainCSV, testCSV string, threshold float64) *dataset.WiFi {
+// loadDataset materializes the requested dataset. For synthetic datasets
+// the returned spec records how to regenerate it (for serving bundles);
+// it is nil for CSV input.
+func loadDataset(name, size, trainCSV, testCSV string, threshold float64) (*dataset.WiFi, *serve.WiFiBundle) {
 	if trainCSV != "" {
 		if testCSV == "" {
 			log.Fatal("-train-csv requires -test-csv")
@@ -110,7 +147,7 @@ func loadDataset(name, size, trainCSV, testCSV string, threshold float64) *datas
 			NumFloors:    maxF + 1,
 			Train:        train,
 			Test:         test,
-		}
+		}, nil
 	}
 	var cfg dataset.WiFiConfig
 	switch {
@@ -126,9 +163,9 @@ func loadDataset(name, size, trainCSV, testCSV string, threshold float64) *datas
 		log.Fatalf("unknown dataset %q (want uji or ipin)", name)
 	}
 	if name == "uji" {
-		return dataset.SynthUJI(cfg)
+		return dataset.SynthUJI(cfg), &serve.WiFiBundle{Plan: "uji", Dataset: cfg}
 	}
-	return dataset.SynthIPIN(cfg)
+	return dataset.SynthIPIN(cfg), &serve.WiFiBundle{Plan: "ipin", Dataset: cfg}
 }
 
 func mustLoadCSV(path string, threshold float64) []dataset.WiFiSample {

@@ -155,7 +155,7 @@ func BuildIMUPaths(track *IMUTrack, cfg IMUPathConfig) *IMUPathDataset {
 // Convenience re-exports for assembling feature matrices.
 
 // FeaturesMatrix stacks sample features into a matrix accepted by
-// WiFiModel.PredictBatch.
+// WiFiModel.PredictMatrix.
 func FeaturesMatrix(samples []WiFiSample) *Matrix { return dataset.FeaturesMatrix(samples) }
 
 // Positions extracts ground-truth coordinates.

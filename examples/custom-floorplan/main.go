@@ -47,7 +47,7 @@ func main() {
 	trainCfg.Epochs = 20
 	model := noble.TrainWiFi(ds, trainCfg)
 
-	preds := model.PredictBatch(noble.FeaturesMatrix(ds.Test))
+	preds := model.PredictMatrix(noble.FeaturesMatrix(ds.Test))
 	pos := make([]noble.Point, len(preds))
 	for i, p := range preds {
 		pos[i] = p.Pos

@@ -29,7 +29,7 @@ func main() {
 		pred.Pos, pred.Building, pred.Floor, ds.Test[0].Pos, ds.Test[0].Floor)
 
 	// 4. Evaluate on the whole test split.
-	preds := model.PredictBatch(noble.FeaturesMatrix(ds.Test))
+	preds := model.PredictMatrix(noble.FeaturesMatrix(ds.Test))
 	positions := make([]noble.Point, len(preds))
 	floors := make([]int, len(preds))
 	for i, p := range preds {

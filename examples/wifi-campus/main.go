@@ -25,7 +25,7 @@ func main() {
 	nobleCfg.Hidden = []int{64, 64}
 	nobleCfg.Epochs = 15
 	model := noble.TrainWiFi(ds, nobleCfg)
-	nps := model.PredictBatch(x)
+	nps := model.PredictMatrix(x)
 	noblePos := make([]noble.Point, len(nps))
 	for i, p := range nps {
 		noblePos[i] = p.Pos

@@ -1,0 +1,6 @@
+module noble
+
+// 1.23 minimum for the synchronous timer Stop/Reset semantics the
+// batcher's timer reuse relies on (pre-1.23 async timers can deliver a
+// stale fire after Stop+drain+Reset).
+go 1.23

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"noble/internal/dataset"
+)
+
+// benchWiFiModel trains a paper-capacity model (two 128-unit hidden
+// layers) on the small synthetic UJI campus — the shape noble-serve's
+// micro-batcher runs in production.
+func benchWiFiModel(b *testing.B) (*WiFiModel, *dataset.WiFi) {
+	b.Helper()
+	ds := dataset.SynthUJI(dataset.SmallUJIConfig())
+	cfg := DefaultWiFiConfig()
+	cfg.Epochs = 1
+	return TrainWiFi(ds, cfg), ds
+}
+
+// BenchmarkWiFiPredictRowByRow is the unbatched serving cost: one forward
+// pass per fingerprint.
+func BenchmarkWiFiPredictRowByRow(b *testing.B) {
+	m, ds := benchWiFiModel(b)
+	feats := ds.Test[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(feats)
+	}
+}
+
+// BenchmarkWiFiPredictBatch measures amortized per-fingerprint cost when
+// requests are coalesced, at the batch sizes the micro-batcher produces.
+func BenchmarkWiFiPredictBatch(b *testing.B) {
+	m, ds := benchWiFiModel(b)
+	for _, size := range []int{8, 32, 64} {
+		rows := make([][]float64, size)
+		for i := range rows {
+			rows[i] = ds.Test[i%len(ds.Test)].Features
+		}
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.PredictBatch(rows)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/fingerprint")
+		})
+	}
+}

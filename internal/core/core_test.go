@@ -34,7 +34,7 @@ func TestTrainWiFiLearnsLocalization(t *testing.T) {
 	ds := tinyWiFi()
 	m := TrainWiFi(ds, tinyWiFiConfig())
 	x := dataset.FeaturesMatrix(ds.Test)
-	preds := m.PredictBatch(x)
+	preds := m.PredictMatrix(x)
 	errs := eval.Errors(predPositions(preds), dataset.Positions(ds.Test))
 	stats := eval.Stats(errs)
 	// The building is 40×17 m; random guessing would give ≈15 m mean.
@@ -50,7 +50,7 @@ func TestWiFiFloorHeadLearns(t *testing.T) {
 	ds := tinyWiFi()
 	m := TrainWiFi(ds, tinyWiFiConfig())
 	x := dataset.FeaturesMatrix(ds.Test)
-	preds := m.PredictBatch(x)
+	preds := m.PredictMatrix(x)
 	floors := make([]int, len(preds))
 	for i, p := range preds {
 		floors[i] = p.Floor
@@ -65,7 +65,7 @@ func TestWiFiPredictSingleMatchesBatch(t *testing.T) {
 	ds := tinyWiFi()
 	m := TrainWiFi(ds, tinyWiFiConfig())
 	x := dataset.FeaturesMatrix(ds.Test[:3])
-	batch := m.PredictBatch(x)
+	batch := m.PredictMatrix(x)
 	for i := 0; i < 3; i++ {
 		single := m.Predict(ds.Test[i].Features)
 		if single.Class != batch[i].Class || single.Pos != batch[i].Pos {
@@ -74,11 +74,64 @@ func TestWiFiPredictSingleMatchesBatch(t *testing.T) {
 	}
 }
 
+func TestWiFiPredictBatchMatchesPredict(t *testing.T) {
+	// The serving layer's micro-batcher answers requests from one
+	// coalesced PredictBatch pass; a device must get bit-for-bit the
+	// same answer it would have gotten alone.
+	ds := tinyWiFi()
+	m := TrainWiFi(ds, tinyWiFiConfig())
+	rows := make([][]float64, len(ds.Test))
+	for i, s := range ds.Test {
+		rows[i] = s.Features
+	}
+	batch := m.PredictBatch(rows)
+	if len(batch) != len(rows) {
+		t.Fatalf("PredictBatch returned %d results for %d rows", len(batch), len(rows))
+	}
+	for i, s := range ds.Test {
+		single := m.Predict(s.Features)
+		if single != batch[i] {
+			t.Fatalf("sample %d: batch %+v != single %+v", i, batch[i], single)
+		}
+	}
+	if m.PredictBatch(nil) != nil {
+		t.Fatal("empty batch must return nil")
+	}
+}
+
+func TestNewWiFiModelLoadsTrainedWeights(t *testing.T) {
+	// NewWiFiModel must build the identical architecture TrainWiFi
+	// trains, so Save/Load round-trips through an untrained model — the
+	// path the serving registry takes when loading a bundle.
+	ds := tinyWiFi()
+	cfg := tinyWiFiConfig()
+	cfg.Epochs = 4
+	trained := TrainWiFi(ds, cfg)
+	var buf bytes.Buffer
+	if err := trained.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewWiFiModel(ds, cfg)
+	if err := fresh.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := dataset.FeaturesMatrix(ds.Test)
+	pa, pb := trained.PredictMatrix(x), fresh.PredictMatrix(x)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("sample %d: restored model predicts %+v, trained predicts %+v", i, pb[i], pa[i])
+		}
+	}
+	if fresh.InputDim() != ds.NumWAPs {
+		t.Fatalf("InputDim %d, want %d", fresh.InputDim(), ds.NumWAPs)
+	}
+}
+
 func TestWiFiPredictionsAreOnGridCentroids(t *testing.T) {
 	ds := tinyWiFi()
 	m := TrainWiFi(ds, tinyWiFiConfig())
 	x := dataset.FeaturesMatrix(ds.Test)
-	for _, p := range m.PredictBatch(x) {
+	for _, p := range m.PredictMatrix(x) {
 		if p.Class < 0 || p.Class >= m.Classes() {
 			t.Fatalf("class %d out of range", p.Class)
 		}
@@ -94,7 +147,7 @@ func TestWiFiStructureAwareness(t *testing.T) {
 	ds := tinyWiFi()
 	m := TrainWiFi(ds, tinyWiFiConfig())
 	x := dataset.FeaturesMatrix(ds.Test)
-	preds := m.PredictBatch(x)
+	preds := m.PredictMatrix(x)
 	rate := eval.OnMapRate(ds.Plan, predPositions(preds))
 	if rate < 0.99 {
 		t.Fatalf("on-map rate %v — NObLe outputs must lie on the map", rate)
@@ -108,7 +161,7 @@ func TestWiFiMultiLabelVariantTrains(t *testing.T) {
 	cfg.AdjacentWeight = 0.3
 	m := TrainWiFi(ds, cfg)
 	x := dataset.FeaturesMatrix(ds.Test)
-	errs := eval.Errors(predPositions(m.PredictBatch(x)), dataset.Positions(ds.Test))
+	errs := eval.Errors(predPositions(m.PredictMatrix(x)), dataset.Positions(ds.Test))
 	if eval.Stats(errs).Mean > 8 {
 		t.Fatalf("multi-label variant mean error %v", eval.Stats(errs).Mean)
 	}
@@ -123,7 +176,7 @@ func TestWiFiHeadsCanBeDisabled(t *testing.T) {
 	cfg.FloorHead = false
 	m := TrainWiFi(ds, cfg)
 	x := dataset.FeaturesMatrix(ds.Test[:2])
-	preds := m.PredictBatch(x)
+	preds := m.PredictMatrix(x)
 	for _, p := range preds {
 		if p.Building != 0 || p.Floor != 0 {
 			t.Fatal("disabled heads must report 0")
@@ -138,7 +191,7 @@ func TestWiFiDeterministicTraining(t *testing.T) {
 	a := TrainWiFi(ds, cfg)
 	b := TrainWiFi(ds, cfg)
 	x := dataset.FeaturesMatrix(ds.Test[:5])
-	pa, pb := a.PredictBatch(x), b.PredictBatch(x)
+	pa, pb := a.PredictMatrix(x), b.PredictMatrix(x)
 	for i := range pa {
 		if pa[i].Class != pb[i].Class {
 			t.Fatal("training must be deterministic per seed")
@@ -162,7 +215,7 @@ func TestWiFiSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := dataset.FeaturesMatrix(ds.Test[:5])
-	pa, pb := m.PredictBatch(x), m2.PredictBatch(x)
+	pa, pb := m.PredictMatrix(x), m2.PredictMatrix(x)
 	for i := range pa {
 		if pa[i].Class != pb[i].Class || pa[i].Floor != pb[i].Floor {
 			t.Fatal("loaded model must reproduce saved predictions")

@@ -51,7 +51,7 @@ func (m *WiFiModel) PredictTopK(features []float64, k int) []ClassProb {
 // than fine mistakes, so gating suppresses long-range fine errors.
 func (m *WiFiModel) PredictBatchHierarchical(x *mat.Dense) []WiFiPrediction {
 	if m.coarseHead < 0 {
-		return m.PredictBatch(x)
+		return m.PredictMatrix(x)
 	}
 	fineToCoarse := m.fineToCoarse()
 	_, outs := m.net.Forward(x, false)

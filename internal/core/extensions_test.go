@@ -67,7 +67,7 @@ func TestHierarchicalDecodeRespectsCoarseGate(t *testing.T) {
 		t.Fatalf("preds %d", len(preds))
 	}
 	// Accuracy must stay in the same league as flat decoding.
-	flat := m.PredictBatch(x)
+	flat := m.PredictMatrix(x)
 	truth := dataset.Positions(ds.Test)
 	flatPos := make([]geo.Point, len(flat))
 	hierPos := make([]geo.Point, len(preds))
@@ -89,7 +89,7 @@ func TestHierarchicalDecodeWithoutCoarseHeadFallsBack(t *testing.T) {
 	cfg.Epochs = 3
 	m := TrainWiFi(ds, cfg)
 	x := dataset.FeaturesMatrix(ds.Test[:5])
-	flat := m.PredictBatch(x)
+	flat := m.PredictMatrix(x)
 	hier := m.PredictBatchHierarchical(x)
 	for i := range flat {
 		if flat[i].Class != hier[i].Class {

@@ -48,7 +48,7 @@ type IMUConfig struct {
 	LR        float64
 	LRDecay   float64
 	Seed      int64
-	Logf      func(format string, args ...any)
+	Logf      func(format string, args ...any) `json:"-"`
 }
 
 // DefaultIMUConfig returns the §V training configuration (τ = 0.4 m).
@@ -393,6 +393,19 @@ func (m *IMUModel) PredictPaths(paths []imu.Path) []IMUPrediction {
 func (m *IMUModel) FLOPs() int64 {
 	return m.proj.FLOPs() + m.dispNet.FLOPs() + m.locNet.FLOPs()
 }
+
+// Frames returns the per-segment time-window count the model's features
+// were extracted with.
+func (m *IMUModel) Frames() int { return m.frames }
+
+// MaxLen returns the maximum path length in segments.
+func (m *IMUModel) MaxLen() int { return m.maxLen }
+
+// SegmentDim returns the per-segment feature width.
+func (m *IMUModel) SegmentDim() int { return m.segDim }
+
+// Classes returns the location-head class count.
+func (m *IMUModel) Classes() int { return m.Grid.Classes() }
 
 // DisplacementScale reports the fitted target standardization (for
 // diagnostics).

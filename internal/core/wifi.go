@@ -44,7 +44,7 @@ type WiFiConfig struct {
 	LR        float64
 	LRDecay   float64
 	Seed      int64
-	Logf      func(format string, args ...any)
+	Logf      func(format string, args ...any) `json:"-"`
 }
 
 // DefaultWiFiConfig returns the paper's Wi-Fi training configuration.
@@ -88,10 +88,13 @@ type WiFiPrediction struct {
 	Floor    int
 }
 
-// TrainWiFi fits NObLe on the dataset's training split: it quantizes the
-// training positions (empty cells — dead space — get no class), builds the
-// multi-head network, and optimizes the summed cross-entropy objective.
-func TrainWiFi(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
+// NewWiFiModel builds the untrained NObLe architecture for a dataset: it
+// quantizes the training positions (empty cells — dead space — get no
+// class) and assembles the multi-head network. The construction is
+// deterministic in cfg.Seed and the dataset, so a model built twice from
+// the same inputs has identical shapes — the property Load relies on when
+// restoring weights from a snapshot.
+func NewWiFiModel(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
 	if len(cfg.Hidden) == 0 || cfg.Epochs <= 0 {
 		panic(fmt.Sprintf("core: bad WiFi config %+v", cfg))
 	}
@@ -134,6 +137,16 @@ func TrainWiFi(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
 		m.floorHead = addHead("floor", ds.NumFloors, nn.NewSoftmaxCE(), 0.3)
 	}
 	m.net = nn.NewMultiHead(trunk, heads...)
+	return m
+}
+
+// TrainWiFi fits NObLe on the dataset's training split: it builds the
+// architecture with NewWiFiModel and optimizes the summed cross-entropy
+// objective.
+func TrainWiFi(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
+	m := NewWiFiModel(ds, cfg)
+	grids := m.Grids
+	positions := dataset.Positions(ds.Train)
 
 	// Targets.
 	x := dataset.FeaturesMatrix(ds.Train)
@@ -144,7 +157,7 @@ func TrainWiFi(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
 	} else {
 		fineTargets = grids.Fine.OneHot(fineLabels)
 	}
-	targets := make([]*mat.Dense, len(heads))
+	targets := make([]*mat.Dense, len(m.net.Heads))
 	targets[m.fineHead] = fineTargets
 	if m.coarseHead >= 0 {
 		targets[m.coarseHead] = grids.Coarse.OneHot(grids.Coarse.Labels(positions))
@@ -179,11 +192,12 @@ func TrainWiFi(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
 	return m
 }
 
-// PredictBatch runs inference on a batch of normalized fingerprints and
-// decodes each sample: the fine head's argmax class is looked up in the
-// codebook for its central coordinates (§III-B), and the building/floor
-// heads report their argmax (falling back to 0 when the head is disabled).
-func (m *WiFiModel) PredictBatch(x *mat.Dense) []WiFiPrediction {
+// PredictMatrix runs inference on a batch of normalized fingerprints
+// stacked as matrix rows and decodes each sample: the fine head's argmax
+// class is looked up in the codebook for its central coordinates (§III-B),
+// and the building/floor heads report their argmax (falling back to 0 when
+// the head is disabled).
+func (m *WiFiModel) PredictMatrix(x *mat.Dense) []WiFiPrediction {
 	_, outs := m.net.Forward(x, false)
 	preds := make([]WiFiPrediction, x.Rows)
 	for i := range preds {
@@ -200,11 +214,42 @@ func (m *WiFiModel) PredictBatch(x *mat.Dense) []WiFiPrediction {
 	return preds
 }
 
+// PredictBatch runs inference on a batch of normalized fingerprints given
+// as raw feature rows. The rows are packed into a single matrix and pushed
+// through one batched forward pass — the matmul cost is amortized across
+// the whole batch instead of paying N row-by-row passes — which is what
+// the serving layer's micro-batcher relies on. Every row must have
+// InputDim features; it panics otherwise, mirroring FeaturesMatrix.
+func (m *WiFiModel) PredictBatch(rows [][]float64) []WiFiPrediction {
+	if len(rows) == 0 {
+		return nil
+	}
+	x := mat.New(len(rows), m.numWAPs)
+	for i, row := range rows {
+		if len(row) != m.numWAPs {
+			panic(fmt.Sprintf("core: fingerprint %d has %d features, want %d", i, len(row), m.numWAPs))
+		}
+		copy(x.Row(i), row)
+	}
+	return m.PredictMatrix(x)
+}
+
 // Predict runs single-sample inference.
 func (m *WiFiModel) Predict(features []float64) WiFiPrediction {
 	x := mat.FromSlice(1, len(features), append([]float64(nil), features...))
-	return m.PredictBatch(x)[0]
+	return m.PredictMatrix(x)[0]
 }
+
+// InputDim returns the fingerprint dimensionality (number of WAPs) the
+// model consumes.
+func (m *WiFiModel) InputDim() int { return m.numWAPs }
+
+// NumBuildings returns the building-head cardinality the model was built
+// with.
+func (m *WiFiModel) NumBuildings() int { return m.numBuildings }
+
+// NumFloors returns the floor-head cardinality the model was built with.
+func (m *WiFiModel) NumFloors() int { return m.numFloors }
 
 // Embed returns the trunk's penultimate-layer embedding for a batch — the
 // learned manifold representation of §III-C.

@@ -66,7 +66,7 @@ func RunTable1(p Preset) *Report {
 	ds := ujiDataset(p)
 	model := core.TrainWiFi(ds, nobleWiFiConfig(p))
 	x := dataset.FeaturesMatrix(ds.Test)
-	preds := model.PredictBatch(x)
+	preds := model.PredictMatrix(x)
 
 	buildings := make([]int, len(preds))
 	floors := make([]int, len(preds))
@@ -141,7 +141,7 @@ func RunTable2(p Preset) *Report {
 	}
 
 	noble := core.TrainWiFi(ds, nobleWiFiConfig(p))
-	nobleStats := wifiEval(noblePositions(noble.PredictBatch(x)), truth)
+	nobleStats := wifiEval(noblePositions(noble.PredictMatrix(x)), truth)
 	r.AddRow("NObLe", "4.45", "0.23", f2(nobleStats.Mean), f2(nobleStats.Median))
 
 	r.AddNote("shape target: NObLe < Projection ≤ Regression ≈ manifold baselines")
@@ -155,7 +155,7 @@ func RunIPIN(p Preset) *Report {
 	x := dataset.FeaturesMatrix(ds.Test)
 
 	noble := core.TrainWiFi(ds, nobleWiFiConfig(p))
-	nobleStats := wifiEval(noblePositions(noble.PredictBatch(x)), ds.Test)
+	nobleStats := wifiEval(noblePositions(noble.PredictMatrix(x)), ds.Test)
 	reg := baseline.TrainWiFiRegression(ds, regConfig(p))
 	regStats := wifiEval(reg.PredictBatch(x), ds.Test)
 
@@ -221,7 +221,7 @@ func RunFigure4(p Preset) *Report {
 	}
 
 	noble := core.TrainWiFi(ds, nobleWiFiConfig(p))
-	addModel("(d) NObLe", noblePositions(noble.PredictBatch(x)))
+	addModel("(d) NObLe", noblePositions(noble.PredictMatrix(x)))
 
 	r.AddNote("shape target: on-map rate (a) < (c) < (b) = (d) = 100%%; NObLe matches the floor plan")
 	return r
@@ -252,7 +252,7 @@ func RunAblationTau(p Preset) *Report {
 			cfg.TauCoarse = tau * 4
 		}
 		model := core.TrainWiFi(ds, cfg)
-		preds := model.PredictBatch(x)
+		preds := model.PredictMatrix(x)
 		classes := make([]int, len(preds))
 		for i, pr := range preds {
 			classes[i] = pr.Class
@@ -301,7 +301,7 @@ func RunAblationHeads(p Preset) *Report {
 		cfg := nobleWiFiConfig(p)
 		v.mod(&cfg)
 		model := core.TrainWiFi(ds, cfg)
-		preds := model.PredictBatch(x)
+		preds := model.PredictMatrix(x)
 		floors := make([]int, len(preds))
 		for i, pr := range preds {
 			floors[i] = pr.Floor
@@ -342,7 +342,7 @@ func RunAblationNoise(p Preset) *Report {
 		x := dataset.FeaturesMatrix(ds.Test)
 
 		noble := core.TrainWiFi(ds, nobleWiFiConfig(p))
-		nobleStats := wifiEval(noblePositions(noble.PredictBatch(x)), ds.Test)
+		nobleStats := wifiEval(noblePositions(noble.PredictMatrix(x)), ds.Test)
 
 		knn := baseline.NewKNNFingerprint(ds, 5)
 		knnStats := wifiEval(knn.PredictBatch(x), ds.Test)
@@ -375,7 +375,7 @@ func RunErrorCDF(p Preset) *Report {
 	truth := dataset.Positions(ds.Test)
 
 	noble := core.TrainWiFi(ds, nobleWiFiConfig(p))
-	nobleErrs := eval.Errors(noblePositions(noble.PredictBatch(x)), truth)
+	nobleErrs := eval.Errors(noblePositions(noble.PredictMatrix(x)), truth)
 	reg := baseline.TrainWiFiRegression(ds, regConfig(p))
 	regErrs := eval.Errors(reg.PredictBatch(x), truth)
 

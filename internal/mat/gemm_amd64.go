@@ -1,0 +1,49 @@
+//go:build amd64
+
+package mat
+
+// useAVXGemm gates the assembly GEMM tiles on runtime CPU support: AVX
+// must be present and the OS must save the YMM state (OSXSAVE +
+// XCR0[2:1] = 11). The kernel uses only AVX1 instructions (VBROADCASTSD
+// from memory, VMULPD, VADDPD, VMOVUPD), so FMA/AVX2 are not required —
+// deliberately: keeping multiplies and adds un-fused preserves the exact
+// double-rounded semantics of the pure-Go kernels, so results are
+// bit-identical whichever path runs.
+var useAVXGemm = detectAVX()
+
+func detectAVX() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	eax, _ := xgetbv0()
+	return eax&0x6 == 0x6 // XMM and YMM state enabled by the OS
+}
+
+// cpuidex executes CPUID with the given EAX/ECX arguments.
+func cpuidex(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+// gemm8x4avx accumulates an 8-row × 4-column output tile over the full
+// inner dimension, same semantics as gemm4x8avx. The taller, narrower
+// tile halves b-matrix traffic per output row — decisive once a class
+// head outgrows L2 and the kernel would otherwise be bandwidth-bound.
+func gemm8x4avx(kn int, a0, a1, a2, a3, a4, a5, a6, a7 *float64,
+	b *float64, ldb int, d0, d1, d2, d3, d4, d5, d6, d7 *float64)
+
+// gemm4x8avx accumulates a 4-row × 8-column output tile over the full
+// inner dimension: for r in 0..3, j in 0..7, k in 0..kn:
+// d_r[j] += a_r[k] * b[k*ldb+j], with per-element ascending-k order and
+// un-fused multiply/add — bit-identical to the Go kernels. The eight
+// column accumulators live in YMM registers for the whole k sweep, so
+// each loaded b vector feeds four rows and nothing is stored until the
+// end.
+func gemm4x8avx(kn int, a0, a1, a2, a3 *float64, b *float64, ldb int, d0, d1, d2, d3 *float64)

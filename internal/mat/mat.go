@@ -248,6 +248,14 @@ func MatMul(a, b *Dense) *Dense {
 
 // MatMulInto computes dst = a*b, overwriting dst. dst must be a.Rows×b.Cols
 // and must not alias a or b.
+//
+// Batches of four or more rows go through a register-blocked kernel that
+// shares each loaded b element across four a rows — the amortization that
+// makes one coalesced PredictBatch pass cheaper per sample than row-by-row
+// inference. Every element still accumulates its products in ascending-k
+// order as separate statements, which Go's strict floating-point
+// evaluation keeps un-reassociated, so the blocked kernel is bit-for-bit
+// identical to the row-at-a-time path.
 func MatMulInto(dst, a, b *Dense) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MatMul %d×%d by %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -256,18 +264,177 @@ func MatMulInto(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MatMulInto dst %d×%d want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	dst.Zero()
+	i := 0
+	for ; i+8 <= a.Rows; i += 8 {
+		matMulBlock8(dst, a, b, [8]int{i, i + 1, i + 2, i + 3, i + 4, i + 5, i + 6, i + 7})
+	}
+	// Remaining rows still go through a block kernel with the last row
+	// duplicated into the spare lanes: duplicate lanes compute — and
+	// finally store — identical values, so the result is unchanged while
+	// the rows keep the AVX speed. A single remaining row is the
+	// latency-sensitive unbatched case and keeps the scalar kernel with
+	// its sparse-input skip.
+	switch rem := a.Rows - i; {
+	case rem >= 5:
+		idx := [8]int{}
+		for l := range idx {
+			r := i + l
+			if r >= a.Rows {
+				r = a.Rows - 1
+			}
+			idx[l] = r
+		}
+		matMulBlock8(dst, a, b, idx)
+	case rem == 4:
+		matMulBlock4(dst, a, b, i, i+1, i+2, i+3)
+	case rem == 3:
+		matMulBlock4(dst, a, b, i, i+1, i+2, i+2)
+	case rem == 2:
+		matMulBlock4(dst, a, b, i, i+1, i+1, i+1)
+	case rem == 1:
+		matMulRow(dst, a, b, i)
+	}
+}
+
+// matMulBlock8 accumulates the eight output rows idx at once (indices
+// may repeat for remainder padding). With AVX it runs 8×4
+// register-accumulator tiles — the tall tile halves b traffic per row
+// versus the 4×8 tile, which matters once the weight matrix outgrows L2;
+// without AVX it falls back to two 4-row blocks. Bit-identical to
+// matMulRow either way.
+func matMulBlock8(dst, a, b *Dense, idx [8]int) {
 	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
+	m := a.Cols
+	j := 0
+	if useAVXGemm && m > 0 {
+		a0, a1, a2, a3 := a.Row(idx[0]), a.Row(idx[1]), a.Row(idx[2]), a.Row(idx[3])
+		a4, a5, a6, a7 := a.Row(idx[4]), a.Row(idx[5]), a.Row(idx[6]), a.Row(idx[7])
+		d0, d1, d2, d3 := dst.Row(idx[0]), dst.Row(idx[1]), dst.Row(idx[2]), dst.Row(idx[3])
+		d4, d5, d6, d7 := dst.Row(idx[4]), dst.Row(idx[5]), dst.Row(idx[6]), dst.Row(idx[7])
+		for ; j+4 <= n; j += 4 {
+			gemm8x4avx(m, &a0[0], &a1[0], &a2[0], &a3[0], &a4[0], &a5[0], &a6[0], &a7[0],
+				&b.Data[j], n,
+				&d0[j], &d1[j], &d2[j], &d3[j], &d4[j], &d5[j], &d6[j], &d7[j])
+		}
+		if j == n {
+			return
+		}
+	}
+	// Column remainder (or the whole span without AVX): two 4-row
+	// passes over the leftover columns.
+	matMulBlock4Cols(dst, a, b, idx[0], idx[1], idx[2], idx[3], j)
+	matMulBlock4Cols(dst, a, b, idx[4], idx[5], idx[6], idx[7], j)
+}
+
+// matMulRow accumulates one output row: dst[i] += a[i] * b. Zero inputs
+// are skipped — a pure optimization for sparse fingerprints, since adding
+// 0*b[k] is an exact no-op for the finite values that flow through the
+// networks here.
+func matMulRow(dst, a, b *Dense, i int) {
+	n := b.Cols
+	arow := a.Row(i)
+	drow := dst.Row(i)
+	for k, av := range arow {
+		if av == 0 {
+			continue
+		}
+		brow := b.Data[k*n : (k+1)*n]
+		for j, bv := range brow {
+			drow[j] += av * bv
+		}
+	}
+}
+
+// matMulBlock4 accumulates the four output rows r0..r3 at once so each
+// loaded b element feeds multiply-accumulates for all four rows instead
+// of one — the amortization that makes a coalesced batch pass cheaper
+// per sample than row-by-row inference. Row indices may repeat (the
+// remainder-padding trick in MatMulInto); duplicate lanes then compute
+// and store identical values. On hardware with AVX it dispatches 4×8
+// register-accumulator tiles to the assembly kernel (see gemm_amd64.s);
+// the pure-Go fallback unrolls k by four. Both produce bit-identical
+// results to matMulRow: every output element accumulates un-fused
+// products in ascending-k order.
+func matMulBlock4(dst, a, b *Dense, r0, r1, r2, r3 int) {
+	n := b.Cols
+	m := a.Cols
+	j := 0
+	if useAVXGemm && m > 0 {
+		a0, a1, a2, a3 := a.Row(r0), a.Row(r1), a.Row(r2), a.Row(r3)
+		d0, d1, d2, d3 := dst.Row(r0), dst.Row(r1), dst.Row(r2), dst.Row(r3)
+		for ; j+8 <= n; j += 8 {
+			gemm4x8avx(m, &a0[0], &a1[0], &a2[0], &a3[0], &b.Data[j], n,
+				&d0[j], &d1[j], &d2[j], &d3[j])
+		}
+	}
+	if j == n {
+		return
+	}
+	matMulBlock4Cols(dst, a, b, r0, r1, r2, r3, j)
+}
+
+// matMulBlock4Cols is the pure-Go four-row kernel over columns [j, n),
+// k unrolled by four. All four lanes read before any stores, like the
+// assembly kernels' register accumulators, so duplicated remainder lanes
+// do not double-accumulate.
+func matMulBlock4Cols(dst, a, b *Dense, r0, r1, r2, r3, j int) {
+	n := b.Cols
+	m := a.Cols
+	a0, a1, a2, a3 := a.Row(r0), a.Row(r1), a.Row(r2), a.Row(r3)
+	d0, d1, d2, d3 := dst.Row(r0), dst.Row(r1), dst.Row(r2), dst.Row(r3)
+	k := 0
+	for ; k+4 <= m; k += 4 {
+		a00, a01, a02, a03 := a0[k], a0[k+1], a0[k+2], a0[k+3]
+		a10, a11, a12, a13 := a1[k], a1[k+1], a1[k+2], a1[k+3]
+		a20, a21, a22, a23 := a2[k], a2[k+1], a2[k+2], a2[k+3]
+		a30, a31, a32, a33 := a3[k], a3[k+1], a3[k+2], a3[k+3]
+		b0 := b.Data[k*n : (k+1)*n]
+		b1 := b.Data[(k+1)*n : (k+2)*n]
+		b2 := b.Data[(k+2)*n : (k+3)*n]
+		b3 := b.Data[(k+3)*n : (k+4)*n]
+		for jj := j; jj < n; jj++ {
+			bv0, bv1, bv2, bv3 := b0[jj], b1[jj], b2[jj], b3[jj]
+			// Per element, products accumulate in ascending-k order as
+			// separate statements (no reassociation), matching
+			// matMulRow and the assembly tiles exactly. All four lanes
+			// read before any stores, like the assembly kernel's
+			// register accumulators, so duplicated remainder lanes do
+			// not double-accumulate.
+			s0, s1, s2, s3 := d0[jj], d1[jj], d2[jj], d3[jj]
+			s0 += a00 * bv0
+			s0 += a01 * bv1
+			s0 += a02 * bv2
+			s0 += a03 * bv3
+			s1 += a10 * bv0
+			s1 += a11 * bv1
+			s1 += a12 * bv2
+			s1 += a13 * bv3
+			s2 += a20 * bv0
+			s2 += a21 * bv1
+			s2 += a22 * bv2
+			s2 += a23 * bv3
+			s3 += a30 * bv0
+			s3 += a31 * bv1
+			s3 += a32 * bv2
+			s3 += a33 * bv3
+			d0[jj] = s0
+			d1[jj] = s1
+			d2[jj] = s2
+			d3[jj] = s3
+		}
+	}
+	for ; k < m; k++ {
+		brow := b.Data[k*n : (k+1)*n]
+		for jj := j; jj < n; jj++ {
+			bv := brow[jj]
+			s0 := d0[jj] + a0[k]*bv
+			s1 := d1[jj] + a1[k]*bv
+			s2 := d2[jj] + a2[k]*bv
+			s3 := d3[jj] + a3[k]*bv
+			d0[jj] = s0
+			d1[jj] = s1
+			d2[jj] = s2
+			d3[jj] = s3
 		}
 	}
 }

@@ -640,3 +640,53 @@ func TestPermIsPermutation(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+// matMulReference is the plain row-at-a-time kernel (without the zero
+// skip), the definition the blocked and AVX paths must reproduce exactly.
+func matMulReference(a, b *Dense) *Dense {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		drow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+func TestMatMulBlockedMatchesReferenceBitForBit(t *testing.T) {
+	// The serving layer promises a micro-batched request gets the exact
+	// answer it would have gotten alone, so every MatMul path — the
+	// single-row kernel with its zero skip, the pure-Go 4-row block and
+	// the AVX tiles — must agree to the last bit. Shapes cover all tile
+	// remainders (rows % 4, cols % 8, odd inner dims).
+	rng := NewRand(77)
+	for _, shape := range [][3]int{
+		{1, 7, 9}, {2, 9, 12}, {3, 8, 8}, {4, 16, 24}, {5, 13, 17}, {6, 8, 16}, {7, 12, 9}, {8, 10, 11}, {9, 6, 13}, {11, 5, 21}, {12, 16, 30},
+		{32, 60, 129}, {33, 31, 40}, {64, 128, 201},
+	} {
+		r, m, n := shape[0], shape[1], shape[2]
+		a := New(r, m)
+		b := New(m, n)
+		FillNormal(a, rng, 0, 1)
+		FillNormal(b, rng, 0, 1)
+		// Sparsify a to exercise the zero-skip path.
+		for i := range a.Data {
+			if i%3 == 0 {
+				a.Data[i] = 0
+			}
+		}
+		got := MatMul(a, b)
+		want := matMulReference(a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("shape %v: element %d differs: %v != %v (kernels must be bit-identical)",
+					shape, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"noble/internal/core"
+	"noble/internal/geo"
+	"noble/internal/imu"
+)
+
+// LocalizeRequest is the POST /v1/localize body: one or more normalized
+// fingerprints (values in [0,1], as produced by radio.Normalize) for one
+// named Wi-Fi model. A typical device sends exactly one fingerprint; the
+// server's micro-batcher coalesces across devices.
+type LocalizeRequest struct {
+	Model        string      `json:"model"`
+	Fingerprints [][]float64 `json:"fingerprints"`
+}
+
+// Position is a decoded localization result.
+type Position struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Class    int     `json:"class"`
+	Building int     `json:"building"`
+	Floor    int     `json:"floor"`
+}
+
+// LocalizeResponse answers /v1/localize in request order.
+type LocalizeResponse struct {
+	Model   string     `json:"model"`
+	Results []Position `json:"results"`
+}
+
+// TrackPath is one IMU path to decode: the anchor position plus the
+// concatenated per-segment features (a multiple of the model's
+// segment_dim, at most max_segments segments).
+type TrackPath struct {
+	Start    XY        `json:"start"`
+	Features []float64 `json:"features"`
+}
+
+// XY is a planar point.
+type XY struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// TrackRequest is the POST /v1/track body.
+type TrackRequest struct {
+	Model string      `json:"model"`
+	Paths []TrackPath `json:"paths"`
+}
+
+// TrackResult is one decoded path end.
+type TrackResult struct {
+	End          XY  `json:"end"`
+	Class        int `json:"class"`
+	Displacement XY  `json:"displacement"`
+}
+
+// TrackResponse answers /v1/track in request order.
+type TrackResponse struct {
+	Model   string        `json:"model"`
+	Results []TrackResult `json:"results"`
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Request limits: the serving port is open to fleets of devices, so a
+// single request must not be able to exhaust server memory or smuggle an
+// unbounded batch past MaxBatch.
+const (
+	maxBodyBytes       = 4 << 20 // 4 MiB
+	maxFingerprints    = 256     // per localize request
+	maxPathsPerRequest = 64      // per track request
+)
+
+// routes installs all handlers on the server mux.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/localize", s.instrument("localize", s.handleLocalize))
+	s.mux.HandleFunc("POST /v1/track", s.instrument("track", s.handleTrack))
+	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+}
+
+// instrument wraps a handler with request counting and latency recording.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		h(cw, r)
+		s.metrics.Observe(name, cw.code, time.Since(start))
+	}
+}
+
+// codeWriter captures the status code written by a handler.
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// fail writes a JSON error body.
+func fail(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// resolve looks a model up and enforces its kind, writing the error
+// response itself on failure.
+func (s *Server) resolve(w http.ResponseWriter, name, kind string) (*Model, bool) {
+	if name == "" {
+		fail(w, http.StatusBadRequest, "missing model name")
+		return nil, false
+	}
+	m, ok := s.reg.Get(name)
+	if !ok {
+		fail(w, http.StatusNotFound, "unknown model %q", name)
+		return nil, false
+	}
+	if m.Kind != kind {
+		fail(w, http.StatusBadRequest, "model %q is kind %q, endpoint wants %q", name, m.Kind, kind)
+		return nil, false
+	}
+	return m, true
+}
+
+// predictForBatch is the Batcher's callback: resolve the model at flush
+// time (so batches formed across a hot reload run on the newest
+// generation) and run one batched forward pass.
+func (s *Server) predictForBatch(model string, rows [][]float64) ([]core.WiFiPrediction, error) {
+	m, ok := s.reg.Get(model)
+	if !ok || m.WiFi == nil {
+		return nil, fmt.Errorf("model %q disappeared", model)
+	}
+	return m.WiFi.PredictBatch(rows), nil
+}
+
+func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		fail(w, http.StatusRequestEntityTooLarge, "reading request: %v", err)
+		return
+	}
+	var req LocalizeRequest
+	if !parseLocalizeRequest(body, &req) {
+		req = LocalizeRequest{}
+		if err := json.Unmarshal(body, &req); err != nil {
+			fail(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+	}
+	m, ok := s.resolve(w, req.Model, KindWiFi)
+	if !ok {
+		return
+	}
+	if len(req.Fingerprints) == 0 {
+		fail(w, http.StatusBadRequest, "no fingerprints")
+		return
+	}
+	if len(req.Fingerprints) > maxFingerprints {
+		fail(w, http.StatusBadRequest, "%d fingerprints exceeds the per-request limit of %d",
+			len(req.Fingerprints), maxFingerprints)
+		return
+	}
+	dim := m.WiFi.InputDim()
+	for i, fp := range req.Fingerprints {
+		if len(fp) != dim {
+			fail(w, http.StatusBadRequest, "fingerprint %d has %d features, model %q wants %d",
+				i, len(fp), req.Model, dim)
+			return
+		}
+	}
+	preds, err := s.batcher.Localize(r.Context(), req.Model, req.Fingerprints)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "inference: %v", err)
+		return
+	}
+	resp := LocalizeResponse{Model: req.Model, Results: make([]Position, len(preds))}
+	for i, p := range preds {
+		resp.Results[i] = Position{
+			X: p.Pos.X, Y: p.Pos.Y,
+			Class: p.Class, Building: p.Building, Floor: p.Floor,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(appendLocalizeResponse(nil, &resp))
+}
+
+func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
+	var req TrackRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	m, ok := s.resolve(w, req.Model, KindIMU)
+	if !ok {
+		return
+	}
+	if len(req.Paths) == 0 {
+		fail(w, http.StatusBadRequest, "no paths")
+		return
+	}
+	if len(req.Paths) > maxPathsPerRequest {
+		fail(w, http.StatusBadRequest, "%d paths exceeds the per-request limit of %d",
+			len(req.Paths), maxPathsPerRequest)
+		return
+	}
+	segDim, maxLen := m.IMU.SegmentDim(), m.IMU.MaxLen()
+	paths := make([]imu.Path, len(req.Paths))
+	for i, p := range req.Paths {
+		n := len(p.Features)
+		if n == 0 || n%segDim != 0 || n/segDim > maxLen {
+			fail(w, http.StatusBadRequest,
+				"path %d has %d feature values; model %q wants a non-empty multiple of %d up to %d segments",
+				i, n, req.Model, segDim, maxLen)
+			return
+		}
+		paths[i] = imu.Path{
+			Start:       geo.Point{X: p.Start.X, Y: p.Start.Y},
+			NumSegments: n / segDim,
+			Features:    p.Features,
+		}
+	}
+	preds := m.IMU.PredictPaths(paths)
+	resp := TrackResponse{Model: req.Model, Results: make([]TrackResult, len(preds))}
+	for i, p := range preds {
+		resp.Results[i] = TrackResult{
+			End:          XY{X: p.End.X, Y: p.End.Y},
+			Class:        p.Class,
+			Displacement: XY{X: p.Displacement.X, Y: p.Displacement.Y},
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"models":         s.reg.Len(),
+		"batching":       s.Batching(),
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"noble/internal/core"
+)
+
+// PredictFunc answers one coalesced forward pass for a named model.
+type PredictFunc func(model string, rows [][]float64) ([]core.WiFiPrediction, error)
+
+// Batcher is the micro-batching engine: concurrent localize requests for
+// the same model are packed into one matrix and answered by a single
+// batched forward pass.
+//
+// It runs continuous batching with arrival-gap pass boundaries: a
+// per-model dispatcher goroutine accumulates requests while they keep
+// streaming in, fires a pass at the first pause in the stream (or at
+// MaxBatch rows, or Window after the pass's first request — whichever
+// comes first), and immediately starts accumulating the next pass while
+// the results fan out. Under sustained load passes run back to back with
+// whatever arrived during the previous pass; the Window bounds how long
+// any single request can sit waiting for companions. After Window of
+// complete silence the dispatcher exits; the next request starts a fresh
+// one.
+//
+// With Window <= 0 every request runs its own pass (the unbatched
+// baseline). Results are split back per request in arrival order. The
+// model is resolved at flush time, so a batch formed across a hot reload
+// simply runs on the newest generation.
+type Batcher struct {
+	Window   time.Duration
+	MaxBatch int
+
+	predict PredictFunc
+	metrics *Metrics
+
+	mu     sync.Mutex
+	queues map[string]*batchQueue
+}
+
+// batchJob is one request waiting for its pass.
+type batchJob struct {
+	rows  [][]float64
+	preds []core.WiFiPrediction
+	err   error
+	done  chan struct{}
+}
+
+// batchQueue accumulates jobs for one model between passes.
+type batchQueue struct {
+	jobs    []*batchJob
+	rows    int
+	running bool          // a dispatcher goroutine is active for this model
+	notify  chan struct{} // cap 1; poked on every enqueue
+}
+
+// NewBatcher builds a batcher over a predict callback. metrics may be nil.
+func NewBatcher(window time.Duration, maxBatch int, predict PredictFunc, metrics *Metrics) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	return &Batcher{
+		Window:   window,
+		MaxBatch: maxBatch,
+		predict:  predict,
+		metrics:  metrics,
+		queues:   make(map[string]*batchQueue),
+	}
+}
+
+// Localize predicts rows on the named model, sharing a forward pass with
+// concurrent callers when batching is enabled. It blocks until the pass
+// containing the request completes or ctx is done.
+func (b *Batcher) Localize(ctx context.Context, model string, rows [][]float64) ([]core.WiFiPrediction, error) {
+	if b.Window <= 0 {
+		return b.run(model, rows)
+	}
+
+	job := &batchJob{rows: rows, done: make(chan struct{})}
+	b.mu.Lock()
+	q := b.queues[model]
+	if q == nil {
+		q = &batchQueue{notify: make(chan struct{}, 1)}
+		b.queues[model] = q
+	}
+	q.jobs = append(q.jobs, job)
+	q.rows += len(rows)
+	spawn := !q.running
+	if spawn {
+		q.running = true
+	}
+	b.mu.Unlock()
+	if spawn {
+		go b.dispatch(model, q)
+	} else {
+		select {
+		case q.notify <- struct{}{}:
+		default: // a wakeup is already pending
+		}
+	}
+
+	select {
+	case <-job.done:
+		return job.preds, job.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// dispatch drains one model's queue in passes until the queue stays
+// silent for a full Window, then exits.
+//
+// Pass boundaries come from arrival-gap detection: while requests keep
+// streaming in (inter-arrival gaps below the grace threshold, a small
+// fraction of Window), the dispatcher keeps accumulating; the first
+// pause in the stream — the sign that the
+// concurrent cohort has fully arrived — fires the pass. The wait is also
+// bounded by Window in total and by MaxBatch rows, so a pass fires at
+// most Window after its first request no matter how traffic trickles.
+// This is stateless, so it cannot lock into a degenerate batch size: a
+// lone request waits only one gap, a burst coalesces into one pass, and
+// sustained load runs full passes back to back.
+func (b *Batcher) dispatch(model string, q *batchQueue) {
+	timer := time.NewTimer(b.Window)
+	defer timer.Stop()
+	// The gap threshold needs to exceed the per-request ingest time (so a
+	// streaming cohort is not split) while staying far below the pass
+	// compute time (so the tail wait is cheap); a small fraction of the
+	// window fits both on current hardware.
+	grace := b.Window / 32
+	if grace < 40*time.Microsecond {
+		grace = 40 * time.Microsecond
+	}
+	graceTimer := time.NewTimer(grace)
+	defer graceTimer.Stop()
+	for {
+		// Idle stage: wait for the first job of the next pass. A full
+		// Window of silence retires the dispatcher.
+		resetTimer(timer, b.Window)
+		idle := false
+		for !idle {
+			b.mu.Lock()
+			rows := q.rows
+			b.mu.Unlock()
+			if rows > 0 {
+				break
+			}
+			select {
+			case <-q.notify:
+			case <-timer.C:
+				idle = true
+			}
+		}
+
+		if !idle {
+			// Fill stage: accumulate while the arrival stream is hot,
+			// bounded by Window overall and MaxBatch rows.
+			resetTimer(timer, b.Window)
+			resetTimer(graceTimer, grace)
+		fill:
+			for {
+				b.mu.Lock()
+				rows := q.rows
+				b.mu.Unlock()
+				if rows >= b.MaxBatch {
+					break
+				}
+				select {
+				case <-q.notify:
+					resetTimer(graceTimer, grace)
+				case <-graceTimer.C:
+					break fill
+				case <-timer.C:
+					break fill
+				}
+			}
+		}
+
+		b.mu.Lock()
+		if len(q.jobs) == 0 {
+			// A full Window of silence: retire this dispatcher.
+			q.running = false
+			b.mu.Unlock()
+			return
+		}
+		// Take whole jobs up to MaxBatch rows; a single oversized job
+		// still goes through as its own pass.
+		var (
+			take  []*batchJob
+			taken int
+		)
+		for len(q.jobs) > 0 {
+			j := q.jobs[0]
+			if len(take) > 0 && taken+len(j.rows) > b.MaxBatch {
+				break
+			}
+			take = append(take, j)
+			taken += len(j.rows)
+			q.jobs = q.jobs[1:]
+		}
+		q.rows -= taken
+		if len(q.jobs) == 0 {
+			q.jobs = nil // let the drained backing array be reclaimed
+		}
+		b.mu.Unlock()
+
+		b.flush(model, take)
+	}
+}
+
+// resetTimer restarts a (possibly fired, possibly drained) timer. The
+// stop-drain-reset sequence is only race-free under the synchronous
+// timer semantics of go >= 1.23 (declared in go.mod): pre-1.23 async
+// timers could deliver a stale fire after the drain.
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+// flush runs one forward pass for the coalesced jobs and fans results
+// back out in arrival order.
+func (b *Batcher) flush(model string, jobs []*batchJob) {
+	var rows [][]float64
+	for _, j := range jobs {
+		rows = append(rows, j.rows...)
+	}
+	preds, err := b.run(model, rows)
+	off := 0
+	for _, j := range jobs {
+		if err != nil {
+			j.err = err
+		} else {
+			j.preds = preds[off : off+len(j.rows)]
+		}
+		off += len(j.rows)
+		close(j.done)
+	}
+}
+
+// run invokes the predict callback for one batch, converting panics (e.g.
+// a shape mismatch that slipped past validation) into errors so one bad
+// request cannot take down the server, and records the batch size.
+func (b *Batcher) run(model string, rows [][]float64) (preds []core.WiFiPrediction, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			preds, err = nil, fmt.Errorf("inference panic: %v", r)
+		}
+	}()
+	if b.metrics != nil {
+		b.metrics.ObserveBatch(len(rows))
+	}
+	return b.predict(model, rows)
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestParseLocalizeRequestMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		`{"model":"m","fingerprints":[[0.1,0.25,0],[1,2.5e-3,-4]]}`,
+		`{"fingerprints":[[0.5]],"model":"other"}`, // key order
+		`{"model":"m","fingerprints":[[]]}`,
+		`{"model":"m","fingerprints":[]}`,
+		"{ \"model\" : \"m\" ,\n \"fingerprints\" : [ [ 1 , 2 ] ] }",
+		// Duplicate keys are valid JSON; encoding/json is last-wins and
+		// the fast path must agree.
+		`{"model":"a","model":"b","fingerprints":[[1]],"fingerprints":[[2],[3]]}`,
+	}
+	for _, raw := range cases {
+		var want LocalizeRequest
+		if err := json.Unmarshal([]byte(raw), &want); err != nil {
+			t.Fatalf("bad test case %q: %v", raw, err)
+		}
+		var got LocalizeRequest
+		if !parseLocalizeRequest([]byte(raw), &got) {
+			t.Fatalf("fast parse rejected valid request %q", raw)
+		}
+		if got.Model != want.Model || len(got.Fingerprints) != len(want.Fingerprints) {
+			t.Fatalf("fast parse of %q: got %+v, want %+v", raw, got, want)
+		}
+		for i := range want.Fingerprints {
+			if len(want.Fingerprints[i]) == 0 && len(got.Fingerprints[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got.Fingerprints[i], want.Fingerprints[i]) {
+				t.Fatalf("fast parse of %q: fingerprint %d %v, want %v",
+					raw, i, got.Fingerprints[i], want.Fingerprints[i])
+			}
+		}
+	}
+}
+
+func TestParseLocalizeRequestBailsToSlowPath(t *testing.T) {
+	// Inputs the fast scanner must *reject* (not mis-parse): the handler
+	// then falls back to encoding/json, which accepts the valid ones.
+	for _, raw := range []string{
+		`{"model":"a\"b","fingerprints":[[1]]}`,    // escape in string
+		`{"model":"m","fingerprints":[[1]],"x":1}`, // unknown key
+		`{"model":"m","fingerprints":[[1]]} trail`, // trailing garbage
+		`{"model":"m","fingerprints":[["1"]]}`,     // non-number element
+		`{"model":"m","fingerprints":[[1],[2],]}`,  // trailing comma
+		`{"model":"m"`, // truncated
+		`[]`,           // wrong top level
+		// Number forms RFC 8259 forbids but strconv.ParseFloat accepts:
+		// the fast path must reject them so validation stays identical
+		// to the encoding/json fallback.
+		`{"model":"m","fingerprints":[[.5]]}`,
+		`{"model":"m","fingerprints":[[+1]]}`,
+		`{"model":"m","fingerprints":[[01]]}`,
+		`{"model":"m","fingerprints":[[1.]]}`,
+		`{"model":"m","fingerprints":[[1.5e]]}`,
+		`{"model":"m","fingerprints":[[0x1]]}`,
+	} {
+		var req LocalizeRequest
+		if parseLocalizeRequest([]byte(raw), &req) {
+			t.Fatalf("fast parse accepted %q", raw)
+		}
+	}
+}
+
+func TestAppendLocalizeResponseRoundTrips(t *testing.T) {
+	resp := LocalizeResponse{
+		Model: "m",
+		Results: []Position{
+			{X: 1.5, Y: -2.25, Class: 3, Building: 1, Floor: 2},
+			{X: math.Pi, Y: 0, Class: 0, Building: 0, Floor: 0},
+		},
+	}
+	raw := appendLocalizeResponse(nil, &resp)
+	var back LocalizeResponse
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("hand-encoded response is not valid JSON: %v\n%s", err, raw)
+	}
+	if !reflect.DeepEqual(back, resp) {
+		t.Fatalf("round trip changed the response: %+v != %+v", back, resp)
+	}
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"noble/internal/core"
+	"noble/internal/dataset"
+	"noble/internal/imu"
+)
+
+// Model kinds accepted in manifests.
+const (
+	KindWiFi = "wifi"
+	KindIMU  = "imu"
+)
+
+// defaultWeightsFile is the weights filename used when a manifest omits
+// one.
+const defaultWeightsFile = "weights.gob"
+
+// Manifest describes one model bundle on disk: the directory
+// <models>/<name>/ holds a manifest.json in this schema next to the gob
+// weight snapshot written by the model's Save. The manifest records the
+// *complete* dataset-generation spec, not a preset name: model
+// architecture (quantization codebook, scalers, head sizes) is
+// reconstructed deterministically from the dataset, so the bundle stays
+// loadable even if preset defaults drift.
+type Manifest struct {
+	Kind    string      `json:"kind"`              // "wifi" or "imu"
+	Weights string      `json:"weights,omitempty"` // weight file, default "weights.gob"
+	WiFi    *WiFiBundle `json:"wifi,omitempty"`
+	IMU     *IMUBundle  `json:"imu,omitempty"`
+}
+
+// WiFiBundle reconstructs a Wi-Fi localizer: regenerate the synthetic
+// survey, build the architecture, load weights.
+type WiFiBundle struct {
+	Plan    string             `json:"plan"` // "uji" or "ipin"
+	Dataset dataset.WiFiConfig `json:"dataset"`
+	Config  core.WiFiConfig    `json:"config"`
+}
+
+// IMUBundle reconstructs a tracking model from the campus-walk collection
+// protocol.
+type IMUBundle struct {
+	Spacing float64        `json:"spacing"` // reference spacing of the campus network
+	Sensors imu.Config     `json:"sensors"`
+	Seed    int64          `json:"seed"`
+	Paths   imu.PathConfig `json:"paths"`
+	Config  core.IMUConfig `json:"config"`
+}
+
+// BuildWiFiDataset regenerates the survey a Wi-Fi bundle was trained on.
+func (b *WiFiBundle) BuildWiFiDataset() (*dataset.WiFi, error) {
+	switch b.Plan {
+	case "uji":
+		return dataset.SynthUJI(b.Dataset), nil
+	case "ipin":
+		return dataset.SynthIPIN(b.Dataset), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown wifi plan %q (want uji or ipin)", b.Plan)
+	}
+}
+
+// BuildIMUDataset regenerates the path dataset an IMU bundle was trained
+// on.
+func (b *IMUBundle) BuildIMUDataset() *imu.PathDataset {
+	net := imu.NewCampusNetwork(b.Spacing)
+	track := imu.Synthesize(net, b.Sensors, b.Seed)
+	return imu.BuildPaths(track, b.Paths)
+}
+
+// LoadBundle reads the bundle in dir, rebuilds the model architecture from
+// the manifest's dataset spec, and restores the saved weights. The
+// returned Model is named after the bundle directory.
+func LoadBundle(dir string) (*Model, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading bundle manifest: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("serve: parsing %s: %w", filepath.Join(dir, "manifest.json"), err)
+	}
+	weights := man.Weights
+	if weights == "" {
+		weights = defaultWeightsFile
+	}
+	wf, err := os.Open(filepath.Join(dir, weights))
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening bundle weights: %w", err)
+	}
+	defer wf.Close()
+
+	m := &Model{Name: filepath.Base(dir), Kind: man.Kind}
+	switch man.Kind {
+	case KindWiFi:
+		if man.WiFi == nil {
+			return nil, fmt.Errorf("serve: bundle %s: kind wifi without wifi spec", m.Name)
+		}
+		ds, err := man.WiFi.BuildWiFiDataset()
+		if err != nil {
+			return nil, err
+		}
+		model := core.NewWiFiModel(ds, man.WiFi.Config)
+		if err := model.Load(wf); err != nil {
+			return nil, fmt.Errorf("serve: bundle %s: %w", m.Name, err)
+		}
+		m.WiFi = model
+	case KindIMU:
+		if man.IMU == nil {
+			return nil, fmt.Errorf("serve: bundle %s: kind imu without imu spec", m.Name)
+		}
+		model := core.NewIMUModel(man.IMU.BuildIMUDataset(), man.IMU.Config)
+		if err := model.Load(wf); err != nil {
+			return nil, fmt.Errorf("serve: bundle %s: %w", m.Name, err)
+		}
+		m.IMU = model
+	default:
+		return nil, fmt.Errorf("serve: bundle %s: unknown kind %q", m.Name, man.Kind)
+	}
+	return m, nil
+}
+
+// WriteBundle persists a trained model as a loadable bundle at
+// <dir>/<name>/. Both files are written to temporaries and renamed into
+// place — weights first, manifest last — so a watching registry never
+// observes a manifest without matching weights.
+func WriteBundle(dir, name string, man Manifest, save func(f *os.File) error) error {
+	bundle := filepath.Join(dir, name)
+	if err := os.MkdirAll(bundle, 0o755); err != nil {
+		return fmt.Errorf("serve: creating bundle dir: %w", err)
+	}
+	if man.Weights == "" {
+		man.Weights = defaultWeightsFile
+	}
+	if err := atomicWrite(filepath.Join(bundle, man.Weights), save); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encoding manifest: %w", err)
+	}
+	return atomicWrite(filepath.Join(bundle, "manifest.json"), func(f *os.File) error {
+		_, err := f.Write(append(raw, '\n'))
+		return err
+	})
+}
+
+// atomicWrite writes via a temp file in the target directory plus rename,
+// reporting write, sync, close and rename errors.
+func atomicWrite(path string, fill func(f *os.File) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("serve: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() { os.Remove(tmp) }
+	if err := fill(f); err != nil {
+		f.Close()
+		cleanup()
+		return fmt.Errorf("serve: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return fmt.Errorf("serve: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("serve: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		cleanup()
+		return fmt.Errorf("serve: publishing %s: %w", path, err)
+	}
+	return nil
+}

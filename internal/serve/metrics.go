@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent samples per endpoint back the quantile
+// estimates. A power-of-two ring keeps Observe O(1); quantiles sort a copy
+// at scrape time only.
+const latencyWindow = 8192
+
+// Metrics collects request counts per endpoint and status code, latency
+// quantiles over a sliding window, and micro-batch occupancy. All methods
+// are safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+
+	batchCount int64 // forward passes
+	batchRows  int64 // fingerprints across all passes
+	batchMax   int64 // largest pass observed
+}
+
+type endpointStats struct {
+	codes map[int]int64
+	ring  []float64 // seconds
+	n     int64     // total observations (ring index = n % len)
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one finished request.
+func (m *Metrics) Observe(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.endpoints[endpoint]
+	if s == nil {
+		s = &endpointStats{codes: make(map[int]int64), ring: make([]float64, 0, latencyWindow)}
+		m.endpoints[endpoint] = s
+	}
+	s.codes[code]++
+	sec := d.Seconds()
+	if len(s.ring) < latencyWindow {
+		s.ring = append(s.ring, sec)
+	} else {
+		s.ring[s.n%latencyWindow] = sec
+	}
+	s.n++
+}
+
+// ObserveBatch records one coalesced forward pass of the given size.
+func (m *Metrics) ObserveBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchCount++
+	m.batchRows += int64(size)
+	if int64(size) > m.batchMax {
+		m.batchMax = int64(size)
+	}
+}
+
+// BatchStats returns the number of forward passes and total rows batched
+// so far.
+func (m *Metrics) BatchStats() (passes, rows int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batchCount, m.batchRows
+}
+
+// quantile returns the q-th quantile of vals (sorted in place).
+func quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(vals)-1))
+	return vals[idx]
+}
+
+// WritePrometheus renders the collected metrics in the Prometheus text
+// exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintln(w, "# HELP noble_requests_total Requests served, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE noble_requests_total counter")
+	for _, name := range names {
+		s := m.endpoints[name]
+		codes := make([]int, 0, len(s.codes))
+		for c := range s.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "noble_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, c, s.codes[c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP noble_request_latency_seconds Request latency quantiles over a sliding window.")
+	fmt.Fprintln(w, "# TYPE noble_request_latency_seconds summary")
+	for _, name := range names {
+		s := m.endpoints[name]
+		vals := append([]float64(nil), s.ring...)
+		sort.Float64s(vals)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(w, "noble_request_latency_seconds{endpoint=%q,quantile=\"%g\"} %.6f\n",
+				name, q, quantile(vals, q))
+		}
+		fmt.Fprintf(w, "noble_request_latency_seconds_count{endpoint=%q} %d\n", name, s.n)
+	}
+
+	fmt.Fprintln(w, "# HELP noble_batch_rows Fingerprints coalesced into batched forward passes.")
+	fmt.Fprintln(w, "# TYPE noble_batch_rows counter")
+	fmt.Fprintf(w, "noble_batch_rows_sum %d\n", m.batchRows)
+	fmt.Fprintf(w, "noble_batch_rows_count %d\n", m.batchCount)
+	fmt.Fprintf(w, "noble_batch_rows_max %d\n", m.batchMax)
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"noble/internal/core"
+)
+
+// Model is one registered inference target: exactly one of WiFi or IMU is
+// set, matching Kind.
+type Model struct {
+	Name string
+	Kind string
+	WiFi *core.WiFiModel
+	IMU  *core.IMUModel
+
+	// Generation counts how many times this name has been (re)loaded;
+	// LoadedAt stamps the last swap.
+	Generation int
+	LoadedAt   time.Time
+}
+
+// ModelInfo is the JSON-facing summary of a registered model.
+type ModelInfo struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	Classes    int    `json:"classes"`
+	FLOPs      int64  `json:"flops"`
+	Generation int    `json:"generation"`
+	LoadedAt   string `json:"loaded_at"`
+
+	// Wi-Fi only.
+	InputDim  int `json:"input_dim,omitempty"`
+	Buildings int `json:"buildings,omitempty"`
+	Floors    int `json:"floors,omitempty"`
+
+	// IMU only.
+	MaxSegments int `json:"max_segments,omitempty"`
+	SegmentDim  int `json:"segment_dim,omitempty"`
+}
+
+// Info summarizes the model.
+func (m *Model) Info() ModelInfo {
+	info := ModelInfo{
+		Name:       m.Name,
+		Kind:       m.Kind,
+		Generation: m.Generation,
+		LoadedAt:   m.LoadedAt.UTC().Format(time.RFC3339),
+	}
+	switch {
+	case m.WiFi != nil:
+		info.Classes = m.WiFi.Classes()
+		info.FLOPs = m.WiFi.FLOPs()
+		info.InputDim = m.WiFi.InputDim()
+		info.Buildings = m.WiFi.NumBuildings()
+		info.Floors = m.WiFi.NumFloors()
+	case m.IMU != nil:
+		info.Classes = m.IMU.Classes()
+		info.FLOPs = m.IMU.FLOPs()
+		info.MaxSegments = m.IMU.MaxLen()
+		info.SegmentDim = m.IMU.SegmentDim()
+	}
+	return info
+}
+
+// fileStamp fingerprints a bundle file for change detection.
+type fileStamp struct {
+	mtime int64
+	size  int64
+}
+
+// bundleStamp fingerprints a whole bundle (manifest + weights).
+type bundleStamp struct {
+	manifest fileStamp
+	weights  fileStamp
+}
+
+// Registry holds the live models. Lookups take a read lock; reloads build
+// replacement models entirely off the request path and swap them in under
+// a write lock, so a hot reload is atomic from a request's point of view.
+type Registry struct {
+	dir  string
+	logf func(format string, args ...any)
+
+	mu     sync.RWMutex
+	models map[string]*Model
+	stamps map[string]bundleStamp // only names loaded from disk
+}
+
+// NewRegistry returns a registry over a bundle directory. dir may be empty
+// for a purely programmatic registry (tests, demo mode). logf defaults to
+// log.Printf.
+func NewRegistry(dir string, logf func(format string, args ...any)) *Registry {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Registry{
+		dir:    dir,
+		logf:   logf,
+		models: make(map[string]*Model),
+		stamps: make(map[string]bundleStamp),
+	}
+}
+
+// Add registers (or replaces) a model programmatically.
+func (r *Registry) Add(m *Model) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.models[m.Name]; ok {
+		m.Generation = old.Generation + 1
+	} else {
+		m.Generation = 1
+	}
+	if m.LoadedAt.IsZero() {
+		m.LoadedAt = time.Now()
+	}
+	r.models[m.Name] = m
+}
+
+// Get resolves a model by name.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}
+
+// List returns model summaries sorted by name.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, m.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reload scans the bundle directory and loads new or changed bundles,
+// dropping entries whose directories disappeared. Each bundle is rebuilt
+// outside the lock; a bundle that fails to load is logged and its previous
+// generation (if any) keeps serving. It returns how many bundles were
+// loaded or replaced and how many were removed.
+func (r *Registry) Reload() (loaded, removed int, err error) {
+	if r.dir == "" {
+		return 0, 0, nil
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	onDisk := make(map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		dir := filepath.Join(r.dir, name)
+		stamp, ok := stampBundle(dir)
+		if !ok {
+			continue // no manifest yet (or mid-write); not a bundle
+		}
+		onDisk[name] = true
+
+		r.mu.RLock()
+		prev, seen := r.stamps[name]
+		r.mu.RUnlock()
+		if seen && prev == stamp {
+			continue
+		}
+
+		model, lerr := LoadBundle(dir)
+		if lerr != nil {
+			r.logf("%v (previous generation keeps serving)", lerr)
+			continue
+		}
+		// A publish renames weights into place before the manifest, so a
+		// scan racing a republish can read an old manifest next to new
+		// weights. If the bundle changed underneath the load, discard
+		// the result and leave the stamp unrecorded — the next poll sees
+		// the settled bundle and loads it coherently.
+		if after, ok := stampBundle(dir); !ok || after != stamp {
+			r.logf("serve: bundle %s changed during load, retrying next poll", name)
+			continue
+		}
+		r.Add(model)
+		r.mu.Lock()
+		r.stamps[name] = stamp
+		r.mu.Unlock()
+		loaded++
+	}
+	// Drop disk-backed models whose bundle vanished. Programmatic models
+	// (no stamp) are untouched.
+	r.mu.Lock()
+	for name := range r.stamps {
+		if !onDisk[name] {
+			delete(r.stamps, name)
+			delete(r.models, name)
+			removed++
+		}
+	}
+	r.mu.Unlock()
+	return loaded, removed, nil
+}
+
+// Watch polls Reload at the given interval until ctx is canceled.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration) {
+	if interval <= 0 || r.dir == "" {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if loaded, removed, err := r.Reload(); err != nil {
+				r.logf("serve: reload scan: %v", err)
+			} else if loaded+removed > 0 {
+				r.logf("serve: hot reload: %d bundle(s) loaded, %d removed", loaded, removed)
+			}
+		}
+	}
+}
+
+// stampBundle fingerprints the manifest and weight files of a bundle dir.
+// ok is false when the dir is not (yet) a complete bundle.
+func stampBundle(dir string) (bundleStamp, bool) {
+	var s bundleStamp
+	mi, err := os.Stat(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return s, false
+	}
+	s.manifest = fileStamp{mtime: mi.ModTime().UnixNano(), size: mi.Size()}
+
+	weights := defaultWeightsFile
+	if raw, err := os.ReadFile(filepath.Join(dir, "manifest.json")); err == nil {
+		var man Manifest
+		if json.Unmarshal(raw, &man) == nil && man.Weights != "" {
+			weights = man.Weights
+		}
+	}
+	wi, err := os.Stat(filepath.Join(dir, weights))
+	if err != nil {
+		return s, false
+	}
+	s.weights = fileStamp{mtime: wi.ModTime().UnixNano(), size: wi.Size()}
+	return s, true
+}

@@ -1,0 +1,75 @@
+// Package serve is the online inference layer: it turns the offline NObLe
+// models into a long-lived localization service in the shape FIND3 uses
+// for fingerprint localization — a model registry keyed by name, an HTTP
+// JSON API, and operational introspection — plus a micro-batching engine
+// that coalesces concurrent localize requests into single batched forward
+// passes.
+//
+// The registry loads named model bundles (manifest.json + weights.gob,
+// written by WriteBundle / `noble-train -bundle`) from a directory and
+// hot-reloads them atomically: a changed bundle is rebuilt fully off the
+// request path and swapped in under a write lock, so in-flight requests
+// always see a complete model and a bundle that fails to load leaves the
+// previous generation serving.
+//
+// Micro-batching exploits the shape of the paper's workload — millions of
+// devices issuing tiny single-fingerprint queries — where the per-request
+// matmul is too small to amortize dispatch cost. Requests arriving within
+// a short window (default 2 ms) are packed into one matrix and answered by
+// one (*core.WiFiModel).PredictBatch call; see Batcher.
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Registry resolves model names; required.
+	Registry *Registry
+	// BatchWindow is how long a localize request may wait for companions
+	// to share a forward pass. Zero or negative disables micro-batching
+	// (every request runs its own pass) — the comparison baseline for
+	// noble-loadgen.
+	BatchWindow time.Duration
+	// MaxBatch caps fingerprints per coalesced forward pass; a full
+	// batch flushes immediately without waiting out the window.
+	// Defaults to 64.
+	MaxBatch int
+}
+
+// Server is the HTTP inference service. Construct with New, expose with
+// Handler.
+type Server struct {
+	reg     *Registry
+	batcher *Batcher
+	metrics *Metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New wires a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		panic("serve: Config.Registry is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	s := &Server{
+		reg:     cfg.Registry,
+		metrics: NewMetrics(),
+		started: time.Now(),
+	}
+	s.batcher = NewBatcher(cfg.BatchWindow, cfg.MaxBatch, s.predictForBatch, s.metrics)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Batching reports whether micro-batching is enabled.
+func (s *Server) Batching() bool { return s.batcher.Window > 0 }

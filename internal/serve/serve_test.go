@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"noble/internal/core"
+	"noble/internal/dataset"
+	"noble/internal/imu"
+)
+
+// Tiny fixtures, trained once per test binary.
+
+var (
+	fixtureOnce sync.Once
+	wifiDS      *dataset.WiFi
+	wifiCfg     core.WiFiConfig
+	wifiModel   *core.WiFiModel
+	imuBundle   *IMUBundle
+	imuDS       *imu.PathDataset
+	imuModel    *core.IMUModel
+)
+
+func wifiSpec() (*dataset.WiFi, core.WiFiConfig) {
+	dcfg := dataset.SmallIPINConfig()
+	dcfg.NumWAPs = 16
+	dcfg.RefSpacing = 8
+	dcfg.SamplesPerRef = 3
+	dcfg.TestSamplesPerRef = 1
+	dcfg.Seed = 11
+	cfg := core.DefaultWiFiConfig()
+	cfg.Hidden = []int{16}
+	cfg.Epochs = 3
+	cfg.TauFine = 1
+	cfg.TauCoarse = 8
+	return dataset.SynthIPIN(dcfg), cfg
+}
+
+func fixtures(t *testing.T) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		wifiDS, wifiCfg = wifiSpec()
+		wifiModel = core.TrainWiFi(wifiDS, wifiCfg)
+
+		sensors := imu.DefaultConfig()
+		sensors.ReadingsPerSegment = 32
+		sensors.TotalSegments = 40
+		imuBundle = &IMUBundle{
+			Spacing: 12,
+			Sensors: sensors,
+			Seed:    5,
+			Paths: imu.PathConfig{
+				NumPaths: 120, MaxLen: 4, Frames: 3,
+				TrainFrac: 0.7, ValFrac: 0.1, Seed: 7,
+			},
+		}
+		cfg := core.DefaultIMUConfig()
+		cfg.ProjDim = 8
+		cfg.Hidden = []int{16, 16}
+		cfg.Tau = 2
+		cfg.Epochs = 3
+		imuBundle.Config = cfg
+		imuDS = imuBundle.BuildIMUDataset()
+		imuModel = core.TrainIMU(imuDS, cfg)
+	})
+}
+
+// newTestServer wires a server over the shared fixture models.
+func newTestServer(t *testing.T, window time.Duration) *Server {
+	t.Helper()
+	fixtures(t)
+	reg := NewRegistry("", t.Logf)
+	reg.Add(&Model{Name: "wifi-test", Kind: KindWiFi, WiFi: wifiModel})
+	reg.Add(&Model{Name: "imu-test", Kind: KindIMU, IMU: imuModel})
+	return New(Config{Registry: reg, BatchWindow: window, MaxBatch: 64})
+}
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestLocalizeBadJSON(t *testing.T) {
+	s := newTestServer(t, 0)
+	w := postJSON(t, s.Handler(), "/v1/localize", "{not json")
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", w.Code, w.Body)
+	}
+	var e apiError
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("error body %q must carry a JSON error message", w.Body)
+	}
+}
+
+func TestLocalizeUnknownModel(t *testing.T) {
+	s := newTestServer(t, 0)
+	w := postJSON(t, s.Handler(), "/v1/localize", `{"model":"nope","fingerprints":[[0.1]]}`)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404; body %s", w.Code, w.Body)
+	}
+}
+
+func TestLocalizeWrongKindAndBadDims(t *testing.T) {
+	s := newTestServer(t, 0)
+	w := postJSON(t, s.Handler(), "/v1/localize", `{"model":"imu-test","fingerprints":[[0.1]]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("wrong kind: status %d, want 400", w.Code)
+	}
+	w = postJSON(t, s.Handler(), "/v1/localize", `{"model":"wifi-test","fingerprints":[[0.1,0.2]]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad dims: status %d, want 400; body %s", w.Code, w.Body)
+	}
+	w = postJSON(t, s.Handler(), "/v1/localize", `{"model":"wifi-test","fingerprints":[]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("empty: status %d, want 400", w.Code)
+	}
+}
+
+func TestLocalizeHappyPath(t *testing.T) {
+	s := newTestServer(t, 0)
+	samples := wifiDS.Test[:4]
+	req := LocalizeRequest{Model: "wifi-test"}
+	for _, smp := range samples {
+		req.Fingerprints = append(req.Fingerprints, smp.Features)
+	}
+	raw, _ := json.Marshal(req)
+	w := postJSON(t, s.Handler(), "/v1/localize", string(raw))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d; body %s", w.Code, w.Body)
+	}
+	var resp LocalizeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(samples) {
+		t.Fatalf("%d results for %d fingerprints", len(resp.Results), len(samples))
+	}
+	for i, smp := range samples {
+		want := wifiModel.Predict(smp.Features)
+		got := resp.Results[i]
+		if got.X != want.Pos.X || got.Y != want.Pos.Y ||
+			got.Class != want.Class || got.Building != want.Building || got.Floor != want.Floor {
+			t.Fatalf("result %d: got %+v, model predicts %+v", i, got, want)
+		}
+	}
+}
+
+func TestTrackHappyPath(t *testing.T) {
+	s := newTestServer(t, 0)
+	paths := imuDS.Test[:3]
+	req := TrackRequest{Model: "imu-test"}
+	for _, p := range paths {
+		req.Paths = append(req.Paths, TrackPath{
+			Start:    XY{X: p.Start.X, Y: p.Start.Y},
+			Features: p.Features,
+		})
+	}
+	raw, _ := json.Marshal(req)
+	w := postJSON(t, s.Handler(), "/v1/track", string(raw))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d; body %s", w.Code, w.Body)
+	}
+	var resp TrackResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want := imuModel.PredictPaths(paths)
+	for i := range want {
+		got := resp.Results[i]
+		if got.End.X != want[i].End.X || got.End.Y != want[i].End.Y || got.Class != want[i].Class {
+			t.Fatalf("path %d: got %+v, model predicts %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestTrackRejectsBadFeatureLength(t *testing.T) {
+	s := newTestServer(t, 0)
+	w := postJSON(t, s.Handler(), "/v1/track",
+		`{"model":"imu-test","paths":[{"start":{"x":0,"y":0},"features":[1,2,3]}]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", w.Code, w.Body)
+	}
+}
+
+func TestModelsHealthzMetrics(t *testing.T) {
+	s := newTestServer(t, 0)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/models", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("models: status %d", w.Code)
+	}
+	var listing struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Models) != 2 {
+		t.Fatalf("%d models listed, want 2", len(listing.Models))
+	}
+	byName := map[string]ModelInfo{}
+	for _, m := range listing.Models {
+		byName[m.Name] = m
+	}
+	if byName["wifi-test"].InputDim != wifiModel.InputDim() {
+		t.Fatalf("wifi input_dim %d, want %d", byName["wifi-test"].InputDim, wifiModel.InputDim())
+	}
+	if byName["imu-test"].SegmentDim != imuModel.SegmentDim() {
+		t.Fatalf("imu segment_dim %d, want %d", byName["imu-test"].SegmentDim, imuModel.SegmentDim())
+	}
+
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK || !bytes.Contains(w.Body.Bytes(), []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body)
+	}
+
+	// One request so the counters are non-empty, then scrape.
+	postJSON(t, s.Handler(), "/v1/localize", `{"model":"nope","fingerprints":[[0.1]]}`)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`noble_requests_total{endpoint="localize",code="404"} 1`,
+		"noble_request_latency_seconds",
+		"noble_batch_rows_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestBatchedLocalizeMatchesUnbatched(t *testing.T) {
+	// Concurrent single-fingerprint requests through the micro-batcher
+	// must coalesce into fewer forward passes while answering each
+	// device exactly what it would have gotten alone.
+	s := newTestServer(t, 5*time.Millisecond)
+	const n = 16
+	samples := wifiDS.Test
+	if len(samples) < n {
+		t.Fatalf("fixture too small: %d test samples", len(samples))
+	}
+	var wg sync.WaitGroup
+	results := make([]Position, n)
+	codes := make([]int, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, _ := json.Marshal(LocalizeRequest{
+				Model:        "wifi-test",
+				Fingerprints: [][]float64{samples[i].Features},
+			})
+			<-start
+			w := postJSON(t, s.Handler(), "/v1/localize", string(raw))
+			codes[i] = w.Code
+			var resp LocalizeResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err == nil && len(resp.Results) == 1 {
+				results[i] = resp.Results[0]
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		want := wifiModel.Predict(samples[i].Features)
+		if results[i].Class != want.Class || results[i].X != want.Pos.X || results[i].Y != want.Pos.Y {
+			t.Fatalf("request %d: batched result %+v != direct %+v", i, results[i], want)
+		}
+	}
+	passes, rows := s.metrics.BatchStats()
+	if rows != n {
+		t.Fatalf("batcher saw %d rows, want %d", rows, n)
+	}
+	if passes >= n {
+		t.Fatalf("no coalescing: %d passes for %d concurrent requests", passes, n)
+	}
+	t.Logf("coalesced %d requests into %d forward passes", n, passes)
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	fixtures(t)
+	dir := t.TempDir()
+	man := Manifest{Kind: KindWiFi, WiFi: &WiFiBundle{Plan: "ipin", Dataset: tinyWiFiDatasetCfg(), Config: wifiCfg}}
+	if err := WriteBundle(dir, "rt", man, func(f *os.File) error { return wifiModel.Save(f) }); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(filepath.Join(dir, "rt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "rt" || loaded.Kind != KindWiFi || loaded.WiFi == nil {
+		t.Fatalf("bad loaded model %+v", loaded)
+	}
+	for _, smp := range wifiDS.Test[:5] {
+		if got, want := loaded.WiFi.Predict(smp.Features), wifiModel.Predict(smp.Features); got != want {
+			t.Fatalf("restored bundle predicts %+v, original %+v", got, want)
+		}
+	}
+}
+
+// tinyWiFiDatasetCfg mirrors the fixture's dataset spec for manifests.
+func tinyWiFiDatasetCfg() dataset.WiFiConfig {
+	dcfg := dataset.SmallIPINConfig()
+	dcfg.NumWAPs = 16
+	dcfg.RefSpacing = 8
+	dcfg.SamplesPerRef = 3
+	dcfg.TestSamplesPerRef = 1
+	dcfg.Seed = 11
+	return dcfg
+}
+
+func TestRegistryHotReload(t *testing.T) {
+	fixtures(t)
+	dir := t.TempDir()
+	dcfg := tinyWiFiDatasetCfg()
+	man := Manifest{Kind: KindWiFi, WiFi: &WiFiBundle{Plan: "ipin", Dataset: dcfg, Config: wifiCfg}}
+	if err := WriteBundle(dir, "m", man, func(f *os.File) error { return wifiModel.Save(f) }); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry(dir, t.Logf)
+	if loaded, _, err := reg.Reload(); err != nil || loaded != 1 {
+		t.Fatalf("initial reload: loaded=%d err=%v", loaded, err)
+	}
+	gen1, ok := reg.Get("m")
+	if !ok || gen1.Generation != 1 {
+		t.Fatalf("generation after first load: %+v", gen1)
+	}
+
+	// Unchanged bundle must not reload.
+	if loaded, _, err := reg.Reload(); err != nil || loaded != 0 {
+		t.Fatalf("idempotent reload: loaded=%d err=%v", loaded, err)
+	}
+
+	// Publish new weights under the same name (a differently-seeded
+	// training run) and bump mtimes past filesystem granularity.
+	cfg2 := wifiCfg
+	cfg2.Seed = 99
+	model2 := core.TrainWiFi(wifiDS, cfg2)
+	man2 := man
+	man2.WiFi = &WiFiBundle{Plan: "ipin", Dataset: dcfg, Config: cfg2}
+	if err := WriteBundle(dir, "m", man2, func(f *os.File) error { return model2.Save(f) }); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	for _, f := range []string{"manifest.json", "weights.gob"} {
+		if err := os.Chtimes(filepath.Join(dir, "m", f), future, future); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if loaded, _, err := reg.Reload(); err != nil || loaded != 1 {
+		t.Fatalf("hot reload: loaded=%d err=%v", loaded, err)
+	}
+	gen2, _ := reg.Get("m")
+	if gen2.Generation != 2 {
+		t.Fatalf("generation after reload: %d, want 2", gen2.Generation)
+	}
+	if gen2.WiFi == gen1.WiFi {
+		t.Fatal("reload must swap in a new model instance")
+	}
+
+	// Removing the bundle dir drops the model.
+	if err := os.RemoveAll(filepath.Join(dir, "m")); err != nil {
+		t.Fatal(err)
+	}
+	if _, removed, err := reg.Reload(); err != nil || removed != 1 {
+		t.Fatalf("removal: removed=%d err=%v", removed, err)
+	}
+	if _, ok := reg.Get("m"); ok {
+		t.Fatal("removed bundle must leave the registry")
+	}
+}
+
+func TestRegistryKeepsServingOnBrokenBundle(t *testing.T) {
+	fixtures(t)
+	dir := t.TempDir()
+	man := Manifest{Kind: KindWiFi, WiFi: &WiFiBundle{Plan: "ipin", Dataset: tinyWiFiDatasetCfg(), Config: wifiCfg}}
+	if err := WriteBundle(dir, "m", man, func(f *os.File) error { return wifiModel.Save(f) }); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(dir, t.Logf)
+	reg.Reload()
+
+	// Corrupt the weights; the old generation must keep serving.
+	future := time.Now().Add(2 * time.Second)
+	if err := os.WriteFile(filepath.Join(dir, "m", "weights.gob"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Chtimes(filepath.Join(dir, "m", "weights.gob"), future, future)
+	if loaded, removed, err := reg.Reload(); err != nil || loaded != 0 || removed != 0 {
+		t.Fatalf("broken bundle: loaded=%d removed=%d err=%v", loaded, removed, err)
+	}
+	m, ok := reg.Get("m")
+	if !ok || m.Generation != 1 {
+		t.Fatal("previous generation must keep serving after a broken publish")
+	}
+}

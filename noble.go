@@ -26,6 +26,12 @@
 //	model := noble.TrainWiFi(ds, noble.DefaultWiFiConfig())
 //	pred := model.Predict(ds.Test[0].Features)
 //	fmt.Println(pred.Pos, pred.Building, pred.Floor)
+//
+// Batched inference amortizes the matmul cost across fingerprints — one
+// forward pass for the whole batch (this is what noble-serve's
+// micro-batcher uses):
+//
+//	preds := model.PredictBatch([][]float64{fp1, fp2, fp3})
 package noble
 
 import (
@@ -51,6 +57,11 @@ func DefaultWiFiConfig() WiFiConfig { return core.DefaultWiFiConfig() }
 // TrainWiFi fits NObLe on the dataset's training split.
 func TrainWiFi(ds *WiFiDataset, cfg WiFiConfig) *WiFiModel { return core.TrainWiFi(ds, cfg) }
 
+// NewWiFiModel builds the untrained architecture for a dataset — the
+// construction is deterministic, so weights written by (*WiFiModel).Save
+// can be restored into it with Load.
+func NewWiFiModel(ds *WiFiDataset, cfg WiFiConfig) *WiFiModel { return core.NewWiFiModel(ds, cfg) }
+
 // IMUConfig configures TrainIMU; see core.IMUConfig for field docs.
 type IMUConfig = core.IMUConfig
 
@@ -67,6 +78,10 @@ func DefaultIMUConfig() IMUConfig { return core.DefaultIMUConfig() }
 
 // TrainIMU fits the tracking model on the dataset's training paths.
 func TrainIMU(ds *IMUPathDataset, cfg IMUConfig) *IMUModel { return core.TrainIMU(ds, cfg) }
+
+// NewIMUModel builds the untrained tracking architecture for a dataset;
+// weights written by (*IMUModel).Save can be restored into it with Load.
+func NewIMUModel(ds *IMUPathDataset, cfg IMUConfig) *IMUModel { return core.NewIMUModel(ds, cfg) }
 
 // Grid is a fitted space quantizer (the neighborhood-class codebook).
 type Grid = quantize.Grid

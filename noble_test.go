@@ -24,7 +24,7 @@ func TestPublicWiFiPipeline(t *testing.T) {
 		t.Fatalf("prediction %v off-map", pred.Pos)
 	}
 
-	preds := model.PredictBatch(FeaturesMatrix(ds.Test))
+	preds := model.PredictMatrix(FeaturesMatrix(ds.Test))
 	pos := make([]Point, len(preds))
 	for i, p := range preds {
 		pos[i] = p.Pos
@@ -245,7 +245,7 @@ func TestPublicExtensionAPIs(t *testing.T) {
 	}
 
 	// Confusion and per-group breakdown.
-	preds := model.PredictBatch(FeaturesMatrix(ds.Test))
+	preds := model.PredictMatrix(FeaturesMatrix(ds.Test))
 	floors := make([]int, len(preds))
 	pos := make([]Point, len(preds))
 	for i, p := range preds {
