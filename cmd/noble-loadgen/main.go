@@ -1,20 +1,29 @@
-// Command noble-loadgen replays synthetic fingerprint traffic against a
+// Command noble-loadgen replays synthetic device traffic against a
 // running noble-serve and reports throughput and latency, so serving
 // performance (and the effect of micro-batching) is measurable and
 // trackable across revisions.
 //
 // Usage:
 //
-//	noble-loadgen [-url http://localhost:8080] [-model demo-wifi]
-//	              [-concurrency 32] [-duration 10s] [-qps 0] [-seed 1]
+//	noble-loadgen [-url http://localhost:8080] [-mode localize|track]
+//	              [-model NAME] [-concurrency 32] [-duration 10s]
+//	              [-qps 0] [-seed 1]
+//	              [-wifi-model NAME] [-fix-every 16] [-window 2]
 //
-// Each in-flight request carries one fingerprint — the paper's workload
-// shape, where every device asks for its own position — and -concurrency
-// controls how many devices query at once. With -qps 0 the load is
-// closed-loop (every worker fires as fast as the server answers);
-// otherwise arrivals are paced open-loop at the target rate. The report
-// includes the server-side micro-batch occupancy scraped from /metrics,
-// so coalescing is visible end to end.
+// In localize mode (the default) each in-flight request carries one
+// fingerprint — the paper's workload shape, where every device asks for
+// its own position — and -concurrency controls how many devices query at
+// once. In track mode each worker is one device with a stateful tracking
+// session: it streams one IMU segment per request to
+// /v1/sessions/{id}/segments, and every -fix-every steps the request
+// also carries a WiFi fingerprint that re-anchors the session through
+// the localize path, replaying the paper's hybrid IMU+WiFi tracking at
+// fleet scale; the reported latency is then per tracking step. With
+// -qps 0 the load is closed-loop (every worker fires as fast as the
+// server answers); otherwise arrivals are paced open-loop at the target
+// rate. The report includes the server-side micro-batch occupancy for
+// the exercised batcher kind scraped from /metrics, so coalescing is
+// visible end to end.
 package main
 
 import (
@@ -118,22 +127,31 @@ func (c *rawConn) do(body []byte) (int, error) {
 }
 
 type modelInfo struct {
-	Name     string `json:"name"`
-	Kind     string `json:"kind"`
-	InputDim int    `json:"input_dim"`
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	InputDim    int    `json:"input_dim"`
+	SegmentDim  int    `json:"segment_dim"`
+	MaxSegments int    `json:"max_segments"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("noble-loadgen: ")
 	url := flag.String("url", "http://localhost:8080", "noble-serve base URL")
-	model := flag.String("model", "", "model name (default: first wifi model from /v1/models)")
-	concurrency := flag.Int("concurrency", 32, "concurrent in-flight requests")
+	mode := flag.String("mode", "localize", "workload: localize (stateless fingerprints) or track (stateful sessions)")
+	model := flag.String("model", "", "model name (default: first model of the mode's kind from /v1/models)")
+	concurrency := flag.Int("concurrency", 32, "concurrent in-flight requests (track: concurrent device sessions)")
 	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
 	qps := flag.Float64("qps", 0, "target request rate (0 = closed-loop, as fast as possible)")
-	seed := flag.Int64("seed", 1, "fingerprint generator seed")
+	seed := flag.Int64("seed", 1, "payload generator seed (also keys track-mode session ids)")
+	wifiModel := flag.String("wifi-model", "", "track mode: wifi model for fixes (default: first wifi model)")
+	fixEvery := flag.Int("fix-every", 16, "track mode: carry a wifi fingerprint fix every N steps (0 disables fixes)")
+	window := flag.Int("window", 2, "track mode: session decode window in segments")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load generator to this file")
 	flag.Parse()
+	if *mode != "localize" && *mode != "track" {
+		log.Fatalf("unknown -mode %q (want localize or track)", *mode)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -148,15 +166,14 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: 10 * time.Second}
+	models := fetchModels(client, *url)
 
-	name, dim := pickModel(client, *url, *model)
-	log.Printf("target %s model=%s input_dim=%d", *url, name, dim)
-
-	// Pre-generate a pool of fingerprints so the hot loop only does HTTP.
+	// Pre-generate request-body pools so the hot loop only does HTTP.
 	rng := rand.New(rand.NewSource(*seed))
 	const pool = 256
-	bodies := make([][]byte, pool)
-	for i := range bodies {
+
+	// makeFingerprint synthesizes one normalized scan.
+	makeFingerprint := func(dim int) []float64 {
 		fp := make([]float64, dim)
 		for j := range fp {
 			if rng.Float64() < 0.7 { // most WAPs unheard, like a real scan
@@ -167,14 +184,77 @@ func main() {
 			// the wire size for precision no scan possesses.
 			fp[j] = math.Round(rng.Float64()*1e4) / 1e4
 		}
-		raw, err := json.Marshal(map[string]any{"model": name, "fingerprints": [][]float64{fp}})
+		return fp
+	}
+	marshal := func(v any) []byte {
+		raw, err := json.Marshal(v)
 		if err != nil {
-			log.Fatalf("encoding fingerprint: %v", err)
+			log.Fatalf("encoding request: %v", err)
 		}
-		bodies[i] = raw
+		return raw
 	}
 
-	before := scrapeBatchStats(client, *url)
+	kind := "localize"
+	var (
+		bodies     [][]byte // localize mode: request pool
+		createBody []byte   // track mode: first request of each session
+		stepBodies [][]byte // track mode: plain segment appends
+		fixBodies  [][]byte // track mode: segment + wifi fix
+	)
+	switch *mode {
+	case "localize":
+		m, ok := pick(models, "wifi", *model)
+		if !ok {
+			log.Fatalf("no wifi model %q at %s (have %+v)", *model, *url, models)
+		}
+		log.Printf("target %s model=%s input_dim=%d", *url, m.Name, m.InputDim)
+		bodies = make([][]byte, pool)
+		for i := range bodies {
+			bodies[i] = marshal(map[string]any{"model": m.Name, "fingerprints": [][]float64{makeFingerprint(m.InputDim)}})
+		}
+	case "track":
+		kind = "track"
+		m, ok := pick(models, "imu", *model)
+		if !ok {
+			log.Fatalf("no imu model %q at %s (have %+v)", *model, *url, models)
+		}
+		// Synthetic per-segment frame summaries: values shape the decoded
+		// positions, not the cost of a step, so noise is fine.
+		makeSegment := func() []float64 {
+			seg := make([]float64, m.SegmentDim)
+			for j := range seg {
+				seg[j] = math.Round(rng.NormFloat64()*1e3) / 1e3
+			}
+			return seg
+		}
+		createBody = marshal(map[string]any{
+			"model": m.Name, "start": map[string]float64{"x": 0, "y": 0},
+			"window": *window, "features": makeSegment(),
+		})
+		stepBodies = make([][]byte, pool)
+		for i := range stepBodies {
+			stepBodies[i] = marshal(map[string]any{"features": makeSegment()})
+		}
+		logLine := fmt.Sprintf("target %s model=%s segment_dim=%d window=%d", *url, m.Name, m.SegmentDim, *window)
+		if *fixEvery > 0 {
+			wm, ok := pick(models, "wifi", *wifiModel)
+			if !ok {
+				log.Fatalf("no wifi model %q for fixes at %s (have %+v)", *wifiModel, *url, models)
+			}
+			fixBodies = make([][]byte, pool)
+			for i := range fixBodies {
+				fixBodies[i] = marshal(map[string]any{
+					"features":    makeSegment(),
+					"wifi_model":  wm.Name,
+					"fingerprint": makeFingerprint(wm.InputDim),
+				})
+			}
+			logLine += fmt.Sprintf(" wifi_model=%s fix_every=%d", wm.Name, *fixEvery)
+		}
+		log.Print(logLine)
+	}
+
+	before := scrapeBatchStats(client, *url, kind)
 
 	parsed, err := url2.Parse(*url)
 	if err != nil {
@@ -199,16 +279,38 @@ func main() {
 		lats = append(lats, d.Seconds())
 		latMu.Unlock()
 	}
-	newConn := func() *rawConn {
-		c, err := dialRaw(addr, "/v1/localize")
+	// Each track-mode worker is one device streaming to its own session;
+	// localize workers share the stateless endpoint.
+	newConn := func(w int) *rawConn {
+		path := "/v1/localize"
+		if *mode == "track" {
+			path = fmt.Sprintf("/v1/sessions/lg%d-%d/segments", *seed, w)
+		}
+		c, err := dialRaw(addr, path)
 		if err != nil {
 			log.Fatalf("connecting to %s: %v", addr, err)
 		}
 		return c
 	}
-	fire := func(c *rawConn, i int) {
+	// bodyFor sequences one worker's requests: localize draws from the
+	// shared pool; track creates the session first, then appends
+	// segments with a periodic wifi fix.
+	bodyFor := func(w, step int) []byte {
+		if *mode == "localize" {
+			return bodies[(w*31+step)%pool]
+		}
+		switch {
+		case step == 0:
+			return createBody
+		case *fixEvery > 0 && step%*fixEvery == 0:
+			return fixBodies[step%pool]
+		default:
+			return stepBodies[step%pool]
+		}
+	}
+	fire := func(c *rawConn, body []byte) {
 		start := time.Now()
-		status, err := c.do(bodies[i%pool])
+		status, err := c.do(body)
 		record(time.Since(start), err == nil && status == http.StatusOK)
 	}
 
@@ -216,28 +318,28 @@ func main() {
 	var wg sync.WaitGroup
 	if *qps > 0 {
 		// Open-loop: paced arrivals dispatched to a bounded worker pool.
-		work := make(chan int, *concurrency)
+		work := make(chan struct{}, *concurrency)
 		for w := 0; w < *concurrency; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				c := newConn()
+				c := newConn(w)
 				defer c.conn.Close()
-				for i := range work {
-					fire(c, i)
+				step := 0
+				for range work {
+					fire(c, bodyFor(w, step))
+					step++
 				}
-			}()
+			}(w)
 		}
 		interval := time.Duration(float64(time.Second) / *qps)
 		tick := time.NewTicker(interval)
-		i := 0
 		for time.Now().Before(deadline) {
 			<-tick.C
 			select {
-			case work <- i: // drop the arrival if all workers are busy
+			case work <- struct{}{}: // drop the arrival if all workers are busy
 			default:
 			}
-			i++
 		}
 		tick.Stop()
 		close(work)
@@ -248,10 +350,10 @@ func main() {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				c := newConn()
+				c := newConn(w)
 				defer c.conn.Close()
-				for i := w; time.Now().Before(deadline); i += *concurrency {
-					fire(c, i)
+				for step := 0; time.Now().Before(deadline); step++ {
+					fire(c, bodyFor(w, step))
 				}
 			}(w)
 		}
@@ -259,7 +361,7 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after := scrapeBatchStats(client, *url)
+	after := scrapeBatchStats(client, *url, kind)
 
 	latMu.Lock()
 	sort.Float64s(lats)
@@ -278,29 +380,33 @@ func main() {
 		mean = mean / float64(len(lats)) * 1000
 	}
 
-	mode := "closed-loop"
+	loop := "closed-loop"
 	if *qps > 0 {
-		mode = fmt.Sprintf("open-loop %.0f qps", *qps)
+		loop = fmt.Sprintf("open-loop %.0f qps", *qps)
+	}
+	unit := "req/s"
+	if *mode == "track" {
+		unit = "steps/s"
 	}
 	fmt.Printf("noble-loadgen report\n")
-	fmt.Printf("  target      %s model=%s input_dim=%d seed=%d\n", *url, name, dim, *seed)
-	fmt.Printf("  load        %s, concurrency %d, %v\n", mode, *concurrency, duration.Round(time.Millisecond))
+	fmt.Printf("  mode        %s seed=%d\n", *mode, *seed)
+	fmt.Printf("  load        %s, concurrency %d, %v\n", loop, *concurrency, duration.Round(time.Millisecond))
 	fmt.Printf("  requests    %d ok, %d errors\n", sent.Load()-errs.Load(), errs.Load())
-	fmt.Printf("  throughput  %.1f req/s\n", float64(sent.Load()-errs.Load())/elapsed.Seconds())
+	fmt.Printf("  throughput  %.1f %s\n", float64(sent.Load()-errs.Load())/elapsed.Seconds(), unit)
 	fmt.Printf("  latency ms  mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 		mean, q(0.50), q(0.90), q(0.99), q(1.0))
 	if after.passes > before.passes {
 		rows := after.rows - before.rows
 		passes := after.passes - before.passes
-		fmt.Printf("  batching    %d rows in %d forward passes (avg batch %.2f)\n",
-			rows, passes, float64(rows)/float64(passes))
+		fmt.Printf("  batching    %d %s rows in %d forward passes (avg batch %.2f)\n",
+			rows, kind, passes, float64(rows)/float64(passes))
 	} else {
-		fmt.Printf("  batching    no server batch stats observed\n")
+		fmt.Printf("  batching    no server batch stats observed for kind %q\n", kind)
 	}
 }
 
-// pickModel resolves the model name and input dimension from /v1/models.
-func pickModel(client *http.Client, url, want string) (string, int) {
+// fetchModels lists the server's registered models.
+func fetchModels(client *http.Client, url string) []modelInfo {
 	resp, err := client.Get(url + "/v1/models")
 	if err != nil {
 		log.Fatalf("listing models: %v", err)
@@ -312,16 +418,18 @@ func pickModel(client *http.Client, url, want string) (string, int) {
 	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
 		log.Fatalf("decoding /v1/models: %v", err)
 	}
-	for _, m := range listing.Models {
-		if m.Kind != "wifi" {
-			continue
-		}
-		if want == "" || m.Name == want {
-			return m.Name, m.InputDim
+	return listing.Models
+}
+
+// pick selects a model of the wanted kind: the named one, or the first
+// of that kind when want is empty.
+func pick(models []modelInfo, kind, want string) (modelInfo, bool) {
+	for _, m := range models {
+		if m.Kind == kind && (want == "" || m.Name == want) {
+			return m, true
 		}
 	}
-	log.Fatalf("no wifi model %q at %s (have %+v)", want, url, listing.Models)
-	return "", 0
+	return modelInfo{}, false
 }
 
 // batchStats is the server-side micro-batch counters from /metrics.
@@ -329,22 +437,25 @@ type batchStats struct {
 	rows, passes int64
 }
 
-// scrapeBatchStats reads noble_batch_rows_{sum,count} from /metrics;
-// zeros on any failure (the report then omits batching).
-func scrapeBatchStats(client *http.Client, url string) batchStats {
+// scrapeBatchStats reads one batcher kind's noble_batch_rows_{sum,count}
+// series from /metrics; zeros on any failure (the report then omits
+// batching).
+func scrapeBatchStats(client *http.Client, url, kind string) batchStats {
 	var out batchStats
 	resp, err := client.Get(url + "/metrics")
 	if err != nil {
 		return out
 	}
 	defer resp.Body.Close()
+	sumPrefix := fmt.Sprintf("noble_batch_rows_sum{kind=%q} ", kind)
+	countPrefix := fmt.Sprintf("noble_batch_rows_count{kind=%q} ", kind)
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
-		case strings.HasPrefix(line, "noble_batch_rows_sum "):
+		case strings.HasPrefix(line, sumPrefix):
 			out.rows, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
-		case strings.HasPrefix(line, "noble_batch_rows_count "):
+		case strings.HasPrefix(line, countPrefix):
 			out.passes, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
 		}
 	}

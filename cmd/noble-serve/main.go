@@ -6,16 +6,24 @@
 // Usage:
 //
 //	noble-serve -models ./models [-addr :8080] [-batch-window 2ms]
-//	            [-batch-max 32] [-reload 2s] [-demo]
+//	            [-batch-max 32] [-reload 2s] [-session-ttl 10m]
+//	            [-session-sweep 0] [-demo]
 //
 // Endpoints:
 //
-//	POST /v1/localize  {"model":"m","fingerprints":[[...]]}
-//	POST /v1/track     {"model":"m","paths":[{"start":{"x":0,"y":0},"features":[...]}]}
-//	GET  /v1/models    registered models and their shapes
-//	GET  /healthz      liveness
-//	GET  /metrics      Prometheus text: request counts, latency quantiles,
-//	                   micro-batch occupancy
+//	POST   /v1/localize      {"model":"m","fingerprints":[[...]]}
+//	POST   /v1/track         {"model":"m","paths":[{"start":{"x":0,"y":0},"features":[...]}]}
+//	POST   /v1/sessions/{id}/segments
+//	                         stateful tracking: append IMU segments to a
+//	                         per-device session, optionally carrying a WiFi
+//	                         fingerprint that re-anchors the trajectory
+//	GET    /v1/sessions/{id} session state (steps, position, travel)
+//	DELETE /v1/sessions/{id} end a session
+//	GET    /v1/models        registered models and their shapes
+//	GET    /healthz          liveness
+//	GET    /metrics          Prometheus text: request counts, latency
+//	                         quantiles, micro-batch occupancy per kind,
+//	                         session gauges/counters
 //
 // With -demo, a small Wi-Fi localizer and IMU tracker are trained at
 // startup (a few seconds) and written into -models as regular bundles, so
@@ -49,6 +57,8 @@ func main() {
 		"micro-batch coalescing window (0 disables batching)")
 	batchMax := flag.Int("batch-max", 32, "max fingerprints per coalesced forward pass (best ≈ expected concurrent cohort)")
 	reload := flag.Duration("reload", 2*time.Second, "bundle directory poll interval (0 disables hot reload)")
+	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "evict tracking sessions idle longer than this (0 disables eviction)")
+	sessionSweep := flag.Duration("session-sweep", 0, "session eviction sweep interval (0 = ttl/4)")
 	demo := flag.Bool("demo", false, "train small demo models into -models before serving")
 	flag.Parse()
 
@@ -75,16 +85,23 @@ func main() {
 		Registry:    reg,
 		BatchWindow: *batchWindow,
 		MaxBatch:    *batchMax,
+		SessionTTL:  *sessionTTL,
 	})
 	if srv.Batching() {
 		log.Printf("micro-batching on: window=%v max=%d", *batchWindow, *batchMax)
 	} else {
 		log.Printf("micro-batching off")
 	}
+	if *sessionTTL > 0 {
+		log.Printf("tracking sessions: ttl=%v", *sessionTTL)
+	} else {
+		log.Printf("tracking sessions: no eviction")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go reg.Watch(ctx, *reload)
+	go srv.Sessions().Run(ctx, *sessionSweep)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {

@@ -370,8 +370,12 @@ func TrainIMU(ds *imu.PathDataset, cfg IMUConfig) *IMUModel {
 
 // PredictPaths decodes end positions for the given paths: the location
 // head's argmax class is looked up for its central coordinates, and the
-// displacement head's output is mapped back to meters.
+// displacement head's output is mapped back to meters. An empty input
+// yields an empty result, so library callers need no guard of their own.
 func (m *IMUModel) PredictPaths(paths []imu.Path) []IMUPrediction {
+	if len(paths) == 0 {
+		return nil
+	}
 	x, startOH, starts, _, _ := m.inputs(paths)
 	v, logits := m.forward(x, startOH, starts, false)
 	out := make([]IMUPrediction, len(paths))

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"noble/internal/geo"
+	"noble/internal/imu"
+	"noble/internal/quantize"
+)
+
+// PathTracker is the incremental prediction entry for long-lived
+// tracking sessions. Instead of resending a whole path per request
+// (PredictPaths), a caller appends IMU segments one at a time and
+// decodes the device position after each step. The tracker maintains
+// the session's path state — the anchor before every windowed segment,
+// the sliding feature window, and the latest estimate — exactly as
+// TrackWalk does for a recorded walk, but split into explicit
+// Step/Commit halves so the forward pass itself can run anywhere; in
+// particular, the serving layer coalesces many devices' steps into one
+// PredictPaths pass through its batcher. Step is pure and Commit does
+// all the mutating, so a step whose prediction failed leaves no trace
+// and may simply be retried.
+//
+// An absolute fix (e.g. a WiFi localization) re-anchors the tracker:
+// the window is cleared and dead reckoning restarts from the fixed
+// position, fusing the paper's two model kinds into one trajectory.
+//
+// A PathTracker is not safe for concurrent use; callers serialize
+// access per session.
+type PathTracker struct {
+	grid   *quantize.Grid
+	segDim int
+	window int
+
+	feats   *imu.FeatureWindow
+	anchors []geo.Point // anchors[i] = estimate before windowed segment i
+	est     IMUPrediction
+	origin  geo.Point // session origin: start anchor or the latest fix
+	steps   int
+}
+
+// NewPathTracker starts a tracker at the given position. window is the
+// decode window in segments, clamped to [1, MaxLen]; short windows
+// (1–2 segments) snap drift away at every step, long windows accumulate
+// more displacement error between corrections (see TrackWalk).
+func (m *IMUModel) NewPathTracker(start geo.Point, window int) *PathTracker {
+	if window < 1 {
+		window = 1
+	}
+	if window > m.maxLen {
+		window = m.maxLen
+	}
+	return &PathTracker{
+		grid:   m.Grid,
+		segDim: m.segDim,
+		window: window,
+		feats:  imu.NewFeatureWindow(window, m.segDim),
+		est:    IMUPrediction{End: start, Class: m.Grid.NearestClass(start)},
+		origin: start,
+	}
+}
+
+// Step returns the path that would decode the next step after
+// appending segFeats: the windowed features (minus the oldest segment
+// when the window is full) plus the new segment, anchored at the
+// estimate from before the window's first remaining segment. It does
+// NOT mutate the tracker — the caller runs the prediction (directly via
+// PredictPaths or through a batcher) and applies it with Commit, so a
+// failed prediction leaves the tracker exactly as it was and the same
+// segment may be retried.
+func (t *PathTracker) Step(segFeats []float64) (imu.Path, error) {
+	if len(segFeats) != t.segDim {
+		return imu.Path{}, fmt.Errorf("core: segment has %d features, tracker wants %d", len(segFeats), t.segDim)
+	}
+	skip := 0
+	if t.feats.Len() == t.window {
+		skip = 1 // the oldest segment slides out with this step
+	}
+	n := t.feats.Len() - skip + 1
+	feats := make([]float64, 0, n*t.segDim)
+	feats = t.feats.ConcatFrom(skip, feats)
+	feats = append(feats, segFeats...)
+	start := t.est.End
+	if t.feats.Len() > skip {
+		start = t.anchors[skip]
+	}
+	return imu.Path{Start: start, NumSegments: n, Features: feats}, nil
+}
+
+// Commit applies one step: segFeats must be the segment last passed to
+// Step and pred its decoded prediction. The segment enters the window,
+// the pre-step estimate becomes its anchor, and the estimate advances
+// to pred.
+func (t *PathTracker) Commit(segFeats []float64, pred IMUPrediction) {
+	if t.feats.Len() == t.window {
+		// Slide: drop the oldest segment together with its anchor.
+		copy(t.anchors, t.anchors[1:])
+		t.anchors = t.anchors[:len(t.anchors)-1]
+	}
+	t.anchors = append(t.anchors, t.est.End)
+	t.feats.Append(segFeats)
+	t.est = pred
+	t.steps++
+}
+
+// ReAnchor fuses an absolute position fix: the feature window and its
+// anchors are cleared and the estimate jumps to the fix, so subsequent
+// segments dead-reckon from ground truth instead of the drifted
+// estimate. The fix also becomes the session origin that Traveled
+// measures from.
+func (t *PathTracker) ReAnchor(p geo.Point) {
+	t.feats.Reset()
+	t.anchors = t.anchors[:0]
+	t.est = IMUPrediction{End: p, Class: t.grid.NearestClass(p)}
+	t.origin = p
+}
+
+// Estimate returns the latest committed prediction (or the start/fix
+// position before any step).
+func (t *PathTracker) Estimate() IMUPrediction { return t.est }
+
+// Traveled returns the displacement from the session origin (the start
+// anchor, or the most recent fix) to the current estimate.
+func (t *PathTracker) Traveled() geo.Point { return t.est.End.Sub(t.origin) }
+
+// Origin returns the position dead reckoning currently measures from.
+func (t *PathTracker) Origin() geo.Point { return t.origin }
+
+// Steps returns how many segments have been committed over the
+// tracker's lifetime (re-anchoring does not reset it).
+func (t *PathTracker) Steps() int { return t.steps }
+
+// Window returns the decode window in segments.
+func (t *PathTracker) Window() int { return t.window }
+
+// SegmentDim returns the per-segment feature width the tracker accepts.
+func (t *PathTracker) SegmentDim() int { return t.segDim }

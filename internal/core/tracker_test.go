@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"noble/internal/geo"
+	"noble/internal/imu"
+)
+
+func TestPredictPathsEmptyInput(t *testing.T) {
+	ds := tinyIMU()
+	cfg := tinyIMUConfig()
+	cfg.Epochs = 1
+	m := TrainIMU(ds, cfg)
+	if got := m.PredictPaths(nil); len(got) != 0 {
+		t.Fatalf("PredictPaths(nil) returned %d predictions", len(got))
+	}
+	if got := m.PredictPaths([]imu.Path{}); len(got) != 0 {
+		t.Fatalf("PredictPaths(empty) returned %d predictions", len(got))
+	}
+}
+
+// TestPathTrackerMatchesTrackWalk pins the incremental entry to the
+// batch reference: stepping a PathTracker segment by segment must
+// reproduce TrackWalk's dead-reckoning-with-snapping bit for bit, for
+// both a short snapping window and a longer accumulating one.
+func TestPathTrackerMatchesTrackWalk(t *testing.T) {
+	net := imu.NewCampusNetwork(6)
+	icfg := imu.DefaultConfig()
+	icfg.ReadingsPerSegment = 64
+	icfg.TotalSegments = 60
+	icfg.Walks = 1
+	track := imu.Synthesize(net, icfg, 17)
+	ds := imu.BuildPaths(track, imu.PathConfig{
+		NumPaths: 400, MaxLen: 6, Frames: 4,
+		TrainFrac: 0.8, ValFrac: 0.1, Seed: 3,
+	})
+	cfg := tinyIMUConfig()
+	cfg.Epochs = 5
+	m := TrainIMU(ds, cfg)
+
+	walk := track.Walks[0]
+	for _, window := range []int{1, 3, 100 /* clamped to MaxLen */} {
+		want := m.TrackWalk(net, walk, window)
+		tr := m.NewPathTracker(net.Refs[walk.RefSeq[0]], window)
+		for i, seg := range walk.Segments {
+			feats := imu.SegmentFeatures(seg.Readings, m.Frames())
+			path, err := tr.Step(feats)
+			if err != nil {
+				t.Fatalf("window %d step %d: %v", window, i, err)
+			}
+			pred := m.PredictPaths([]imu.Path{path})[0]
+			tr.Commit(feats, pred)
+			if pred != want[i] {
+				t.Fatalf("window %d step %d: incremental %+v, TrackWalk %+v", window, i, pred, want[i])
+			}
+		}
+		if tr.Steps() != len(walk.Segments) {
+			t.Fatalf("window %d: %d steps committed, want %d", window, tr.Steps(), len(walk.Segments))
+		}
+	}
+}
+
+func TestPathTrackerReAnchor(t *testing.T) {
+	ds := tinyIMU()
+	cfg := tinyIMUConfig()
+	cfg.Epochs = 3
+	m := TrainIMU(ds, cfg)
+
+	start := ds.Net.Refs[0]
+	tr := m.NewPathTracker(start, 2)
+	if tr.Estimate().End != start || tr.Origin() != start {
+		t.Fatalf("fresh tracker at %v: est %v origin %v", start, tr.Estimate().End, tr.Origin())
+	}
+
+	// Drive a few segments so the window and anchors are populated.
+	p := ds.Test[0]
+	segDim := m.SegmentDim()
+	for s := 0; s < p.NumSegments && s < 3; s++ {
+		seg := p.Features[s*segDim : (s+1)*segDim]
+		path, err := tr.Step(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Commit(seg, m.PredictPaths([]imu.Path{path})[0])
+	}
+	drifted := tr.Estimate().End
+
+	// Step is pure: proposing a step without committing leaves the
+	// tracker unchanged (the retry contract the serving layer relies on).
+	stepsBefore := tr.Steps()
+	if _, err := tr.Step(p.Features[:segDim]); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps() != stepsBefore || tr.Estimate().End != drifted {
+		t.Fatal("Step must not mutate the tracker")
+	}
+
+	// A fix far from the current estimate must move the estimate to the
+	// fix, restart the window, and reset the travel origin.
+	fix := ds.Net.Refs[len(ds.Net.Refs)/2]
+	tr.ReAnchor(fix)
+	if tr.Estimate().End != fix {
+		t.Fatalf("after fix at %v the estimate is %v (was %v)", fix, tr.Estimate().End, drifted)
+	}
+	if tr.Origin() != fix || tr.Traveled() != (geo.Point{}) {
+		t.Fatalf("fix must reset origin: origin %v traveled %v", tr.Origin(), tr.Traveled())
+	}
+	// The next step dead-reckons from the fix: its path anchors there
+	// with a single-segment window.
+	path, err := tr.Step(p.Features[:segDim])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Start != fix || path.NumSegments != 1 {
+		t.Fatalf("post-fix path starts at %v with %d segments, want %v with 1", path.Start, path.NumSegments, fix)
+	}
+
+	// Wrong-width segments are rejected, not panicked on.
+	if _, err := tr.Step(p.Features[:segDim-1]); err == nil {
+		t.Fatal("stepping a wrong-width segment must error")
+	}
+}

@@ -1,0 +1,75 @@
+package imu
+
+import "fmt"
+
+// FeatureWindow is a fixed-capacity sliding window over per-segment
+// feature vectors: the incremental counterpart of Path.Features for
+// long-lived tracking sessions, where segments stream in one at a time
+// and only the most recent Cap() segments matter. Appends are O(segDim)
+// into a flat ring with no per-segment allocation; Concat materializes
+// the window in arrival order for Path-style consumers.
+type FeatureWindow struct {
+	segDim  int
+	maxSegs int
+	buf     []float64 // flat ring of maxSegs × segDim values
+	start   int       // ring slot (in segments) of the oldest entry
+	count   int
+}
+
+// NewFeatureWindow returns an empty window holding at most maxSegs
+// segments of segDim features each.
+func NewFeatureWindow(maxSegs, segDim int) *FeatureWindow {
+	if maxSegs <= 0 || segDim <= 0 {
+		panic(fmt.Sprintf("imu: bad feature window %d segments × %d features", maxSegs, segDim))
+	}
+	return &FeatureWindow{
+		segDim:  segDim,
+		maxSegs: maxSegs,
+		buf:     make([]float64, maxSegs*segDim),
+	}
+}
+
+// Append adds one segment's features, evicting the oldest segment when
+// the window is full. It panics when feats is not exactly one segment
+// wide, mirroring SegmentFeatures' contract.
+func (w *FeatureWindow) Append(feats []float64) {
+	if len(feats) != w.segDim {
+		panic(fmt.Sprintf("imu: appending %d features to a window of %d-wide segments", len(feats), w.segDim))
+	}
+	slot := (w.start + w.count) % w.maxSegs
+	if w.count == w.maxSegs {
+		slot = w.start
+		w.start = (w.start + 1) % w.maxSegs
+	} else {
+		w.count++
+	}
+	copy(w.buf[slot*w.segDim:(slot+1)*w.segDim], feats)
+}
+
+// Len returns the number of segments currently windowed.
+func (w *FeatureWindow) Len() int { return w.count }
+
+// Cap returns the maximum number of segments the window holds.
+func (w *FeatureWindow) Cap() int { return w.maxSegs }
+
+// SegmentDim returns the per-segment feature width.
+func (w *FeatureWindow) SegmentDim() int { return w.segDim }
+
+// Reset empties the window.
+func (w *FeatureWindow) Reset() { w.start, w.count = 0, 0 }
+
+// Concat appends the windowed features to dst in arrival order and
+// returns the extended slice.
+func (w *FeatureWindow) Concat(dst []float64) []float64 { return w.ConcatFrom(0, dst) }
+
+// ConcatFrom appends the windowed features from segment index skip
+// onward (in arrival order) to dst and returns the extended slice —
+// what a caller building a would-be-slid window needs without mutating
+// this one.
+func (w *FeatureWindow) ConcatFrom(skip int, dst []float64) []float64 {
+	for i := skip; i < w.count; i++ {
+		slot := (w.start + i) % w.maxSegs
+		dst = append(dst, w.buf[slot*w.segDim:(slot+1)*w.segDim]...)
+	}
+	return dst
+}

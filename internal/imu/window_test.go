@@ -1,0 +1,48 @@
+package imu
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFeatureWindowSlides(t *testing.T) {
+	w := NewFeatureWindow(3, 2)
+	if w.Len() != 0 || w.Cap() != 3 || w.SegmentDim() != 2 {
+		t.Fatalf("fresh window: len=%d cap=%d dim=%d", w.Len(), w.Cap(), w.SegmentDim())
+	}
+	w.Append([]float64{1, 1})
+	w.Append([]float64{2, 2})
+	if got := w.Concat(nil); !reflect.DeepEqual(got, []float64{1, 1, 2, 2}) {
+		t.Fatalf("partial window concat %v", got)
+	}
+	w.Append([]float64{3, 3})
+	w.Append([]float64{4, 4}) // evicts {1,1}
+	if w.Len() != 3 {
+		t.Fatalf("full window len %d, want 3", w.Len())
+	}
+	if got := w.Concat(nil); !reflect.DeepEqual(got, []float64{2, 2, 3, 3, 4, 4}) {
+		t.Fatalf("slid window concat %v", got)
+	}
+	w.Append([]float64{5, 5})
+	if got := w.Concat(nil); !reflect.DeepEqual(got, []float64{3, 3, 4, 4, 5, 5}) {
+		t.Fatalf("second slide concat %v", got)
+	}
+	w.Reset()
+	if w.Len() != 0 || len(w.Concat(nil)) != 0 {
+		t.Fatalf("reset window not empty")
+	}
+	// Refill after reset starts clean.
+	w.Append([]float64{9, 9})
+	if got := w.Concat(nil); !reflect.DeepEqual(got, []float64{9, 9}) {
+		t.Fatalf("post-reset concat %v", got)
+	}
+}
+
+func TestFeatureWindowRejectsWrongDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("appending a wrong-width segment must panic")
+		}
+	}()
+	NewFeatureWindow(2, 3).Append([]float64{1, 2})
+}

@@ -94,8 +94,6 @@ func (d *Dense) FLOPs() int64 { return int64(2*d.In*d.Out + d.Out) }
 type BlockDense struct {
 	Blocks int
 	Inner  *Dense
-
-	batch int
 }
 
 // NewBlockDense creates a shared projection applied independently to each
@@ -105,22 +103,27 @@ func NewBlockDense(name string, blocks, in, out int, scheme InitScheme, rng *ran
 }
 
 // Forward reshapes (batch, Blocks·In) to (batch·Blocks, In), applies the
-// shared dense layer, and reshapes back.
+// shared dense layer, and reshapes back. With train=false it writes no
+// layer state — like every other layer's inference pass — so concurrent
+// inference on a shared model is race-free (the serving layer relies on
+// this when micro-batching is disabled).
 func (b *BlockDense) Forward(x *mat.Dense, train bool) *mat.Dense {
 	if x.Cols != b.Blocks*b.Inner.In {
 		panic(fmt.Sprintf("nn: BlockDense expected %d cols, got %d", b.Blocks*b.Inner.In, x.Cols))
 	}
-	b.batch = x.Rows
 	flat := x.Reshape(x.Rows*b.Blocks, b.Inner.In)
 	out := b.Inner.Forward(flat, train)
-	return out.Reshape(b.batch, b.Blocks*b.Inner.Out)
+	return out.Reshape(x.Rows, b.Blocks*b.Inner.Out)
 }
 
-// Backward routes the gradient through the shared dense layer.
+// Backward routes the gradient through the shared dense layer. The batch
+// size is recovered from dout, which matches the last Forward by the
+// Layer contract.
 func (b *BlockDense) Backward(dout *mat.Dense) *mat.Dense {
-	flat := dout.Reshape(b.batch*b.Blocks, b.Inner.Out)
+	batch := dout.Rows
+	flat := dout.Reshape(batch*b.Blocks, b.Inner.Out)
 	dx := b.Inner.Backward(flat)
-	return dx.Reshape(b.batch, b.Blocks*b.Inner.In)
+	return dx.Reshape(batch, b.Blocks*b.Inner.In)
 }
 
 // Params returns the shared dense parameters.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -88,6 +89,9 @@ const (
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/localize", s.instrument("localize", s.handleLocalize))
 	s.mux.HandleFunc("POST /v1/track", s.instrument("track", s.handleTrack))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/segments", s.instrument("sessions", s.handleSessionSegments))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("sessions_get", s.handleSessionGet))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("sessions_delete", s.handleSessionDelete))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -147,10 +151,10 @@ func (s *Server) resolve(w http.ResponseWriter, name, kind string) (*Model, bool
 	return m, true
 }
 
-// predictForBatch is the Batcher's callback: resolve the model at flush
-// time (so batches formed across a hot reload run on the newest
+// predictWiFiBatch is the localize Batcher's callback: resolve the model
+// at flush time (so batches formed across a hot reload run on the newest
 // generation) and run one batched forward pass.
-func (s *Server) predictForBatch(model string, rows [][]float64) ([]core.WiFiPrediction, error) {
+func (s *Server) predictWiFiBatch(model string, rows [][]float64) ([]core.WiFiPrediction, error) {
 	m, ok := s.reg.Get(model)
 	if !ok || m.WiFi == nil {
 		return nil, fmt.Errorf("model %q disappeared", model)
@@ -158,10 +162,48 @@ func (s *Server) predictForBatch(model string, rows [][]float64) ([]core.WiFiPre
 	return m.WiFi.PredictBatch(rows), nil
 }
 
+// predictIMUBatch is the track Batcher's callback, coalescing /v1/track
+// paths and session steps into one PredictPaths pass.
+func (s *Server) predictIMUBatch(model string, paths []imu.Path) ([]core.IMUPrediction, error) {
+	m, ok := s.reg.Get(model)
+	if !ok || m.IMU == nil {
+		return nil, fmt.Errorf("model %q disappeared", model)
+	}
+	return m.IMU.PredictPaths(paths), nil
+}
+
+// failBodyError maps a request-body read/decode error: only an
+// oversized body (*http.MaxBytesError) is 413; anything else is the
+// client's malformed request, reported as 400 with the given message.
+func failBodyError(w http.ResponseWriter, err error, format string, args ...any) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxBodyBytes)
+		return
+	}
+	fail(w, http.StatusBadRequest, format, args...)
+}
+
+// decodeStrict decodes a size-capped JSON request body into v, rejecting
+// trailing garbage, and writes the error response itself on failure: an
+// oversized body is 413, anything else malformed is 400.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		failBodyError(w, err, "decoding request: %v", err)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		failBodyError(w, err, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		fail(w, http.StatusRequestEntityTooLarge, "reading request: %v", err)
+		failBodyError(w, err, "reading request: %v", err)
 		return
 	}
 	var req LocalizeRequest
@@ -193,7 +235,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	preds, err := s.batcher.Localize(r.Context(), req.Model, req.Fingerprints)
+	preds, err := s.wifiBatcher.Submit(r.Context(), req.Model, req.Fingerprints)
 	if err != nil {
 		fail(w, http.StatusInternalServerError, "inference: %v", err)
 		return
@@ -211,8 +253,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	var req TrackRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		fail(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !decodeStrict(w, r, &req) {
 		return
 	}
 	m, ok := s.resolve(w, req.Model, KindIMU)
@@ -244,7 +285,11 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 			Features:    p.Features,
 		}
 	}
-	preds := m.IMU.PredictPaths(paths)
+	preds, err := s.imuBatcher.Submit(r.Context(), req.Model, paths)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "inference: %v", err)
+		return
+	}
 	resp := TrackResponse{Model: req.Model, Results: make([]TrackResult, len(preds))}
 	for i, p := range preds {
 		resp.Results[i] = TrackResult{
@@ -265,6 +310,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         "ok",
 		"models":         s.reg.Len(),
 		"batching":       s.Batching(),
+		"sessions":       s.sessions.Len(),
 		"uptime_seconds": int64(time.Since(s.started).Seconds()),
 	})
 }
@@ -272,4 +318,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w)
+	s.sessions.WritePrometheus(w)
 }

@@ -5,16 +5,19 @@ import (
 	"fmt"
 	"sync"
 	"time"
-
-	"noble/internal/core"
 )
 
-// PredictFunc answers one coalesced forward pass for a named model.
-type PredictFunc func(model string, rows [][]float64) ([]core.WiFiPrediction, error)
+// PredictFunc answers one coalesced forward pass for a named model: R is
+// the per-request row type (a fingerprint, a path), P the per-row
+// prediction.
+type PredictFunc[R, P any] func(model string, rows []R) ([]P, error)
 
-// Batcher is the micro-batching engine: concurrent localize requests for
-// the same model are packed into one matrix and answered by a single
-// batched forward pass.
+// Batcher is the micro-batching engine: concurrent requests for the same
+// model are packed into one batch and answered by a single batched
+// forward pass. It is generic over the row and prediction types, so the
+// same engine coalesces localize traffic (fingerprint rows through
+// (*core.WiFiModel).PredictBatch) and track/session traffic (imu.Path
+// rows through (*core.IMUModel).PredictPaths).
 //
 // It runs continuous batching with arrival-gap pass boundaries: a
 // per-model dispatcher goroutine accumulates requests while they keep
@@ -31,60 +34,66 @@ type PredictFunc func(model string, rows [][]float64) ([]core.WiFiPrediction, er
 // baseline). Results are split back per request in arrival order. The
 // model is resolved at flush time, so a batch formed across a hot reload
 // simply runs on the newest generation.
-type Batcher struct {
+type Batcher[R, P any] struct {
 	Window   time.Duration
 	MaxBatch int
 
-	predict PredictFunc
+	kind    string // metrics label ("localize", "track")
+	predict PredictFunc[R, P]
 	metrics *Metrics
 
 	mu     sync.Mutex
-	queues map[string]*batchQueue
+	queues map[string]*batchQueue[R, P]
 }
 
 // batchJob is one request waiting for its pass.
-type batchJob struct {
-	rows  [][]float64
-	preds []core.WiFiPrediction
+type batchJob[R, P any] struct {
+	rows  []R
+	preds []P
 	err   error
 	done  chan struct{}
 }
 
 // batchQueue accumulates jobs for one model between passes.
-type batchQueue struct {
-	jobs    []*batchJob
+type batchQueue[R, P any] struct {
+	jobs    []*batchJob[R, P]
 	rows    int
 	running bool          // a dispatcher goroutine is active for this model
 	notify  chan struct{} // cap 1; poked on every enqueue
 }
 
-// NewBatcher builds a batcher over a predict callback. metrics may be nil.
-func NewBatcher(window time.Duration, maxBatch int, predict PredictFunc, metrics *Metrics) *Batcher {
+// NewBatcher builds a batcher over a predict callback. kind labels the
+// batcher's passes in /metrics; metrics may be nil.
+func NewBatcher[R, P any](kind string, window time.Duration, maxBatch int, predict PredictFunc[R, P], metrics *Metrics) *Batcher[R, P] {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
-	return &Batcher{
+	if metrics != nil {
+		metrics.registerBatchKind(kind)
+	}
+	return &Batcher[R, P]{
 		Window:   window,
 		MaxBatch: maxBatch,
+		kind:     kind,
 		predict:  predict,
 		metrics:  metrics,
-		queues:   make(map[string]*batchQueue),
+		queues:   make(map[string]*batchQueue[R, P]),
 	}
 }
 
-// Localize predicts rows on the named model, sharing a forward pass with
+// Submit predicts rows on the named model, sharing a forward pass with
 // concurrent callers when batching is enabled. It blocks until the pass
 // containing the request completes or ctx is done.
-func (b *Batcher) Localize(ctx context.Context, model string, rows [][]float64) ([]core.WiFiPrediction, error) {
+func (b *Batcher[R, P]) Submit(ctx context.Context, model string, rows []R) ([]P, error) {
 	if b.Window <= 0 {
 		return b.run(model, rows)
 	}
 
-	job := &batchJob{rows: rows, done: make(chan struct{})}
+	job := &batchJob[R, P]{rows: rows, done: make(chan struct{})}
 	b.mu.Lock()
 	q := b.queues[model]
 	if q == nil {
-		q = &batchQueue{notify: make(chan struct{}, 1)}
+		q = &batchQueue[R, P]{notify: make(chan struct{}, 1)}
 		b.queues[model] = q
 	}
 	q.jobs = append(q.jobs, job)
@@ -124,7 +133,7 @@ func (b *Batcher) Localize(ctx context.Context, model string, rows [][]float64) 
 // This is stateless, so it cannot lock into a degenerate batch size: a
 // lone request waits only one gap, a burst coalesces into one pass, and
 // sustained load runs full passes back to back.
-func (b *Batcher) dispatch(model string, q *batchQueue) {
+func (b *Batcher[R, P]) dispatch(model string, q *batchQueue[R, P]) {
 	timer := time.NewTimer(b.Window)
 	defer timer.Stop()
 	// The gap threshold needs to exceed the per-request ingest time (so a
@@ -190,7 +199,7 @@ func (b *Batcher) dispatch(model string, q *batchQueue) {
 		// Take whole jobs up to MaxBatch rows; a single oversized job
 		// still goes through as its own pass.
 		var (
-			take  []*batchJob
+			take  []*batchJob[R, P]
 			taken int
 		)
 		for len(q.jobs) > 0 {
@@ -228,8 +237,8 @@ func resetTimer(t *time.Timer, d time.Duration) {
 
 // flush runs one forward pass for the coalesced jobs and fans results
 // back out in arrival order.
-func (b *Batcher) flush(model string, jobs []*batchJob) {
-	var rows [][]float64
+func (b *Batcher[R, P]) flush(model string, jobs []*batchJob[R, P]) {
+	var rows []R
 	for _, j := range jobs {
 		rows = append(rows, j.rows...)
 	}
@@ -249,14 +258,14 @@ func (b *Batcher) flush(model string, jobs []*batchJob) {
 // run invokes the predict callback for one batch, converting panics (e.g.
 // a shape mismatch that slipped past validation) into errors so one bad
 // request cannot take down the server, and records the batch size.
-func (b *Batcher) run(model string, rows [][]float64) (preds []core.WiFiPrediction, err error) {
+func (b *Batcher[R, P]) run(model string, rows []R) (preds []P, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			preds, err = nil, fmt.Errorf("inference panic: %v", r)
 		}
 	}()
 	if b.metrics != nil {
-		b.metrics.ObserveBatch(len(rows))
+		b.metrics.ObserveBatch(b.kind, len(rows))
 	}
 	return b.predict(model, rows)
 }

@@ -14,15 +14,19 @@ import (
 const latencyWindow = 8192
 
 // Metrics collects request counts per endpoint and status code, latency
-// quantiles over a sliding window, and micro-batch occupancy. All methods
-// are safe for concurrent use.
+// quantiles over a sliding window, and micro-batch occupancy per batcher
+// kind (localize, track). All methods are safe for concurrent use.
 type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+	batches   map[string]*batchKindStats
+}
 
-	batchCount int64 // forward passes
-	batchRows  int64 // fingerprints across all passes
-	batchMax   int64 // largest pass observed
+// batchKindStats is one batcher kind's coalescing counters.
+type batchKindStats struct {
+	count int64 // forward passes
+	rows  int64 // rows across all passes
+	max   int64 // largest pass observed
 }
 
 type endpointStats struct {
@@ -33,7 +37,21 @@ type endpointStats struct {
 
 // NewMetrics returns an empty collector.
 func NewMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*endpointStats)}
+	return &Metrics{
+		endpoints: make(map[string]*endpointStats),
+		batches:   make(map[string]*batchKindStats),
+	}
+}
+
+// registerBatchKind pre-creates a kind's counters so its series appear
+// in /metrics (at zero) before the first pass — scrapers can diff
+// before/after without special-casing absent series.
+func (m *Metrics) registerBatchKind(kind string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.batches[kind] == nil {
+		m.batches[kind] = &batchKindStats{}
+	}
 }
 
 // Observe records one finished request.
@@ -55,23 +73,33 @@ func (m *Metrics) Observe(endpoint string, code int, d time.Duration) {
 	s.n++
 }
 
-// ObserveBatch records one coalesced forward pass of the given size.
-func (m *Metrics) ObserveBatch(size int) {
+// ObserveBatch records one coalesced forward pass of the given size for
+// the given batcher kind.
+func (m *Metrics) ObserveBatch(kind string, size int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.batchCount++
-	m.batchRows += int64(size)
-	if int64(size) > m.batchMax {
-		m.batchMax = int64(size)
+	s := m.batches[kind]
+	if s == nil {
+		s = &batchKindStats{}
+		m.batches[kind] = s
+	}
+	s.count++
+	s.rows += int64(size)
+	if int64(size) > s.max {
+		s.max = int64(size)
 	}
 }
 
 // BatchStats returns the number of forward passes and total rows batched
-// so far.
-func (m *Metrics) BatchStats() (passes, rows int64) {
+// so far for one batcher kind.
+func (m *Metrics) BatchStats(kind string) (passes, rows int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.batchCount, m.batchRows
+	s := m.batches[kind]
+	if s == nil {
+		return 0, 0
+	}
+	return s.count, s.rows
 }
 
 // quantile returns the q-th quantile of vals (sorted in place).
@@ -122,9 +150,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "noble_request_latency_seconds_count{endpoint=%q} %d\n", name, s.n)
 	}
 
-	fmt.Fprintln(w, "# HELP noble_batch_rows Fingerprints coalesced into batched forward passes.")
+	kinds := make([]string, 0, len(m.batches))
+	for kind := range m.batches {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintln(w, "# HELP noble_batch_rows Rows (fingerprints or paths) coalesced into batched forward passes, by batcher kind.")
 	fmt.Fprintln(w, "# TYPE noble_batch_rows counter")
-	fmt.Fprintf(w, "noble_batch_rows_sum %d\n", m.batchRows)
-	fmt.Fprintf(w, "noble_batch_rows_count %d\n", m.batchCount)
-	fmt.Fprintf(w, "noble_batch_rows_max %d\n", m.batchMax)
+	for _, kind := range kinds {
+		s := m.batches[kind]
+		fmt.Fprintf(w, "noble_batch_rows_sum{kind=%q} %d\n", kind, s.rows)
+		fmt.Fprintf(w, "noble_batch_rows_count{kind=%q} %d\n", kind, s.count)
+		fmt.Fprintf(w, "noble_batch_rows_max{kind=%q} %d\n", kind, s.max)
+	}
 }

@@ -2,8 +2,10 @@
 // models into a long-lived localization service in the shape FIND3 uses
 // for fingerprint localization — a model registry keyed by name, an HTTP
 // JSON API, and operational introspection — plus a micro-batching engine
-// that coalesces concurrent localize requests into single batched forward
-// passes.
+// that coalesces concurrent inference requests into single batched
+// forward passes, and a stateful tracking-session layer that fuses the
+// paper's two model kinds (IMU dead reckoning re-anchored by WiFi fixes)
+// per device.
 //
 // The registry loads named model bundles (manifest.json + weights.gob,
 // written by WriteBundle / `noble-train -bundle`) from a directory and
@@ -13,40 +15,58 @@
 // previous generation serving.
 //
 // Micro-batching exploits the shape of the paper's workload — millions of
-// devices issuing tiny single-fingerprint queries — where the per-request
-// matmul is too small to amortize dispatch cost. Requests arriving within
-// a short window (default 2 ms) are packed into one matrix and answered by
-// one (*core.WiFiModel).PredictBatch call; see Batcher.
+// devices issuing tiny single-fingerprint or single-segment queries —
+// where the per-request matmul is too small to amortize dispatch cost.
+// Requests arriving within a short window (default 2 ms) are packed into
+// one matrix and answered by one batched forward pass; see Batcher. The
+// engine is generic: one instance coalesces localize fingerprints into
+// (*core.WiFiModel).PredictBatch, another coalesces track and session
+// steps into (*core.IMUModel).PredictPaths.
+//
+// Tracking sessions (POST /v1/sessions/{id}/segments) keep per-device
+// path state server-side in a sharded, lock-striped store with TTL
+// eviction, so a device streams one IMU segment per request instead of
+// resending its whole path; see the session package.
 package serve
 
 import (
 	"net/http"
 	"time"
+
+	"noble/internal/core"
+	"noble/internal/imu"
+	"noble/internal/serve/session"
 )
 
 // Config assembles a Server.
 type Config struct {
 	// Registry resolves model names; required.
 	Registry *Registry
-	// BatchWindow is how long a localize request may wait for companions
-	// to share a forward pass. Zero or negative disables micro-batching
-	// (every request runs its own pass) — the comparison baseline for
-	// noble-loadgen.
+	// BatchWindow is how long a localize or track request may wait for
+	// companions to share a forward pass. Zero or negative disables
+	// micro-batching (every request runs its own pass) — the comparison
+	// baseline for noble-loadgen.
 	BatchWindow time.Duration
-	// MaxBatch caps fingerprints per coalesced forward pass; a full
-	// batch flushes immediately without waiting out the window.
-	// Defaults to 64.
+	// MaxBatch caps rows (fingerprints or paths) per coalesced forward
+	// pass; a full batch flushes immediately without waiting out the
+	// window. Defaults to 64.
 	MaxBatch int
+	// SessionTTL evicts tracking sessions idle longer than this. Zero
+	// disables eviction; the sweeper itself only runs when the caller
+	// starts it (see Sessions().Run).
+	SessionTTL time.Duration
 }
 
 // Server is the HTTP inference service. Construct with New, expose with
 // Handler.
 type Server struct {
-	reg     *Registry
-	batcher *Batcher
-	metrics *Metrics
-	mux     *http.ServeMux
-	started time.Time
+	reg         *Registry
+	wifiBatcher *Batcher[[]float64, core.WiFiPrediction]
+	imuBatcher  *Batcher[imu.Path, core.IMUPrediction]
+	sessions    *session.Store
+	metrics     *Metrics
+	mux         *http.ServeMux
+	started     time.Time
 }
 
 // New wires a Server from cfg.
@@ -58,11 +78,13 @@ func New(cfg Config) *Server {
 		cfg.MaxBatch = 64
 	}
 	s := &Server{
-		reg:     cfg.Registry,
-		metrics: NewMetrics(),
-		started: time.Now(),
+		reg:      cfg.Registry,
+		metrics:  NewMetrics(),
+		sessions: session.NewStore(cfg.SessionTTL),
+		started:  time.Now(),
 	}
-	s.batcher = NewBatcher(cfg.BatchWindow, cfg.MaxBatch, s.predictForBatch, s.metrics)
+	s.wifiBatcher = NewBatcher("localize", cfg.BatchWindow, cfg.MaxBatch, s.predictWiFiBatch, s.metrics)
+	s.imuBatcher = NewBatcher("track", cfg.BatchWindow, cfg.MaxBatch, s.predictIMUBatch, s.metrics)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -72,4 +94,8 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Batching reports whether micro-batching is enabled.
-func (s *Server) Batching() bool { return s.batcher.Window > 0 }
+func (s *Server) Batching() bool { return s.wifiBatcher.Window > 0 }
+
+// Sessions exposes the tracking-session store (for the TTL sweeper and
+// introspection).
+func (s *Server) Sessions() *session.Store { return s.sessions }

@@ -288,7 +288,7 @@ func TestBatchedLocalizeMatchesUnbatched(t *testing.T) {
 			t.Fatalf("request %d: batched result %+v != direct %+v", i, results[i], want)
 		}
 	}
-	passes, rows := s.metrics.BatchStats()
+	passes, rows := s.metrics.BatchStats("localize")
 	if rows != n {
 		t.Fatalf("batcher saw %d rows, want %d", rows, n)
 	}

@@ -1,0 +1,65 @@
+// Package session holds the server-side state for stateful tracking
+// sessions: a sharded, lock-striped store keyed by device ID, per-device
+// path state (a core.PathTracker fed incrementally over HTTP), TTL
+// eviction driven by a background sweeper, and aggregate counters
+// exported on /metrics.
+//
+// The store is built for the ROADMAP's millions-of-devices shape: reads
+// and writes for different devices hash to independent shards (each a
+// small map under its own RWMutex), so session lookups never contend
+// globally, and the sweeper walks one shard at a time instead of
+// stopping the world. Inference itself never runs under a shard lock —
+// handlers resolve the *Session, release the shard, and serialize on the
+// session's own mutex, which the sweeper only TryLocks (a busy session
+// is by definition not idle, so it is skipped, never evicted mid-step).
+package session
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"noble/internal/core"
+)
+
+// Session is one device's tracking state. The embedded tracker (and any
+// other mutable state) is guarded by the session mutex; ID, Model, and
+// CreatedAt are immutable after New.
+type Session struct {
+	ID        string
+	Model     string // IMU model name, bound at creation
+	CreatedAt time.Time
+
+	mu       sync.Mutex
+	Tracker  *core.PathTracker
+	lastUsed atomic.Int64 // unix nanoseconds
+
+	Steps     atomic.Int64 // committed segments
+	ReAnchors atomic.Int64 // absolute fixes fused
+}
+
+// New builds a session around a tracker.
+func New(id, model string, tracker *core.PathTracker) *Session {
+	s := &Session{ID: id, Model: model, CreatedAt: time.Now(), Tracker: tracker}
+	s.Touch(s.CreatedAt)
+	return s
+}
+
+// Lock serializes access to the session's mutable state. Handlers hold
+// it across a whole step (append → predict → commit) so concurrent
+// requests for the same device cannot interleave half-steps; requests
+// for different devices only ever meet in the batcher.
+func (s *Session) Lock() { s.mu.Lock() }
+
+// TryLock is the sweeper's non-blocking acquire: failure means a request
+// is mid-step, so the session is live and must not be evicted.
+func (s *Session) TryLock() bool { return s.mu.TryLock() }
+
+// Unlock releases the session.
+func (s *Session) Unlock() { s.mu.Unlock() }
+
+// Touch records activity for TTL accounting. Safe without the lock.
+func (s *Session) Touch(t time.Time) { s.lastUsed.Store(t.UnixNano()) }
+
+// LastUsed returns the last Touch time.
+func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }

@@ -1,0 +1,189 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"noble/internal/core"
+	"noble/internal/imu"
+)
+
+// tinyTracker trains one small IMU model per test binary to back real
+// PathTrackers in the store tests.
+var trackerModel = sync.OnceValue(func() *core.IMUModel {
+	net := imu.NewCampusNetwork(12)
+	cfg := imu.DefaultConfig()
+	cfg.ReadingsPerSegment = 32
+	cfg.TotalSegments = 40
+	track := imu.Synthesize(net, cfg, 5)
+	ds := imu.BuildPaths(track, imu.PathConfig{
+		NumPaths: 120, MaxLen: 4, Frames: 3,
+		TrainFrac: 0.7, ValFrac: 0.1, Seed: 7,
+	})
+	mcfg := core.DefaultIMUConfig()
+	mcfg.ProjDim = 8
+	mcfg.Hidden = []int{16, 16}
+	mcfg.Tau = 2
+	mcfg.Epochs = 2
+	return core.TrainIMU(ds, mcfg)
+})
+
+func newSession(id string) *Session {
+	m := trackerModel()
+	return New(id, "imu-test", m.NewPathTracker(m.Grid.Decode(0), 2))
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	st := NewStore(time.Hour)
+	s, created, err := st.GetOrCreate("dev-1", func() (*Session, error) { return newSession("dev-1"), nil })
+	if err != nil || !created || s == nil {
+		t.Fatalf("create: s=%v created=%v err=%v", s, created, err)
+	}
+	again, created, err := st.GetOrCreate("dev-1", func() (*Session, error) {
+		t.Fatal("init must not run for an existing session")
+		return nil, nil
+	})
+	if err != nil || created || again != s {
+		t.Fatalf("get: same=%v created=%v err=%v", again == s, created, err)
+	}
+	if got, ok := st.Get("dev-1"); !ok || got != s {
+		t.Fatal("Get must resolve the created session")
+	}
+	if _, ok := st.Get("dev-2"); ok {
+		t.Fatal("Get must miss unknown ids")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len %d, want 1", st.Len())
+	}
+	if !st.Delete("dev-1") || st.Delete("dev-1") {
+		t.Fatal("Delete must report presence exactly once")
+	}
+	snap := st.Snapshot()
+	if snap.Active != 0 || snap.Created != 1 || snap.Deleted != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestStoreInitError(t *testing.T) {
+	st := NewStore(0)
+	_, created, err := st.GetOrCreate("bad", func() (*Session, error) { return nil, fmt.Errorf("nope") })
+	if err == nil || created {
+		t.Fatalf("failed init: created=%v err=%v", created, err)
+	}
+	if st.Len() != 0 || st.Snapshot().Created != 0 {
+		t.Fatal("failed init must not register a session")
+	}
+}
+
+func TestStoreSweepEvictsIdleOnly(t *testing.T) {
+	st := NewStore(time.Minute)
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("dev-%d", i)
+		st.GetOrCreate(id, func() (*Session, error) { return newSession(id), nil })
+	}
+	// Nothing is idle yet.
+	if n := st.Sweep(time.Now()); n != 0 {
+		t.Fatalf("eager sweep evicted %d", n)
+	}
+	// Half go idle.
+	past := time.Now().Add(-2 * time.Minute)
+	for i := 0; i < 5; i++ {
+		s, _ := st.Get(fmt.Sprintf("dev-%d", i))
+		s.Touch(past)
+	}
+	// A busy idle session (mutex held) must survive the sweep.
+	busy, _ := st.Get("dev-0")
+	busy.Lock()
+	if n := st.Sweep(time.Now()); n != 4 {
+		t.Fatalf("sweep evicted %d, want 4 (busy session skipped)", n)
+	}
+	busy.Unlock()
+	if _, ok := st.Get("dev-0"); !ok {
+		t.Fatal("busy session must survive the sweep")
+	}
+	if n := st.Sweep(time.Now()); n != 1 {
+		t.Fatalf("follow-up sweep evicted %d, want 1", n)
+	}
+	if st.Len() != 5 {
+		t.Fatalf("%d sessions left, want 5", st.Len())
+	}
+	snap := st.Snapshot()
+	if snap.Evicted != 5 {
+		t.Fatalf("evicted counter %d, want 5", snap.Evicted)
+	}
+}
+
+// TestStoreConcurrency hammers create/append/delete/sweep from many
+// goroutines; run under -race this is the store's data-race proof. The
+// quiesced bookkeeping must balance: created = active + evicted + deleted.
+func TestStoreConcurrency(t *testing.T) {
+	m := trackerModel()
+	st := NewStore(50 * time.Millisecond)
+	const (
+		workers = 16
+		ops     = 200
+		devices = 24
+	)
+	segDim := m.SegmentDim()
+	seg := make([]float64, segDim)
+	var workersWG, sweepWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Background sweeper racing the workers.
+	sweepWG.Add(1)
+	go func() {
+		defer sweepWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st.Sweep(time.Now())
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		workersWG.Add(1)
+		go func(w int) {
+			defer workersWG.Done()
+			for i := 0; i < ops; i++ {
+				id := fmt.Sprintf("dev-%d", (w+i)%devices)
+				switch {
+				case i%17 == 0:
+					st.Delete(id)
+				default:
+					s, _, err := st.GetOrCreate(id, func() (*Session, error) { return newSession(id), nil })
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					s.Lock()
+					path, err := s.Tracker.Step(seg)
+					if err != nil {
+						s.Unlock()
+						t.Error(err)
+						return
+					}
+					s.Tracker.Commit(seg, m.PredictPaths([]imu.Path{path})[0])
+					s.Touch(time.Now())
+					s.Unlock()
+					st.NoteSteps(1)
+					s.Steps.Add(1)
+				}
+			}
+		}(w)
+	}
+	// Workers first, then the sweeper, so no eviction races the final count.
+	workersWG.Wait()
+	close(stop)
+	sweepWG.Wait()
+	snap := st.Snapshot()
+	if int64(snap.Active)+snap.Evicted+snap.Deleted != snap.Created {
+		t.Fatalf("unbalanced lifecycle: %+v", snap)
+	}
+	if snap.Steps == 0 {
+		t.Fatal("no steps recorded")
+	}
+}
