@@ -1,0 +1,90 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Error codes a /v2 server may return; mirror internal/serve. Against a
+// /v1 server Code is empty (only Status and Message are populated).
+const (
+	CodeBadRequest       = "bad_request"
+	CodeBadBody          = "bad_body"
+	CodeBodyTooLarge     = "body_too_large"
+	CodeModelNotFound    = "model_not_found"
+	CodeWrongModelKind   = "wrong_model_kind"
+	CodeBadFingerprint   = "bad_fingerprint"
+	CodeBadPath          = "bad_path"
+	CodeBadSegment       = "bad_segment"
+	CodeSessionNotFound  = "session_not_found"
+	CodeSessionConflict  = "session_conflict"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeCanceled         = "canceled"
+	CodeInference        = "inference_failed"
+	CodeDraining         = "server_draining"
+)
+
+// APIError is a non-2xx server answer: HTTP status, the /v2
+// machine-readable code (empty from a /v1 server), the human-readable
+// message, and the server-assigned request ID when present.
+type APIError struct {
+	Status    int
+	Code      string
+	Message   string
+	RequestID string
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("%s (%s, http %d)", e.Message, e.Code, e.Status)
+	}
+	return fmt.Sprintf("%s (http %d)", e.Message, e.Status)
+}
+
+// IsCode reports whether err is an *APIError with the given code.
+func IsCode(err error, code string) bool {
+	e, ok := err.(*APIError)
+	return ok && e.Code == code
+}
+
+// parseAPIError decodes an error body: the /v2 structured envelope
+// {"error":{"code","message","request_id"}}, the /v1 free-text
+// {"error":"..."} shape, or — for non-JSON bodies — the raw text.
+func parseAPIError(status int, body []byte) *APIError {
+	var probe struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if err := json.Unmarshal(body, &probe); err == nil && len(probe.Error) > 0 {
+		switch probe.Error[0] {
+		case '{': // /v2 envelope
+			var e struct {
+				Code      string `json:"code"`
+				Message   string `json:"message"`
+				RequestID string `json:"request_id"`
+			}
+			if json.Unmarshal(probe.Error, &e) == nil {
+				return &APIError{Status: status, Code: e.Code, Message: e.Message, RequestID: e.RequestID}
+			}
+		case '"': // /v1 free text
+			var msg string
+			if json.Unmarshal(probe.Error, &msg) == nil {
+				return &APIError{Status: status, Message: msg}
+			}
+		}
+	}
+	msg := string(body)
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	return &APIError{Status: status, Message: msg}
+}
+
+// isJSONError reports whether body parses as either error shape — used
+// to tell a real /v2 404 (model_not_found, session_not_found) from the
+// mux's plain-text 404 that means the /v2 routes do not exist.
+func isJSONError(body []byte) bool {
+	var probe struct {
+		Error json.RawMessage `json:"error"`
+	}
+	return json.Unmarshal(body, &probe) == nil && len(probe.Error) > 0
+}

@@ -1,0 +1,221 @@
+package client
+
+import (
+	"strconv"
+)
+
+// Hand-rolled JSON for the localize hot path, mirroring the server's
+// fastjson layer: at fleet rates the reflection-driven encoding/json
+// machinery costs more client CPU than the request itself, and on a
+// gateway (or a load generator sharing cores with the server) that
+// overhead is real throughput. The encoder always applies — the request
+// shape is exact by construction. The decoder recognizes the exact
+// response shape {"request_id"?,"model","results":[{x,y,class,building,
+// floor}]} of both protocol versions and bails out to encoding/json on
+// anything else, keeping behavior identical.
+
+// appendLocalizeRequest renders {"model":M,"fingerprints":[[...],...]}.
+func appendLocalizeRequest(b []byte, model string, fingerprints [][]float64) []byte {
+	b = append(b, `{"model":`...)
+	b = strconv.AppendQuote(b, model)
+	b = append(b, `,"fingerprints":[`...)
+	for i, fp := range fingerprints {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '[')
+		for j, v := range fp {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, ']', '}')
+	return b
+}
+
+// parseLocalizeResponse attempts the fast parse of a localize response
+// body, reporting whether it succeeded. On false the caller re-parses
+// with encoding/json.
+func parseLocalizeResponse(data []byte, out *[]Position) bool {
+	p := &wireScanner{buf: data}
+	if !p.expect('{') {
+		return false
+	}
+	for {
+		key, ok := p.simpleString()
+		if !ok || !p.expect(':') {
+			return false
+		}
+		switch key {
+		case "request_id", "model":
+			if _, ok := p.simpleString(); !ok {
+				return false
+			}
+		case "results":
+			if !p.expect('[') {
+				return false
+			}
+			*out = (*out)[:0]
+			if p.peek() == ']' {
+				p.pos++
+			} else {
+				for {
+					pos, ok := p.position()
+					if !ok {
+						return false
+					}
+					*out = append(*out, pos)
+					if p.peek() == ',' {
+						p.pos++
+						continue
+					}
+					break
+				}
+				if !p.expect(']') {
+					return false
+				}
+			}
+		default:
+			return false // unknown key: let encoding/json decide
+		}
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if !p.expect('}') {
+		return false
+	}
+	p.skipSpace()
+	return p.pos == len(p.buf)
+}
+
+// position parses one {"x":..,"y":..,"class":..,"building":..,"floor":..}
+// object (keys in any order).
+func (p *wireScanner) position() (Position, bool) {
+	var pos Position
+	if !p.expect('{') {
+		return pos, false
+	}
+	for {
+		key, ok := p.simpleString()
+		if !ok || !p.expect(':') {
+			return pos, false
+		}
+		v, ok := p.number()
+		if !ok {
+			return pos, false
+		}
+		switch key {
+		case "x":
+			pos.X = v
+		case "y":
+			pos.Y = v
+		case "class":
+			pos.Class = int(v)
+		case "building":
+			pos.Building = int(v)
+		case "floor":
+			pos.Floor = int(v)
+		default:
+			return pos, false
+		}
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if !p.expect('}') {
+		return pos, false
+	}
+	return pos, true
+}
+
+// wireScanner is a minimal JSON tokenizer over a byte slice (the SDK's
+// copy of the server's scanner; the packages share no code so the SDK
+// stays dependency-free for embedders).
+type wireScanner struct {
+	buf []byte
+	pos int
+}
+
+func (p *wireScanner) skipSpace() {
+	for p.pos < len(p.buf) {
+		switch p.buf[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// peek returns the next non-space byte without consuming it (0 at EOF).
+func (p *wireScanner) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.buf) {
+		return 0
+	}
+	return p.buf[p.pos]
+}
+
+// expect consumes c, reporting whether it was next.
+func (p *wireScanner) expect(c byte) bool {
+	if p.peek() != c {
+		return false
+	}
+	p.pos++
+	return true
+}
+
+// simpleString parses a quoted string without escape sequences (any
+// backslash bails out to the slow path).
+func (p *wireScanner) simpleString() (string, bool) {
+	if !p.expect('"') {
+		return "", false
+	}
+	start := p.pos
+	for p.pos < len(p.buf) {
+		switch p.buf[p.pos] {
+		case '\\':
+			return "", false
+		case '"':
+			s := string(p.buf[start:p.pos])
+			p.pos++
+			return s, true
+		default:
+			p.pos++
+		}
+	}
+	return "", false
+}
+
+// number parses one JSON number token. Responses come from our own
+// encoder, so the permissive strconv grammar is fine here — a malformed
+// number still fails ParseFloat and bails to encoding/json.
+func (p *wireScanner) number() (float64, bool) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.buf) {
+		switch c := p.buf[p.pos]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			p.pos++
+		default:
+			goto done
+		}
+	}
+done:
+	if p.pos == start {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(string(p.buf[start:p.pos]), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,13 +1,14 @@
 // Command noble-loadgen replays synthetic device traffic against a
 // running noble-serve and reports throughput and latency, so serving
 // performance (and the effect of micro-batching) is measurable and
-// trackable across revisions.
+// trackable across revisions. It is built entirely on the public client
+// SDK (noble/client) — the same code path a real device fleet uses.
 //
 // Usage:
 //
-//	noble-loadgen [-url http://localhost:8080] [-mode localize|track]
+//	noble-loadgen [-url http://localhost:8080] [-mode localize|track|stream]
 //	              [-model NAME] [-concurrency 32] [-duration 10s]
-//	              [-qps 0] [-seed 1]
+//	              [-qps 0] [-seed 1] [-deadline 0]
 //	              [-wifi-model NAME] [-fix-every 16] [-window 2]
 //
 // In localize mode (the default) each in-flight request carries one
@@ -15,28 +16,29 @@
 // its own position — and -concurrency controls how many devices query at
 // once. In track mode each worker is one device with a stateful tracking
 // session: it streams one IMU segment per request to
-// /v1/sessions/{id}/segments, and every -fix-every steps the request
-// also carries a WiFi fingerprint that re-anchors the session through
-// the localize path, replaying the paper's hybrid IMU+WiFi tracking at
-// fleet scale; the reported latency is then per tracking step. With
-// -qps 0 the load is closed-loop (every worker fires as fast as the
-// server answers); otherwise arrivals are paced open-loop at the target
-// rate. The report includes the server-side micro-batch occupancy for
-// the exercised batcher kind scraped from /metrics, so coalescing is
-// visible end to end.
+// /sessions/{id}/segments, and every -fix-every steps the request also
+// carries a WiFi fingerprint that re-anchors the session through the
+// localize path, replaying the paper's hybrid IMU+WiFi tracking at fleet
+// scale; the reported latency is then per tracking step. Stream mode is
+// track mode over the /v2 NDJSON streaming protocol: one connection per
+// device, one line per segment. With -qps 0 the load is closed-loop
+// (every worker fires as fast as the server answers); otherwise arrivals
+// are paced open-loop at the target rate. -deadline sets a per-request
+// deadline (propagated as X-Deadline-Ms); expired requests count as
+// errors and their rows are dropped server-side without consuming
+// forward-pass rows — the report scrapes both the batch occupancy and
+// the dropped-row counter from /metrics so coalescing and cancellation
+// are visible end to end.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
-	"net"
-	"net/http"
-	url2 "net/url"
 	"os"
 	"runtime/pprof"
 	"sort"
@@ -45,112 +47,35 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"noble/client"
 )
-
-// rawConn is a minimal persistent HTTP/1.1 client over one TCP
-// connection. The stock http.Client costs tens of microseconds per
-// request in transport bookkeeping — at serving rates that overhead,
-// paid on the same cores as the server under test, dominates what we
-// are trying to measure. One writer goroutine per connection, request
-// bytes prebuilt, response headers scanned just enough to find the
-// body length.
-type rawConn struct {
-	conn net.Conn
-	br   *bufio.Reader
-	wbuf []byte
-	head []byte // "POST <path> HTTP/1.1\r\nHost: ...\r\nContent-Length: "
-}
-
-func dialRaw(addr, path string) (*rawConn, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	head := fmt.Sprintf("POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: ",
-		path, addr)
-	return &rawConn{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 16<<10),
-		head: []byte(head),
-	}, nil
-}
-
-// do sends one request body and fully consumes the response, returning
-// the HTTP status code.
-func (c *rawConn) do(body []byte) (int, error) {
-	c.wbuf = c.wbuf[:0]
-	c.wbuf = append(c.wbuf, c.head...)
-	c.wbuf = strconv.AppendInt(c.wbuf, int64(len(body)), 10)
-	c.wbuf = append(c.wbuf, '\r', '\n', '\r', '\n')
-	c.wbuf = append(c.wbuf, body...)
-	if _, err := c.conn.Write(c.wbuf); err != nil {
-		return 0, err
-	}
-	status := 0
-	contentLength := -1
-	// ReadSlice avoids a string allocation per header line; responses
-	// fit the bufio buffer by construction.
-	line, err := c.br.ReadSlice('\n')
-	if err != nil {
-		return 0, err
-	}
-	if len(line) < 12 {
-		return 0, fmt.Errorf("short status line %q", line)
-	}
-	status, err = strconv.Atoi(string(line[9:12]))
-	if err != nil {
-		return 0, fmt.Errorf("bad status line %q", line)
-	}
-	for {
-		line, err = c.br.ReadSlice('\n')
-		if err != nil {
-			return 0, err
-		}
-		if len(line) <= 2 { // bare CRLF: end of headers
-			break
-		}
-		const clPrefix = "Content-Length: "
-		if len(line) > len(clPrefix) && string(line[:len(clPrefix)]) == clPrefix {
-			v := strings.TrimSpace(string(line[len(clPrefix):]))
-			if contentLength, err = strconv.Atoi(v); err != nil {
-				return 0, fmt.Errorf("bad Content-Length %q", v)
-			}
-		}
-	}
-	if contentLength < 0 {
-		return 0, fmt.Errorf("response without Content-Length")
-	}
-	if _, err := c.br.Discard(contentLength); err != nil {
-		return 0, err
-	}
-	return status, nil
-}
-
-type modelInfo struct {
-	Name        string `json:"name"`
-	Kind        string `json:"kind"`
-	InputDim    int    `json:"input_dim"`
-	SegmentDim  int    `json:"segment_dim"`
-	MaxSegments int    `json:"max_segments"`
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("noble-loadgen: ")
 	url := flag.String("url", "http://localhost:8080", "noble-serve base URL")
-	mode := flag.String("mode", "localize", "workload: localize (stateless fingerprints) or track (stateful sessions)")
-	model := flag.String("model", "", "model name (default: first model of the mode's kind from /v1/models)")
-	concurrency := flag.Int("concurrency", 32, "concurrent in-flight requests (track: concurrent device sessions)")
+	mode := flag.String("mode", "localize", "workload: localize (stateless fingerprints), track (stateful sessions), or stream (NDJSON streaming sessions)")
+	model := flag.String("model", "", "model name (default: first model of the mode's kind from the server)")
+	concurrency := flag.Int("concurrency", 32, "concurrent in-flight requests (track/stream: concurrent device sessions)")
 	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
 	qps := flag.Float64("qps", 0, "target request rate (0 = closed-loop, as fast as possible)")
 	seed := flag.Int64("seed", 1, "payload generator seed (also keys track-mode session ids)")
-	wifiModel := flag.String("wifi-model", "", "track mode: wifi model for fixes (default: first wifi model)")
-	fixEvery := flag.Int("fix-every", 16, "track mode: carry a wifi fingerprint fix every N steps (0 disables fixes)")
-	window := flag.Int("window", 2, "track mode: session decode window in segments")
+	deadline := flag.Duration("deadline", 0, "per-request deadline (0 disables); expired requests count as errors")
+	wifiModel := flag.String("wifi-model", "", "track/stream mode: wifi model for fixes (default: first wifi model)")
+	fixEvery := flag.Int("fix-every", 16, "track/stream mode: carry a wifi fingerprint fix every N steps (0 disables fixes)")
+	window := flag.Int("window", 2, "track/stream mode: session decode window in segments")
+	protocol := flag.String("protocol", "auto", "wire protocol: auto (v2 with v1 fallback) or v1 (pin the legacy protocol, for A/B comparison)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load generator to this file")
 	flag.Parse()
-	if *mode != "localize" && *mode != "track" {
-		log.Fatalf("unknown -mode %q (want localize or track)", *mode)
+	if *mode != "localize" && *mode != "track" && *mode != "stream" {
+		log.Fatalf("unknown -mode %q (want localize, track, or stream)", *mode)
+	}
+	if *mode == "stream" && *deadline > 0 {
+		// The stream protocol has no per-line deadlines (one long-lived
+		// connection per device); silently ignoring the flag would make a
+		// zero-error report read as "no deadline violations".
+		log.Fatalf("-deadline is not supported in -mode stream")
 	}
 
 	if *cpuprofile != "" {
@@ -165,10 +90,24 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	client := &http.Client{Timeout: 10 * time.Second}
-	models := fetchModels(client, *url)
+	// Retries off: the generator measures the server as it is; a failed
+	// request is an error in the report, not something to paper over.
+	// The fast transport keeps the generator's own CPU out of the
+	// measurement (it shares cores with the server under test).
+	opts := []client.Option{client.WithRetries(0, 0), client.WithFastTransport()}
+	if *protocol == "v1" {
+		opts = append(opts, client.WithV1())
+	} else if *protocol != "auto" {
+		log.Fatalf("unknown -protocol %q (want auto or v1)", *protocol)
+	}
+	c := client.New(*url, opts...)
+	ctx := context.Background()
+	models, err := c.Models(ctx)
+	if err != nil {
+		log.Fatalf("listing models: %v", err)
+	}
 
-	// Pre-generate request-body pools so the hot loop only does HTTP.
+	// Pre-generate payload pools so the hot loop only does HTTP + JSON.
 	rng := rand.New(rand.NewSource(*seed))
 	const pool = 256
 
@@ -186,20 +125,13 @@ func main() {
 		}
 		return fp
 	}
-	marshal := func(v any) []byte {
-		raw, err := json.Marshal(v)
-		if err != nil {
-			log.Fatalf("encoding request: %v", err)
-		}
-		return raw
-	}
 
 	kind := "localize"
 	var (
-		bodies     [][]byte // localize mode: request pool
-		createBody []byte   // track mode: first request of each session
-		stepBodies [][]byte // track mode: plain segment appends
-		fixBodies  [][]byte // track mode: segment + wifi fix
+		prepared  []*client.PreparedLocalize // localize mode: pre-encoded request pool
+		createReq client.AppendRequest       // track/stream: first request of each session
+		stepReqs  []client.AppendRequest     // plain segment appends
+		fixReqs   []client.AppendRequest     // segment + wifi fix
 	)
 	switch *mode {
 	case "localize":
@@ -208,11 +140,13 @@ func main() {
 			log.Fatalf("no wifi model %q at %s (have %+v)", *model, *url, models)
 		}
 		log.Printf("target %s model=%s input_dim=%d", *url, m.Name, m.InputDim)
-		bodies = make([][]byte, pool)
-		for i := range bodies {
-			bodies[i] = marshal(map[string]any{"model": m.Name, "fingerprints": [][]float64{makeFingerprint(m.InputDim)}})
+		// Encode the pool once so the hot loop measures the server, not
+		// this process's float formatting.
+		prepared = make([]*client.PreparedLocalize, pool)
+		for i := range prepared {
+			prepared[i] = client.PrepareLocalize(m.Name, makeFingerprint(m.InputDim))
 		}
-	case "track":
+	case "track", "stream":
 		kind = "track"
 		m, ok := pick(models, "imu", *model)
 		if !ok {
@@ -227,47 +161,40 @@ func main() {
 			}
 			return seg
 		}
-		createBody = marshal(map[string]any{
-			"model": m.Name, "start": map[string]float64{"x": 0, "y": 0},
-			"window": *window, "features": makeSegment(),
-		})
-		stepBodies = make([][]byte, pool)
-		for i := range stepBodies {
-			stepBodies[i] = marshal(map[string]any{"features": makeSegment()})
+		createReq = client.AppendRequest{
+			Model: m.Name, Start: &client.XY{}, Window: *window, Features: makeSegment(),
 		}
-		logLine := fmt.Sprintf("target %s model=%s segment_dim=%d window=%d", *url, m.Name, m.SegmentDim, *window)
+		stepReqs = make([]client.AppendRequest, pool)
+		for i := range stepReqs {
+			stepReqs[i] = client.AppendRequest{Features: makeSegment()}
+		}
+		logLine := fmt.Sprintf("target %s mode=%s model=%s segment_dim=%d window=%d", *url, *mode, m.Name, m.SegmentDim, *window)
 		if *fixEvery > 0 {
 			wm, ok := pick(models, "wifi", *wifiModel)
 			if !ok {
 				log.Fatalf("no wifi model %q for fixes at %s (have %+v)", *wifiModel, *url, models)
 			}
-			fixBodies = make([][]byte, pool)
-			for i := range fixBodies {
-				fixBodies[i] = marshal(map[string]any{
-					"features":    makeSegment(),
-					"wifi_model":  wm.Name,
-					"fingerprint": makeFingerprint(wm.InputDim),
-				})
+			fixReqs = make([]client.AppendRequest, pool)
+			for i := range fixReqs {
+				fixReqs[i] = client.AppendRequest{
+					Features:    makeSegment(),
+					WiFiModel:   wm.Name,
+					Fingerprint: makeFingerprint(wm.InputDim),
+				}
 			}
 			logLine += fmt.Sprintf(" wifi_model=%s fix_every=%d", wm.Name, *fixEvery)
 		}
 		log.Print(logLine)
 	}
 
-	before := scrapeBatchStats(client, *url, kind)
-
-	parsed, err := url2.Parse(*url)
-	if err != nil {
-		log.Fatalf("parsing -url: %v", err)
-	}
-	addr := parsed.Host
+	before := scrapeBatchStats(ctx, c, kind)
 
 	var (
-		sent     atomic.Int64
-		errs     atomic.Int64
-		latMu    sync.Mutex
-		lats     []float64 // seconds
-		deadline = time.Now().Add(*duration)
+		sent       atomic.Int64
+		errs       atomic.Int64
+		latMu      sync.Mutex
+		lats       []float64 // seconds
+		lgDeadline = time.Now().Add(*duration)
 	)
 	record := func(d time.Duration, ok bool) {
 		sent.Add(1)
@@ -279,62 +206,95 @@ func main() {
 		lats = append(lats, d.Seconds())
 		latMu.Unlock()
 	}
-	// Each track-mode worker is one device streaming to its own session;
-	// localize workers share the stateless endpoint.
-	newConn := func(w int) *rawConn {
-		path := "/v1/localize"
-		if *mode == "track" {
-			path = fmt.Sprintf("/v1/sessions/lg%d-%d/segments", *seed, w)
+	// reqCtx applies the optional per-request deadline.
+	reqCtx := func() (context.Context, context.CancelFunc) {
+		if *deadline > 0 {
+			return context.WithTimeout(ctx, *deadline)
 		}
-		c, err := dialRaw(addr, path)
-		if err != nil {
-			log.Fatalf("connecting to %s: %v", addr, err)
-		}
-		return c
+		return ctx, func() {}
 	}
-	// bodyFor sequences one worker's requests: localize draws from the
-	// shared pool; track creates the session first, then appends
-	// segments with a periodic wifi fix.
-	bodyFor := func(w, step int) []byte {
-		if *mode == "localize" {
-			return bodies[(w*31+step)%pool]
-		}
+	// stepReq sequences one track/stream worker's requests: create the
+	// session first, then append segments with a periodic wifi fix.
+	stepReq := func(step int) client.AppendRequest {
 		switch {
 		case step == 0:
-			return createBody
+			return createReq
 		case *fixEvery > 0 && step%*fixEvery == 0:
-			return fixBodies[step%pool]
+			return fixReqs[step%pool]
 		default:
-			return stepBodies[step%pool]
+			return stepReqs[step%pool]
 		}
 	}
-	fire := func(c *rawConn, body []byte) {
-		start := time.Now()
-		status, err := c.do(body)
-		record(time.Since(start), err == nil && status == http.StatusOK)
-	}
-
 	start := time.Now()
 	var wg sync.WaitGroup
+
+	// runWorker is one closed-loop device; paced is non-nil in open-loop
+	// mode and gates each request on an arrival tick.
+	runWorker := func(w int, paced <-chan struct{}) {
+		defer wg.Done()
+		var (
+			sess   *client.Session
+			stream *client.TrackStream
+		)
+		switch *mode {
+		case "track":
+			sess = c.Session(fmt.Sprintf("lg%d-%d", *seed, w))
+		case "stream":
+			open := client.StreamOpen{
+				Session:       fmt.Sprintf("lg%d-%d", *seed, w),
+				AppendRequest: createReq,
+			}
+			st, err := c.TrackStream(ctx, open)
+			if err != nil {
+				log.Fatalf("worker %d: opening stream: %v", w, err)
+			}
+			if _, err := st.Recv(); err != nil {
+				log.Fatalf("worker %d: stream open ack: %v", w, err)
+			}
+			stream = st
+			defer stream.Close()
+		}
+		for step := 0; ; step++ {
+			if paced != nil {
+				if _, ok := <-paced; !ok {
+					return
+				}
+			} else if !time.Now().Before(lgDeadline) {
+				return
+			}
+			rctx, cancel := reqCtx()
+			t0 := time.Now()
+			var err error
+			switch *mode {
+			case "localize":
+				_, err = c.LocalizePrepared(rctx, prepared[(w*31+step)%pool])
+			case "track":
+				_, err = sess.Append(rctx, stepReq(step))
+			case "stream":
+				// Per-line deadlines are not part of the stream protocol;
+				// the latency is still the full send→estimate round trip.
+				if err = stream.Send(stepReq(step + 1)); err == nil {
+					_, err = stream.Recv()
+				}
+			}
+			cancel()
+			record(time.Since(t0), err == nil)
+			if *mode == "stream" && err != nil {
+				return // a stream error is terminal for this device
+			}
+		}
+	}
+
 	if *qps > 0 {
 		// Open-loop: paced arrivals dispatched to a bounded worker pool.
 		work := make(chan struct{}, *concurrency)
 		for w := 0; w < *concurrency; w++ {
 			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				c := newConn(w)
-				defer c.conn.Close()
-				step := 0
-				for range work {
-					fire(c, bodyFor(w, step))
-					step++
-				}
-			}(w)
+			go runWorker(w, work)
 		}
 		interval := time.Duration(float64(time.Second) / *qps)
 		tick := time.NewTicker(interval)
-		for time.Now().Before(deadline) {
+		for time.Now().Before(lgDeadline) {
 			<-tick.C
 			select {
 			case work <- struct{}{}: // drop the arrival if all workers are busy
@@ -344,24 +304,16 @@ func main() {
 		tick.Stop()
 		close(work)
 	} else {
-		// Closed-loop: each worker keeps one request in flight on its
-		// own persistent connection.
+		// Closed-loop: each worker keeps one request in flight.
 		for w := 0; w < *concurrency; w++ {
 			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				c := newConn(w)
-				defer c.conn.Close()
-				for step := 0; time.Now().Before(deadline); step++ {
-					fire(c, bodyFor(w, step))
-				}
-			}(w)
+			go runWorker(w, nil)
 		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after := scrapeBatchStats(client, *url, kind)
+	after := scrapeBatchStats(ctx, c, kind)
 
 	latMu.Lock()
 	sort.Float64s(lats)
@@ -385,7 +337,7 @@ func main() {
 		loop = fmt.Sprintf("open-loop %.0f qps", *qps)
 	}
 	unit := "req/s"
-	if *mode == "track" {
+	if *mode != "localize" {
 		unit = "steps/s"
 	}
 	fmt.Printf("noble-loadgen report\n")
@@ -403,53 +355,40 @@ func main() {
 	} else {
 		fmt.Printf("  batching    no server batch stats observed for kind %q\n", kind)
 	}
-}
-
-// fetchModels lists the server's registered models.
-func fetchModels(client *http.Client, url string) []modelInfo {
-	resp, err := client.Get(url + "/v1/models")
-	if err != nil {
-		log.Fatalf("listing models: %v", err)
+	if dropped := after.dropped - before.dropped; dropped > 0 {
+		fmt.Printf("  cancelled   %d %s rows dropped from the batch queue before their pass\n", dropped, kind)
 	}
-	defer resp.Body.Close()
-	var listing struct {
-		Models []modelInfo `json:"models"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
-		log.Fatalf("decoding /v1/models: %v", err)
-	}
-	return listing.Models
 }
 
 // pick selects a model of the wanted kind: the named one, or the first
 // of that kind when want is empty.
-func pick(models []modelInfo, kind, want string) (modelInfo, bool) {
+func pick(models []client.ModelInfo, kind, want string) (client.ModelInfo, bool) {
 	for _, m := range models {
 		if m.Kind == kind && (want == "" || m.Name == want) {
 			return m, true
 		}
 	}
-	return modelInfo{}, false
+	return client.ModelInfo{}, false
 }
 
 // batchStats is the server-side micro-batch counters from /metrics.
 type batchStats struct {
-	rows, passes int64
+	rows, passes, dropped int64
 }
 
 // scrapeBatchStats reads one batcher kind's noble_batch_rows_{sum,count}
-// series from /metrics; zeros on any failure (the report then omits
-// batching).
-func scrapeBatchStats(client *http.Client, url, kind string) batchStats {
+// and noble_batch_dropped_rows_total series from the server's metrics;
+// zeros on any failure (the report then omits batching).
+func scrapeBatchStats(ctx context.Context, c *client.Client, kind string) batchStats {
 	var out batchStats
-	resp, err := client.Get(url + "/metrics")
+	text, err := c.Metrics(ctx)
 	if err != nil {
 		return out
 	}
-	defer resp.Body.Close()
 	sumPrefix := fmt.Sprintf("noble_batch_rows_sum{kind=%q} ", kind)
 	countPrefix := fmt.Sprintf("noble_batch_rows_count{kind=%q} ", kind)
-	sc := bufio.NewScanner(resp.Body)
+	dropPrefix := fmt.Sprintf("noble_batch_dropped_rows_total{kind=%q} ", kind)
+	sc := bufio.NewScanner(strings.NewReader(text))
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
@@ -457,6 +396,8 @@ func scrapeBatchStats(client *http.Client, url, kind string) batchStats {
 			out.rows, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
 		case strings.HasPrefix(line, countPrefix):
 			out.passes, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		case strings.HasPrefix(line, dropPrefix):
+			out.dropped, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
 		}
 	}
 	return out

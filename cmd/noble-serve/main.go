@@ -106,6 +106,12 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
 		<-ctx.Done()
+		// Graceful drain: new inference requests get 503 with the
+		// structured server_draining envelope (so load balancers and the
+		// client SDK fail over immediately) while in-flight requests —
+		// including batched passes already queued — run to completion
+		// under Shutdown.
+		srv.StartDraining()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)

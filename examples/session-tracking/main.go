@@ -1,25 +1,25 @@
 // Stateful tracking sessions: the serving-layer walkthrough for the
-// paper's hybrid tracking setup. A device streams IMU segments to the
-// server one request at a time; the server keeps the path state (anchor,
-// sliding feature window, estimate) in a per-device session, decodes
-// each step through the batched IMU model, and — when the device also
-// reports a WiFi scan — re-anchors the trajectory through the localize
-// path, fusing the paper's two model kinds into one track.
+// paper's hybrid tracking setup, driven through the typed client SDK. A
+// device streams IMU segments to the server one request at a time; the
+// server keeps the path state (anchor, sliding feature window, estimate)
+// in a per-device session, decodes each step through the batched IMU
+// model, and — when the device also reports a WiFi scan — re-anchors
+// the trajectory through the localize path, fusing the paper's two
+// model kinds into one track.
 //
 // This example trains two small models, starts the real HTTP server
-// in-process, and drives it exactly like a device would (plain JSON over
-// HTTP), so every request/response shown here works verbatim as a curl
-// call against noble-serve.
+// in-process, and drives it with noble/client — first request by
+// request against the session endpoint, then over the /v2 NDJSON
+// streaming protocol (one connection, one line per segment).
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
-	"net/http"
 	"net/http/httptest"
 
+	"noble/client"
 	"noble/internal/core"
 	"noble/internal/dataset"
 	"noble/internal/imu"
@@ -28,6 +28,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// --- Train two small models (seconds, not minutes). In a real
 	// deployment these come from `noble-train -bundle` and both are
@@ -71,18 +72,15 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("serving on %s\n\n", srv.URL)
 
-	post := func(body any) serve.SessionResponse {
-		raw, _ := json.Marshal(body)
-		resp, err := http.Post(srv.URL+"/v1/sessions/phone-1/segments", "application/json", bytes.NewReader(raw))
+	// --- The SDK client: speaks /v2 (structured errors, request IDs,
+	// deadlines), falls back to /v1 automatically on older servers.
+	c := client.New(srv.URL)
+	sess := c.Session("phone-1")
+	must := func(st client.SessionState, err error) client.SessionState {
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("session request failed: %v", err)
 		}
-		defer resp.Body.Close()
-		var out serve.SessionResponse
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || resp.StatusCode != http.StatusOK {
-			log.Fatalf("session request failed: status %d err %v", resp.StatusCode, err)
-		}
-		return out
+		return st
 	}
 
 	// --- Walk a device along a recorded walk: create the session at the
@@ -91,10 +89,10 @@ func main() {
 	walk := track.Walks[0]
 	start := net.Refs[walk.RefSeq[0]]
 	segDim := imuModel.SegmentDim()
-	r := post(serve.SessionSegmentsRequest{
+	r := must(sess.Append(ctx, client.AppendRequest{
 		Model: "imu",
-		Start: &serve.XY{X: start.X, Y: start.Y},
-	})
+		Start: &client.XY{X: start.X, Y: start.Y},
+	}))
 	fmt.Printf("created session (model %s) anchored at (%.1f, %.1f)\n", r.Model, r.Position.X, r.Position.Y)
 
 	steps := 8
@@ -106,40 +104,69 @@ func main() {
 		if len(feats) != segDim {
 			log.Fatalf("segment feature width %d != model segment_dim %d", len(feats), segDim)
 		}
-		r = post(serve.SessionSegmentsRequest{Features: feats})
+		r = must(sess.Append(ctx, client.AppendRequest{Features: feats}))
 		truth := net.Refs[walk.RefSeq[i+1]]
 		fmt.Printf("step %2d: estimate (%6.1f, %5.1f)  truth (%6.1f, %5.1f)  traveled (%.1f, %.1f)\n",
 			r.Steps, r.Position.X, r.Position.Y, truth.X, truth.Y, r.Traveled.X, r.Traveled.Y)
 	}
 
 	// --- Fuse a WiFi fix. The scan is a surveyed test fingerprint; the
-	// server localizes it through the same batched path as /v1/localize
+	// server localizes it through the same batched path as /v2/localize
 	// and snaps the session there. Dead reckoning restarts from the fix.
 	scan := wifiDS.Test[0]
 	before := r.Position
-	r = post(serve.SessionSegmentsRequest{
+	r = must(sess.Append(ctx, client.AppendRequest{
 		WiFiModel:   "wifi",
 		Fingerprint: scan.Features,
 		Features:    imu.SegmentFeatures(walk.Segments[steps%len(walk.Segments)].Readings, imuModel.Frames()),
-	})
+	}))
 	fmt.Printf("\nwifi fix: estimate jumped (%.1f, %.1f) -> anchor (%.1f, %.1f); surveyed scan was at (%.1f, %.1f)\n",
 		before.X, before.Y, r.Anchor.X, r.Anchor.Y, scan.Pos.X, scan.Pos.Y)
 	fmt.Printf("next step after the fix: (%.1f, %.1f), traveled (%.1f, %.1f) since the fix\n",
 		r.Position.X, r.Position.Y, r.Traveled.X, r.Traveled.Y)
 
+	// --- Typed errors: the SDK surfaces the /v2 machine-readable code.
+	if _, err := sess.Append(ctx, client.AppendRequest{Model: "wifi"}); client.IsCode(err, client.CodeSessionConflict) {
+		fmt.Printf("\nrebinding the session to another model is refused: %v\n", err)
+	}
+
 	// --- Session introspection and cleanup, as a device manager would.
-	resp, err := http.Get(srv.URL + "/v1/sessions/phone-1")
+	state := must(sess.Get(ctx))
+	fmt.Printf("\nGET session: %d steps, position (%.1f, %.1f)\n", state.Steps, state.Position.X, state.Position.Y)
+	if err := sess.Delete(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DELETE session: done")
+
+	// --- The same walk over the /v2 NDJSON stream: one connection, one
+	// line per segment, estimates flushed per line.
+	fmt.Println("\nstreaming the same walk over POST /v2/track/stream:")
+	st, err := c.TrackStream(ctx, client.StreamOpen{AppendRequest: client.AppendRequest{
+		Model: "imu",
+		Start: &client.XY{X: start.X, Y: start.Y},
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var state serve.SessionResponse
-	json.NewDecoder(resp.Body).Decode(&state)
-	resp.Body.Close()
-	fmt.Printf("\nGET session: %d steps, position (%.1f, %.1f)\n", state.Steps, state.Position.X, state.Position.Y)
-
-	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sessions/phone-1", nil)
-	if del, err := http.DefaultClient.Do(req); err == nil {
-		del.Body.Close()
-		fmt.Println("DELETE session: done")
+	defer st.Close()
+	if _, err := st.Recv(); err != nil { // ack of the open line
+		log.Fatal(err)
 	}
+	for i := 0; i < 4 && i < len(walk.Segments); i++ {
+		if err := st.Send(client.AppendRequest{
+			Features: imu.SegmentFeatures(walk.Segments[i].Readings, imuModel.Frames()),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		u, err := st.Recv()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stream line %d: estimate (%6.1f, %5.1f) after %d steps\n",
+			u.Seq, u.Position.X, u.Position.Y, u.Steps)
+	}
+	if err := st.CloseSend(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stream closed; its ephemeral session was cleaned up server-side")
 }

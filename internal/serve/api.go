@@ -9,10 +9,15 @@ import (
 	"net/http/pprof"
 	"time"
 
-	"noble/internal/core"
 	"noble/internal/geo"
-	"noble/internal/imu"
 )
+
+// This file is the /v1 HTTP adapter (plus the shared transport
+// plumbing): handlers decode the legacy wire shapes, call the Engine,
+// and re-encode its typed results and errors into the original free-text
+// protocol byte-for-byte — pinned by the golden-file tests in
+// golden_test.go. All validation and inference logic lives in the
+// Engine; nothing here inspects models or sessions directly.
 
 // LocalizeRequest is the POST /v1/localize body: one or more normalized
 // fingerprints (values in [0,1], as produced by radio.Normalize) for one
@@ -71,7 +76,7 @@ type TrackResponse struct {
 	Results []TrackResult `json:"results"`
 }
 
-// apiError is the JSON error body.
+// apiError is the /v1 JSON error body.
 type apiError struct {
 	Error string `json:"error"`
 }
@@ -87,16 +92,35 @@ const (
 
 // routes installs all handlers on the server mux.
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/localize", s.instrument("localize", s.handleLocalize))
-	s.mux.HandleFunc("POST /v1/track", s.instrument("track", s.handleTrack))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/segments", s.instrument("sessions", s.handleSessionSegments))
+	// /v1: the legacy free-text protocol.
+	s.mux.HandleFunc("POST /v1/localize", s.instrument("localize", s.gate(s.handleLocalize)))
+	s.mux.HandleFunc("POST /v1/track", s.instrument("track", s.gate(s.handleTrack)))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/segments", s.instrument("sessions", s.gate(s.handleSessionSegments)))
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("sessions_get", s.handleSessionGet))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("sessions_delete", s.handleSessionDelete))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
+	// /v2: structured errors, request IDs, deadlines, streaming.
+	s.routesV2()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+}
+
+// gate rejects new inference work while the server drains. The 503 body
+// is the structured /v2 envelope on every protocol version: /v1 never
+// had drain semantics, so no legacy client depends on its shape, and a
+// machine-readable code is strictly more useful to a retrying fleet.
+func (s *Server) gate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.engine.Draining() {
+			w.Header().Set("Retry-After", "1")
+			writeEnvelope(w, s.engine.NextRequestID(),
+				errf(CodeDraining, http.StatusServiceUnavailable, "server is draining"))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // instrument wraps a handler with request counting and latency recording.
@@ -120,6 +144,10 @@ func (w *codeWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush (the /v2 NDJSON stream needs it through the instrument wrapper).
+func (w *codeWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // writeJSON encodes v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -127,61 +155,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// fail writes a JSON error body.
+// fail writes a /v1 JSON error body.
 func fail(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// resolve looks a model up and enforces its kind, writing the error
-// response itself on failure.
-func (s *Server) resolve(w http.ResponseWriter, name, kind string) (*Model, bool) {
-	if name == "" {
-		fail(w, http.StatusBadRequest, "missing model name")
-		return nil, false
-	}
-	m, ok := s.reg.Get(name)
-	if !ok {
-		fail(w, http.StatusNotFound, "unknown model %q", name)
-		return nil, false
-	}
-	if m.Kind != kind {
-		fail(w, http.StatusBadRequest, "model %q is kind %q, endpoint wants %q", name, m.Kind, kind)
-		return nil, false
-	}
-	return m, true
+// failEngine maps an Engine error onto the /v1 wire: its suggested
+// status with the free-text message as the body.
+func failEngine(w http.ResponseWriter, err error) {
+	e := AsError(err)
+	fail(w, e.Status, "%s", e.Message)
 }
 
-// predictWiFiBatch is the localize Batcher's callback: resolve the model
-// at flush time (so batches formed across a hot reload run on the newest
-// generation) and run one batched forward pass.
-func (s *Server) predictWiFiBatch(model string, rows [][]float64) ([]core.WiFiPrediction, error) {
-	m, ok := s.reg.Get(model)
-	if !ok || m.WiFi == nil {
-		return nil, fmt.Errorf("model %q disappeared", model)
-	}
-	return m.WiFi.PredictBatch(rows), nil
-}
-
-// predictIMUBatch is the track Batcher's callback, coalescing /v1/track
-// paths and session steps into one PredictPaths pass.
-func (s *Server) predictIMUBatch(model string, paths []imu.Path) ([]core.IMUPrediction, error) {
-	m, ok := s.reg.Get(model)
-	if !ok || m.IMU == nil {
-		return nil, fmt.Errorf("model %q disappeared", model)
-	}
-	return m.IMU.PredictPaths(paths), nil
-}
-
-// failBodyError maps a request-body read/decode error: only an
-// oversized body (*http.MaxBytesError) is 413; anything else is the
-// client's malformed request, reported as 400 with the given message.
+// failBodyError maps a request-body read/decode error onto the /v1
+// wire: only an oversized body (*http.MaxBytesError) is 413; anything
+// else is the client's malformed request, reported as 400 with the
+// given message. Classification is shared with /v2 (see bodyError).
 func failBodyError(w http.ResponseWriter, err error, format string, args ...any) {
-	var mbe *http.MaxBytesError
-	if errors.As(err, &mbe) {
-		fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxBodyBytes)
-		return
-	}
-	fail(w, http.StatusBadRequest, format, args...)
+	e := bodyError(err, format, args...)
+	fail(w, e.Status, "%s", e.Message)
 }
 
 // decodeStrict decodes a size-capped JSON request body into v, rejecting
@@ -214,30 +206,12 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	m, ok := s.resolve(w, req.Model, KindWiFi)
-	if !ok {
-		return
-	}
-	if len(req.Fingerprints) == 0 {
-		fail(w, http.StatusBadRequest, "no fingerprints")
-		return
-	}
-	if len(req.Fingerprints) > maxFingerprints {
-		fail(w, http.StatusBadRequest, "%d fingerprints exceeds the per-request limit of %d",
-			len(req.Fingerprints), maxFingerprints)
-		return
-	}
-	dim := m.WiFi.InputDim()
-	for i, fp := range req.Fingerprints {
-		if len(fp) != dim {
-			fail(w, http.StatusBadRequest, "fingerprint %d has %d features, model %q wants %d",
-				i, len(fp), req.Model, dim)
-			return
-		}
-	}
-	preds, err := s.wifiBatcher.Submit(r.Context(), req.Model, req.Fingerprints)
+	preds, err := s.engine.Localize(r.Context(), LocalizeQuery{
+		Model:        req.Model,
+		Fingerprints: req.Fingerprints,
+	})
 	if err != nil {
-		fail(w, http.StatusInternalServerError, "inference: %v", err)
+		failEngine(w, err)
 		return
 	}
 	resp := LocalizeResponse{Model: req.Model, Results: make([]Position, len(preds))}
@@ -256,38 +230,13 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	if !decodeStrict(w, r, &req) {
 		return
 	}
-	m, ok := s.resolve(w, req.Model, KindIMU)
-	if !ok {
-		return
-	}
-	if len(req.Paths) == 0 {
-		fail(w, http.StatusBadRequest, "no paths")
-		return
-	}
-	if len(req.Paths) > maxPathsPerRequest {
-		fail(w, http.StatusBadRequest, "%d paths exceeds the per-request limit of %d",
-			len(req.Paths), maxPathsPerRequest)
-		return
-	}
-	segDim, maxLen := m.IMU.SegmentDim(), m.IMU.MaxLen()
-	paths := make([]imu.Path, len(req.Paths))
+	q := TrackQuery{Model: req.Model, Paths: make([]PathQuery, len(req.Paths))}
 	for i, p := range req.Paths {
-		n := len(p.Features)
-		if n == 0 || n%segDim != 0 || n/segDim > maxLen {
-			fail(w, http.StatusBadRequest,
-				"path %d has %d feature values; model %q wants a non-empty multiple of %d up to %d segments",
-				i, n, req.Model, segDim, maxLen)
-			return
-		}
-		paths[i] = imu.Path{
-			Start:       geo.Point{X: p.Start.X, Y: p.Start.Y},
-			NumSegments: n / segDim,
-			Features:    p.Features,
-		}
+		q.Paths[i] = PathQuery{Start: geo.Point{X: p.Start.X, Y: p.Start.Y}, Features: p.Features}
 	}
-	preds, err := s.imuBatcher.Submit(r.Context(), req.Model, paths)
+	preds, err := s.engine.Track(r.Context(), q)
 	if err != nil {
-		fail(w, http.StatusInternalServerError, "inference: %v", err)
+		failEngine(w, err)
 		return
 	}
 	resp := TrackResponse{Model: req.Model, Results: make([]TrackResult, len(preds))}
@@ -302,21 +251,22 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.engine.Models()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.engine.Health()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"models":         s.reg.Len(),
-		"batching":       s.Batching(),
-		"sessions":       s.sessions.Len(),
-		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"status":         h.Status,
+		"models":         h.Models,
+		"batching":       h.Batching,
+		"sessions":       h.Sessions,
+		"uptime_seconds": int64(h.Uptime.Seconds()),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w)
-	s.sessions.WritePrometheus(w)
+	s.engine.Sessions().WritePrometheus(w)
 }

@@ -1,15 +1,15 @@
 package serve
 
 import (
-	"fmt"
 	"net/http"
-	"time"
 
-	"noble/internal/core"
 	"noble/internal/geo"
-	"noble/internal/imu"
-	"noble/internal/serve/session"
 )
+
+// /v1 session adapter: wire shapes for the stateful tracking endpoints.
+// All session logic (creation, WiFi fusion, per-segment decoding) lives
+// in Engine.AppendSegments; this file only translates between the
+// legacy JSON protocol and the Engine's typed queries and states.
 
 // SessionSegmentsRequest is the POST /v1/sessions/{id}/segments body.
 // The first request for a device creates the session and must name the
@@ -65,21 +65,46 @@ const maxSegmentsPerRequest = 64
 // at every step (see core.PathTracker).
 const defaultSessionWindow = 2
 
-// checkSegments validates a session request's feature payload against a
-// model's segment width, writing the 400 itself on failure, and returns
-// the segment count.
-func checkSegments(w http.ResponseWriter, n, segDim int, model string) (int, bool) {
-	if n%segDim != 0 {
-		fail(w, http.StatusBadRequest,
-			"%d feature values is not a multiple of model %q's segment_dim %d", n, model, segDim)
-		return 0, false
+// segmentQuery maps the wire request onto the Engine's typed query.
+func segmentQuery(id string, req *SessionSegmentsRequest) SegmentQuery {
+	q := SegmentQuery{
+		Session:     id,
+		Model:       req.Model,
+		Window:      req.Window,
+		Features:    req.Features,
+		WiFiModel:   req.WiFiModel,
+		Fingerprint: req.Fingerprint,
 	}
-	k := n / segDim
-	if k > maxSegmentsPerRequest {
-		fail(w, http.StatusBadRequest, "%d segments exceeds the per-request limit of %d", k, maxSegmentsPerRequest)
-		return 0, false
+	if req.Start != nil {
+		q.Start = &geo.Point{X: req.Start.X, Y: req.Start.Y}
 	}
-	return k, true
+	return q
+}
+
+// sessionResponse maps an Engine session state onto the wire shape.
+func sessionResponse(st SessionState) SessionResponse {
+	resp := SessionResponse{
+		Session:    st.Session,
+		Model:      st.Model,
+		Created:    st.Created,
+		ReAnchored: st.ReAnchored,
+		Steps:      st.Steps,
+		Position:   XY{X: st.Position.X, Y: st.Position.Y},
+		Class:      st.Class,
+		Traveled:   XY{X: st.Traveled.X, Y: st.Traveled.Y},
+	}
+	if st.Anchor != nil {
+		resp.Anchor = &XY{X: st.Anchor.X, Y: st.Anchor.Y}
+	}
+	for _, r := range st.Results {
+		resp.Results = append(resp.Results, SessionStepResult{
+			Step:         r.Step,
+			End:          XY{X: r.End.X, Y: r.End.Y},
+			Class:        r.Class,
+			Displacement: XY{X: r.Displacement.X, Y: r.Displacement.Y},
+		})
+	}
+	return resp
 }
 
 func (s *Server) handleSessionSegments(w http.ResponseWriter, r *http.Request) {
@@ -88,184 +113,39 @@ func (s *Server) handleSessionSegments(w http.ResponseWriter, r *http.Request) {
 	if !decodeStrict(w, r, &req) {
 		return
 	}
-
-	// Fuse the WiFi fix first: it may be the origin of a brand-new
-	// session, and for an existing one the paper's tracking setup
-	// re-anchors before dead reckoning continues. The localize pass runs
-	// through the same batcher as /v1/localize traffic.
-	var fix *core.WiFiPrediction
-	if len(req.Fingerprint) > 0 {
-		wm, ok := s.resolve(w, req.WiFiModel, KindWiFi)
-		if !ok {
+	st, err := s.engine.AppendSegments(r.Context(), segmentQuery(id, &req))
+	if err != nil {
+		// A populated state alongside the error is the partial-commit
+		// contract: report the committed prefix with the failure so the
+		// client resends only the tail (see SessionResponse). The status
+		// comes from the typed error — 500 for a failed pass, 504 when a
+		// deadline expired mid-append.
+		if e := AsError(err); st.Session != "" {
+			resp := sessionResponse(st)
+			resp.Error = e.Message
+			writeJSON(w, e.Status, resp)
 			return
 		}
-		if dim := wm.WiFi.InputDim(); len(req.Fingerprint) != dim {
-			fail(w, http.StatusBadRequest, "fingerprint has %d features, model %q wants %d",
-				len(req.Fingerprint), req.WiFiModel, dim)
-			return
-		}
-		preds, err := s.wifiBatcher.Submit(r.Context(), req.WiFiModel, [][]float64{req.Fingerprint})
-		if err != nil {
-			fail(w, http.StatusInternalServerError, "localizing fix: %v", err)
-			return
-		}
-		fix = &preds[0]
-	} else if req.WiFiModel != "" {
-		fail(w, http.StatusBadRequest, "wifi_model given without a fingerprint")
+		failEngine(w, err)
 		return
 	}
-
-	sess, ok := s.sessions.Get(id)
-	created := false
-	if !ok {
-		// Validate the whole creation spec — including the segment
-		// payload — outside the shard lock and BEFORE inserting
-		// anything: a request answered 400 must not leave a session
-		// behind. The init closure then only assembles state; racing
-		// creators both pass validation and exactly one wins.
-		if req.Model == "" {
-			fail(w, http.StatusBadRequest, "new session %q needs an IMU model name", id)
-			return
-		}
-		m, resolved := s.resolve(w, req.Model, KindIMU)
-		if !resolved {
-			return
-		}
-		if _, ok := checkSegments(w, len(req.Features), m.IMU.SegmentDim(), req.Model); !ok {
-			return
-		}
-		var start geo.Point
-		switch {
-		case req.Start != nil:
-			start = geo.Point{X: req.Start.X, Y: req.Start.Y}
-		case fix != nil:
-			start = fix.Pos
-		default:
-			fail(w, http.StatusBadRequest, "new session %q needs a start anchor or a wifi fingerprint", id)
-			return
-		}
-		window := req.Window
-		if window <= 0 {
-			window = defaultSessionWindow
-		}
-		sess, created, _ = s.sessions.GetOrCreate(id, func() (*session.Session, error) {
-			return session.New(id, req.Model, m.IMU.NewPathTracker(start, window)), nil
-		})
-	}
-	if req.Model != "" && req.Model != sess.Model {
-		fail(w, http.StatusConflict, "session %q is bound to model %q, not %q", id, sess.Model, req.Model)
-		return
-	}
-
-	sess.Lock()
-	defer sess.Unlock()
-	// Stamp activity when the request finishes, not when the lock is
-	// acquired (deferred args evaluate immediately; the closure does not).
-	defer func() { sess.Touch(time.Now()) }()
-
-	// The TTL sweeper (or a concurrent DELETE) may have removed this
-	// session between the map lookup and the lock acquire. Re-verify
-	// membership now that we hold the mutex — the sweeper only TryLocks,
-	// so it cannot evict us past this point — or a step would apply to
-	// an orphaned session and silently vanish.
-	if cur, ok := s.sessions.Get(id); !ok || cur != sess {
-		fail(w, http.StatusNotFound, "session %q expired", id)
-		return
-	}
-
-	// Validate the segment payload before mutating anything: a request
-	// answered 400 must leave the session untouched (in particular, its
-	// fix must not re-anchor a trajectory whose segments were rejected).
-	segDim := sess.Tracker.SegmentDim()
-	k, ok := checkSegments(w, len(req.Features), segDim, sess.Model)
-	if !ok {
-		return
-	}
-
-	resp := SessionResponse{Session: id, Model: sess.Model, Created: created}
-	if fix != nil {
-		// On a fresh session whose origin IS the fix this is a no-op
-		// (empty window, estimate already at the fix); otherwise it
-		// snaps the trajectory to the absolute position.
-		sess.Tracker.ReAnchor(fix.Pos)
-		sess.ReAnchors.Add(1)
-		s.sessions.NoteReAnchor()
-		resp.ReAnchored = true
-		resp.Anchor = &XY{X: fix.Pos.X, Y: fix.Pos.Y}
-	}
-
-	// Each appended segment is one tracking step: the windowed path goes
-	// through the track batcher, coalescing with other devices' steps
-	// (and plain /v1/track traffic) into shared PredictPaths passes.
-	for i := 0; i < k; i++ {
-		seg := req.Features[i*segDim : (i+1)*segDim]
-		path, err := sess.Tracker.Step(seg)
-		if err != nil {
-			fail(w, http.StatusBadRequest, "segment %d: %v", i, err)
-			return
-		}
-		preds, err := s.imuBatcher.Submit(r.Context(), sess.Model, []imu.Path{path})
-		if err != nil {
-			// Step is pure, so this segment (and the ones after it) were
-			// NOT applied; the committed prefix is reported with the
-			// error so the client resends only the tail (see
-			// SessionResponse).
-			resp.Error = fmt.Sprintf("inference at segment %d: %v", i, err)
-			if i > 0 {
-				sess.Steps.Add(int64(i))
-				s.sessions.NoteSteps(i)
-			}
-			fillSessionState(&resp, sess)
-			writeJSON(w, http.StatusInternalServerError, resp)
-			return
-		}
-		sess.Tracker.Commit(seg, preds[0])
-		resp.Results = append(resp.Results, SessionStepResult{
-			Step:         sess.Tracker.Steps(),
-			End:          XY{X: preds[0].End.X, Y: preds[0].End.Y},
-			Class:        preds[0].Class,
-			Displacement: XY{X: preds[0].Displacement.X, Y: preds[0].Displacement.Y},
-		})
-	}
-	if k > 0 {
-		sess.Steps.Add(int64(k))
-		s.sessions.NoteSteps(k)
-	}
-
-	fillSessionState(&resp, sess)
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, sessionResponse(st))
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	sess, ok := s.sessions.Get(id)
-	if !ok {
-		fail(w, http.StatusNotFound, "unknown session %q", id)
+	st, err := s.engine.Session(r.PathValue("id"))
+	if err != nil {
+		failEngine(w, err)
 		return
 	}
-	sess.Lock()
-	defer sess.Unlock()
-	resp := SessionResponse{Session: id, Model: sess.Model}
-	fillSessionState(&resp, sess)
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, sessionResponse(st))
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.sessions.Delete(id) {
-		fail(w, http.StatusNotFound, "unknown session %q", id)
+	if err := s.engine.DeleteSession(id); err != nil {
+		failEngine(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"session": id, "deleted": true})
-}
-
-// fillSessionState copies the tracker's current estimate into resp. The
-// caller holds the session lock.
-func fillSessionState(resp *SessionResponse, sess *session.Session) {
-	est := sess.Tracker.Estimate()
-	trav := sess.Tracker.Traveled()
-	resp.Steps = sess.Tracker.Steps()
-	resp.Position = XY{X: est.End.X, Y: est.End.Y}
-	resp.Class = est.Class
-	resp.Traveled = XY{X: trav.X, Y: trav.Y}
 }

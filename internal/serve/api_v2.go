@@ -1,0 +1,504 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"noble/internal/geo"
+)
+
+// The /v2 wire protocol: same inference surface as /v1 over the same
+// Engine, plus the serving-protocol features a device fleet needs to
+// evolve against:
+//
+//   - Structured errors: every failure body is
+//     {"error":{"code":"...","message":"...","request_id":"..."}} with a
+//     machine-readable code (see errors.go), so clients branch on the
+//     failure class instead of pattern-matching free text.
+//   - Server-assigned request IDs: every response carries X-Request-Id
+//     (and error envelopes echo it in the body), and the total assigned
+//     is exported on /metrics — a cheap correlation handle for fleet
+//     debugging.
+//   - Per-request deadlines: X-Deadline-Ms (header) or deadline_ms
+//     (body field) bound how long a request may wait end-to-end,
+//     including its time queued in the micro-batcher; an expired request
+//     is dropped from the batch queue without consuming forward-pass
+//     rows and answered 504/deadline_exceeded.
+//   - NDJSON streaming tracking: POST /v2/track/stream keeps one
+//     connection per device, one JSON line per IMU segment in, one
+//     decoded estimate line out.
+
+// v2Error is the structured error object inside the /v2 envelope.
+type v2Error struct {
+	Code      Code   `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// v2Envelope is the /v2 error body.
+type v2Envelope struct {
+	Error v2Error `json:"error"`
+}
+
+// writeEnvelope writes a structured /v2 error response.
+func writeEnvelope(w http.ResponseWriter, reqID string, err error) {
+	e := AsError(err)
+	if reqID != "" {
+		w.Header().Set("X-Request-Id", reqID)
+	}
+	writeJSON(w, e.Status, v2Envelope{Error: v2Error{Code: e.Code, Message: e.Message, RequestID: reqID}})
+}
+
+// bodyError classifies a request-body read/decode failure: an oversized
+// body keeps its 413, anything else is the client's malformed 400.
+func bodyError(err error, format string, args ...any) *Error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return errf(CodeBodyTooLarge, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxBodyBytes)
+	}
+	return errf(CodeBadBody, http.StatusBadRequest, format, args...)
+}
+
+// decodeStrictV2 decodes a size-capped JSON body into v, rejecting
+// trailing garbage, returning the typed error instead of writing it.
+func decodeStrictV2(w http.ResponseWriter, r *http.Request, v any) *Error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return bodyError(err, "decoding request: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return bodyError(err, "trailing data after JSON body")
+	}
+	return nil
+}
+
+// requestCtx derives the per-request context: the effective deadline is
+// the stricter of the X-Deadline-Ms header and the body's deadline_ms
+// field (either may be absent). A malformed header is rejected rather
+// than silently ignored — a device that thinks it set a deadline must
+// not wait forever.
+func requestCtx(r *http.Request, bodyMs int64) (context.Context, context.CancelFunc, *Error) {
+	ms := int64(0)
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || v <= 0 {
+			return nil, nil, errf(CodeBadRequest, http.StatusBadRequest,
+				"invalid X-Deadline-Ms %q: want a positive integer of milliseconds", h)
+		}
+		ms = v
+	}
+	if bodyMs < 0 {
+		return nil, nil, errf(CodeBadRequest, http.StatusBadRequest,
+			"invalid deadline_ms %d: want a positive integer of milliseconds", bodyMs)
+	}
+	if bodyMs > 0 && (ms == 0 || bodyMs < ms) {
+		ms = bodyMs
+	}
+	if ms == 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// routesV2 installs the /v2 handlers.
+func (s *Server) routesV2() {
+	s.mux.HandleFunc("POST /v2/localize", s.instrument("v2_localize", s.gate(s.handleLocalizeV2)))
+	s.mux.HandleFunc("POST /v2/track", s.instrument("v2_track", s.gate(s.handleTrackV2)))
+	s.mux.HandleFunc("POST /v2/track/stream", s.instrument("v2_track_stream", s.gate(s.handleTrackStream)))
+	s.mux.HandleFunc("POST /v2/sessions/{id}/segments", s.instrument("v2_sessions", s.gate(s.handleSessionSegmentsV2)))
+	s.mux.HandleFunc("GET /v2/sessions/{id}", s.instrument("v2_sessions_get", s.handleSessionGetV2))
+	s.mux.HandleFunc("DELETE /v2/sessions/{id}", s.instrument("v2_sessions_delete", s.handleSessionDeleteV2))
+	s.mux.HandleFunc("GET /v2/models", s.instrument("v2_models", s.handleModelsV2))
+	s.mux.HandleFunc("GET /v2/health", s.instrument("v2_health", s.handleHealthV2))
+}
+
+// localizeRequestV2 is POST /v2/localize: the /v1 shape plus an optional
+// per-request deadline.
+type localizeRequestV2 struct {
+	LocalizeRequest
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// localizeResponseV2 answers /v2/localize.
+type localizeResponseV2 struct {
+	RequestID string     `json:"request_id"`
+	Model     string     `json:"model"`
+	Results   []Position `json:"results"`
+}
+
+func (s *Server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
+	reqID := s.engine.NextRequestID()
+	// Localize is the production hot path on /v2 exactly as on /v1: the
+	// hand-rolled parser/encoder (fastjson.go) carries the fleet load,
+	// with encoding/json as the behavior-defining fallback.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeEnvelope(w, reqID, bodyError(err, "reading request: %v", err))
+		return
+	}
+	var req localizeRequestV2
+	if !parseLocalizeRequestV2(body, &req) {
+		req = localizeRequestV2{}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeEnvelope(w, reqID, errf(CodeBadBody, http.StatusBadRequest, "decoding request: %v", err))
+			return
+		}
+	}
+	ctx, cancel, e := requestCtx(r, req.DeadlineMs)
+	if e != nil {
+		writeEnvelope(w, reqID, e)
+		return
+	}
+	defer cancel()
+	preds, err := s.engine.Localize(ctx, LocalizeQuery{Model: req.Model, Fingerprints: req.Fingerprints})
+	if err != nil {
+		writeEnvelope(w, reqID, err)
+		return
+	}
+	resp := LocalizeResponse{Model: req.Model, Results: make([]Position, len(preds))}
+	for i, p := range preds {
+		resp.Results[i] = Position{X: p.Pos.X, Y: p.Pos.Y, Class: p.Class, Building: p.Building, Floor: p.Floor}
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(appendLocalizeResponseV2(nil, reqID, &resp))
+}
+
+// trackRequestV2 is POST /v2/track.
+type trackRequestV2 struct {
+	TrackRequest
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// trackResponseV2 answers /v2/track.
+type trackResponseV2 struct {
+	RequestID string        `json:"request_id"`
+	Model     string        `json:"model"`
+	Results   []TrackResult `json:"results"`
+}
+
+func (s *Server) handleTrackV2(w http.ResponseWriter, r *http.Request) {
+	reqID := s.engine.NextRequestID()
+	var req trackRequestV2
+	if e := decodeStrictV2(w, r, &req); e != nil {
+		writeEnvelope(w, reqID, e)
+		return
+	}
+	ctx, cancel, e := requestCtx(r, req.DeadlineMs)
+	if e != nil {
+		writeEnvelope(w, reqID, e)
+		return
+	}
+	defer cancel()
+	q := TrackQuery{Model: req.Model, Paths: make([]PathQuery, len(req.Paths))}
+	for i, p := range req.Paths {
+		q.Paths[i] = PathQuery{Start: geo.Point{X: p.Start.X, Y: p.Start.Y}, Features: p.Features}
+	}
+	preds, err := s.engine.Track(ctx, q)
+	if err != nil {
+		writeEnvelope(w, reqID, err)
+		return
+	}
+	resp := trackResponseV2{RequestID: reqID, Model: req.Model, Results: make([]TrackResult, len(preds))}
+	for i, p := range preds {
+		resp.Results[i] = TrackResult{
+			End:          XY{X: p.End.X, Y: p.End.Y},
+			Class:        p.Class,
+			Displacement: XY{X: p.Displacement.X, Y: p.Displacement.Y},
+		}
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sessionSegmentsRequestV2 is POST /v2/sessions/{id}/segments.
+type sessionSegmentsRequestV2 struct {
+	SessionSegmentsRequest
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// sessionResponseV2 answers the /v2 session endpoints. On a mid-request
+// inference failure it carries status 500 with Error set (structured)
+// and Results holding the steps that DID commit, mirroring the /v1
+// partial-commit contract.
+type sessionResponseV2 struct {
+	RequestID  string              `json:"request_id"`
+	Session    string              `json:"session"`
+	Model      string              `json:"model"`
+	Created    bool                `json:"created,omitempty"`
+	ReAnchored bool                `json:"re_anchored,omitempty"`
+	Anchor     *XY                 `json:"anchor,omitempty"`
+	Steps      int                 `json:"steps"`
+	Position   XY                  `json:"position"`
+	Class      int                 `json:"class"`
+	Traveled   XY                  `json:"traveled"`
+	Results    []SessionStepResult `json:"results,omitempty"`
+	Error      *v2Error            `json:"error,omitempty"`
+}
+
+// sessionResponseV2Of maps an Engine session state onto the /v2 shape.
+func sessionResponseV2Of(reqID string, st SessionState) sessionResponseV2 {
+	v1 := sessionResponse(st)
+	return sessionResponseV2{
+		RequestID:  reqID,
+		Session:    v1.Session,
+		Model:      v1.Model,
+		Created:    v1.Created,
+		ReAnchored: v1.ReAnchored,
+		Anchor:     v1.Anchor,
+		Steps:      v1.Steps,
+		Position:   v1.Position,
+		Class:      v1.Class,
+		Traveled:   v1.Traveled,
+		Results:    v1.Results,
+	}
+}
+
+func (s *Server) handleSessionSegmentsV2(w http.ResponseWriter, r *http.Request) {
+	reqID := s.engine.NextRequestID()
+	id := r.PathValue("id")
+	var req sessionSegmentsRequestV2
+	if e := decodeStrictV2(w, r, &req); e != nil {
+		writeEnvelope(w, reqID, e)
+		return
+	}
+	ctx, cancel, e := requestCtx(r, req.DeadlineMs)
+	if e != nil {
+		writeEnvelope(w, reqID, e)
+		return
+	}
+	defer cancel()
+	st, err := s.engine.AppendSegments(ctx, segmentQuery(id, &req.SessionSegmentsRequest))
+	if err != nil {
+		if e := AsError(err); st.Session != "" {
+			// Partial commit: the committed prefix rides along with the
+			// structured error, under the error's own status (500 for a
+			// failed pass, 504 when the deadline expired mid-append).
+			resp := sessionResponseV2Of(reqID, st)
+			resp.Error = &v2Error{Code: e.Code, Message: e.Message, RequestID: reqID}
+			w.Header().Set("X-Request-Id", reqID)
+			writeJSON(w, e.Status, resp)
+			return
+		}
+		writeEnvelope(w, reqID, err)
+		return
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	writeJSON(w, http.StatusOK, sessionResponseV2Of(reqID, st))
+}
+
+func (s *Server) handleSessionGetV2(w http.ResponseWriter, r *http.Request) {
+	reqID := s.engine.NextRequestID()
+	st, err := s.engine.Session(r.PathValue("id"))
+	if err != nil {
+		writeEnvelope(w, reqID, err)
+		return
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	writeJSON(w, http.StatusOK, sessionResponseV2Of(reqID, st))
+}
+
+func (s *Server) handleSessionDeleteV2(w http.ResponseWriter, r *http.Request) {
+	reqID := s.engine.NextRequestID()
+	id := r.PathValue("id")
+	if err := s.engine.DeleteSession(id); err != nil {
+		writeEnvelope(w, reqID, err)
+		return
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	writeJSON(w, http.StatusOK, map[string]any{"request_id": reqID, "session": id, "deleted": true})
+}
+
+func (s *Server) handleModelsV2(w http.ResponseWriter, r *http.Request) {
+	reqID := s.engine.NextRequestID()
+	w.Header().Set("X-Request-Id", reqID)
+	writeJSON(w, http.StatusOK, map[string]any{"request_id": reqID, "models": s.engine.Models()})
+}
+
+// healthResponseV2 answers /v2/health.
+type healthResponseV2 struct {
+	RequestID     string `json:"request_id"`
+	Status        string `json:"status"`
+	Models        int    `json:"models"`
+	Batching      bool   `json:"batching"`
+	Sessions      int    `json:"sessions"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Draining      bool   `json:"draining,omitempty"`
+}
+
+func (s *Server) handleHealthV2(w http.ResponseWriter, r *http.Request) {
+	reqID := s.engine.NextRequestID()
+	h := s.engine.Health()
+	w.Header().Set("X-Request-Id", reqID)
+	writeJSON(w, http.StatusOK, healthResponseV2{
+		RequestID:     reqID,
+		Status:        h.Status,
+		Models:        h.Models,
+		Batching:      h.Batching,
+		Sessions:      h.Sessions,
+		UptimeSeconds: int64(h.Uptime.Seconds()),
+		Draining:      h.Draining,
+	})
+}
+
+// streamOpen is the first NDJSON line of a /v2/track/stream connection:
+// a session request plus an optional session name. Without one the
+// server runs the stream on an ephemeral session (named after the
+// request ID) that is deleted when the connection ends.
+type streamOpen struct {
+	Session string `json:"session,omitempty"`
+	SessionSegmentsRequest
+}
+
+// streamLine is one NDJSON response line: the decoded state after the
+// corresponding input line, correlated by 1-based Seq. A line-level
+// failure carries Error (with any partially committed steps alongside)
+// and terminates the stream.
+type streamLine struct {
+	Seq int `json:"seq"`
+	sessionResponseV2
+}
+
+// maxStreamLineBytes caps one NDJSON input line. A stream is long-lived
+// by design, so the total body is unbounded; the per-line cap matches
+// the per-request cap everywhere else.
+const maxStreamLineBytes = maxBodyBytes
+
+// handleTrackStream runs the NDJSON streaming-tracking protocol: the
+// device sends one JSON object per line (the first may create/name the
+// session, every line may carry segments and WiFi fixes) and receives
+// one decoded estimate line per input line, flushed immediately, on a
+// single connection.
+func (s *Server) handleTrackStream(w http.ResponseWriter, r *http.Request) {
+	reqID := s.engine.NextRequestID()
+	ctx, cancel, e := requestCtx(r, 0)
+	if e != nil {
+		writeEnvelope(w, reqID, e)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("X-Request-Id", reqID)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	// The stream interleaves reads of the request body with writes of
+	// the response on one HTTP/1.1 connection; without full-duplex mode
+	// the server holds all output until the request body is drained,
+	// which would deadlock an interactive device. Best-effort: writers
+	// that do not support it (HTTP/2, test recorders) are already
+	// effectively full-duplex or in-memory.
+	rc.EnableFullDuplex()
+	// Commit the response headers before reading any input so a
+	// streaming client's Do() returns immediately and it can drive the
+	// connection interactively (send a line, read a line).
+	w.WriteHeader(http.StatusOK)
+	rc.Flush()
+	enc := json.NewEncoder(w)
+	writeLine := func(line streamLine) {
+		enc.Encode(line)
+		rc.Flush()
+	}
+	failLine := func(seq int, st SessionState, err error) {
+		e := AsError(err)
+		line := streamLine{Seq: seq}
+		line.sessionResponseV2 = sessionResponseV2Of(reqID, st)
+		line.Error = &v2Error{Code: e.Code, Message: e.Message, RequestID: reqID}
+		writeLine(line)
+	}
+
+	sc := newLineScanner(r.Body)
+	var (
+		sessID    string
+		ephemeral bool
+		seq       int
+	)
+	defer func() {
+		if ephemeral && sessID != "" {
+			s.engine.DeleteSession(sessID)
+		}
+	}()
+	for {
+		line, err := sc.next()
+		if err == io.EOF {
+			return
+		}
+		seq++
+		if err != nil {
+			failLine(seq, SessionState{}, bodyError(err, "reading stream line %d: %v", seq, err))
+			return
+		}
+		var req SessionSegmentsRequest
+		if seq == 1 {
+			var open streamOpen
+			if err := json.Unmarshal(line, &open); err != nil {
+				failLine(seq, SessionState{}, errf(CodeBadBody, http.StatusBadRequest, "decoding stream line %d: %v", seq, err))
+				return
+			}
+			sessID = open.Session
+			if sessID == "" {
+				sessID = "stream-" + reqID
+				ephemeral = true
+			}
+			req = open.SessionSegmentsRequest
+		} else if err := json.Unmarshal(line, &req); err != nil {
+			failLine(seq, SessionState{}, errf(CodeBadBody, http.StatusBadRequest, "decoding stream line %d: %v", seq, err))
+			return
+		}
+		st, err := s.engine.AppendSegments(ctx, segmentQuery(sessID, &req))
+		if err != nil {
+			failLine(seq, st, err)
+			return
+		}
+		line2 := streamLine{Seq: seq}
+		line2.sessionResponseV2 = sessionResponseV2Of(reqID, st)
+		writeLine(line2)
+	}
+}
+
+// lineScanner yields non-empty NDJSON lines with a per-line byte cap
+// (the stream body as a whole is unbounded by design).
+type lineScanner struct {
+	br *bufio.Reader
+}
+
+// newLineScanner builds a scanner over r.
+func newLineScanner(r io.Reader) *lineScanner {
+	return &lineScanner{br: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// next returns the next non-empty line (without the trailing newline),
+// io.EOF at end of stream, or an error (including oversized lines).
+func (l *lineScanner) next() ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := l.br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > maxStreamLineBytes {
+			return nil, errf(CodeBodyTooLarge, http.StatusRequestEntityTooLarge,
+				"stream line exceeds %d bytes", maxStreamLineBytes)
+		}
+		switch {
+		case err == nil, errors.Is(err, io.EOF):
+			line := bytes.TrimSpace(buf)
+			if len(line) > 0 {
+				return line, nil
+			}
+			if errors.Is(err, io.EOF) {
+				return nil, io.EOF
+			}
+			buf = buf[:0] // blank line: keep reading
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue // line longer than the reader buffer: accumulate
+		default:
+			return nil, err
+		}
+	}
+}

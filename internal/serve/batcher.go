@@ -46,8 +46,12 @@ type Batcher[R, P any] struct {
 	queues map[string]*batchQueue[R, P]
 }
 
-// batchJob is one request waiting for its pass.
+// batchJob is one request waiting for its pass. ctx is the submitting
+// request's context: the dispatcher drops a job whose ctx is already
+// done when its pass forms, so an abandoned request (client gone,
+// deadline expired while queued) never consumes forward-pass rows.
 type batchJob[R, P any] struct {
+	ctx   context.Context
 	rows  []R
 	preds []P
 	err   error
@@ -86,10 +90,13 @@ func NewBatcher[R, P any](kind string, window time.Duration, maxBatch int, predi
 // containing the request completes or ctx is done.
 func (b *Batcher[R, P]) Submit(ctx context.Context, model string, rows []R) ([]P, error) {
 	if b.Window <= 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return b.run(model, rows)
 	}
 
-	job := &batchJob[R, P]{rows: rows, done: make(chan struct{})}
+	job := &batchJob[R, P]{ctx: ctx, rows: rows, done: make(chan struct{})}
 	b.mu.Lock()
 	q := b.queues[model]
 	if q == nil {
@@ -197,13 +204,25 @@ func (b *Batcher[R, P]) dispatch(model string, q *batchQueue[R, P]) {
 			return
 		}
 		// Take whole jobs up to MaxBatch rows; a single oversized job
-		// still goes through as its own pass.
+		// still goes through as its own pass. A job whose submitter is
+		// already gone (context canceled or deadline expired while
+		// queued) is dropped here instead of taken: its submitter has
+		// returned, so running it would only waste forward-pass rows.
 		var (
-			take  []*batchJob[R, P]
-			taken int
+			take    []*batchJob[R, P]
+			taken   int
+			dropped int
 		)
 		for len(q.jobs) > 0 {
 			j := q.jobs[0]
+			if j.ctx.Err() != nil {
+				q.jobs = q.jobs[1:]
+				q.rows -= len(j.rows)
+				dropped += len(j.rows)
+				j.err = j.ctx.Err()
+				close(j.done)
+				continue
+			}
 			if len(take) > 0 && taken+len(j.rows) > b.MaxBatch {
 				break
 			}
@@ -217,7 +236,12 @@ func (b *Batcher[R, P]) dispatch(model string, q *batchQueue[R, P]) {
 		}
 		b.mu.Unlock()
 
-		b.flush(model, take)
+		if dropped > 0 && b.metrics != nil {
+			b.metrics.ObserveBatchDrop(b.kind, dropped)
+		}
+		if len(take) > 0 {
+			b.flush(model, take)
+		}
 	}
 }
 

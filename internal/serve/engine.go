@@ -1,0 +1,492 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"noble/internal/core"
+	"noble/internal/geo"
+	"noble/internal/imu"
+	"noble/internal/serve/session"
+)
+
+// Engine is the transport-independent inference facade: it owns the
+// model registry, the micro-batchers, and the tracking-session store,
+// and exposes the full serving surface — Localize, Track,
+// AppendSegments, Session, DeleteSession, Models, Health — as plain
+// context-aware methods returning typed results and typed errors
+// (*Error, with machine-readable codes and suggested HTTP statuses).
+//
+// HTTP is just one adapter over it: the /v1 handlers map Engine errors
+// back to the legacy free-text bodies byte-for-byte, /v2 wraps them in
+// the structured envelope, and embedders (tests, other transports, the
+// NDJSON stream) call the Engine directly. Validation lives here, so
+// every transport enforces identical limits with identical messages.
+type Engine struct {
+	reg         *Registry
+	wifiBatcher *Batcher[[]float64, core.WiFiPrediction]
+	imuBatcher  *Batcher[imu.Path, core.IMUPrediction]
+	sessions    *session.Store
+	metrics     *Metrics
+	started     time.Time
+
+	draining atomic.Bool
+	reqSeq   atomic.Int64
+	idPrefix string
+}
+
+// NewEngine wires an Engine from cfg.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Registry == nil {
+		panic("serve: Config.Registry is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	e := &Engine{
+		reg:      cfg.Registry,
+		metrics:  NewMetrics(),
+		sessions: session.NewStore(cfg.SessionTTL),
+		started:  time.Now(),
+	}
+	// Request IDs are unique per process run: a per-start prefix plus a
+	// sequence number, cheap enough for the localize hot path.
+	e.idPrefix = strconv.FormatInt(e.started.UnixNano()&0xffffffffff, 36)
+	e.wifiBatcher = NewBatcher("localize", cfg.BatchWindow, cfg.MaxBatch, e.predictWiFiBatch, e.metrics)
+	e.imuBatcher = NewBatcher("track", cfg.BatchWindow, cfg.MaxBatch, e.predictIMUBatch, e.metrics)
+	return e
+}
+
+// Registry exposes the model registry (hot-reload wiring, tests).
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// Sessions exposes the tracking-session store (TTL sweeper, tests).
+func (e *Engine) Sessions() *session.Store { return e.sessions }
+
+// Metrics exposes the metrics collector shared by all transports.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Batching reports whether micro-batching is enabled.
+func (e *Engine) Batching() bool { return e.wifiBatcher.Window > 0 }
+
+// StartDraining flips the engine into drain mode: Health reports it and
+// transports reject new work with CodeDraining while in-flight requests
+// (including batched passes already queued) run to completion.
+func (e *Engine) StartDraining() { e.draining.Store(true) }
+
+// Draining reports whether the engine is shutting down.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// NextRequestID assigns a server-side request ID (unique per process).
+func (e *Engine) NextRequestID() string {
+	n := e.reqSeq.Add(1)
+	if e.metrics != nil {
+		e.metrics.noteRequestID()
+	}
+	return e.idPrefix + "-" + strconv.FormatInt(n, 10)
+}
+
+// resolveModel looks a model up and enforces its kind.
+func (e *Engine) resolveModel(name, kind string) (*Model, *Error) {
+	if name == "" {
+		return nil, errf(CodeBadRequest, http.StatusBadRequest, "missing model name")
+	}
+	m, ok := e.reg.Get(name)
+	if !ok {
+		return nil, errf(CodeModelNotFound, http.StatusNotFound, "unknown model %q", name)
+	}
+	if m.Kind != kind {
+		return nil, errf(CodeWrongModelKind, http.StatusBadRequest,
+			"model %q is kind %q, endpoint wants %q", name, m.Kind, kind)
+	}
+	return m, nil
+}
+
+// predictWiFiBatch is the localize Batcher's callback: resolve the model
+// at flush time (so batches formed across a hot reload run on the newest
+// generation) and run one batched forward pass.
+func (e *Engine) predictWiFiBatch(model string, rows [][]float64) ([]core.WiFiPrediction, error) {
+	m, ok := e.reg.Get(model)
+	if !ok || m.WiFi == nil {
+		return nil, fmt.Errorf("model %q disappeared", model)
+	}
+	return m.WiFi.PredictBatch(rows), nil
+}
+
+// predictIMUBatch is the track Batcher's callback, coalescing track
+// paths and session steps into one PredictPaths pass.
+func (e *Engine) predictIMUBatch(model string, paths []imu.Path) ([]core.IMUPrediction, error) {
+	m, ok := e.reg.Get(model)
+	if !ok || m.IMU == nil {
+		return nil, fmt.Errorf("model %q disappeared", model)
+	}
+	return m.IMU.PredictPaths(paths), nil
+}
+
+// submitErr maps a batcher Submit failure: context expiry keeps its
+// code; a failed pass is an inference error with the legacy "inference:"
+// message /v1 always used.
+func submitErr(err error) *Error {
+	e := AsError(err)
+	if e.Code == CodeInference {
+		return errf(CodeInference, http.StatusInternalServerError, "inference: %v", err)
+	}
+	return e
+}
+
+// LocalizeQuery asks for positions for one or more fingerprints on one
+// named Wi-Fi model.
+type LocalizeQuery struct {
+	Model        string
+	Fingerprints [][]float64
+}
+
+// Localize validates q and answers it through the localize batcher,
+// sharing a forward pass with concurrent callers. Results are in
+// fingerprint order.
+func (e *Engine) Localize(ctx context.Context, q LocalizeQuery) ([]core.WiFiPrediction, error) {
+	m, eerr := e.resolveModel(q.Model, KindWiFi)
+	if eerr != nil {
+		return nil, eerr
+	}
+	if len(q.Fingerprints) == 0 {
+		return nil, errf(CodeBadFingerprint, http.StatusBadRequest, "no fingerprints")
+	}
+	if len(q.Fingerprints) > maxFingerprints {
+		return nil, errf(CodeBadFingerprint, http.StatusBadRequest,
+			"%d fingerprints exceeds the per-request limit of %d", len(q.Fingerprints), maxFingerprints)
+	}
+	dim := m.WiFi.InputDim()
+	for i, fp := range q.Fingerprints {
+		if len(fp) != dim {
+			return nil, errf(CodeBadFingerprint, http.StatusBadRequest,
+				"fingerprint %d has %d features, model %q wants %d", i, len(fp), q.Model, dim)
+		}
+	}
+	preds, err := e.wifiBatcher.Submit(ctx, q.Model, q.Fingerprints)
+	if err != nil {
+		return nil, submitErr(err)
+	}
+	return preds, nil
+}
+
+// PathQuery is one IMU path to decode: the anchor position plus the
+// concatenated per-segment features.
+type PathQuery struct {
+	Start    geo.Point
+	Features []float64
+}
+
+// TrackQuery asks for decoded path ends on one named IMU model.
+type TrackQuery struct {
+	Model string
+	Paths []PathQuery
+}
+
+// Track validates q and answers it through the track batcher. Results
+// are in path order.
+func (e *Engine) Track(ctx context.Context, q TrackQuery) ([]core.IMUPrediction, error) {
+	m, eerr := e.resolveModel(q.Model, KindIMU)
+	if eerr != nil {
+		return nil, eerr
+	}
+	if len(q.Paths) == 0 {
+		return nil, errf(CodeBadPath, http.StatusBadRequest, "no paths")
+	}
+	if len(q.Paths) > maxPathsPerRequest {
+		return nil, errf(CodeBadPath, http.StatusBadRequest,
+			"%d paths exceeds the per-request limit of %d", len(q.Paths), maxPathsPerRequest)
+	}
+	segDim, maxLen := m.IMU.SegmentDim(), m.IMU.MaxLen()
+	paths := make([]imu.Path, len(q.Paths))
+	for i, p := range q.Paths {
+		n := len(p.Features)
+		if n == 0 || n%segDim != 0 || n/segDim > maxLen {
+			return nil, errf(CodeBadPath, http.StatusBadRequest,
+				"path %d has %d feature values; model %q wants a non-empty multiple of %d up to %d segments",
+				i, n, q.Model, segDim, maxLen)
+		}
+		paths[i] = imu.Path{Start: p.Start, NumSegments: n / segDim, Features: p.Features}
+	}
+	preds, err := e.imuBatcher.Submit(ctx, q.Model, paths)
+	if err != nil {
+		return nil, submitErr(err)
+	}
+	return preds, nil
+}
+
+// SegmentQuery appends IMU segments (and optionally fuses a WiFi fix)
+// into one device's tracking session. The first query for a session ID
+// creates it and must name the IMU model plus an origin — an explicit
+// Start anchor, a WiFi fingerprint, or both.
+type SegmentQuery struct {
+	Session string
+	Model   string     // IMU model; required on create
+	Start   *geo.Point // origin anchor (create only)
+	Window  int        // decode window in segments (create only; default 2)
+
+	Features []float64 // k × segment_dim, appended in order
+
+	WiFiModel   string
+	Fingerprint []float64
+}
+
+// StepResult is one decoded tracking step.
+type StepResult struct {
+	Step int // 1-based lifetime step index
+	core.IMUPrediction
+}
+
+// SessionState describes a session after an Engine call: identity,
+// what the call did (Created, ReAnchored, per-step Results), and the
+// tracker's current estimate.
+type SessionState struct {
+	Session    string
+	Model      string
+	Created    bool
+	ReAnchored bool
+	Anchor     *geo.Point // the fused WiFi fix
+	Steps      int
+	Position   geo.Point // current end estimate
+	Class      int
+	Traveled   geo.Point // displacement since origin / last fix
+	Results    []StepResult
+}
+
+// checkSegmentsQ validates a segment payload width against a model's
+// segment width and returns the segment count.
+func checkSegmentsQ(n, segDim int, model string) (int, *Error) {
+	if n%segDim != 0 {
+		return 0, errf(CodeBadSegment, http.StatusBadRequest,
+			"%d feature values is not a multiple of model %q's segment_dim %d", n, model, segDim)
+	}
+	k := n / segDim
+	if k > maxSegmentsPerRequest {
+		return 0, errf(CodeBadSegment, http.StatusBadRequest,
+			"%d segments exceeds the per-request limit of %d", k, maxSegmentsPerRequest)
+	}
+	return k, nil
+}
+
+// AppendSegments runs one session request: fuse the WiFi fix (if any),
+// create the session on first use, then decode each appended segment as
+// one tracking step through the track batcher.
+//
+// On a mid-request inference failure the returned error has
+// CodeInference AND the returned state is still populated (Session set,
+// Results holding the steps that DID commit); the failing segment and
+// everything after it were not applied, so the caller reports the
+// committed prefix and the client resends exactly the unreported tail.
+// Every other error returns a zero state.
+func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionState, error) {
+	var zero SessionState
+
+	// Fuse the WiFi fix first: it may be the origin of a brand-new
+	// session, and for an existing one the paper's tracking setup
+	// re-anchors before dead reckoning continues. The localize pass runs
+	// through the same batcher as stateless localize traffic.
+	var fix *core.WiFiPrediction
+	if len(q.Fingerprint) > 0 {
+		wm, eerr := e.resolveModel(q.WiFiModel, KindWiFi)
+		if eerr != nil {
+			return zero, eerr
+		}
+		if dim := wm.WiFi.InputDim(); len(q.Fingerprint) != dim {
+			return zero, errf(CodeBadFingerprint, http.StatusBadRequest,
+				"fingerprint has %d features, model %q wants %d", len(q.Fingerprint), q.WiFiModel, dim)
+		}
+		preds, err := e.wifiBatcher.Submit(ctx, q.WiFiModel, [][]float64{q.Fingerprint})
+		if err != nil {
+			fixErr := AsError(err)
+			if fixErr.Code == CodeInference {
+				fixErr = errf(CodeInference, http.StatusInternalServerError, "localizing fix: %v", err)
+			}
+			return zero, fixErr
+		}
+		fix = &preds[0]
+	} else if q.WiFiModel != "" {
+		return zero, errf(CodeBadRequest, http.StatusBadRequest, "wifi_model given without a fingerprint")
+	}
+
+	id := q.Session
+	sess, ok := e.sessions.Get(id)
+	created := false
+	if !ok {
+		// Validate the whole creation spec — including the segment
+		// payload — outside the shard lock and BEFORE inserting anything:
+		// a rejected request must not leave a session behind. The init
+		// closure then only assembles state; racing creators both pass
+		// validation and exactly one wins.
+		if q.Model == "" {
+			return zero, errf(CodeBadRequest, http.StatusBadRequest, "new session %q needs an IMU model name", id)
+		}
+		m, eerr := e.resolveModel(q.Model, KindIMU)
+		if eerr != nil {
+			return zero, eerr
+		}
+		if _, eerr := checkSegmentsQ(len(q.Features), m.IMU.SegmentDim(), q.Model); eerr != nil {
+			return zero, eerr
+		}
+		var start geo.Point
+		switch {
+		case q.Start != nil:
+			start = *q.Start
+		case fix != nil:
+			start = fix.Pos
+		default:
+			return zero, errf(CodeBadRequest, http.StatusBadRequest,
+				"new session %q needs a start anchor or a wifi fingerprint", id)
+		}
+		window := q.Window
+		if window <= 0 {
+			window = defaultSessionWindow
+		}
+		sess, created, _ = e.sessions.GetOrCreate(id, func() (*session.Session, error) {
+			return session.New(id, q.Model, m.IMU.NewPathTracker(start, window)), nil
+		})
+	}
+	if q.Model != "" && q.Model != sess.Model {
+		return zero, errf(CodeSessionConflict, http.StatusConflict,
+			"session %q is bound to model %q, not %q", id, sess.Model, q.Model)
+	}
+
+	sess.Lock()
+	defer sess.Unlock()
+	// Stamp activity when the call finishes, not when the lock is
+	// acquired (deferred args evaluate immediately; the closure does not).
+	defer func() { sess.Touch(time.Now()) }()
+
+	// The TTL sweeper (or a concurrent delete) may have removed this
+	// session between the map lookup and the lock acquire. Re-verify
+	// membership now that we hold the mutex — the sweeper only TryLocks,
+	// so it cannot evict us past this point — or a step would apply to an
+	// orphaned session and silently vanish.
+	if cur, ok := e.sessions.Get(id); !ok || cur != sess {
+		return zero, errf(CodeSessionNotFound, http.StatusNotFound, "session %q expired", id)
+	}
+
+	// Validate the segment payload before mutating anything: a rejected
+	// request must leave the session untouched (in particular, its fix
+	// must not re-anchor a trajectory whose segments were rejected).
+	segDim := sess.Tracker.SegmentDim()
+	k, eerr := checkSegmentsQ(len(q.Features), segDim, sess.Model)
+	if eerr != nil {
+		return zero, eerr
+	}
+
+	state := SessionState{Session: id, Model: sess.Model, Created: created}
+	if fix != nil {
+		// On a fresh session whose origin IS the fix this is a no-op
+		// (empty window, estimate already at the fix); otherwise it snaps
+		// the trajectory to the absolute position.
+		sess.Tracker.ReAnchor(fix.Pos)
+		sess.ReAnchors.Add(1)
+		e.sessions.NoteReAnchor()
+		state.ReAnchored = true
+		pos := fix.Pos
+		state.Anchor = &pos
+	}
+
+	// Each appended segment is one tracking step: the windowed path goes
+	// through the track batcher, coalescing with other devices' steps
+	// (and stateless track traffic) into shared PredictPaths passes.
+	for i := 0; i < k; i++ {
+		seg := q.Features[i*segDim : (i+1)*segDim]
+		path, err := sess.Tracker.Step(seg)
+		if err != nil {
+			return zero, errf(CodeBadSegment, http.StatusBadRequest, "segment %d: %v", i, err)
+		}
+		preds, err := e.imuBatcher.Submit(ctx, sess.Model, []imu.Path{path})
+		if err != nil {
+			// Step is pure, so this segment (and the ones after it) were
+			// NOT applied; the committed prefix is reported with the
+			// error so the client resends only the tail.
+			if i > 0 {
+				sess.Steps.Add(int64(i))
+				e.sessions.NoteSteps(i)
+			}
+			e.fillSessionState(&state, sess)
+			stepErr := AsError(err)
+			if stepErr.Code == CodeInference {
+				stepErr = errf(CodeInference, http.StatusInternalServerError, "inference at segment %d: %v", i, err)
+			}
+			return state, stepErr
+		}
+		sess.Tracker.Commit(seg, preds[0])
+		state.Results = append(state.Results, StepResult{
+			Step:          sess.Tracker.Steps(),
+			IMUPrediction: preds[0],
+		})
+	}
+	if k > 0 {
+		sess.Steps.Add(int64(k))
+		e.sessions.NoteSteps(k)
+	}
+
+	e.fillSessionState(&state, sess)
+	return state, nil
+}
+
+// Session returns a session's current state.
+func (e *Engine) Session(id string) (SessionState, error) {
+	sess, ok := e.sessions.Get(id)
+	if !ok {
+		return SessionState{}, errf(CodeSessionNotFound, http.StatusNotFound, "unknown session %q", id)
+	}
+	sess.Lock()
+	defer sess.Unlock()
+	state := SessionState{Session: id, Model: sess.Model}
+	e.fillSessionState(&state, sess)
+	return state, nil
+}
+
+// DeleteSession ends a session.
+func (e *Engine) DeleteSession(id string) error {
+	if !e.sessions.Delete(id) {
+		return errf(CodeSessionNotFound, http.StatusNotFound, "unknown session %q", id)
+	}
+	return nil
+}
+
+// fillSessionState copies the tracker's current estimate into state.
+// The caller holds the session lock.
+func (e *Engine) fillSessionState(state *SessionState, sess *session.Session) {
+	est := sess.Tracker.Estimate()
+	state.Steps = sess.Tracker.Steps()
+	state.Position = est.End
+	state.Class = est.Class
+	state.Traveled = sess.Tracker.Traveled()
+}
+
+// Models lists the registered models.
+func (e *Engine) Models() []ModelInfo { return e.reg.List() }
+
+// HealthInfo is the Engine's liveness summary.
+type HealthInfo struct {
+	Status   string
+	Models   int
+	Batching bool
+	Sessions int
+	Uptime   time.Duration
+	Draining bool
+}
+
+// Health reports engine liveness.
+func (e *Engine) Health() HealthInfo {
+	status := "ok"
+	if e.Draining() {
+		status = "draining"
+	}
+	return HealthInfo{
+		Status:   status,
+		Models:   e.reg.Len(),
+		Batching: e.Batching(),
+		Sessions: e.sessions.Len(),
+		Uptime:   time.Since(e.started),
+		Draining: e.Draining(),
+	}
+}

@@ -18,6 +18,19 @@ import (
 // reporting whether it succeeded. On false the caller must re-parse with
 // encoding/json (req may be partially filled).
 func parseLocalizeRequest(data []byte, req *LocalizeRequest) bool {
+	return parseLocalizeFields(data, req, nil)
+}
+
+// parseLocalizeRequestV2 is the /v2 fast parse: the /v1 shape plus the
+// optional integer "deadline_ms" key.
+func parseLocalizeRequestV2(data []byte, req *localizeRequestV2) bool {
+	return parseLocalizeFields(data, &req.LocalizeRequest, &req.DeadlineMs)
+}
+
+// parseLocalizeFields is the shared scanner loop. deadlineMs non-nil
+// additionally accepts the /v2 "deadline_ms" key (integer values only —
+// anything else bails to the encoding/json fallback, which rejects it).
+func parseLocalizeFields(data []byte, req *LocalizeRequest, deadlineMs *int64) bool {
 	p := &scanner{buf: data}
 	if !p.expect('{') {
 		return false
@@ -32,6 +45,15 @@ func parseLocalizeRequest(data []byte, req *LocalizeRequest) bool {
 			if req.Model, ok = p.simpleString(); !ok {
 				return false
 			}
+		case "deadline_ms":
+			if deadlineMs == nil {
+				return false
+			}
+			v, ok := p.integer()
+			if !ok {
+				return false
+			}
+			*deadlineMs = v // duplicate keys are last-wins, like encoding/json
 		case "fingerprints":
 			req.Fingerprints = nil // duplicate keys are last-wins, like encoding/json
 			if !p.expect('[') {
@@ -72,15 +94,31 @@ func parseLocalizeRequest(data []byte, req *LocalizeRequest) bool {
 	return p.pos == len(p.buf)
 }
 
-// appendLocalizeResponse renders resp without reflection. The output is
-// identical in structure to encoding/json's (shortest round-trip float
-// formatting).
+// appendLocalizeResponse renders the /v1 resp without reflection. The
+// output is identical in structure to encoding/json's (shortest
+// round-trip float formatting).
 func appendLocalizeResponse(b []byte, resp *LocalizeResponse) []byte {
 	b = append(b, `{"model":`...)
 	b = strconv.AppendQuote(b, resp.Model)
+	return appendLocalizeResults(b, resp.Results)
+}
+
+// appendLocalizeResponseV2 renders the /v2 response: the /v1 body with
+// the request_id field first, byte-identical to encoding/json of
+// localizeResponseV2.
+func appendLocalizeResponseV2(b []byte, reqID string, resp *LocalizeResponse) []byte {
+	b = append(b, `{"request_id":`...)
+	b = strconv.AppendQuote(b, reqID)
+	b = append(b, `,"model":`...)
+	b = strconv.AppendQuote(b, resp.Model)
+	return appendLocalizeResults(b, resp.Results)
+}
+
+// appendLocalizeResults renders the shared `,"results":[...]}` tail.
+func appendLocalizeResults(b []byte, results []Position) []byte {
 	b = append(b, `,"results":[`...)
-	for i := range resp.Results {
-		r := &resp.Results[i]
+	for i := range results {
+		r := &results[i]
 		if i > 0 {
 			b = append(b, ',')
 		}
@@ -209,6 +247,31 @@ func (p *scanner) number() (float64, bool) {
 	// fingerprint — which at serving rates is real GC pressure.
 	tok := unsafe.String(&p.buf[start], p.pos-start)
 	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// integer parses one JSON number token that is syntactically an
+// integer — no fraction or exponent. The syntax check matters:
+// encoding/json rejects 1500.0 and 1e3 when decoding into int64, and
+// accepting them here would make validation depend on which parser a
+// request happened to hit — so anything non-integer bails to the
+// fallback, which rejects it.
+func (p *scanner) integer() (int64, bool) {
+	p.skipSpace()
+	start := p.pos
+	if !p.jsonNumber() {
+		return 0, false
+	}
+	tok := p.buf[start:p.pos]
+	for _, c := range tok {
+		if c == '.' || c == 'e' || c == 'E' {
+			return 0, false
+		}
+	}
+	v, err := strconv.ParseInt(string(tok), 10, 64)
 	if err != nil {
 		return 0, false
 	}

@@ -87,3 +87,66 @@ func TestAppendLocalizeResponseRoundTrips(t *testing.T) {
 		t.Fatalf("round trip changed the response: %+v != %+v", back, resp)
 	}
 }
+
+func TestParseLocalizeRequestV2MatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		`{"model":"m","fingerprints":[[0.1,0.2]],"deadline_ms":250}`,
+		`{"deadline_ms":10,"model":"m","fingerprints":[[1]]}`,
+		`{"model":"m","fingerprints":[[1]]}`,                                 // deadline absent
+		`{"deadline_ms":5,"deadline_ms":9,"model":"m","fingerprints":[[1]]}`, // last-wins
+	}
+	for _, raw := range cases {
+		var want localizeRequestV2
+		if err := json.Unmarshal([]byte(raw), &want); err != nil {
+			t.Fatalf("bad test case %q: %v", raw, err)
+		}
+		var got localizeRequestV2
+		if !parseLocalizeRequestV2([]byte(raw), &got) {
+			t.Fatalf("fast parse rejected valid /v2 request %q", raw)
+		}
+		if got.Model != want.Model || got.DeadlineMs != want.DeadlineMs ||
+			!reflect.DeepEqual(got.Fingerprints, want.Fingerprints) {
+			t.Fatalf("fast parse of %q: got %+v, want %+v", raw, got, want)
+		}
+	}
+	// Forms the fast path must hand to the encoding/json fallback —
+	// including integer-VALUED non-integer syntax (2000.0, 1e3), which
+	// json.Unmarshal into int64 rejects, so accepting them here would
+	// make validation depend on which parser a request hit.
+	for _, raw := range []string{
+		`{"model":"m","fingerprints":[[1]],"deadline_ms":12.5}`,   // non-integer
+		`{"model":"m","fingerprints":[[1]],"deadline_ms":2000.0}`, // integer-valued fraction
+		`{"model":"m","fingerprints":[[1]],"deadline_ms":1e3}`,    // exponent
+		`{"model":"m","fingerprints":[[1]],"deadline_ms":"10"}`,   // string
+		`{"model":"m","fingerprints":[[1]],"deadline":10}`,        // unknown key
+	} {
+		var req localizeRequestV2
+		if parseLocalizeRequestV2([]byte(raw), &req) {
+			t.Fatalf("fast parse accepted %q", raw)
+		}
+	}
+	// The /v1 parser must NOT accept the /v2-only key.
+	var v1 LocalizeRequest
+	if parseLocalizeRequest([]byte(`{"model":"m","fingerprints":[[1]],"deadline_ms":5}`), &v1) {
+		t.Fatal("/v1 fast parse accepted deadline_ms")
+	}
+}
+
+func TestAppendLocalizeResponseV2MatchesEncodingJSON(t *testing.T) {
+	resp := LocalizeResponse{
+		Model: "m",
+		Results: []Position{
+			{X: 1.5, Y: -2.25, Class: 3, Building: 1, Floor: 2},
+			{X: math.Pi, Y: 0},
+		},
+	}
+	got := appendLocalizeResponseV2(nil, "req-7", &resp)
+	want, err := json.Marshal(localizeResponseV2{RequestID: "req-7", Model: resp.Model, Results: resp.Results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if string(got) != string(want) {
+		t.Fatalf("hand-encoded /v2 response differs from encoding/json:\n got %s\nwant %s", got, want)
+	}
+}

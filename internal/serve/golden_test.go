@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The golden tests pin the /v1 wire protocol byte-for-byte: every
+// request/response shape (localize, track, sessions, models, errors) is
+// recorded under testdata/golden and any refactor of the serving
+// internals — in particular the Engine extraction — must reproduce the
+// exact same bytes. Regenerate with:
+//
+//	go test ./internal/serve -run TestGoldenV1 -update-golden
+//
+// The fixture models are seeded and the numerics are bit-identical
+// across GEMM paths (DESIGN §2), so recorded prediction bytes are
+// stable.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from current responses")
+
+// goldenCase is one pinned exchange. Cases run in order against one
+// server so the session cases can build on each other deterministically.
+type goldenCase struct {
+	name   string
+	method string
+	path   string
+	body   string // empty for GET/DELETE
+}
+
+func goldenCases(t *testing.T) []goldenCase {
+	t.Helper()
+	fixtures(t)
+
+	marshal := func(v any) string {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	// Deterministic payloads from the seeded fixture datasets.
+	fp := func(i int) []float64 { return wifiDS.Test[i].Features }
+	localizeOK := marshal(LocalizeRequest{
+		Model:        "wifi-test",
+		Fingerprints: [][]float64{fp(0), fp(1), fp(2), fp(3)},
+	})
+	tooMany := LocalizeRequest{Model: "wifi-test"}
+	for i := 0; i <= maxFingerprints; i++ {
+		tooMany.Fingerprints = append(tooMany.Fingerprints, fp(0))
+	}
+	trackOK := TrackRequest{Model: "imu-test"}
+	for _, p := range imuDS.Test[:3] {
+		trackOK.Paths = append(trackOK.Paths, TrackPath{
+			Start:    XY{X: p.Start.X, Y: p.Start.Y},
+			Features: p.Features,
+		})
+	}
+	seg := imuDS.Test[0].Features[:imuModel.SegmentDim()]
+	segDim := imuModel.SegmentDim()
+	scan := wifiDS.Test[4].Features
+
+	return []goldenCase{
+		// Localize: success and every error shape.
+		{"localize_ok", "POST", "/v1/localize", localizeOK},
+		{"localize_bad_json", "POST", "/v1/localize", `{not json`},
+		{"localize_trailing_garbage", "POST", "/v1/localize", `{"model":"wifi-test","fingerprints":[]} extra`},
+		{"localize_missing_model", "POST", "/v1/localize", `{"fingerprints":[[0.1]]}`},
+		{"localize_unknown_model", "POST", "/v1/localize", `{"model":"nope","fingerprints":[[0.1]]}`},
+		{"localize_wrong_kind", "POST", "/v1/localize", `{"model":"imu-test","fingerprints":[[0.1]]}`},
+		{"localize_no_fingerprints", "POST", "/v1/localize", `{"model":"wifi-test","fingerprints":[]}`},
+		{"localize_bad_dim", "POST", "/v1/localize", `{"model":"wifi-test","fingerprints":[[0.1,0.2]]}`},
+		{"localize_too_many", "POST", "/v1/localize", marshal(tooMany)},
+
+		// Track.
+		{"track_ok", "POST", "/v1/track", marshal(trackOK)},
+		{"track_no_paths", "POST", "/v1/track", `{"model":"imu-test","paths":[]}`},
+		{"track_bad_features", "POST", "/v1/track", `{"model":"imu-test","paths":[{"start":{"x":0,"y":0},"features":[1,2,3]}]}`},
+		{"track_unknown_model", "POST", "/v1/track", `{"model":"nope","paths":[{"start":{"x":0,"y":0},"features":[1]}]}`},
+
+		// Sessions: create, append, fix, introspect, conflict, delete.
+		{"session_create", "POST", "/v1/sessions/golden-dev/segments", marshal(SessionSegmentsRequest{
+			Model: "imu-test", Start: &XY{X: 12, Y: 24}, Window: 2,
+		})},
+		{"session_append", "POST", "/v1/sessions/golden-dev/segments", marshal(SessionSegmentsRequest{
+			Features: seg,
+		})},
+		{"session_fix", "POST", "/v1/sessions/golden-dev/segments", marshal(SessionSegmentsRequest{
+			Features: seg, WiFiModel: "wifi-test", Fingerprint: scan,
+		})},
+		{"session_get", "GET", "/v1/sessions/golden-dev", ""},
+		{"session_model_conflict", "POST", "/v1/sessions/golden-dev/segments", marshal(SessionSegmentsRequest{
+			Model: "other-model",
+		})},
+		{"session_create_no_model", "POST", "/v1/sessions/golden-new/segments", marshal(SessionSegmentsRequest{
+			Start: &XY{},
+		})},
+		{"session_create_no_origin", "POST", "/v1/sessions/golden-new/segments", marshal(SessionSegmentsRequest{
+			Model: "imu-test", Features: seg,
+		})},
+		{"session_bad_multiple", "POST", "/v1/sessions/golden-dev/segments", marshal(SessionSegmentsRequest{
+			Features: seg[:segDim-1],
+		})},
+		{"session_fingerprint_no_model", "POST", "/v1/sessions/golden-dev/segments", marshal(SessionSegmentsRequest{
+			Fingerprint: scan,
+		})},
+		{"session_delete", "DELETE", "/v1/sessions/golden-dev", ""},
+		{"session_delete_missing", "DELETE", "/v1/sessions/golden-dev", ""},
+		{"session_get_missing", "GET", "/v1/sessions/golden-dev", ""},
+
+		// Listings.
+		{"models", "GET", "/v1/models", ""},
+	}
+}
+
+// newGoldenServer is newTestServer with pinned LoadedAt stamps so the
+// /v1/models bytes are reproducible.
+func newGoldenServer(t *testing.T) *Server {
+	t.Helper()
+	fixtures(t)
+	loaded := time.Date(2025, 1, 2, 3, 4, 5, 0, time.UTC)
+	reg := NewRegistry("", t.Logf)
+	reg.Add(&Model{Name: "wifi-test", Kind: KindWiFi, WiFi: wifiModel, LoadedAt: loaded})
+	reg.Add(&Model{Name: "imu-test", Kind: KindIMU, IMU: imuModel, LoadedAt: loaded})
+	return New(Config{Registry: reg, BatchWindow: 0, MaxBatch: 64})
+}
+
+func TestGoldenV1(t *testing.T) {
+	s := newGoldenServer(t)
+	dir := filepath.Join("testdata", "golden")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range goldenCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			var req *http.Request
+			if tc.body != "" {
+				req = httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+				req.Header.Set("Content-Type", "application/json")
+			} else {
+				req = httptest.NewRequest(tc.method, tc.path, nil)
+			}
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, req)
+
+			got := fmt.Sprintf("%d %s\n%s", w.Code, w.Header().Get("Content-Type"), w.Body.Bytes())
+			file := filepath.Join(dir, tc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(file, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("wire bytes changed.\n--- golden:\n%s\n--- got:\n%s", want, got)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,13 +21,16 @@ type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 	batches   map[string]*batchKindStats
+
+	requestIDs atomic.Int64 // server-assigned request IDs handed out
 }
 
 // batchKindStats is one batcher kind's coalescing counters.
 type batchKindStats struct {
-	count int64 // forward passes
-	rows  int64 // rows across all passes
-	max   int64 // largest pass observed
+	count   int64 // forward passes
+	rows    int64 // rows across all passes
+	max     int64 // largest pass observed
+	dropped int64 // rows dropped because their request was canceled while queued
 }
 
 type endpointStats struct {
@@ -90,6 +94,19 @@ func (m *Metrics) ObserveBatch(kind string, size int) {
 	}
 }
 
+// ObserveBatchDrop records rows dropped from a batch queue because
+// their request's context was done before the pass fired.
+func (m *Metrics) ObserveBatchDrop(kind string, rows int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.batches[kind]
+	if s == nil {
+		s = &batchKindStats{}
+		m.batches[kind] = s
+	}
+	s.dropped += int64(rows)
+}
+
 // BatchStats returns the number of forward passes and total rows batched
 // so far for one batcher kind.
 func (m *Metrics) BatchStats(kind string) (passes, rows int64) {
@@ -101,6 +118,21 @@ func (m *Metrics) BatchStats(kind string) (passes, rows int64) {
 	}
 	return s.count, s.rows
 }
+
+// BatchDropped returns how many rows were dropped from one kind's batch
+// queue due to cancellation.
+func (m *Metrics) BatchDropped(kind string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.batches[kind]
+	if s == nil {
+		return 0
+	}
+	return s.dropped
+}
+
+// noteRequestID counts one server-assigned request ID.
+func (m *Metrics) noteRequestID() { m.requestIDs.Add(1) }
 
 // quantile returns the q-th quantile of vals (sorted in place).
 func quantile(vals []float64, q float64) float64 {
@@ -163,4 +195,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "noble_batch_rows_count{kind=%q} %d\n", kind, s.count)
 		fmt.Fprintf(w, "noble_batch_rows_max{kind=%q} %d\n", kind, s.max)
 	}
+	fmt.Fprintln(w, "# HELP noble_batch_dropped_rows_total Rows dropped from batch queues because their request was canceled before the pass fired.")
+	fmt.Fprintln(w, "# TYPE noble_batch_dropped_rows_total counter")
+	for _, kind := range kinds {
+		fmt.Fprintf(w, "noble_batch_dropped_rows_total{kind=%q} %d\n", kind, m.batches[kind].dropped)
+	}
+	fmt.Fprintln(w, "# HELP noble_request_ids_assigned_total Server-assigned request IDs handed out (the /v2 X-Request-Id sequence).")
+	fmt.Fprintln(w, "# TYPE noble_request_ids_assigned_total counter")
+	fmt.Fprintf(w, "noble_request_ids_assigned_total %d\n", m.requestIDs.Load())
 }

@@ -7,6 +7,19 @@
 // paper's two model kinds (IMU dead reckoning re-anchored by WiFi fixes)
 // per device.
 //
+// The package is layered transport-first:
+//
+//   - Engine is the transport-independent facade: it owns the registry,
+//     the batchers and the session store, and exposes Localize / Track /
+//     AppendSegments / Session / Models / Health as plain context-aware
+//     methods with typed errors (machine-readable codes + suggested HTTP
+//     statuses). Embedders and tests drive it directly.
+//   - Server is the HTTP adapter over an Engine: the /v1 handlers keep
+//     the original free-text wire protocol byte-for-byte (pinned by
+//     golden-file tests), and /v2 adds the structured error envelope,
+//     server-assigned request IDs, per-request deadlines, and NDJSON
+//     streaming tracking.
+//
 // The registry loads named model bundles (manifest.json + weights.gob,
 // written by WriteBundle / `noble-train -bundle`) from a directory and
 // hot-reloads them atomically: a changed bundle is rebuilt fully off the
@@ -21,9 +34,11 @@
 // one matrix and answered by one batched forward pass; see Batcher. The
 // engine is generic: one instance coalesces localize fingerprints into
 // (*core.WiFiModel).PredictBatch, another coalesces track and session
-// steps into (*core.IMUModel).PredictPaths.
+// steps into (*core.IMUModel).PredictPaths. A request whose context is
+// canceled while queued is dropped before the pass fires, so abandoned
+// work never consumes forward-pass rows.
 //
-// Tracking sessions (POST /v1/sessions/{id}/segments) keep per-device
+// Tracking sessions (POST /v{1,2}/sessions/{id}/segments) keep per-device
 // path state server-side in a sharded, lock-striped store with TTL
 // eviction, so a device streams one IMU segment per request instead of
 // resending its whole path; see the session package.
@@ -33,12 +48,10 @@ import (
 	"net/http"
 	"time"
 
-	"noble/internal/core"
-	"noble/internal/imu"
 	"noble/internal/serve/session"
 )
 
-// Config assembles a Server.
+// Config assembles an Engine (and, via New, a Server over it).
 type Config struct {
 	// Registry resolves model names; required.
 	Registry *Registry
@@ -57,45 +70,39 @@ type Config struct {
 	SessionTTL time.Duration
 }
 
-// Server is the HTTP inference service. Construct with New, expose with
-// Handler.
+// Server is the HTTP adapter over an Engine. Construct with New (or
+// NewServer over an existing Engine), expose with Handler.
 type Server struct {
-	reg         *Registry
-	wifiBatcher *Batcher[[]float64, core.WiFiPrediction]
-	imuBatcher  *Batcher[imu.Path, core.IMUPrediction]
-	sessions    *session.Store
-	metrics     *Metrics
-	mux         *http.ServeMux
-	started     time.Time
+	engine  *Engine
+	metrics *Metrics
+	mux     *http.ServeMux
 }
 
-// New wires a Server from cfg.
-func New(cfg Config) *Server {
-	if cfg.Registry == nil {
-		panic("serve: Config.Registry is required")
-	}
-	if cfg.MaxBatch <= 0 {
-		cfg.MaxBatch = 64
-	}
-	s := &Server{
-		reg:      cfg.Registry,
-		metrics:  NewMetrics(),
-		sessions: session.NewStore(cfg.SessionTTL),
-		started:  time.Now(),
-	}
-	s.wifiBatcher = NewBatcher("localize", cfg.BatchWindow, cfg.MaxBatch, s.predictWiFiBatch, s.metrics)
-	s.imuBatcher = NewBatcher("track", cfg.BatchWindow, cfg.MaxBatch, s.predictIMUBatch, s.metrics)
-	s.mux = http.NewServeMux()
+// New wires an Engine from cfg and a Server over it.
+func New(cfg Config) *Server { return NewServer(NewEngine(cfg)) }
+
+// NewServer builds the HTTP adapter for an existing Engine.
+func NewServer(e *Engine) *Server {
+	s := &Server{engine: e, metrics: e.Metrics(), mux: http.NewServeMux()}
 	s.routes()
 	return s
 }
+
+// Engine returns the transport-independent core this server adapts.
+func (s *Server) Engine() *Engine { return s.engine }
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Batching reports whether micro-batching is enabled.
-func (s *Server) Batching() bool { return s.wifiBatcher.Window > 0 }
+func (s *Server) Batching() bool { return s.engine.Batching() }
 
 // Sessions exposes the tracking-session store (for the TTL sweeper and
 // introspection).
-func (s *Server) Sessions() *session.Store { return s.sessions }
+func (s *Server) Sessions() *session.Store { return s.engine.Sessions() }
+
+// StartDraining rejects new inference requests with 503 (structured
+// error envelope, code "server_draining") while in-flight requests —
+// including batched passes already queued — run to completion. Call it
+// before http.Server.Shutdown for a graceful drain.
+func (s *Server) StartDraining() { s.engine.StartDraining() }
