@@ -34,6 +34,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -192,14 +193,35 @@ func main() {
 	var (
 		sent       atomic.Int64
 		errs       atomic.Int64
+		errs4xx    atomic.Int64 // server rejected the request (non-2xx, 4xx class)
+		errs5xx    atomic.Int64 // server failed the request (5xx class)
+		errsDL     atomic.Int64 // the -deadline expired
+		errsConn   atomic.Int64 // connection/transport failures, incl. mid-stream drops
+		streamEnds atomic.Int64 // device streams terminated early by an error
 		latMu      sync.Mutex
 		lats       []float64 // seconds
 		lgDeadline = time.Now().Add(*duration)
 	)
-	record := func(d time.Duration, ok bool) {
+	// record classifies a finished request. Non-2xx responses and
+	// mid-stream connection errors are counted in their own buckets —
+	// folding them into one "errors" number masks server-side drops
+	// (e.g. during drain tests, where 503s and severed streams are the
+	// whole point of the measurement).
+	record := func(d time.Duration, err error) {
 		sent.Add(1)
-		if !ok {
+		if err != nil {
 			errs.Add(1)
+			var ae *client.APIError
+			switch {
+			case errors.As(err, &ae) && ae.Status >= 500:
+				errs5xx.Add(1)
+			case errors.As(err, &ae) && ae.Status >= 400:
+				errs4xx.Add(1)
+			case errors.Is(err, context.DeadlineExceeded):
+				errsDL.Add(1)
+			default:
+				errsConn.Add(1)
+			}
 			return
 		}
 		latMu.Lock()
@@ -278,9 +300,14 @@ func main() {
 				}
 			}
 			cancel()
-			record(time.Since(t0), err == nil)
+			record(time.Since(t0), err)
 			if *mode == "stream" && err != nil {
-				return // a stream error is terminal for this device
+				// A stream error is terminal for this device: the
+				// connection is gone (or the server sent a line-level
+				// error and closed). Count the early termination so a
+				// report with 31 of 32 devices dead reads as such.
+				streamEnds.Add(1)
+				return
 			}
 		}
 	}
@@ -344,6 +371,13 @@ func main() {
 	fmt.Printf("  mode        %s seed=%d\n", *mode, *seed)
 	fmt.Printf("  load        %s, concurrency %d, %v\n", loop, *concurrency, duration.Round(time.Millisecond))
 	fmt.Printf("  requests    %d ok, %d errors\n", sent.Load()-errs.Load(), errs.Load())
+	if errs.Load() > 0 {
+		fmt.Printf("  errors      http-4xx=%d http-5xx=%d deadline=%d conn=%d\n",
+			errs4xx.Load(), errs5xx.Load(), errsDL.Load(), errsConn.Load())
+	}
+	if n := streamEnds.Load(); n > 0 {
+		fmt.Printf("  streams     %d device stream(s) ended early on an error\n", n)
+	}
 	fmt.Printf("  throughput  %.1f %s\n", float64(sent.Load()-errs.Load())/elapsed.Seconds(), unit)
 	fmt.Printf("  latency ms  mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 		mean, q(0.50), q(0.90), q(0.99), q(1.0))

@@ -1,0 +1,96 @@
+// Command noble-replay re-runs a recorded noble-serve session journal
+// against a fresh Engine and reports end-to-end trajectory divergence
+// versus the recorded run — turning any production trace captured with
+// `noble-serve -state-dir` into an offline benchmark and regression
+// scenario.
+//
+// Usage:
+//
+//	noble-replay -journal ./state -models ./models [-speed 0]
+//	             [-eps 0] [-batch-window 2ms] [-batch-max 64]
+//
+// Every recorded session is replayed concurrently (as its traffic was),
+// each event in order, through the same engine entry points the HTTP
+// handlers use — so micro-batching coalesces replayed steps exactly as
+// it coalesced the live ones. -speed scales the recorded timeline (1 =
+// real time, 10 = ten times faster); the default 0 replays as fast as
+// possible. Each replayed step's decoded estimate is compared with the
+// recorded one: with the same model bundles the forward pass is
+// deterministic and the report shows zero divergence, so a non-zero
+// report after a model or code change is a behavioral diff against
+// recorded production traffic. Exits non-zero when any step diverged
+// beyond -eps or any replay call failed, so it slots into CI directly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"noble/internal/serve"
+	"noble/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noble-replay: ")
+	journalDir := flag.String("journal", "", "state directory recorded by noble-serve -state-dir (required)")
+	modelsDir := flag.String("models", "models", "bundle directory with the models the journal was recorded against")
+	speed := flag.Float64("speed", 0, "timeline multiplier: 1 = recorded pacing, 10 = 10x, 0 = as fast as possible")
+	eps := flag.Float64("eps", 0, "divergence tolerance in position units (0 = exact)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window (0 disables batching)")
+	batchMax := flag.Int("batch-max", 64, "max rows per coalesced forward pass")
+	flag.Parse()
+	if *journalDir == "" {
+		log.Fatal("-journal is required")
+	}
+
+	rec, err := store.Load(*journalDir)
+	if err != nil {
+		log.Fatalf("loading journal %s: %v", *journalDir, err)
+	}
+	if len(rec.Histories) == 0 {
+		log.Fatalf("journal %s holds no sessions", *journalDir)
+	}
+
+	reg := serve.NewRegistry(*modelsDir, log.Printf)
+	if _, _, err := reg.Reload(); err != nil {
+		log.Fatalf("loading bundles from %s: %v", *modelsDir, err)
+	}
+	engine := serve.NewEngine(serve.Config{
+		Registry:    reg,
+		BatchWindow: *batchWindow,
+		MaxBatch:    *batchMax,
+	})
+
+	rep, err := serve.ReplayJournal(context.Background(), engine, rec, serve.ReplayOptions{
+		Speed: *speed, Eps: *eps,
+	})
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+
+	pace := "as fast as possible"
+	if *speed > 0 {
+		pace = fmt.Sprintf("%gx recorded pacing", *speed)
+	}
+	stepsPerSec := float64(rep.Steps) / rep.Elapsed.Seconds()
+	fmt.Printf("noble-replay report\n")
+	fmt.Printf("  journal     %s: %d session(s) (%d from snapshot, %d skipped), %d live / %d closed in record\n",
+		*journalDir, rep.Sessions, rep.Seeded, rep.Skipped, rec.Stats.Live, rec.Stats.Closed)
+	fmt.Printf("  recorded    %d steps, %d re-anchors, %d closes over %v\n",
+		rep.Steps, rep.ReAnchors, rep.Closes, rep.RecordedSpan.Round(time.Millisecond))
+	fmt.Printf("  replayed    in %v at %s (%.1f steps/s), %d call error(s)\n",
+		rep.Elapsed.Round(time.Millisecond), pace, stepsPerSec, rep.Errors)
+	fmt.Printf("  divergence  %d/%d steps beyond eps=%g; max=%.6g mean=%.6g\n",
+		rep.DivergedSteps, rep.ComparedSteps, *eps, rep.MaxDivergence, rep.MeanDivergence())
+	fmt.Printf("  final       %d/%d live sessions ended within eps of the recorded position\n",
+		rep.FinalCompared-rep.FinalDiverged, rep.FinalCompared)
+
+	if rep.DivergedSteps > 0 || rep.FinalDiverged > 0 || rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

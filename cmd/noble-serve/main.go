@@ -7,7 +7,18 @@
 //
 //	noble-serve -models ./models [-addr :8080] [-batch-window 2ms]
 //	            [-batch-max 32] [-reload 2s] [-session-ttl 10m]
-//	            [-session-sweep 0] [-demo]
+//	            [-session-sweep 0] [-demo] [-demo-tiny]
+//	            [-state-dir ./state] [-fsync interval] [-sync-interval 100ms]
+//	            [-compact-every 1m]
+//
+// With -state-dir, tracking sessions are durable: every session event
+// (create, committed IMU segments, WiFi re-anchor, close/evict) is
+// appended to a CRC-framed write-ahead log under the directory, and a
+// restart restores all recorded sessions — bit-identical tracker state —
+// before the listener opens. -fsync picks the durability/latency
+// tradeoff (never, interval, always); -compact-every bounds recovery
+// cost by periodically folding the log into per-session snapshots. A
+// recorded directory replays offline with noble-replay.
 //
 // Endpoints:
 //
@@ -46,6 +57,7 @@ import (
 	"noble/internal/dataset"
 	"noble/internal/imu"
 	"noble/internal/serve"
+	"noble/internal/store"
 )
 
 func main() {
@@ -60,13 +72,18 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "evict tracking sessions idle longer than this (0 disables eviction)")
 	sessionSweep := flag.Duration("session-sweep", 0, "session eviction sweep interval (0 = ttl/4)")
 	demo := flag.Bool("demo", false, "train small demo models into -models before serving")
+	demoTiny := flag.Bool("demo-tiny", false, "train miniature demo models (seconds, not minutes) — for smoke tests and CI, not benchmarks")
+	stateDir := flag.String("state-dir", "", "durable session journal directory (empty disables persistence)")
+	fsync := flag.String("fsync", "interval", "journal durability: never (buffered only), interval (periodic fsync), always (group-committed fsync per request)")
+	syncInterval := flag.Duration("sync-interval", 100*time.Millisecond, "journal flush+fsync cadence under -fsync=interval")
+	compactEvery := flag.Duration("compact-every", time.Minute, "journal snapshot/compaction cadence (0 disables compaction)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*modelsDir, 0o755); err != nil {
 		log.Fatalf("creating models dir: %v", err)
 	}
-	if *demo {
-		if err := writeDemoBundles(*modelsDir); err != nil {
+	if *demo || *demoTiny {
+		if err := writeDemoBundles(*modelsDir, *demoTiny); err != nil {
 			log.Fatalf("demo bundles: %v", err)
 		}
 	}
@@ -81,12 +98,44 @@ func main() {
 		log.Printf("  %-16s kind=%s classes=%d flops=%d", info.Name, info.Kind, info.Classes, info.FLOPs)
 	}
 
-	srv := serve.New(serve.Config{
+	// Durable session journal: open and recover BEFORE the engine serves
+	// anything, so restored sessions are in place when the listener opens.
+	var (
+		journal *store.Journal
+		rec     *store.Recovery
+	)
+	if *stateDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		journal, err = store.Open(store.Config{
+			Dir:          *stateDir,
+			Fsync:        policy,
+			SyncInterval: *syncInterval,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("opening session journal: %v", err)
+		}
+		if rec, err = journal.Recover(); err != nil {
+			log.Fatalf("recovering session journal: %v", err)
+		}
+	}
+
+	engine := serve.NewEngine(serve.Config{
 		Registry:    reg,
 		BatchWindow: *batchWindow,
 		MaxBatch:    *batchMax,
 		SessionTTL:  *sessionTTL,
+		Journal:     journal,
 	})
+	if journal != nil {
+		sum := engine.RestoreSessions(rec)
+		log.Printf("session journal %s: fsync=%s, restored %d session(s) (%d skipped, %d closed in record, %d torn record(s) dropped)",
+			*stateDir, *fsync, sum.Restored, sum.Skipped, sum.Closed, sum.Torn)
+	}
+	srv := serve.NewServer(engine)
 	if srv.Batching() {
 		log.Printf("micro-batching on: window=%v max=%d", *batchWindow, *batchMax)
 	} else {
@@ -102,8 +151,13 @@ func main() {
 	defer stop()
 	go reg.Watch(ctx, *reload)
 	go srv.Sessions().Run(ctx, *sessionSweep)
+	if journal != nil {
+		go journal.Run(ctx)
+		go engine.RunJournalCompaction(ctx, *compactEvery)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	drained := make(chan struct{})
 	go func() {
 		<-ctx.Done()
 		// Graceful drain: new inference requests get 503 with the
@@ -115,18 +169,32 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
+		close(drained)
 	}()
 
 	log.Printf("listening on %s", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serving: %v", err)
 	}
+	if journal != nil {
+		// ListenAndServe returns the moment Shutdown closes the listener,
+		// while in-flight handlers are still appending — wait for the
+		// drain to finish before closing the journal, or their final
+		// events would race the close and be lost.
+		<-drained
+		if err := journal.Close(); err != nil {
+			log.Printf("closing session journal: %v", err)
+		}
+	}
 	log.Printf("shut down")
 }
 
 // writeDemoBundles trains a small Wi-Fi localizer and IMU tracker and
-// publishes them as bundles, skipping any that already exist.
-func writeDemoBundles(dir string) error {
+// publishes them as bundles, skipping any that already exist. tiny
+// shrinks both models to train in seconds — enough to exercise every
+// serving path (CI smoke and crash-recovery tests), useless for
+// benchmark numbers.
+func writeDemoBundles(dir string, tiny bool) error {
 	if _, err := os.Stat(filepath.Join(dir, "demo-wifi", "manifest.json")); err != nil {
 		// Production-scale survey: a 3.5 m survey grid across the
 		// synthetic campus yields ~1650 neighborhood classes — the same
@@ -135,12 +203,21 @@ func writeDemoBundles(dir string) error {
 		// one fine grid). The class-head width is the serving hot path,
 		// so the demo model exercises the batching engine at deployment
 		// scale. Expect a few minutes of one-time training.
-		log.Printf("training demo-wifi (synthetic UJI survey at paper scale, takes a few minutes)...")
 		dsCfg := dataset.DefaultUJIConfig()
 		dsCfg.RefSpacing = 3.5
 		dsCfg.SamplesPerRef = 4
 		cfg := core.DefaultWiFiConfig()
 		cfg.Epochs = 8
+		if tiny {
+			log.Printf("training demo-wifi (tiny scale, a few seconds)...")
+			dsCfg.NumWAPs = 24
+			dsCfg.RefSpacing = 10
+			dsCfg.SamplesPerRef = 2
+			cfg.Hidden = []int{32}
+			cfg.Epochs = 3
+		} else {
+			log.Printf("training demo-wifi (synthetic UJI survey at paper scale, takes a few minutes)...")
+		}
 		ds := dataset.SynthUJI(dsCfg)
 		log.Printf("demo-wifi: %d train samples, %d WAPs", len(ds.Train), ds.NumWAPs)
 		start := time.Now()
@@ -168,6 +245,20 @@ func writeDemoBundles(dir string) error {
 		cfg.Hidden = []int{64, 64}
 		cfg.Epochs = 20
 		cfg.Tau = 1.0
+		if tiny {
+			sensors.ReadingsPerSegment = 32
+			sensors.TotalSegments = 48
+			bundle.Sensors = sensors
+			bundle.Spacing = 12
+			bundle.Paths = imu.PathConfig{
+				NumPaths: 160, MaxLen: 6, Frames: 3,
+				TrainFrac: 0.7, ValFrac: 0.1, Seed: 7,
+			}
+			cfg.ProjDim = 8
+			cfg.Hidden = []int{16, 16}
+			cfg.Tau = 2
+			cfg.Epochs = 4
+		}
 		bundle.Config = cfg
 		start := time.Now()
 		model := core.TrainIMU(bundle.BuildIMUDataset(), cfg)

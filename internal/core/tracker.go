@@ -115,6 +115,74 @@ func (t *PathTracker) ReAnchor(p geo.Point) {
 	t.origin = p
 }
 
+// TrackerState is a PathTracker's full mutable state as plain data: the
+// serialization boundary for durable tracking sessions. State captures
+// it; (*IMUModel).RestoreTracker rebuilds a tracker that is
+// observationally identical — same window contents in arrival order,
+// same anchors, estimate, origin, and step count — so a
+// State → Restore → State round trip is exactly equal even though the
+// internal feature ring may start at a different slot.
+type TrackerState struct {
+	Window   int
+	SegDim   int
+	Origin   geo.Point
+	Est      IMUPrediction
+	Steps    int
+	Segments []float64 // windowed features, oldest first, n × SegDim
+	Anchors  []geo.Point
+}
+
+// State captures the tracker's current state. The returned slices are
+// fresh copies; mutating them does not touch the tracker.
+func (t *PathTracker) State() TrackerState {
+	return TrackerState{
+		Window:   t.window,
+		SegDim:   t.segDim,
+		Origin:   t.origin,
+		Est:      t.est,
+		Steps:    t.steps,
+		Segments: t.feats.Concat(make([]float64, 0, t.feats.Len()*t.segDim)),
+		Anchors:  append([]geo.Point(nil), t.anchors...),
+	}
+}
+
+// RestoreTracker rebuilds a tracker from a captured state, validating
+// the state against this model's shape (a journal recorded under a
+// different model generation must fail loudly, not dead-reckon from
+// mismatched features).
+func (m *IMUModel) RestoreTracker(st TrackerState) (*PathTracker, error) {
+	if st.SegDim != m.segDim {
+		return nil, fmt.Errorf("core: restoring tracker with segment_dim %d onto a model wanting %d", st.SegDim, m.segDim)
+	}
+	if st.Window < 1 || st.Window > m.maxLen {
+		return nil, fmt.Errorf("core: restoring tracker with window %d outside the model's [1, %d]", st.Window, m.maxLen)
+	}
+	if len(st.Segments)%st.SegDim != 0 {
+		return nil, fmt.Errorf("core: restoring %d windowed feature values, not a multiple of segment_dim %d", len(st.Segments), st.SegDim)
+	}
+	n := len(st.Segments) / st.SegDim
+	if n > st.Window || len(st.Anchors) != n {
+		return nil, fmt.Errorf("core: restoring %d windowed segments with %d anchors under window %d", n, len(st.Anchors), st.Window)
+	}
+	if st.Steps < n {
+		return nil, fmt.Errorf("core: restoring %d lifetime steps with %d segments windowed", st.Steps, n)
+	}
+	t := &PathTracker{
+		grid:   m.Grid,
+		segDim: m.segDim,
+		window: st.Window,
+		feats:  imu.NewFeatureWindow(st.Window, m.segDim),
+		est:    st.Est,
+		origin: st.Origin,
+		steps:  st.Steps,
+	}
+	for i := 0; i < n; i++ {
+		t.feats.Append(st.Segments[i*st.SegDim : (i+1)*st.SegDim])
+	}
+	t.anchors = append(t.anchors, st.Anchors...)
+	return t, nil
+}
+
 // Estimate returns the latest committed prediction (or the start/fix
 // position before any step).
 func (t *PathTracker) Estimate() IMUPrediction { return t.est }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"noble/internal/geo"
@@ -119,5 +120,73 @@ func TestPathTrackerReAnchor(t *testing.T) {
 	// Wrong-width segments are rejected, not panicked on.
 	if _, err := tr.Step(p.Features[:segDim-1]); err == nil {
 		t.Fatal("stepping a wrong-width segment must error")
+	}
+}
+
+// TestTrackerStateRoundTrip pins the durability contract: capturing a
+// mid-walk tracker's State, restoring it on the same model, and
+// continuing the walk must be indistinguishable — equal State at the
+// capture point, and bit-identical predictions for every remaining
+// step — including immediately after a ReAnchor (empty window) and at a
+// full sliding window.
+func TestTrackerStateRoundTrip(t *testing.T) {
+	ds := tinyIMU()
+	cfg := tinyIMUConfig()
+	cfg.Epochs = 3
+	m := TrainIMU(ds, cfg)
+
+	net := ds.Net
+	icfg := imu.DefaultConfig()
+	icfg.ReadingsPerSegment = 32
+	icfg.TotalSegments = 24
+	icfg.Walks = 1
+	walk := imu.Synthesize(net, icfg, 23).Walks[0]
+
+	tr := m.NewPathTracker(net.Refs[walk.RefSeq[0]], 3)
+	step := func(pt *PathTracker, i int) IMUPrediction {
+		feats := imu.SegmentFeatures(walk.Segments[i].Readings, m.Frames())
+		path, err := pt.Step(feats)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		pred := m.PredictPaths([]imu.Path{path})[0]
+		pt.Commit(feats, pred)
+		return pred
+	}
+
+	for _, splitAt := range []int{0, 2, 8 /* window full */} {
+		tr = m.NewPathTracker(net.Refs[walk.RefSeq[0]], 3)
+		for i := 0; i < splitAt; i++ {
+			step(tr, i)
+		}
+		if splitAt == 2 {
+			tr.ReAnchor(net.Refs[walk.RefSeq[0]]) // empty-window edge
+		}
+		st := tr.State()
+		restored, err := m.RestoreTracker(st)
+		if err != nil {
+			t.Fatalf("split %d: RestoreTracker: %v", splitAt, err)
+		}
+		if got := restored.State(); !reflect.DeepEqual(st, got) {
+			t.Fatalf("split %d: State round trip:\n want %+v\n got  %+v", splitAt, st, got)
+		}
+		for i := splitAt; i < len(walk.Segments); i++ {
+			want := step(tr, i)
+			if got := step(restored, i); got != want {
+				t.Fatalf("split %d step %d: restored %+v, original %+v", splitAt, i, got, want)
+			}
+		}
+	}
+
+	// Shape validation must reject mismatched states loudly.
+	bad := tr.State()
+	bad.SegDim++
+	if _, err := m.RestoreTracker(bad); err == nil {
+		t.Fatal("RestoreTracker must reject a segment_dim mismatch")
+	}
+	bad = tr.State()
+	bad.Anchors = bad.Anchors[:len(bad.Anchors)-1]
+	if _, err := m.RestoreTracker(bad); err == nil {
+		t.Fatal("RestoreTracker must reject anchors/segments disagreement")
 	}
 }

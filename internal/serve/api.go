@@ -269,4 +269,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w)
 	s.engine.Sessions().WritePrometheus(w)
+	if j := s.engine.Journal(); j != nil {
+		j.WritePrometheus(w)
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"noble/internal/geo"
 	"noble/internal/imu"
 	"noble/internal/serve/session"
+	"noble/internal/store"
 )
 
 // Engine is the transport-independent inference facade: it owns the
@@ -31,8 +32,14 @@ type Engine struct {
 	wifiBatcher *Batcher[[]float64, core.WiFiPrediction]
 	imuBatcher  *Batcher[imu.Path, core.IMUPrediction]
 	sessions    *session.Store
-	metrics     *Metrics
-	started     time.Time
+	journal     *store.Journal // nil when persistence is off
+	// retained holds journal histories that could not be restored at
+	// startup (model missing); compaction re-records them instead of
+	// pruning them. Written once by RestoreSessions before the listener
+	// (and any compaction loop) starts, read-only afterwards.
+	retained []*store.SessionHistory
+	metrics  *Metrics
+	started  time.Time
 
 	draining atomic.Bool
 	reqSeq   atomic.Int64
@@ -51,7 +58,20 @@ func NewEngine(cfg Config) *Engine {
 		reg:      cfg.Registry,
 		metrics:  NewMetrics(),
 		sessions: session.NewStore(cfg.SessionTTL),
+		journal:  cfg.Journal,
 		started:  time.Now(),
+	}
+	if e.journal != nil {
+		// The sweeper fires this after tombstoning and unmapping the
+		// session, with no locks held (journal appends can rotate, which
+		// fsyncs — never under a store shard lock); by then the sweeper
+		// is the session's only writer, and sequence-ordered recovery
+		// keeps the close record in order regardless of file position.
+		// Durability rides the next interval sync — an eviction is not a
+		// client-visible acknowledgement, so it never forces an fsync.
+		e.sessions.SetOnEvict(func(s *session.Session) {
+			e.journalClose(s, true)
+		})
 	}
 	// Request IDs are unique per process run: a per-start prefix plus a
 	// sequence number, cheap enough for the localize hot path.
@@ -233,6 +253,12 @@ type SegmentQuery struct {
 
 	WiFiModel   string
 	Fingerprint []float64
+
+	// Anchor re-anchors an existing session at an explicit absolute
+	// position without running the localize path — the journal-replay
+	// and surveyed-ground-truth entry. Mutually exclusive with a WiFi
+	// fingerprint; not exposed on the HTTP wire.
+	Anchor *geo.Point
 }
 
 // StepResult is one decoded tracking step.
@@ -290,6 +316,10 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 	// re-anchors before dead reckoning continues. The localize pass runs
 	// through the same batcher as stateless localize traffic.
 	var fix *core.WiFiPrediction
+	if q.Anchor != nil && (len(q.Fingerprint) > 0 || q.WiFiModel != "") {
+		return zero, errf(CodeBadRequest, http.StatusBadRequest,
+			"an explicit anchor and a wifi fingerprint cannot be combined")
+	}
 	if len(q.Fingerprint) > 0 {
 		wm, eerr := e.resolveModel(q.WiFiModel, KindWiFi)
 		if eerr != nil {
@@ -345,9 +375,22 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 		if window <= 0 {
 			window = defaultSessionWindow
 		}
+		var createEv *store.Event
 		sess, created, _ = e.sessions.GetOrCreate(id, func() (*session.Session, error) {
-			return session.New(id, q.Model, m.IMU.NewPathTracker(start, window)), nil
+			s := session.New(id, q.Model, m.IMU.NewPathTracker(start, window))
+			// Only capture the create record here — the init closure runs
+			// under the store's shard write lock, which must never wait on
+			// journal I/O (an append can rotate, which fsyncs). Reserving
+			// the sequence number now (seq 1, before publication) is what
+			// lets the record be written after the lock is gone: recovery
+			// folds a session's records in sequence order, not file order,
+			// so a step journaled by a faster racer cannot get ahead of it.
+			createEv = e.captureCreate(s)
+			return s, nil
 		})
+		if created && createEv != nil {
+			e.journalAppend(createEv)
+		}
 	}
 	if q.Model != "" && q.Model != sess.Model {
 		return zero, errf(CodeSessionConflict, http.StatusConflict,
@@ -361,12 +404,20 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 	defer func() { sess.Touch(time.Now()) }()
 
 	// The TTL sweeper (or a concurrent delete) may have removed this
-	// session between the map lookup and the lock acquire. Re-verify
-	// membership now that we hold the mutex — the sweeper only TryLocks,
-	// so it cannot evict us past this point — or a step would apply to an
-	// orphaned session and silently vanish.
-	if cur, ok := e.sessions.Get(id); !ok || cur != sess {
+	// session between the map lookup and the lock acquire — at a TTL
+	// boundary the sweeper's TryLock wins that race. Removal always sets
+	// the tombstone first, under this same lock, so checking it here
+	// detects the eviction; past this point neither the sweeper (which
+	// only TryLocks) nor a delete (which takes the lock) can remove the
+	// session until we unlock. Without this check a step would apply to
+	// an orphaned session and silently vanish.
+	if sess.Gone() {
 		return zero, errf(CodeSessionNotFound, http.StatusNotFound, "session %q expired", id)
+	}
+	// Request-boundary durability: under -fsync=always everything this
+	// request journals is fsynced (group-committed) before the response.
+	if e.journal != nil {
+		defer e.journalCommit(id)
 	}
 
 	// Validate the segment payload before mutating anything: a rejected
@@ -379,21 +430,28 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 	}
 
 	state := SessionState{Session: id, Model: sess.Model, Created: created}
-	if fix != nil {
+	if fix != nil || q.Anchor != nil {
+		var pos geo.Point
+		if q.Anchor != nil {
+			pos = *q.Anchor
+		} else {
+			pos = fix.Pos
+		}
 		// On a fresh session whose origin IS the fix this is a no-op
 		// (empty window, estimate already at the fix); otherwise it snaps
 		// the trajectory to the absolute position.
-		sess.Tracker.ReAnchor(fix.Pos)
+		sess.Tracker.ReAnchor(pos)
 		sess.ReAnchors.Add(1)
 		e.sessions.NoteReAnchor()
+		e.journalReAnchor(sess, pos, q.WiFiModel, q.Fingerprint)
 		state.ReAnchored = true
-		pos := fix.Pos
 		state.Anchor = &pos
 	}
 
 	// Each appended segment is one tracking step: the windowed path goes
 	// through the track batcher, coalescing with other devices' steps
 	// (and stateless track traffic) into shared PredictPaths passes.
+	var committed []core.IMUPrediction // journaled alongside their segments
 	for i := 0; i < k; i++ {
 		seg := q.Features[i*segDim : (i+1)*segDim]
 		path, err := sess.Tracker.Step(seg)
@@ -404,10 +462,13 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 		if err != nil {
 			// Step is pure, so this segment (and the ones after it) were
 			// NOT applied; the committed prefix is reported with the
-			// error so the client resends only the tail.
+			// error so the client resends only the tail. The journal
+			// records exactly that prefix — restore must reproduce the
+			// committed state, not the requested one.
 			if i > 0 {
 				sess.Steps.Add(int64(i))
 				e.sessions.NoteSteps(i)
+				e.journalSteps(sess, segDim, q.Features[:i*segDim], committed)
 			}
 			e.fillSessionState(&state, sess)
 			stepErr := AsError(err)
@@ -417,6 +478,9 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 			return state, stepErr
 		}
 		sess.Tracker.Commit(seg, preds[0])
+		if e.journal != nil {
+			committed = append(committed, preds[0])
+		}
 		state.Results = append(state.Results, StepResult{
 			Step:          sess.Tracker.Steps(),
 			IMUPrediction: preds[0],
@@ -425,6 +489,7 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 	if k > 0 {
 		sess.Steps.Add(int64(k))
 		e.sessions.NoteSteps(k)
+		e.journalSteps(sess, segDim, q.Features[:k*segDim], committed)
 	}
 
 	e.fillSessionState(&state, sess)
@@ -439,15 +504,35 @@ func (e *Engine) Session(id string) (SessionState, error) {
 	}
 	sess.Lock()
 	defer sess.Unlock()
+	if sess.Gone() {
+		return SessionState{}, errf(CodeSessionNotFound, http.StatusNotFound, "unknown session %q", id)
+	}
 	state := SessionState{Session: id, Model: sess.Model}
 	e.fillSessionState(&state, sess)
 	return state, nil
 }
 
-// DeleteSession ends a session.
+// DeleteSession ends a session. It takes the session lock, so a delete
+// racing an in-flight append waits for the append to finish (the append
+// is acknowledged and journaled) rather than yanking the session out
+// from under it; the tombstone then stops any later-locking request
+// from updating the orphaned state.
 func (e *Engine) DeleteSession(id string) error {
-	if !e.sessions.Delete(id) {
+	sess, ok := e.sessions.Get(id)
+	if !ok {
 		return errf(CodeSessionNotFound, http.StatusNotFound, "unknown session %q", id)
+	}
+	sess.Lock()
+	defer sess.Unlock()
+	if sess.Gone() {
+		// Lost the race to the sweeper or another delete.
+		return errf(CodeSessionNotFound, http.StatusNotFound, "unknown session %q", id)
+	}
+	sess.MarkGone()
+	e.sessions.Delete(id)
+	e.journalClose(sess, false)
+	if e.journal != nil {
+		e.journalCommit(id)
 	}
 	return nil
 }

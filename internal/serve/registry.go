@@ -92,6 +92,7 @@ type Registry struct {
 	mu     sync.RWMutex
 	models map[string]*Model
 	stamps map[string]bundleStamp // only names loaded from disk
+	failed map[string]bundleStamp // last load failure per name (reload backoff)
 }
 
 // NewRegistry returns a registry over a bundle directory. dir may be empty
@@ -106,6 +107,7 @@ func NewRegistry(dir string, logf func(format string, args ...any)) *Registry {
 		logf:   logf,
 		models: make(map[string]*Model),
 		stamps: make(map[string]bundleStamp),
+		failed: make(map[string]bundleStamp),
 	}
 }
 
@@ -153,9 +155,11 @@ func (r *Registry) List() []ModelInfo {
 
 // Reload scans the bundle directory and loads new or changed bundles,
 // dropping entries whose directories disappeared. Each bundle is rebuilt
-// outside the lock; a bundle that fails to load is logged and its previous
-// generation (if any) keeps serving. It returns how many bundles were
-// loaded or replaced and how many were removed.
+// outside the lock; a bundle that fails to load is logged ONCE per
+// distinct broken generation — its stamp is remembered and the bundle is
+// not re-read until it changes on disk — and its previous generation (if
+// any) keeps serving. It returns how many bundles were loaded or
+// replaced and how many were removed.
 func (r *Registry) Reload() (loaded, removed int, err error) {
 	if r.dir == "" {
 		return 0, 0, nil
@@ -179,14 +183,25 @@ func (r *Registry) Reload() (loaded, removed int, err error) {
 
 		r.mu.RLock()
 		prev, seen := r.stamps[name]
+		badPrev, wasBad := r.failed[name]
 		r.mu.RUnlock()
 		if seen && prev == stamp {
+			continue
+		}
+		if wasBad && badPrev == stamp {
+			// This exact broken generation already failed and was logged;
+			// re-loading it every poll would spam the log and burn CPU
+			// rebuilding a bundle that cannot change without its stamp
+			// changing. A republish (new stamp) retries immediately.
 			continue
 		}
 
 		model, lerr := LoadBundle(dir)
 		if lerr != nil {
-			r.logf("%v (previous generation keeps serving)", lerr)
+			r.mu.Lock()
+			r.failed[name] = stamp
+			r.mu.Unlock()
+			r.logf("%v (previous generation keeps serving; will not retry until the bundle changes)", lerr)
 			continue
 		}
 		// A publish renames weights into place before the manifest, so a
@@ -201,6 +216,7 @@ func (r *Registry) Reload() (loaded, removed int, err error) {
 		r.Add(model)
 		r.mu.Lock()
 		r.stamps[name] = stamp
+		delete(r.failed, name) // healthy again; future failures log anew
 		r.mu.Unlock()
 		loaded++
 	}
@@ -212,6 +228,11 @@ func (r *Registry) Reload() (loaded, removed int, err error) {
 			delete(r.stamps, name)
 			delete(r.models, name)
 			removed++
+		}
+	}
+	for name := range r.failed {
+		if !onDisk[name] {
+			delete(r.failed, name)
 		}
 	}
 	r.mu.Unlock()

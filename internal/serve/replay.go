@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"noble/internal/geo"
+	"noble/internal/serve/session"
+	"noble/internal/store"
+)
+
+// Replay turns a recorded journal back into live traffic: every session
+// history is driven against an Engine through the same AppendSegments
+// entry the HTTP handlers use (so batching, validation, and session
+// semantics all engage), at a configurable multiple of the recorded
+// timeline or as fast as possible, and every replayed step's decoded
+// estimate is compared against the recorded one. With the same model
+// bundles loaded, divergence is zero — the forward pass is
+// deterministic — which is what turns any production trace into an
+// offline regression scenario: re-run it after a change and a non-zero
+// divergence report is the diff.
+
+// ReplayOptions tunes ReplayJournal.
+type ReplayOptions struct {
+	// Speed is the timeline multiplier: 1 replays at recorded pacing, 10
+	// at ten times that, 0 (or negative) as fast as possible.
+	Speed float64
+	// Eps is the distance (in position units) above which a replayed
+	// step counts as diverged. Zero means exact.
+	Eps float64
+}
+
+// ReplayReport summarizes a replay.
+type ReplayReport struct {
+	Sessions int // histories driven
+	Seeded   int // sessions seeded from a compaction snapshot
+	Skipped  int // histories not replayable (damaged, model gone)
+
+	Steps     int // tracking steps replayed through the engine
+	ReAnchors int
+	Closes    int
+	Errors    int // engine call failures mid-replay
+
+	DivergedSteps int
+	MaxDivergence float64
+	SumDivergence float64
+	ComparedSteps int
+	FinalCompared int // sessions whose final estimate was checked
+	FinalDiverged int
+	RecordedSpan  time.Duration
+	Elapsed       time.Duration
+}
+
+// MeanDivergence is the average per-step divergence.
+func (r *ReplayReport) MeanDivergence() float64 {
+	if r.ComparedSteps == 0 {
+		return 0
+	}
+	return r.SumDivergence / float64(r.ComparedSteps)
+}
+
+// SeedSessionSnapshot installs a session from a compaction snapshot
+// without replaying events — the base a replay continues from when the
+// journal's early history was compacted away.
+func (e *Engine) SeedSessionSnapshot(snap *store.SessionSnapshot) error {
+	sess, err := e.restoreSession(&store.SessionHistory{ID: snap.ID, Gen: snap.Gen, Snapshot: snap})
+	if err != nil {
+		return err
+	}
+	_, created, _ := e.sessions.GetOrCreate(snap.ID, func() (*session.Session, error) { return sess, nil })
+	if !created {
+		return fmt.Errorf("session %q already exists", snap.ID)
+	}
+	return nil
+}
+
+// ReplayJournal drives a recovered journal against the engine and
+// reports trajectory divergence versus the recorded run. Sessions
+// replay concurrently (their recorded traffic was concurrent), each
+// one's events in order; pacing follows the recorded timestamps scaled
+// by opts.Speed.
+func ReplayJournal(ctx context.Context, e *Engine, rec *store.Recovery, opts ReplayOptions) (*ReplayReport, error) {
+	rep := &ReplayReport{}
+	first, last := rec.Span()
+	if first > 0 {
+		rep.RecordedSpan = time.Duration(last - first)
+	}
+	start := time.Now()
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	runOne := func(h *store.SessionHistory) {
+		r := e.replayHistory(ctx, h, opts, first, start)
+		mu.Lock()
+		rep.Seeded += r.Seeded
+		rep.Skipped += r.Skipped
+		rep.Steps += r.Steps
+		rep.ReAnchors += r.ReAnchors
+		rep.Closes += r.Closes
+		rep.Errors += r.Errors
+		rep.DivergedSteps += r.DivergedSteps
+		rep.SumDivergence += r.SumDivergence
+		rep.ComparedSteps += r.ComparedSteps
+		rep.FinalCompared += r.FinalCompared
+		rep.FinalDiverged += r.FinalDiverged
+		if r.MaxDivergence > rep.MaxDivergence {
+			rep.MaxDivergence = r.MaxDivergence
+		}
+		mu.Unlock()
+	}
+	var todo []*store.SessionHistory
+	for _, h := range rec.Histories {
+		if h.Damaged {
+			rep.Skipped++
+			continue
+		}
+		rep.Sessions++
+		todo = append(todo, h)
+	}
+	if opts.Speed > 0 {
+		// Paced: one goroutine per session — each is its own recorded
+		// timeline, sleeping until its next event, so a shared worker
+		// pool would let one sleeping session block another's due event.
+		for _, h := range todo {
+			wg.Add(1)
+			go func(h *store.SessionHistory) { defer wg.Done(); runOne(h) }(h)
+		}
+	} else {
+		// As fast as possible: no timelines to honor, so a bounded pool
+		// keeps a fleet-sized journal (hundreds of thousands of recorded
+		// sessions) from costing a goroutine apiece. Wide enough to keep
+		// the micro-batcher coalescing.
+		workers := runtime.GOMAXPROCS(0) * 8
+		if workers > len(todo) {
+			workers = len(todo)
+		}
+		queue := make(chan *store.SessionHistory)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for h := range queue {
+					runOne(h)
+				}
+			}()
+		}
+		for _, h := range todo {
+			queue <- h
+		}
+		close(queue)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	return rep, ctx.Err()
+}
+
+// replayHistory drives one session's recorded events.
+func (e *Engine) replayHistory(ctx context.Context, h *store.SessionHistory, opts ReplayOptions, epoch int64, start time.Time) ReplayReport {
+	var r ReplayReport
+
+	// The recorded estimate the session should end at, tracked as events
+	// replay so the final comparison needs no second pass.
+	var lastEst *geo.Point
+	if h.Snapshot != nil {
+		if err := e.SeedSessionSnapshot(h.Snapshot); err != nil {
+			r.Skipped++
+			r.Errors++
+			return r
+		}
+		r.Seeded++
+		lastEst = &geo.Point{X: h.Snapshot.Tracker.Est.EndX, Y: h.Snapshot.Tracker.Est.EndY}
+	}
+
+	diverge := func(recorded geo.Point, got geo.Point, recClass, gotClass int) {
+		d := math.Hypot(recorded.X-got.X, recorded.Y-got.Y)
+		r.ComparedSteps++
+		r.SumDivergence += d
+		if d > r.MaxDivergence {
+			r.MaxDivergence = d
+		}
+		if d > opts.Eps || recClass != gotClass {
+			r.DivergedSteps++
+		}
+	}
+
+	for _, ev := range h.Events {
+		if ctx.Err() != nil {
+			return r
+		}
+		// Pace against the recorded timeline. As-fast-as-possible when
+		// Speed <= 0.
+		if opts.Speed > 0 && ev.Time > epoch {
+			target := start.Add(time.Duration(float64(ev.Time-epoch) / opts.Speed))
+			if d := time.Until(target); d > 0 {
+				select {
+				case <-ctx.Done():
+					return r
+				case <-time.After(d):
+				}
+			}
+		}
+		switch ev.Type {
+		case store.EvCreate:
+			c := ev.Create
+			st, err := e.AppendSegments(ctx, SegmentQuery{
+				Session: h.ID,
+				Model:   c.Model,
+				Start:   &geo.Point{X: c.StartX, Y: c.StartY},
+				Window:  c.Window,
+			})
+			if err != nil || !st.Created {
+				r.Errors++
+				return r
+			}
+			lastEst = &geo.Point{X: c.StartX, Y: c.StartY}
+		case store.EvSteps:
+			s := ev.Steps
+			st, err := e.AppendSegments(ctx, SegmentQuery{Session: h.ID, Features: s.Features})
+			if err != nil {
+				r.Errors++
+				return r
+			}
+			for i, res := range st.Results {
+				if i >= len(s.Preds) {
+					break
+				}
+				diverge(geo.Point{X: s.Preds[i].EndX, Y: s.Preds[i].EndY}, res.End,
+					int(s.Preds[i].Class), res.Class)
+			}
+			r.Steps += s.Count
+			if s.Count > 0 {
+				p := s.Preds[s.Count-1]
+				lastEst = &geo.Point{X: p.EndX, Y: p.EndY}
+			}
+		case store.EvReAnchor:
+			a := ev.ReAnchor
+			pt := geo.Point{X: a.X, Y: a.Y}
+			if _, err := e.AppendSegments(ctx, SegmentQuery{Session: h.ID, Anchor: &pt}); err != nil {
+				r.Errors++
+				return r
+			}
+			r.ReAnchors++
+			lastEst = &pt
+		case store.EvClose:
+			if err := e.DeleteSession(h.ID); err != nil {
+				r.Errors++
+				return r
+			}
+			r.Closes++
+		}
+	}
+
+	// A session still live at the end of its record: its final replayed
+	// estimate must land where the recorded run ended.
+	if !h.Closed && lastEst != nil {
+		st, err := e.Session(h.ID)
+		if err != nil {
+			r.Errors++
+			return r
+		}
+		r.FinalCompared++
+		if math.Hypot(st.Position.X-lastEst.X, st.Position.Y-lastEst.Y) > opts.Eps {
+			r.FinalDiverged++
+		}
+	}
+	return r
+}

@@ -42,6 +42,13 @@
 // path state server-side in a sharded, lock-striped store with TTL
 // eviction, so a device streams one IMU segment per request instead of
 // resending its whole path; see the session package.
+//
+// Sessions can be made durable: with Config.Journal set, every session
+// mutation is appended (under the session lock, off the inference hot
+// path) to a write-ahead log (see internal/store), RestoreSessions
+// rebuilds bit-identical tracker state after a restart, and
+// ReplayJournal re-runs a recorded journal against an Engine as an
+// offline benchmark/regression scenario (cmd/noble-replay).
 package serve
 
 import (
@@ -49,6 +56,7 @@ import (
 	"time"
 
 	"noble/internal/serve/session"
+	"noble/internal/store"
 )
 
 // Config assembles an Engine (and, via New, a Server over it).
@@ -68,6 +76,12 @@ type Config struct {
 	// disables eviction; the sweeper itself only runs when the caller
 	// starts it (see Sessions().Run).
 	SessionTTL time.Duration
+	// Journal, when set, makes tracking sessions durable: every session
+	// mutation is appended to this write-ahead log (see internal/store)
+	// and RestoreSessions reads it back after a restart. Nil disables
+	// persistence. The caller owns the journal's lifecycle (Open,
+	// Recover, the Run sync loop, Close).
+	Journal *store.Journal
 }
 
 // Server is the HTTP adapter over an Engine. Construct with New (or

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -415,5 +416,88 @@ func TestRegistryKeepsServingOnBrokenBundle(t *testing.T) {
 	m, ok := reg.Get("m")
 	if !ok || m.Generation != 1 {
 		t.Fatal("previous generation must keep serving after a broken publish")
+	}
+}
+
+// TestRegistryBrokenBundleLogsOncePerGeneration pins the reload backoff:
+// a persistently corrupt bundle is loaded (and logged) once, then left
+// alone until its bytes change on disk — no per-poll log spam, no
+// per-poll rebuild of a bundle that cannot have healed.
+func TestRegistryBrokenBundleLogsOncePerGeneration(t *testing.T) {
+	fixtures(t)
+	dir := t.TempDir()
+	man := Manifest{Kind: KindWiFi, WiFi: &WiFiBundle{Plan: "ipin", Dataset: tinyWiFiDatasetCfg(), Config: wifiCfg}}
+	if err := WriteBundle(dir, "m", man, func(f *os.File) error { return wifiModel.Save(f) }); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var failLogs int
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		if strings.Contains(fmt.Sprintf(format, args...), "keeps serving") {
+			failLogs++
+		}
+		mu.Unlock()
+		t.Logf(format, args...)
+	}
+	reg := NewRegistry(dir, logf)
+	reg.Reload()
+
+	corrupt := func(payload string, offset time.Duration) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, "m", "weights.gob"), []byte(payload), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stamp := time.Now().Add(offset)
+		if err := os.Chtimes(filepath.Join(dir, "m", "weights.gob"), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupt("garbage", 2*time.Second)
+
+	// Many polls over one broken generation: exactly one log line.
+	for i := 0; i < 5; i++ {
+		if loaded, removed, err := reg.Reload(); err != nil || loaded != 0 || removed != 0 {
+			t.Fatalf("poll %d: loaded=%d removed=%d err=%v", i, loaded, removed, err)
+		}
+	}
+	if failLogs != 1 {
+		t.Fatalf("broken generation logged %d times, want once", failLogs)
+	}
+
+	// A DIFFERENT broken publish (new stamp) is a new generation: one
+	// more log line, and still only one across further polls.
+	corrupt("other garbage", 4*time.Second)
+	for i := 0; i < 3; i++ {
+		reg.Reload()
+	}
+	if failLogs != 2 {
+		t.Fatalf("second broken generation logged %d times total, want 2", failLogs)
+	}
+
+	// A healthy republish loads immediately and resets the backoff.
+	if err := WriteBundle(dir, "m", man, func(f *os.File) error { return wifiModel.Save(f) }); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(6 * time.Second)
+	for _, f := range []string{"manifest.json", "weights.gob"} {
+		if err := os.Chtimes(filepath.Join(dir, "m", f), future, future); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loaded, _, err := reg.Reload(); err != nil || loaded != 1 {
+		t.Fatalf("healthy republish: loaded=%d err=%v", loaded, err)
+	}
+	m, ok := reg.Get("m")
+	if !ok || m.Generation != 2 {
+		t.Fatalf("republish generation %+v, want 2", m)
+	}
+	// And a later corruption logs again (the failed stamp was cleared).
+	corrupt("garbage 3", 8*time.Second)
+	reg.Reload()
+	reg.Reload()
+	if failLogs != 3 {
+		t.Fatalf("post-recovery corruption logged %d times total, want 3", failLogs)
 	}
 }

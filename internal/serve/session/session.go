@@ -33,6 +33,8 @@ type Session struct {
 	mu       sync.Mutex
 	Tracker  *core.PathTracker
 	lastUsed atomic.Int64 // unix nanoseconds
+	gone     atomic.Bool  // tombstone: removed from the store (set under mu)
+	seq      int64        // durability journal sequence (guarded by mu)
 
 	Steps     atomic.Int64 // committed segments
 	ReAnchors atomic.Int64 // absolute fixes fused
@@ -42,6 +44,17 @@ type Session struct {
 func New(id, model string, tracker *core.PathTracker) *Session {
 	s := &Session{ID: id, Model: model, CreatedAt: time.Now(), Tracker: tracker}
 	s.Touch(s.CreatedAt)
+	return s
+}
+
+// Restore rebuilds a session recovered from a durability journal, with
+// its recorded identity, timestamps, lifetime counters, and journal
+// sequence intact.
+func Restore(id, model string, tracker *core.PathTracker, createdAt, lastUsed time.Time, steps, reanchors, seq int64) *Session {
+	s := &Session{ID: id, Model: model, CreatedAt: createdAt, Tracker: tracker, seq: seq}
+	s.Steps.Store(steps)
+	s.ReAnchors.Store(reanchors)
+	s.Touch(lastUsed)
 	return s
 }
 
@@ -63,3 +76,29 @@ func (s *Session) Touch(t time.Time) { s.lastUsed.Store(t.UnixNano()) }
 
 // LastUsed returns the last Touch time.
 func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+// MarkGone tombstones the session. The store's invariant is that a
+// session is removed from its shard map only by a holder of the session
+// lock that has FIRST called MarkGone — so a handler that resolved the
+// session before the removal detects the eviction the moment it
+// acquires the lock, instead of appending into orphaned state. Callers
+// must hold the session lock.
+func (s *Session) MarkGone() { s.gone.Store(true) }
+
+// Gone reports whether the session has been evicted or deleted. A
+// handler holding the session lock and seeing Gone()==false is
+// guaranteed the session is still live: the sweeper only TryLocks, and
+// deletion takes the lock, so neither can remove it until the handler
+// unlocks.
+func (s *Session) Gone() bool { return s.gone.Load() }
+
+// NextSeq returns the next durability-journal sequence number. Caller
+// holds the session lock (or is constructing the session).
+func (s *Session) NextSeq() int64 {
+	s.seq++
+	return s.seq
+}
+
+// Seq returns the last assigned journal sequence number. Caller holds
+// the session lock.
+func (s *Session) Seq() int64 { return s.seq }

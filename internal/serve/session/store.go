@@ -18,8 +18,9 @@ const numShards = 64
 // Store is the sharded session registry. The zero value is not usable;
 // construct with NewStore.
 type Store struct {
-	ttl    time.Duration
-	shards [numShards]shard
+	ttl     time.Duration
+	shards  [numShards]shard
+	onEvict func(*Session) // see SetOnEvict
 
 	created   atomic.Int64
 	evicted   atomic.Int64
@@ -45,6 +46,35 @@ func NewStore(ttl time.Duration) *Store {
 
 // TTL returns the idle eviction threshold (0 = never).
 func (st *Store) TTL() time.Duration { return st.ttl }
+
+// SetOnEvict installs a hook the sweeper calls once for each session it
+// evicts, after the tombstone is set and the session is unmapped, with
+// no store or session lock held (the hook may do I/O — the durability
+// journal records the eviction through it). By then the sweeper is the
+// session's only remaining writer: every later resolver of the pointer
+// sees Gone() under the lock and backs off. Call before any sweeping
+// starts; the hook must not call back into the store.
+func (st *Store) SetOnEvict(fn func(*Session)) { st.onEvict = fn }
+
+// ForEach calls fn for every session resolvable at the time of the
+// scan, without holding any shard lock during the calls — fn may take
+// session locks freely (a session deleted between the scan and the call
+// reports Gone under its lock). Used by journal compaction to snapshot
+// live sessions.
+func (st *Store) ForEach(fn func(*Session)) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		batch := make([]*Session, 0, len(sh.m))
+		for _, s := range sh.m {
+			batch = append(batch, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range batch {
+			fn(s)
+		}
+	}
+}
 
 // shardFor hashes id (FNV-1a) onto its stripe.
 func (st *Store) shardFor(id string) *shard {
@@ -96,7 +126,13 @@ func (st *Store) GetOrCreate(id string, init func() (*Session, error)) (s *Sessi
 	return s, true, nil
 }
 
-// Delete removes a session, reporting whether it existed.
+// Delete removes a session, reporting whether it existed. Callers that
+// can race an in-flight request (anything beyond tests and teardown)
+// must hold the session's lock and MarkGone it first — the tombstone is
+// what tells a handler that resolved the pointer before the removal
+// that its session is orphaned (see Session.Gone). Lock order is safe:
+// session lock then shard lock never deadlocks against the sweeper,
+// which only TryLocks sessions.
 func (st *Store) Delete(id string) bool {
 	sh := st.shardFor(id)
 	sh.mu.Lock()
@@ -131,6 +167,7 @@ func (st *Store) Sweep(now time.Time) int {
 	}
 	cutoff := now.Add(-st.ttl)
 	evicted := 0
+	var hooked []*Session // evicted this shard pass; hook runs lock-free
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
@@ -141,12 +178,30 @@ func (st *Store) Sweep(now time.Time) int {
 			// Re-check under the session lock: a request may have
 			// touched it between the stamp read and the acquire.
 			if !s.LastUsed().After(cutoff) {
+				// Tombstone before removal, still under the session
+				// lock: a handler that did Get before this eviction won
+				// the pointer but not the lock — when it finally locks,
+				// Gone() tells it the session no longer exists, so it
+				// reports session_not_found instead of silently updating
+				// orphaned state.
+				s.MarkGone()
 				delete(sh.m, id)
 				evicted++
+				if st.onEvict != nil {
+					hooked = append(hooked, s)
+				}
 			}
 			s.Unlock()
 		}
 		sh.mu.Unlock()
+		// The hook may do I/O (the durability journal records the
+		// eviction), so it runs after the shard lock is gone. Safe
+		// without the session lock too: the session is tombstoned and
+		// unmapped, so this sweeper is its only remaining writer.
+		for _, s := range hooked {
+			st.onEvict(s)
+		}
+		hooked = hooked[:0]
 	}
 	st.evicted.Add(int64(evicted))
 	return evicted

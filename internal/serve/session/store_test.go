@@ -3,6 +3,7 @@ package session
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -186,4 +187,124 @@ func TestStoreConcurrency(t *testing.T) {
 	if snap.Steps == 0 {
 		t.Fatal("no steps recorded")
 	}
+}
+
+// TestEvictionTombstoneDeterministic pins the exact interleaving of the
+// eviction/append race: a handler resolves the session (Get), the
+// sweeper's TryLock wins at the TTL boundary and evicts it, and only
+// then does the handler acquire the lock. The tombstone is what tells
+// the handler the session it holds is orphaned.
+func TestEvictionTombstoneDeterministic(t *testing.T) {
+	st := NewStore(time.Minute)
+	s, _, _ := st.GetOrCreate("dev-1", func() (*Session, error) { return newSession("dev-1"), nil })
+
+	// Handler half: Get done, Lock not yet taken.
+	got, ok := st.Get("dev-1")
+	if !ok || got != s {
+		t.Fatal("Get must resolve the session")
+	}
+	if got.Gone() {
+		t.Fatal("live session must not be tombstoned")
+	}
+
+	// Sweeper half runs to completion in the window.
+	var evictHook *Session
+	st.SetOnEvict(func(es *Session) { evictHook = es })
+	got.Touch(time.Now().Add(-2 * time.Minute))
+	if n := st.Sweep(time.Now()); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1", n)
+	}
+	if evictHook != s {
+		t.Fatal("OnEvict hook must see the evicted session")
+	}
+
+	// Handler resumes: the lock succeeds (nobody holds it) but the
+	// tombstone reports the eviction — appending here would update
+	// orphaned state the store no longer resolves.
+	got.Lock()
+	defer got.Unlock()
+	if !got.Gone() {
+		t.Fatal("evicted session must be tombstoned under the lock")
+	}
+	if _, ok := st.Get("dev-1"); ok {
+		t.Fatal("evicted session still resolvable")
+	}
+}
+
+// TestEvictionAppendRace provokes the Get/Sweep/Lock interleaving from
+// many goroutines under -race: appenders that lose their session to the
+// sweeper must observe the tombstone, and no append may ever land in a
+// session after its eviction. The handler protocol mirrors
+// Engine.AppendSegments: Get, Lock, check Gone, mutate, Touch, Unlock.
+func TestEvictionAppendRace(t *testing.T) {
+	m := trackerModel()
+	st := NewStore(time.Millisecond) // razor-thin TTL: every append sits at the boundary
+	seg := make([]float64, m.SegmentDim())
+	var (
+		workersWG, sweepWG sync.WaitGroup
+		lost               atomic.Int64 // tombstone observed under the lock
+		appends            atomic.Int64
+		orphanSteps        atomic.Int64 // steps that landed in an evicted session (the bug)
+	)
+	stop := make(chan struct{})
+	sweepWG.Add(1)
+	go func() {
+		defer sweepWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st.Sweep(time.Now())
+			}
+		}
+	}()
+	for w := 0; w < 8; w++ {
+		workersWG.Add(1)
+		go func(w int) {
+			defer workersWG.Done()
+			for i := 0; i < 400; i++ {
+				id := fmt.Sprintf("dev-%d", i%4)
+				s, _, err := st.GetOrCreate(id, func() (*Session, error) { return newSession(id), nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// The race window: the sweeper may evict between this
+				// point and the Lock below.
+				s.Lock()
+				if s.Gone() {
+					lost.Add(1)
+					s.Unlock()
+					continue
+				}
+				path, err := s.Tracker.Step(seg)
+				if err != nil {
+					s.Unlock()
+					t.Error(err)
+					return
+				}
+				s.Tracker.Commit(seg, m.PredictPaths([]imu.Path{path})[0])
+				s.Touch(time.Now())
+				// Still under the lock: eviction is impossible past the
+				// Gone check, so the session must still resolve.
+				if cur, ok := st.Get(id); !ok || cur != s {
+					orphanSteps.Add(1)
+				}
+				appends.Add(1)
+				s.Unlock()
+			}
+		}(w)
+	}
+	// Workers first, then stop the sweeper, as in TestStoreConcurrency.
+	workersWG.Wait()
+	close(stop)
+	sweepWG.Wait()
+	if orphanSteps.Load() != 0 {
+		t.Fatalf("%d append(s) landed in evicted sessions", orphanSteps.Load())
+	}
+	if appends.Load() == 0 {
+		t.Fatal("no appends committed")
+	}
+	t.Logf("appends=%d tombstones-observed=%d", appends.Load(), lost.Load())
 }

@@ -1,0 +1,394 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SessionHistory is everything the journal knows about one session
+// incarnation: an optional compacted snapshot plus the event records
+// appended after it, in order. Closed marks a session that ended (delete
+// or eviction) — recovery skips it, replay tears it down at the recorded
+// moment.
+type SessionHistory struct {
+	ID       string
+	Gen      int64 // incarnation (CreatedAt unix nanoseconds)
+	Snapshot *SessionSnapshot
+	Events   []Event // post-snapshot records, per-session order
+	Closed   bool
+	Evicted  bool  // how it closed, when Closed
+	LastSeq  int64 // last applied sequence number
+	LastTime int64 // timestamp of the last record (or snapshot LastUsed)
+	Damaged  bool  // sequence gap observed; state not trustworthy
+}
+
+// RestoreStats summarizes a Load.
+type RestoreStats struct {
+	Shards       int
+	Segments     int   // WAL segment files scanned
+	Records      int64 // event records decoded
+	TornRecords  int64 // frames dropped at torn tails (crash mid-write)
+	BadRecords   int64 // frames whose payload failed to decode
+	SkippedStale int64 // records superseded by a snapshot or an older incarnation
+	OrphanEvents int64 // events for sessions with no visible create/snapshot
+	Damaged      int   // sessions dropped for sequence gaps
+	Live         int
+	Closed       int
+}
+
+// Recovery is a loaded state directory: one history per session ID (the
+// latest incarnation), in first-seen order for deterministic restores.
+type Recovery struct {
+	Histories []*SessionHistory
+	Stats     RestoreStats
+
+	byID    map[string]*SessionHistory
+	pending map[string][]Event // raw scanned events, folded by finish()
+	order   []string           // session first-seen order
+}
+
+// Live returns the restorable (non-closed, non-damaged) histories.
+func (r *Recovery) Live() []*SessionHistory {
+	out := make([]*SessionHistory, 0, len(r.Histories))
+	for _, h := range r.Histories {
+		if !h.Closed && !h.Damaged {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Span returns the earliest and latest record timestamps observed
+// (unix nanoseconds); zeros when the journal is empty.
+func (r *Recovery) Span() (first, last int64) {
+	for _, h := range r.Histories {
+		for _, ev := range h.Events {
+			if first == 0 || ev.Time < first {
+				first = ev.Time
+			}
+			if ev.Time > last {
+				last = ev.Time
+			}
+		}
+	}
+	return first, last
+}
+
+// Load reads a state directory written by a Journal: for every shard
+// directory it loads the newest fully-valid snapshot and scans the WAL
+// segments at or past the snapshot boundary; the scanned records are
+// then sorted per session by (Gen, Seq) and folded into histories.
+//
+// The sort makes recovery independent of where and in what order
+// records landed on disk: per-session sequence numbers are a total
+// order assigned under the session lock, so records may arrive from
+// different shard files (the shard count changed across restarts) or
+// slightly out of file order (a create published before its record was
+// appended) and still fold correctly.
+//
+// Crash tolerance: a torn or corrupt frame ends the scan of that one
+// segment (dropping only the tail — rotation fsyncs closed segments, so
+// mid-file tears only ever appear in the segment open at the crash);
+// records already covered by a snapshot or belonging to an older
+// incarnation of a re-used session ID are skipped by (Gen, Seq); a
+// sequence gap — a lost or hand-deleted file — marks the session
+// Damaged rather than restoring a half-true state.
+func Load(dir string) (*Recovery, error) {
+	rec := &Recovery{
+		byID:    map[string]*SessionHistory{},
+		pending: map[string][]Event{},
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rec, nil
+		}
+		return nil, err
+	}
+	var shardDirs []string
+	for _, e := range entries {
+		var n int64
+		if e.IsDir() && parseSeq(e.Name(), "shard-", "", &n) {
+			shardDirs = append(shardDirs, e.Name())
+		}
+	}
+	sort.Strings(shardDirs)
+
+	rec.Stats.Shards = len(shardDirs)
+	for _, sd := range shardDirs {
+		if err := loadShard(rec, filepath.Join(dir, sd)); err != nil {
+			return nil, fmt.Errorf("store: loading %s: %w", sd, err)
+		}
+	}
+	rec.finish()
+	return rec, nil
+}
+
+// finish folds the scanned events — per session, in (Gen, Seq) order —
+// and settles the stats.
+func (r *Recovery) finish() {
+	for _, id := range r.order {
+		evs := r.pending[id]
+		sort.SliceStable(evs, func(i, k int) bool {
+			if evs[i].Gen != evs[k].Gen {
+				return evs[i].Gen < evs[k].Gen
+			}
+			return evs[i].Seq < evs[k].Seq
+		})
+		for i := range evs {
+			fold(r, evs[i])
+		}
+	}
+	r.pending, r.order = nil, nil
+	for _, h := range r.Histories {
+		switch {
+		case h.Damaged:
+			r.Stats.Damaged++
+		case h.Closed:
+			r.Stats.Closed++
+		default:
+			r.Stats.Live++
+		}
+	}
+}
+
+// enqueue stages one scanned record for the sorted fold.
+func (r *Recovery) enqueue(ev Event) {
+	if _, seen := r.pending[ev.Session]; !seen {
+		r.order = append(r.order, ev.Session)
+	}
+	r.pending[ev.Session] = append(r.pending[ev.Session], ev)
+}
+
+func loadShard(rec *Recovery, dir string) error {
+	files, err := listShardFiles(dir)
+	if err != nil {
+		return err
+	}
+
+	// Newest fully-valid snapshot wins; on any parse failure fall back
+	// to the next older one (and replay correspondingly older segments).
+	boundary := int64(0)
+	for i := len(files.snaps) - 1; i >= 0; i-- {
+		sf := files.snaps[i]
+		snaps, err := readSnapshotFile(filepath.Join(dir, sf.name))
+		if err != nil {
+			rec.Stats.BadRecords++
+			continue
+		}
+		for k := range snaps {
+			seedSnapshot(rec, &snaps[k])
+		}
+		boundary = sf.seq
+		break
+	}
+
+	for _, wf := range files.wals {
+		if wf.seq < boundary {
+			continue // fully covered by the snapshot; normally pruned
+		}
+		rec.Stats.Segments++
+		if err := scanSegment(rec, filepath.Join(dir, wf.name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seedSnapshot installs a compacted session state as the base of its
+// history. When two snapshots describe the same incarnation (a stale
+// one lingering after an interrupted compaction, or the session's home
+// shard changed with the shard count), the one with the higher Seq —
+// more folded history — wins.
+func seedSnapshot(rec *Recovery, s *SessionSnapshot) {
+	h := rec.byID[s.ID]
+	if h != nil && (h.Gen > s.Gen || (h.Gen == s.Gen && h.LastSeq >= s.Seq)) {
+		return
+	}
+	if h == nil {
+		h = &SessionHistory{ID: s.ID}
+		rec.byID[s.ID] = h
+		rec.Histories = append(rec.Histories, h)
+	}
+	*h = SessionHistory{
+		ID:       s.ID,
+		Gen:      s.Gen,
+		Snapshot: s,
+		LastSeq:  s.Seq,
+		LastTime: s.LastUsed,
+	}
+}
+
+// fold applies one WAL record to its session history.
+func fold(rec *Recovery, ev Event) {
+	h := rec.byID[ev.Session]
+	if ev.Type == EvCreate {
+		switch {
+		case h == nil:
+			h = &SessionHistory{ID: ev.Session}
+			rec.byID[ev.Session] = h
+			rec.Histories = append(rec.Histories, h)
+		case ev.Gen > h.Gen:
+			// Same ID, newer incarnation: the old lifetime is over
+			// (closed, or lost to an unclean shutdown) — restart the
+			// history from this create.
+			*h = SessionHistory{ID: ev.Session}
+		case ev.Gen < h.Gen:
+			rec.Stats.SkippedStale++
+			return
+		default: // same incarnation, duplicate create (snapshot overlap)
+			if ev.Seq <= h.LastSeq {
+				rec.Stats.SkippedStale++
+				return
+			}
+			h.Damaged = true // a second create mid-incarnation is nonsense
+			return
+		}
+		h.Gen = ev.Gen
+		h.Events = append(h.Events, ev)
+		h.LastSeq = ev.Seq
+		h.LastTime = ev.Time
+		return
+	}
+
+	switch {
+	case h == nil:
+		// No create and no snapshot in view: either the session closed
+		// before the last compaction (its create was pruned with the
+		// segment) or records were lost. Nothing to attach to.
+		rec.Stats.OrphanEvents++
+		return
+	case ev.Gen != h.Gen:
+		rec.Stats.SkippedStale++
+		return
+	case ev.Seq <= h.LastSeq:
+		rec.Stats.SkippedStale++ // already folded into the snapshot
+		return
+	case ev.Seq != h.LastSeq+1:
+		h.Damaged = true
+		return
+	case h.Closed:
+		h.Damaged = true // records after close within one incarnation
+		return
+	}
+	h.Events = append(h.Events, ev)
+	h.LastSeq = ev.Seq
+	h.LastTime = ev.Time
+	if ev.Type == EvClose {
+		h.Closed = true
+		h.Evicted = ev.Close.Evicted
+	}
+}
+
+// scanSegment replays one WAL segment record by record. A torn or
+// corrupt frame drops the rest of the segment.
+func scanSegment(rec *Recovery, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 256<<10)
+
+	var magic [magicLen]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		if err == io.EOF {
+			return nil // zero-byte segment: created, nothing ever written
+		}
+		if err == io.ErrUnexpectedEOF {
+			rec.Stats.TornRecords++ // crash mid-magic
+			return nil
+		}
+		return err
+	}
+	if string(magic[:]) != walMagic {
+		rec.Stats.BadRecords++
+		return nil // not ours; skip the file
+	}
+
+	for {
+		payload, ok, torn := readFrame(r)
+		if !ok {
+			if torn {
+				rec.Stats.TornRecords++
+			}
+			return nil
+		}
+		ev, err := decodeEvent(payload)
+		if err != nil {
+			// A frame with a valid CRC but an undecodable payload means
+			// a writer bug or version skew, not a torn tail; still stop
+			// here — later records may build on it.
+			rec.Stats.BadRecords++
+			return nil
+		}
+		rec.Stats.Records++
+		rec.enqueue(ev)
+	}
+}
+
+// readFrame reads one length+CRC framed record. ok is false at a clean
+// EOF or a torn/corrupt frame; torn distinguishes the latter.
+func readFrame(r *bufio.Reader) (payload []byte, ok, torn bool) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, false, false
+		}
+		return nil, false, true // header torn mid-write
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if n == 0 || n > maxRecordBytes {
+		return nil, false, true
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, false, true
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, false, true
+	}
+	return payload, true, false
+}
+
+// readSnapshotFile parses a whole snapshot file, failing on any
+// imperfection — snapshots are written atomically, so a damaged one
+// means the fallback (older snapshot + more WAL) is the safer base.
+func readSnapshotFile(path string) ([]SessionSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 256<<10)
+
+	var magic [magicLen]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("reading snapshot magic: %w", err)
+	}
+	if string(magic[:]) != snapMagic {
+		return nil, fmt.Errorf("bad snapshot magic %q", magic)
+	}
+	var out []SessionSnapshot
+	for {
+		payload, ok, torn := readFrame(r)
+		if !ok {
+			if torn {
+				return nil, fmt.Errorf("torn snapshot record")
+			}
+			return out, nil
+		}
+		s, err := decodeSnapshot(payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}

@@ -1,0 +1,533 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ev builds one journal event with sensible defaults.
+func ev(t EventType, id string, gen, seq int64) *Event {
+	e := &Event{Type: t, Session: id, Gen: gen, Seq: seq, Time: gen + seq}
+	switch t {
+	case EvCreate:
+		e.Create = &CreateEvent{Model: "imu-m", StartX: 1.25, StartY: -3.5, Window: 2, SegDim: 3}
+	case EvSteps:
+		e.Steps = &StepsEvent{
+			SegDim:   3,
+			Count:    2,
+			Features: []float64{1, 2, 3, 4, 5, 6},
+			Preds: []PredRecord{
+				{EndX: 0.5, EndY: 1.5, Class: 7, DispX: 0.1, DispY: 0.2},
+				{EndX: 2.5, EndY: 3.5, Class: 9, DispX: 0.3, DispY: 0.4},
+			},
+		}
+	case EvReAnchor:
+		e.ReAnchor = &ReAnchorEvent{X: 9.75, Y: -0.125, WiFiModel: "wifi-m", Fingerprint: []float64{0.1, 0, 0.9}}
+	case EvClose:
+		e.Close = &CloseEvent{Evicted: true}
+	}
+	return e
+}
+
+func TestEventEncodeDecodeRoundTrip(t *testing.T) {
+	for _, typ := range []EventType{EvCreate, EvSteps, EvReAnchor, EvClose} {
+		in := ev(typ, "dev-42", 1000, 3)
+		out, err := decodeEvent(encodeEvent(in))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", typ, err)
+		}
+		if !reflect.DeepEqual(*in, out) {
+			t.Fatalf("%s round trip:\n in  %+v\n out %+v", typ, in, out)
+		}
+	}
+}
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	in := SessionSnapshot{
+		ID: "dev-1", Model: "imu-m", Gen: 77, LastUsed: 99, Seq: 12, Steps: 34, ReAnchors: 2,
+		Tracker: TrackerSnapshot{
+			Window: 2, SegDim: 3,
+			OriginX: 1, OriginY: 2,
+			Est:      PredRecord{EndX: 3, EndY: 4, Class: 5, DispX: 6, DispY: 7},
+			Steps:    11,
+			Segments: []float64{1, 2, 3, 4, 5, 6},
+			Anchors:  []float64{0.5, 0.25, 1.5, 1.25},
+		},
+	}
+	out, err := decodeSnapshot(encodeSnapshot(&in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("snapshot round trip:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestDecodeEventRejectsDamage(t *testing.T) {
+	good := encodeEvent(ev(EvSteps, "dev", 1, 2))
+	if _, err := decodeEvent(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated payload must not decode")
+	}
+	if _, err := decodeEvent(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("payload with trailing bytes must not decode")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 200
+	if _, err := decodeEvent(bad); err == nil {
+		t.Fatal("unknown record type must not decode")
+	}
+}
+
+func openTestJournal(t *testing.T, dir string, mut func(*Config)) *Journal {
+	t.Helper()
+	cfg := Config{Dir: dir, Shards: 2, Fsync: FsyncNever, Logf: t.Logf}
+	if mut != nil {
+		mut(&cfg)
+	}
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j
+}
+
+// writeSession appends a create + n steps for one session.
+func writeSession(t *testing.T, j *Journal, id string, gen int64, nsteps int) {
+	t.Helper()
+	if err := j.Append(ev(EvCreate, id, gen, 1)); err != nil {
+		t.Fatalf("append create: %v", err)
+	}
+	for i := 0; i < nsteps; i++ {
+		if err := j.Append(ev(EvSteps, id, gen, int64(i)+2)); err != nil {
+			t.Fatalf("append steps: %v", err)
+		}
+	}
+	if err := j.Commit(id); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+func TestJournalAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, nil)
+	writeSession(t, j, "dev-a", 100, 3)
+	writeSession(t, j, "dev-b", 200, 1)
+	if err := j.Append(ev(EvReAnchor, "dev-a", 100, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// dev-c lives and dies: must come back closed.
+	writeSession(t, j, "dev-c", 300, 1)
+	if err := j.Append(ev(EvClose, "dev-c", 300, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rec, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if rec.Stats.Live != 2 || rec.Stats.Closed != 1 || rec.Stats.Damaged != 0 {
+		t.Fatalf("stats %+v, want 2 live / 1 closed / 0 damaged", rec.Stats)
+	}
+	byID := map[string]*SessionHistory{}
+	for _, h := range rec.Histories {
+		byID[h.ID] = h
+	}
+	a := byID["dev-a"]
+	if a == nil || len(a.Events) != 5 || a.LastSeq != 5 || a.Closed {
+		t.Fatalf("dev-a history %+v", a)
+	}
+	if a.Events[0].Type != EvCreate || a.Events[4].Type != EvReAnchor {
+		t.Fatalf("dev-a event order: %v ... %v", a.Events[0].Type, a.Events[4].Type)
+	}
+	if got := a.Events[1].Steps; !reflect.DeepEqual(got, ev(EvSteps, "dev-a", 100, 2).Steps) {
+		t.Fatalf("steps payload mutated: %+v", got)
+	}
+	if c := byID["dev-c"]; c == nil || !c.Closed || !c.Evicted {
+		t.Fatalf("dev-c must be closed+evicted: %+v", c)
+	}
+}
+
+// TestTornTailDropsOnlyTail kills the journal mid-write: the final
+// record is truncated, and recovery must keep every record before it.
+func TestTornTailDropsOnlyTail(t *testing.T) {
+	for _, mode := range []string{"truncate", "flip-crc"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			// One shard so the torn file is deterministic.
+			j := openTestJournal(t, dir, func(c *Config) { c.Shards = 1 })
+			writeSession(t, j, "dev-a", 100, 3)
+			writeSession(t, j, "dev-b", 200, 2)
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Damage the tail of the single segment file.
+			seg := filepath.Join(dir, "shard-00", walFileName(1))
+			raw, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch mode {
+			case "truncate": // crash mid-write: half the last record missing
+				if err := os.WriteFile(seg, raw[:len(raw)-11], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			case "flip-crc": // bit rot in the last record's payload
+				raw[len(raw)-1] ^= 0xff
+				if err := os.WriteFile(seg, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			rec, err := Load(dir)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if rec.Stats.TornRecords == 0 {
+				t.Fatalf("stats %+v: torn tail not detected", rec.Stats)
+			}
+			byID := map[string]*SessionHistory{}
+			for _, h := range rec.Histories {
+				byID[h.ID] = h
+			}
+			// dev-a (3 steps, written first) survives in full; dev-b lost
+			// exactly its final record.
+			a := byID["dev-a"]
+			if a == nil || a.LastSeq != 4 || a.Damaged {
+				t.Fatalf("dev-a must survive intact: %+v", a)
+			}
+			b := byID["dev-b"]
+			if b == nil || b.LastSeq != 2 || b.Damaged {
+				t.Fatalf("dev-b must keep the pre-tear prefix: %+v", b)
+			}
+		})
+	}
+}
+
+func TestRotationAndRecoveryAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, func(c *Config) {
+		c.Shards = 1
+		c.RotateBytes = 512 // force many rotations
+	})
+	writeSession(t, j, "dev-a", 100, 40)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := listShardFiles(filepath.Join(dir, "shard-00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files.wals) < 3 {
+		t.Fatalf("only %d segments; rotation did not trigger", len(files.wals))
+	}
+	rec, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rec.Histories[0]
+	if h.ID != "dev-a" || h.LastSeq != 41 || h.Damaged || len(h.Events) != 41 {
+		t.Fatalf("cross-segment history %+v", h)
+	}
+}
+
+// TestCompactionPrunesAndDedupes drives the full snapshot cycle: events
+// appended before a compaction are covered by the snapshot, events
+// racing it (same state, lower seq in an old segment would double-apply
+// without the seq filter) are skipped, and old segments are pruned.
+func TestCompactionPrunesAndDedupes(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, func(c *Config) { c.Shards = 1 })
+	writeSession(t, j, "dev-a", 100, 3) // seqs 1..4
+
+	// A request racing the compaction: rotation has happened when collect
+	// runs, so its record goes to the NEW segment while its effect is
+	// folded into the snapshot (Seq 5). Without the seq filter, replay
+	// would apply that record on top of the snapshot twice.
+	err := j.Compact(func(shard int) []SessionSnapshot {
+		if err := j.Append(ev(EvSteps, "dev-a", 100, 5)); err != nil {
+			t.Fatal(err)
+		}
+		return []SessionSnapshot{{
+			ID: "dev-a", Model: "imu-m", Gen: 100, LastUsed: 105, Seq: 5, Steps: 8,
+			Tracker: TrackerSnapshot{
+				Window: 2, SegDim: 3,
+				Est:      PredRecord{EndX: 2.5, EndY: 3.5, Class: 9},
+				Steps:    8,
+				Segments: []float64{1, 2, 3, 4, 5, 6},
+				Anchors:  []float64{0, 0, 0.5, 1.5},
+			},
+		}}
+	})
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// Post-compaction traffic.
+	if err := j.Append(ev(EvSteps, "dev-a", 100, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := listShardFiles(filepath.Join(dir, "shard-00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files.snaps) != 1 {
+		t.Fatalf("want 1 snapshot, have %v", files.snaps)
+	}
+	for _, wf := range files.wals {
+		if wf.seq < files.snapSeq {
+			t.Fatalf("segment %s not pruned (snapshot %d)", wf.name, files.snapSeq)
+		}
+	}
+
+	rec, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rec.Histories[0]
+	if h.Snapshot == nil || h.Snapshot.Seq != 5 {
+		t.Fatalf("snapshot not used as base: %+v", h)
+	}
+	// Only seq 6 replays on top; seq 5 (racing record, same segment as
+	// the boundary) is deduplicated by the seq filter.
+	if len(h.Events) != 1 || h.Events[0].Seq != 6 || h.Damaged {
+		t.Fatalf("post-snapshot events %+v", h.Events)
+	}
+	if rec.Stats.SkippedStale == 0 {
+		t.Fatal("racing record was not seq-filtered")
+	}
+}
+
+// TestSessionIDReuseAcrossIncarnations: close then re-create under the
+// same ID; recovery must restore only the new incarnation.
+func TestSessionIDReuseAcrossIncarnations(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, func(c *Config) { c.Shards = 1 })
+	writeSession(t, j, "dev-a", 100, 2)
+	if err := j.Append(ev(EvClose, "dev-a", 100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	writeSession(t, j, "dev-a", 500, 1) // reborn
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Stats.Live != 1 || rec.Stats.Closed != 0 {
+		t.Fatalf("stats %+v", rec.Stats)
+	}
+	h := rec.Histories[0]
+	if h.Gen != 500 || h.LastSeq != 2 || h.Closed || h.Damaged {
+		t.Fatalf("incarnation not reset: %+v", h)
+	}
+}
+
+// TestJournalReopenContinues: a second process run (Open on the same
+// dir) must append into fresh segments and recovery must stitch both
+// runs' records together.
+func TestJournalReopenContinues(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, func(c *Config) { c.Shards = 1 })
+	writeSession(t, j, "dev-a", 100, 2) // seqs 1..3
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTestJournal(t, dir, func(c *Config) { c.Shards = 1 })
+	if err := j2.Append(ev(EvSteps, "dev-a", 100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rec.Histories[0]
+	if h.LastSeq != 4 || h.Damaged || len(h.Events) != 4 {
+		t.Fatalf("cross-run history %+v", h)
+	}
+}
+
+// TestSeqGapMarksDamaged: a vanished middle segment must not silently
+// restore a half-true tracker.
+func TestSeqGapMarksDamaged(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, func(c *Config) { c.Shards = 1 })
+	writeSession(t, j, "dev-a", 100, 1)                            // seqs 1,2
+	if err := j.Append(ev(EvSteps, "dev-a", 100, 4)); err != nil { // 3 never written
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Stats.Damaged != 1 || rec.Stats.Live != 0 {
+		t.Fatalf("gap not detected: %+v", rec.Stats)
+	}
+}
+
+func TestFsyncAlwaysGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, func(c *Config) { c.Fsync = FsyncAlways })
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		id := string(rune('a' + w))
+		go func() {
+			var err error
+			for i := 0; i < 20 && err == nil; i++ {
+				if aerr := j.Append(ev(EvSteps, id, 1, int64(i)+1)); aerr != nil {
+					err = aerr
+					break
+				}
+				err = j.Commit(id)
+			}
+			done <- err
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent commit: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIntervalSync(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, func(c *Config) {
+		c.Fsync = FsyncInterval
+		c.SyncInterval = 5 * time.Millisecond
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	loopDone := make(chan struct{})
+	go func() { j.Run(ctx); close(loopDone) }()
+	writeSession(t, j, "dev-a", 100, 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for j.syncs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval sync never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-loopDone
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePrometheusShape(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, nil)
+	writeSession(t, j, "dev-a", 100, 1)
+	j.NoteRecovered(3, 1)
+	var sb strings.Builder
+	j.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`noble_journal_appends_total{event="create"} 1`,
+		`noble_journal_appends_total{event="steps"} 1`,
+		"noble_journal_recovered_sessions 3",
+		"noble_journal_recovery_skipped_sessions 1",
+		"noble_journal_lag_seconds",
+		"noble_journal_rotations_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryIsFileOrderIndependent: recovery folds by (Gen, Seq), not
+// file order — a create record appended after a faster racer's step
+// record, or even landing in a different shard directory because the
+// shard count changed across restarts, must still restore exactly.
+func TestRecoveryIsFileOrderIndependent(t *testing.T) {
+	t.Run("out-of-order within a shard", func(t *testing.T) {
+		dir := t.TempDir()
+		j := openTestJournal(t, dir, func(c *Config) { c.Shards = 1 })
+		// The racer's step hits the file before the create record.
+		if err := j.Append(ev(EvSteps, "dev-a", 100, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(ev(EvCreate, "dev-a", 100, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(ev(EvSteps, "dev-a", 100, 3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := rec.Histories[0]
+		if h.Damaged || h.LastSeq != 3 || len(h.Events) != 3 || h.Events[0].Type != EvCreate {
+			t.Fatalf("out-of-order fold failed: %+v", h)
+		}
+		if rec.Stats.OrphanEvents != 0 {
+			t.Fatalf("stats %+v: records dropped as orphans", rec.Stats)
+		}
+	})
+
+	t.Run("shard count change across restarts", func(t *testing.T) {
+		dir := t.TempDir()
+		ids := []string{"dev-a", "dev-b", "dev-c", "dev-d", "dev-e"}
+		j := openTestJournal(t, dir, func(c *Config) { c.Shards = 8 })
+		for _, id := range ids {
+			writeSession(t, j, id, 100, 2) // seqs 1..3
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Restart with a different shard count: sessions rehash, so the
+		// continuation records land in different shard directories.
+		j2 := openTestJournal(t, dir, func(c *Config) { c.Shards = 3 })
+		for _, id := range ids {
+			if err := j2.Append(ev(EvSteps, id, 100, 4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Stats.Live != len(ids) || rec.Stats.OrphanEvents != 0 || rec.Stats.Damaged != 0 {
+			t.Fatalf("re-sharded recovery stats %+v", rec.Stats)
+		}
+		for _, h := range rec.Histories {
+			if h.LastSeq != 4 || len(h.Events) != 4 {
+				t.Fatalf("session %s lost records across the reshard: %+v", h.ID, h)
+			}
+		}
+	})
+}
