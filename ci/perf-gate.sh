@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Performance regression gate: run the noble-perf ci preset against tiny
+# demo models and compare the fresh BENCH.json to the committed
+# BENCH_baseline.json. Fails on >15% throughput regression or >25% p99
+# inflation in any scenario (thresholds live in noble-perf -gate; see
+# docs/BENCH.md).
+#
+# Usage: ci/perf-gate.sh [workdir]
+#
+# Environment:
+#   OUT=BENCH.json            where the fresh report is written
+#   BASELINE=BENCH_baseline.json   the committed baseline to gate against
+#   REBASELINE=1              record the fresh run as the new baseline
+#                             (no gate) — run this after an intentional
+#                             perf change, on the reference machine
+set -euo pipefail
+
+out="${OUT:-BENCH.json}"
+baseline="${BASELINE:-BENCH_baseline.json}"
+work="${1:-$(mktemp -d)}"
+made_work=""
+[ -n "${1:-}" ] || made_work="$work"
+bin="$work/bin"
+models="$work/models"
+mkdir -p "$bin" "$models"
+
+cleanup() {
+    [ -n "$made_work" ] && rm -rf "$made_work" || true
+}
+trap cleanup EXIT
+
+echo "== building noble-perf"
+go build -o "$bin/" ./cmd/noble-perf
+
+echo "== running the ci scenario suite (tiny demo models, trained on first use)"
+"$bin/noble-perf" -preset=ci -models "$models" -o "$out"
+
+if [ -n "${REBASELINE:-}" ]; then
+    cp "$out" "$baseline"
+    echo "re-baselined: $out -> $baseline (commit it)"
+    exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+    echo "FAIL: no baseline at $baseline — record one with: REBASELINE=1 ci/perf-gate.sh"
+    exit 1
+fi
+
+echo "== gating $out against $baseline"
+"$bin/noble-perf" -gate -in "$out" -baseline "$baseline"

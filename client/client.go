@@ -47,7 +47,35 @@ type Client struct {
 
 	wantFast bool
 	fast     *fastTransport // non-nil with WithFastTransport on an http URL
+
+	hook RequestHook // nil unless WithRequestHook
 }
+
+// RequestObservation describes one completed wire exchange, as seen by a
+// WithRequestHook callback: the logical (unversioned) endpoint, how the
+// exchange ended, and how long it took on the wire. Exactly one of the
+// failure fields is meaningful: Err is the transport error (Status 0),
+// otherwise Status is the HTTP answer (which may still be an API error).
+type RequestObservation struct {
+	Method   string
+	Endpoint string // unversioned, e.g. "/localize"
+	Status   int    // 0 when the exchange died in transport
+	Err      error  // transport error; nil whenever the server answered
+	Duration time.Duration
+}
+
+// RequestHook observes completed exchanges. It runs inline on the
+// calling goroutine, so it must be fast and must not call back into the
+// Client; it may be called concurrently.
+type RequestHook func(RequestObservation)
+
+// WithRequestHook installs a per-request observer: load generators and
+// the benchmark rig collect wire-level latency and status series here
+// without wrapping every call site. The hook sees one observation per
+// attempt (a retried request observes once per try; a /v2→/v1 downgrade
+// replay is folded into its triggering attempt). Streaming connections
+// (TrackStream) bypass the hook — they are not request/response.
+func WithRequestHook(h RequestHook) Option { return func(c *Client) { c.hook = h } }
 
 // Option configures a Client.
 type Option func(*Client)
@@ -173,13 +201,25 @@ func (c *Client) do(ctx context.Context, method, endpoint string, body []byte, o
 // means the route family does not exist, so the client pins /v1 and
 // replays the attempt there.
 func (c *Client) roundTrip(ctx context.Context, method, endpoint string, body []byte) (int, []byte, error) {
+	var t0 time.Time
+	if c.hook != nil {
+		t0 = time.Now()
+	}
 	status, raw, err := c.send(ctx, method, c.versioned(endpoint), body)
 	if err == nil && status == http.StatusNotFound && !c.speaksV1() && !isJSONError(raw) {
 		c.proto.Store(protoV1)
-		return c.send(ctx, method, c.versioned(endpoint), body)
-	}
-	if err == nil && !c.speaksV1() {
+		status, raw, err = c.send(ctx, method, c.versioned(endpoint), body)
+	} else if err == nil && !c.speaksV1() {
 		c.proto.Store(protoV2)
+	}
+	if c.hook != nil {
+		c.hook(RequestObservation{
+			Method:   method,
+			Endpoint: endpoint,
+			Status:   status,
+			Err:      err,
+			Duration: time.Since(t0),
+		})
 	}
 	return status, raw, err
 }

@@ -1,0 +1,251 @@
+package client_test
+
+// Fault-injection coverage for the SDK's retry/backoff machinery: which
+// failures are retried, which calls must never be, and how context
+// deadlines cut the backoff loop short. Complements the happy-path
+// retry tests in client_test.go.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"noble/client"
+)
+
+// flakyListener wraps a TCP listener and severs the first n accepted
+// connections before a byte is exchanged, injecting connection errors
+// that the transport cannot mistake for HTTP failures.
+type flakyListener struct {
+	net.Listener
+	drops atomic.Int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil || l.drops.Add(-1) < 0 {
+			return conn, err
+		}
+		conn.Close() // the client's exchange dies with a reset/EOF
+	}
+}
+
+// newFlakyServer serves handler behind a listener that kills the first
+// drops connections.
+func newFlakyServer(t *testing.T, drops int, handler http.Handler) *httptest.Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: ln}
+	fl.drops.Store(int32(drops))
+	ts := &httptest.Server{Listener: fl, Config: &http.Server{Handler: handler}}
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRetryRecoversFromConnectionError(t *testing.T) {
+	// First connection dies mid-dial; the retry must dial again and get
+	// the real answer. Connections are counted server-side so the test
+	// proves the request was actually re-sent, not just re-dialed.
+	var served atomic.Int32
+	ts := newFlakyServer(t, 1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"results":[{"x":9,"y":8,"class":1,"building":0,"floor":0}]}`))
+	}))
+	c := client.New(ts.URL, client.WithRetries(2, time.Millisecond))
+	got, err := c.Localize(context.Background(), "m", []float64{0.5})
+	if err != nil || len(got) != 1 || got[0].X != 9 {
+		t.Fatalf("got %+v err %v after a connection-error retry", got, err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server answered %d requests, want exactly 1 (the retried one)", served.Load())
+	}
+}
+
+func TestDeadlineCutsBackoffLoop(t *testing.T) {
+	// A server that always 5xxes, a client with a huge backoff, and a
+	// context that expires first: the call must return as soon as the
+	// deadline fires — during the first backoff sleep — not after
+	// serving out every retry.
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":{"code":"inference_failed","message":"boom"}}`))
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithRetries(5, 10*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Localize(ctx, "m", []float64{0.5})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("want an error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want context.DeadlineExceeded from the backoff sleep", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("call took %v; the deadline must cut the 10s backoff", elapsed)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server hit %d times; the deadline fired during the first backoff, so only 1 attempt can have run", n)
+	}
+}
+
+func TestCanceledContextStopsRetriesAfterAttempt(t *testing.T) {
+	// The handler cancels the caller's context while serving the first
+	// (5xx) attempt: the loop must surface the 5xx as the last error
+	// without burning the remaining retries.
+	ctx, cancel := context.WithCancel(context.Background())
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		cancel()
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write([]byte(`{"error":{"code":"inference_failed","message":"zap"}}`))
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithRetries(5, time.Millisecond))
+	_, err := c.Localize(ctx, "m", []float64{0.5})
+	var ae *client.APIError
+	if err == nil || (!errors.As(err, &ae) && !errors.Is(err, context.Canceled)) {
+		t.Fatalf("err %v, want the attempt's error surfaced", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hit %d times after cancel, want 1", hits.Load())
+	}
+}
+
+func TestAppendNeverRetriesOnConnectionError(t *testing.T) {
+	// client_test.go proves appends are not retried on 5xx; connection
+	// errors are the more tempting case (the request "probably" never
+	// arrived — but only provably-unsent is safe, and the SDK cannot
+	// prove it), so pin that appends do not retry those either.
+	var attempts atomic.Int32
+	ts := newFlakyServer(t, 99, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+	}))
+	// Count dials instead of requests: every dropped connection is one
+	// attempt that must not be repeated.
+	dialed := atomic.Int32{}
+	tr := &http.Transport{DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+		dialed.Add(1)
+		var d net.Dialer
+		return d.DialContext(ctx, network, addr)
+	}}
+	c := client.New(ts.URL, client.WithRetries(5, time.Millisecond), client.WithHTTPClient(&http.Client{Transport: tr}))
+	_, err := c.Session("d").Append(context.Background(), client.AppendRequest{Model: "m"})
+	if err == nil {
+		t.Fatal("want a connection error")
+	}
+	if attempts.Load() != 0 {
+		t.Fatalf("append reached the handler %d times through a severed listener", attempts.Load())
+	}
+	if d := dialed.Load(); d != 1 {
+		t.Fatalf("append dialed %d times, want 1 (never retried)", d)
+	}
+}
+
+func TestRequestHookObservesRetriesAndOutcomes(t *testing.T) {
+	// The hook sees one observation per attempt: two 5xx then a success.
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":{"code":"inference_failed","message":"transient"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"results":[{"x":1,"y":2,"class":3,"building":0,"floor":0}]}`))
+	}))
+	defer ts.Close()
+	var obsMu sync.Mutex
+	var seen []client.RequestObservation
+	hook := func(o client.RequestObservation) {
+		obsMu.Lock()
+		defer obsMu.Unlock()
+		seen = append(seen, o)
+	}
+	c := client.New(ts.URL, client.WithRetries(3, time.Millisecond), client.WithRequestHook(hook))
+	if _, err := c.Localize(context.Background(), "m", []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("hook saw %d observations, want 3 (2 failures + success)", len(seen))
+	}
+	for i, o := range seen {
+		if o.Endpoint != "/localize" || o.Method != http.MethodPost {
+			t.Fatalf("observation %d misdescribed: %+v", i, o)
+		}
+		wantStatus := http.StatusInternalServerError
+		if i == 2 {
+			wantStatus = http.StatusOK
+		}
+		if o.Status != wantStatus || o.Err != nil {
+			t.Fatalf("observation %d: %+v, want status %d", i, o, wantStatus)
+		}
+		if o.Duration <= 0 {
+			t.Fatalf("observation %d has no duration: %+v", i, o)
+		}
+	}
+
+	// A transport error observes with Err set and Status 0.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := dead.URL
+	dead.Close()
+	seen = nil
+	c2 := client.New(url, client.WithRetries(0, 0), client.WithRequestHook(hook))
+	if _, err := c2.Localize(context.Background(), "m", []float64{0.5}); err == nil {
+		t.Fatal("want a connection error")
+	}
+	if len(seen) != 1 || seen[0].Err == nil || seen[0].Status != 0 {
+		t.Fatalf("transport-error observation wrong: %+v", seen)
+	}
+}
+
+func TestRetryOn503DrainThenEOF(t *testing.T) {
+	// A draining server answers 503 then goes away entirely: the retry
+	// sequence must end with an error (either the 503 APIError or the
+	// connection error), never a false success, and must stop within the
+	// configured attempts.
+	var hits atomic.Int32
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &httptest.Server{Listener: ln, Config: &http.Server{Handler: http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			if hits.Add(1) == 1 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte(`{"error":{"code":"server_draining","message":"draining"}}`))
+				return
+			}
+			// Sever without an HTTP response.
+			hj, _ := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+		})}}
+	ts.Start()
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithRetries(2, time.Millisecond))
+	_, err = c.Localize(context.Background(), "m", []float64{0.5})
+	if err == nil {
+		t.Fatal("want an error from a dying server")
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("%d attempts, want 3 (initial + 2 retries)", n)
+	}
+}

@@ -34,11 +34,9 @@ package main
 import (
 	"bufio"
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"math/rand"
 	"os"
 	"runtime/pprof"
@@ -50,6 +48,7 @@ import (
 	"time"
 
 	"noble/client"
+	"noble/internal/loadshape"
 )
 
 func main() {
@@ -112,20 +111,10 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	const pool = 256
 
-	// makeFingerprint synthesizes one normalized scan.
-	makeFingerprint := func(dim int) []float64 {
-		fp := make([]float64, dim)
-		for j := range fp {
-			if rng.Float64() < 0.7 { // most WAPs unheard, like a real scan
-				continue
-			}
-			// Normalized RSSI carries ~4 significant digits (integer dBm
-			// over a ~75 dB span); full float64 mantissas would triple
-			// the wire size for precision no scan possesses.
-			fp[j] = math.Round(rng.Float64()*1e4) / 1e4
-		}
-		return fp
-	}
+	// Payload synthesis is shared with the noble-perf harness (via
+	// internal/loadshape), so ad-hoc load runs and the gated BENCH.json
+	// replay the same traffic shape.
+	makeFingerprint := func(dim int) []float64 { return loadshape.SynthFingerprint(rng, dim) }
 
 	kind := "localize"
 	var (
@@ -153,15 +142,7 @@ func main() {
 		if !ok {
 			log.Fatalf("no imu model %q at %s (have %+v)", *model, *url, models)
 		}
-		// Synthetic per-segment frame summaries: values shape the decoded
-		// positions, not the cost of a step, so noise is fine.
-		makeSegment := func() []float64 {
-			seg := make([]float64, m.SegmentDim)
-			for j := range seg {
-				seg[j] = math.Round(rng.NormFloat64()*1e3) / 1e3
-			}
-			return seg
-		}
+		makeSegment := func() []float64 { return loadshape.SynthSegment(rng, m.SegmentDim) }
 		createReq = client.AppendRequest{
 			Model: m.Name, Start: &client.XY{}, Window: *window, Features: makeSegment(),
 		}
@@ -211,13 +192,14 @@ func main() {
 		sent.Add(1)
 		if err != nil {
 			errs.Add(1)
-			var ae *client.APIError
-			switch {
-			case errors.As(err, &ae) && ae.Status >= 500:
+			// Shared classifier (internal/loadshape): BENCH.json and
+			// this report must bucket the identical failure identically.
+			switch loadshape.ClassifyError(err) {
+			case loadshape.ErrClass5xx:
 				errs5xx.Add(1)
-			case errors.As(err, &ae) && ae.Status >= 400:
+			case loadshape.ErrClass4xx:
 				errs4xx.Add(1)
-			case errors.Is(err, context.DeadlineExceeded):
+			case loadshape.ErrClassDeadline:
 				errsDL.Add(1)
 			default:
 				errsConn.Add(1)

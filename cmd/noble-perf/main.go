@@ -1,0 +1,156 @@
+// Command noble-perf is the scenario-diverse performance harness: it
+// boots a real serving engine in-process (behind a real HTTP listener),
+// drives the named workload scenarios from internal/benchrig through the
+// public client SDK, and writes the results as machine-readable
+// BENCH.json (schema: docs/BENCH.md) plus a human table. It is the
+// measurement substrate the CI regression gate (ci/perf-gate.sh) runs.
+//
+// Usage:
+//
+//	# measure: run the suite and write BENCH.json
+//	noble-perf -preset=ci [-models ./models] [-o BENCH.json]
+//	           [-scenario REGEXP] [-seed 42] [-runs 0] [-duration 0]
+//
+//	# gate: compare a fresh run against a committed baseline
+//	noble-perf -gate -in BENCH.json -baseline BENCH_baseline.json
+//	           [-max-throughput-drop 0.15] [-max-p99-inflation 0.25]
+//
+// -preset=ci keeps the whole suite short enough for every push;
+// -preset=full runs longer passes for stabler numbers when recording a
+// baseline. If -models has no bundles, tiny demo models (seconds to
+// train) are trained into it first — absolute numbers then describe the
+// tiny models, which is exactly what the gate wants: the same models on
+// both sides of the comparison.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"regexp"
+	"syscall"
+	"time"
+
+	"noble/internal/benchrig"
+	"noble/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noble-perf: ")
+	preset := flag.String("preset", "ci", "timing preset: ci (short passes, gate-friendly) or full (longer passes, baseline-quality)")
+	modelsDir := flag.String("models", "models", "bundle directory; tiny demo models are trained here if empty")
+	out := flag.String("o", "BENCH.json", "output path for the machine-readable report")
+	scenarioRe := flag.String("scenario", "", "only run scenarios whose name matches this regexp")
+	seed := flag.Int64("seed", 42, "payload generator seed (fixed = identical request stream every run)")
+	runs := flag.Int("runs", 0, "override measured passes per scenario (0 = preset value)")
+	duration := flag.Duration("duration", 0, "override measured pass duration (0 = preset value)")
+	quiet := flag.Bool("quiet", false, "suppress per-pass progress")
+
+	gate := flag.Bool("gate", false, "gate mode: compare -in against -baseline instead of measuring")
+	in := flag.String("in", "BENCH.json", "gate mode: the fresh run to judge")
+	baseline := flag.String("baseline", "BENCH_baseline.json", "gate mode: the committed baseline")
+	maxDrop := flag.Float64("max-throughput-drop", benchrig.DefaultGate().MaxThroughputDrop,
+		"gate mode: max fractional throughput drop per scenario")
+	maxInfl := flag.Float64("max-p99-inflation", benchrig.DefaultGate().MaxP99Inflation,
+		"gate mode: max fractional p99 latency inflation per scenario")
+	flag.Parse()
+
+	if *gate {
+		runGate(*in, *baseline, *maxDrop, *maxInfl)
+		return
+	}
+
+	rig, err := benchrig.Preset(*preset)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	rig.Seed = *seed
+	if *runs > 0 {
+		rig.Runs = *runs
+	}
+	if *duration > 0 {
+		rig.PassDuration = *duration
+		if rig.MinPassDuration > *duration {
+			rig.MinPassDuration = *duration
+		}
+	}
+	if !*quiet {
+		rig.Logf = log.Printf
+	}
+
+	// Self-provision models: a bare checkout (or CI runner) trains the
+	// tiny demo bundles once; later runs reuse them from disk.
+	if err := os.MkdirAll(*modelsDir, 0o755); err != nil {
+		log.Fatalf("creating models dir: %v", err)
+	}
+	if err := serve.TrainDemoBundles(*modelsDir, true, log.Printf); err != nil {
+		log.Fatalf("training demo bundles: %v", err)
+	}
+	rig.NewRegistry = func() (*serve.Registry, error) {
+		reg := serve.NewRegistry(*modelsDir, func(string, ...any) {})
+		if _, _, err := reg.Reload(); err != nil {
+			return nil, err
+		}
+		return reg, nil
+	}
+
+	scenarios := benchrig.Suite()
+	if *scenarioRe != "" {
+		re, err := regexp.Compile(*scenarioRe)
+		if err != nil {
+			log.Fatalf("bad -scenario regexp: %v", err)
+		}
+		var kept []benchrig.Scenario
+		for _, sc := range scenarios {
+			if re.MatchString(sc.Name) {
+				kept = append(kept, sc)
+			}
+		}
+		if len(kept) == 0 {
+			log.Fatalf("-scenario %q matches none of the %d scenarios", *scenarioRe, len(scenarios))
+		}
+		scenarios = kept
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	results, err := rig.RunSuite(ctx, scenarios)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	bench := benchrig.NewBench(*preset, *seed, rig.Runs, results)
+	// Calibrate AFTER the scenarios (same thermal/load state they saw),
+	// so the gate can separate machine drift from code regressions.
+	bench.Host.CalibrationMflops = benchrig.Calibrate()
+	log.Printf("machine calibration: %.0f MFLOP/s (reference kernel)", bench.Host.CalibrationMflops)
+	if err := bench.WriteJSON(*out); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	bench.WriteTable(os.Stdout)
+	log.Printf("wrote %s (%d scenarios in %v)", *out, len(results), time.Since(start).Round(time.Second))
+}
+
+// runGate loads both reports, applies the thresholds, and exits non-zero
+// on any violation.
+func runGate(inPath, basePath string, maxDrop, maxInfl float64) {
+	cur, err := benchrig.ReadBench(inPath)
+	if err != nil {
+		log.Fatalf("reading current run: %v", err)
+	}
+	base, err := benchrig.ReadBench(basePath)
+	if err != nil {
+		log.Fatalf("reading baseline: %v", err)
+	}
+	cfg := benchrig.DefaultGate()
+	cfg.MaxThroughputDrop = maxDrop
+	cfg.MaxP99Inflation = maxInfl
+	findings := benchrig.Gate(cur, base, cfg)
+	benchrig.WriteGateReport(os.Stdout, cur, base, findings)
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

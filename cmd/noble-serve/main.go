@@ -46,16 +46,13 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
-	"noble/internal/core"
-	"noble/internal/dataset"
-	"noble/internal/imu"
 	"noble/internal/serve"
 	"noble/internal/store"
 )
@@ -83,7 +80,7 @@ func main() {
 		log.Fatalf("creating models dir: %v", err)
 	}
 	if *demo || *demoTiny {
-		if err := writeDemoBundles(*modelsDir, *demoTiny); err != nil {
+		if err := serve.TrainDemoBundles(*modelsDir, *demoTiny, log.Printf); err != nil {
 			log.Fatalf("demo bundles: %v", err)
 		}
 	}
@@ -172,8 +169,16 @@ func main() {
 		close(drained)
 	}()
 
-	log.Printf("listening on %s", *addr)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	// Listen before announcing, and announce the RESOLVED address: with
+	// -addr 127.0.0.1:0 the kernel picks a free port, and scripts (the CI
+	// crash-recovery test, the perf rig) read it from this log line
+	// instead of hard-coding a port that may be taken.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", *addr, err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serving: %v", err)
 	}
 	if journal != nil {
@@ -187,87 +192,4 @@ func main() {
 		}
 	}
 	log.Printf("shut down")
-}
-
-// writeDemoBundles trains a small Wi-Fi localizer and IMU tracker and
-// publishes them as bundles, skipping any that already exist. tiny
-// shrinks both models to train in seconds — enough to exercise every
-// serving path (CI smoke and crash-recovery tests), useless for
-// benchmark numbers.
-func writeDemoBundles(dir string, tiny bool) error {
-	if _, err := os.Stat(filepath.Join(dir, "demo-wifi", "manifest.json")); err != nil {
-		// Production-scale survey: a 3.5 m survey grid across the
-		// synthetic campus yields ~1650 neighborhood classes — the same
-		// order as the real UJIIndoorLoc deployment (933 reference
-		// locations, and denser in XY once its four floors project onto
-		// one fine grid). The class-head width is the serving hot path,
-		// so the demo model exercises the batching engine at deployment
-		// scale. Expect a few minutes of one-time training.
-		dsCfg := dataset.DefaultUJIConfig()
-		dsCfg.RefSpacing = 3.5
-		dsCfg.SamplesPerRef = 4
-		cfg := core.DefaultWiFiConfig()
-		cfg.Epochs = 8
-		if tiny {
-			log.Printf("training demo-wifi (tiny scale, a few seconds)...")
-			dsCfg.NumWAPs = 24
-			dsCfg.RefSpacing = 10
-			dsCfg.SamplesPerRef = 2
-			cfg.Hidden = []int{32}
-			cfg.Epochs = 3
-		} else {
-			log.Printf("training demo-wifi (synthetic UJI survey at paper scale, takes a few minutes)...")
-		}
-		ds := dataset.SynthUJI(dsCfg)
-		log.Printf("demo-wifi: %d train samples, %d WAPs", len(ds.Train), ds.NumWAPs)
-		start := time.Now()
-		model := core.TrainWiFi(ds, cfg)
-		log.Printf("demo-wifi: %d classes, trained in %v", model.Classes(), time.Since(start).Round(time.Millisecond))
-		err := serve.WriteBundle(dir, "demo-wifi", serve.Manifest{
-			Kind: serve.KindWiFi,
-			WiFi: &serve.WiFiBundle{Plan: "uji", Dataset: dsCfg, Config: cfg},
-		}, func(f *os.File) error { return model.Save(f) })
-		if err != nil {
-			return err
-		}
-	}
-	if _, err := os.Stat(filepath.Join(dir, "demo-imu", "manifest.json")); err != nil {
-		log.Printf("training demo-imu (small synthetic campus walks)...")
-		sensors := imu.DefaultConfig()
-		sensors.ReadingsPerSegment = 96
-		sensors.TotalSegments = 160
-		paths := imu.PathConfig{
-			NumPaths: 1200, MaxLen: 12, Frames: 6,
-			TrainFrac: 4389.0 / 6857.0, ValFrac: 1096.0 / 6857.0, Seed: 7,
-		}
-		bundle := &serve.IMUBundle{Spacing: 6, Sensors: sensors, Seed: 2021, Paths: paths}
-		cfg := core.DefaultIMUConfig()
-		cfg.Hidden = []int{64, 64}
-		cfg.Epochs = 20
-		cfg.Tau = 1.0
-		if tiny {
-			sensors.ReadingsPerSegment = 32
-			sensors.TotalSegments = 48
-			bundle.Sensors = sensors
-			bundle.Spacing = 12
-			bundle.Paths = imu.PathConfig{
-				NumPaths: 160, MaxLen: 6, Frames: 3,
-				TrainFrac: 0.7, ValFrac: 0.1, Seed: 7,
-			}
-			cfg.ProjDim = 8
-			cfg.Hidden = []int{16, 16}
-			cfg.Tau = 2
-			cfg.Epochs = 4
-		}
-		bundle.Config = cfg
-		start := time.Now()
-		model := core.TrainIMU(bundle.BuildIMUDataset(), cfg)
-		log.Printf("demo-imu: %d classes, trained in %v", model.Classes(), time.Since(start).Round(time.Millisecond))
-		err := serve.WriteBundle(dir, "demo-imu", serve.Manifest{Kind: serve.KindIMU, IMU: bundle},
-			func(f *os.File) error { return model.Save(f) })
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }

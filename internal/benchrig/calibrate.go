@@ -1,0 +1,71 @@
+package benchrig
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Calibrate measures the machine's effective compute speed with a fixed
+// reference kernel and returns it in MFLOP/s. The result is stored in
+// BENCH.json (HostInfo.CalibrationMflops) and lets the gate normalize a
+// comparison for machine-speed drift: shared runners and containers can
+// be tens of percent faster or slower from one hour to the next, which
+// would read as phantom regressions (or mask real ones) at absolute
+// thresholds.
+//
+// The kernel is deliberately NOT the code under test — a plain scalar
+// matmul defined right here. A change to the serving stack, the mat
+// package's GEMM kernels, or the models moves the scenarios but not the
+// calibration, so normalization cannot swallow a real code regression;
+// only the machine moves both.
+//
+// It runs SINGLE-threaded on purpose: the ratio of two calibrations must
+// mean "how fast is one core here vs there", independent of core count.
+// A per-GOMAXPROCS aggregate would scale a 1-CPU baseline by ~Nx on an
+// N-core runner and demand the impossible from single-threaded scenarios
+// like cold_localize. Core-count differences are visible separately via
+// HostInfo.NumCPU (the gate report notes shape mismatches); extra cores
+// only ever make scenarios faster, which the gate never fails on.
+func Calibrate() float64 {
+	const (
+		n    = 96                     // matrix edge; ~1.8 MFLOP per pass
+		dur  = 300 * time.Millisecond // measurement window
+		warm = 2                      // discarded passes
+	)
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.25
+		b[i] = float64(i%5) * 0.5
+	}
+	var flops int64
+	var start time.Time
+	deadline := time.Now().Add(dur) // replaced when the real clock starts
+	for pass := 0; pass < warm || time.Now().Before(deadline); pass++ {
+		if pass == warm {
+			// The clock starts after warm-up, before this pass's work, and
+			// the divisor below is the ACTUAL elapsed time — so neither the
+			// warm-up boundary pass nor the final pass's overshoot of the
+			// deadline inflates the result (on a slow machine a single
+			// pass is a visible fraction of the window).
+			start = time.Now()
+			deadline = start.Add(dur)
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				aik := a[i*n+k]
+				for j := 0; j < n; j++ {
+					c[i*n+j] += aik * b[k*n+j]
+				}
+			}
+		}
+		if pass >= warm {
+			flops += 2 * n * n * n
+		}
+	}
+	sink.Store(int64(c[0])) // defeat dead-code elimination
+	return float64(flops) / time.Since(start).Seconds() / 1e6
+}
+
+var sink atomic.Int64

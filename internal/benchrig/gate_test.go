@@ -1,0 +1,183 @@
+package benchrig
+
+import (
+	"strings"
+	"testing"
+)
+
+// bench builds a minimal report around one scenario's numbers.
+func bench(name string, throughput, p99 float64) *Bench {
+	return &Bench{
+		Schema: Schema,
+		Host:   CurrentHost(),
+		Scenarios: []ScenarioResult{{
+			Name: name, Unit: "req/s", Throughput: throughput,
+			LatencyMs: LatencyMs{P99: p99},
+		}},
+	}
+}
+
+func TestGatePassesWithinThresholds(t *testing.T) {
+	base := bench("s", 1000, 2.0)
+	for _, cur := range []*Bench{
+		bench("s", 1000, 2.0), // identical
+		bench("s", 900, 2.4),  // -10% throughput, +20% p99: inside both limits
+		bench("s", 5000, 0.1), // strictly better
+	} {
+		if f := Gate(cur, base, DefaultGate()); len(f) != 0 {
+			t.Fatalf("gate failed a healthy run: %v", f)
+		}
+	}
+}
+
+func TestGateFailsThroughputDrop(t *testing.T) {
+	f := Gate(bench("s", 800, 2.0), bench("s", 1000, 2.0), DefaultGate())
+	if len(f) != 1 || f[0].Check != "throughput" {
+		t.Fatalf("findings %v, want one throughput violation", f)
+	}
+}
+
+func TestGateFailsP99Inflation(t *testing.T) {
+	f := Gate(bench("s", 1000, 3.0), bench("s", 1000, 2.0), DefaultGate())
+	if len(f) != 1 || f[0].Check != "p99" {
+		t.Fatalf("findings %v, want one p99 violation", f)
+	}
+}
+
+func TestGateP99FloorAbsorbsMicroJitter(t *testing.T) {
+	// 0.04 ms → 0.08 ms is +100%, but both sit under the 0.25 ms floor:
+	// scheduler noise, not a regression.
+	if f := Gate(bench("s", 1000, 0.08), bench("s", 1000, 0.04), DefaultGate()); len(f) != 0 {
+		t.Fatalf("floor did not absorb sub-floor jitter: %v", f)
+	}
+	// And a genuinely inflated p99 over a tiny baseline still fails once
+	// it clears the floor with the allowed inflation.
+	if f := Gate(bench("s", 1000, 1.0), bench("s", 1000, 0.04), DefaultGate()); len(f) != 1 {
+		t.Fatalf("floor swallowed a real regression: %v", f)
+	}
+}
+
+func TestGateCalibrationNormalizesMachineDrift(t *testing.T) {
+	// Baseline recorded on a machine (or at an hour) running 2x faster:
+	// raw numbers show -50% throughput and +100% p99, but the calibration
+	// ratio says the machine itself halved, so nothing regressed.
+	base := bench("s", 2000, 1.0)
+	base.Host.CalibrationMflops = 4000
+	cur := bench("s", 1000, 2.0)
+	cur.Host.CalibrationMflops = 2000
+	if f := Gate(cur, base, DefaultGate()); len(f) != 0 {
+		t.Fatalf("calibration did not absorb machine drift: %v", f)
+	}
+	// A real regression on top of the drift still fails: the machine
+	// halved but throughput fell to a third.
+	cur = bench("s", 666, 2.0)
+	cur.Host.CalibrationMflops = 2000
+	if f := Gate(cur, base, DefaultGate()); len(f) != 1 || f[0].Check != "throughput" {
+		t.Fatalf("calibration swallowed a real regression: %v", f)
+	}
+}
+
+func TestGateCalibrationRatioClamped(t *testing.T) {
+	// The ratio caps at 1: a faster machine never tightens thresholds
+	// (scenario numbers are partly window-bound, not CPU-bound), so a
+	// regression on a faster machine is still judged against the
+	// face-value baseline.
+	base := bench("s", 1000, 0.2)
+	base.Host.CalibrationMflops = 100
+	cur := bench("s", 100, 0.2)
+	cur.Host.CalibrationMflops = 10000
+	if f := Gate(cur, base, DefaultGate()); len(f) != 1 || f[0].Check != "throughput" {
+		t.Fatalf("faster-machine regression missed: %v", f)
+	}
+	// And a faster machine merely MATCHING the baseline passes — the cap
+	// must not demand speed-times-baseline from window-bound scenarios.
+	match := bench("s", 1000, 0.2)
+	match.Host.CalibrationMflops = 10000
+	if f := Gate(match, base, DefaultGate()); len(f) != 0 {
+		t.Fatalf("faster machine at baseline throughput failed: %v", f)
+	}
+	// The floor clamp (0.25) keeps a corrupt low calibration from
+	// relaxing thresholds into meaninglessness: machine "100x slower",
+	// throughput 1/10 — the adjusted bar is base*0.25, and 100 < 212.
+	slow := bench("s", 100, 0.2)
+	slow.Host.CalibrationMflops = 1
+	if f := Gate(slow, base, DefaultGate()); len(f) != 1 || f[0].Check != "throughput" {
+		t.Fatalf("floor clamp missing: %v", f)
+	}
+	// Missing calibration on either side compares at face value.
+	base.Host.CalibrationMflops = 0
+	if f := Gate(bench("s", 1000, 0.2), base, DefaultGate()); len(f) != 0 {
+		t.Fatalf("uncalibrated comparison broke: %v", f)
+	}
+}
+
+func TestCalibrateReturnsPlausibleSpeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs a ~300ms kernel")
+	}
+	mflops := Calibrate()
+	// Any machine that can run the suite does 3-digit MFLOP/s on a
+	// scalar matmul; the assert only guards sign/zero bugs.
+	if mflops < 10 || mflops > 1e7 {
+		t.Fatalf("implausible calibration %f MFLOP/s", mflops)
+	}
+}
+
+func TestGateMissingScenarioFails(t *testing.T) {
+	cur := bench("other", 1000, 2.0)
+	f := Gate(cur, bench("s", 1000, 2.0), DefaultGate())
+	if len(f) != 1 || f[0].Check != "missing" {
+		t.Fatalf("findings %v, want one missing violation", f)
+	}
+	// The reverse — new scenarios in the current run — is fine.
+	if f := Gate(bench("s", 1000, 2.0), bench("s", 1000, 2.0), DefaultGate()); len(f) != 0 {
+		t.Fatalf("identical run failed: %v", f)
+	}
+}
+
+func TestGateReportRendersVerdict(t *testing.T) {
+	base, cur := bench("s", 1000, 2.0), bench("s", 400, 2.0)
+	var b strings.Builder
+	WriteGateReport(&b, cur, base, Gate(cur, base, DefaultGate()))
+	out := b.String()
+	if !strings.Contains(out, "gate: FAIL") || !strings.Contains(out, "-60.0%") {
+		t.Fatalf("report missing verdict/delta:\n%s", out)
+	}
+	b.Reset()
+	WriteGateReport(&b, base, base, nil)
+	if !strings.Contains(b.String(), "gate: PASS") {
+		t.Fatalf("pass report missing verdict:\n%s", b.String())
+	}
+}
+
+func TestReadBenchRoundTripAndSchemaCheck(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBench("ci", 42, 3, []ScenarioResult{{
+		Name: "s", Unit: "req/s", Throughput: 123.4,
+		Batch: map[string]BatchReport{"localize": {Passes: 10, Rows: 100, AvgRows: 10}},
+	}})
+	path := dir + "/BENCH.json"
+	if err := b.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Seed != 42 {
+		t.Fatalf("round trip lost header: %+v", got)
+	}
+	s, ok := got.Scenario("s")
+	if !ok || s.Throughput != 123.4 || s.Batch["localize"].Rows != 100 {
+		t.Fatalf("round trip lost scenario: %+v", s)
+	}
+
+	// A foreign schema is refused, not misread.
+	got.Schema = "noble-bench/v999"
+	if err := got.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBench(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("foreign schema accepted: %v", err)
+	}
+}

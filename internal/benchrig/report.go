@@ -1,0 +1,201 @@
+package benchrig
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"noble/internal/serve"
+)
+
+// Schema is the BENCH.json format identifier. Bump the suffix on any
+// breaking change to the JSON shape; readers (the gate, dashboards)
+// refuse unknown schemas instead of misreading them. The full schema is
+// documented in docs/BENCH.md.
+const Schema = "noble-bench/v1"
+
+// Bench is the machine-readable result of one harness run — the
+// top-level object of BENCH.json.
+type Bench struct {
+	Schema      string           `json:"schema"`
+	GeneratedAt string           `json:"generated_at"` // RFC3339
+	Preset      string           `json:"preset"`
+	Seed        int64            `json:"seed"`
+	Runs        int              `json:"runs"` // measured passes per scenario (peak reported)
+	Host        HostInfo         `json:"host"`
+	Scenarios   []ScenarioResult `json:"scenarios"`
+}
+
+// HostInfo pins where the numbers were recorded; the gate warns when a
+// baseline from a different host shape is compared.
+type HostInfo struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+
+	// CalibrationMflops is the reference-kernel speed measured by
+	// Calibrate at report time. The gate divides the two reports'
+	// calibrations to separate machine drift from code regressions.
+	CalibrationMflops float64 `json:"calibration_mflops,omitempty"`
+}
+
+// SameShape reports whether two hosts are nominally the same machine
+// class (calibration excluded — it varies run to run by design).
+func (h HostInfo) SameShape(o HostInfo) bool {
+	return h.GOOS == o.GOOS && h.GOARCH == o.GOARCH &&
+		h.NumCPU == o.NumCPU && h.GoVersion == o.GoVersion
+}
+
+// CurrentHost describes the running machine.
+func CurrentHost() HostInfo {
+	return HostInfo{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// ScenarioResult is one scenario's numbers, taken from the best pass
+// by throughput (peak) of the measured runs — see the package comment
+// for why peak, not median, under interference noise.
+type ScenarioResult struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Concurrency int    `json:"concurrency"`
+	Unit        string `json:"unit"` // "req/s", "steps/s", "ops/s"
+
+	ElapsedSec     float64          `json:"elapsed_sec"` // peak pass wall clock
+	Ok             int64            `json:"ok"`
+	Errors         int64            `json:"errors"`
+	ErrorClasses   map[string]int64 `json:"error_classes,omitempty"`
+	Throughput     float64          `json:"throughput"`      // ok operations per second, peak pass
+	RunThroughputs []float64        `json:"run_throughputs"` // every measured pass, run order
+
+	LatencyMs LatencyMs `json:"latency_ms"`
+
+	// Batch holds the server-side coalescing counters accumulated during
+	// the peak pass, keyed by batcher kind ("localize", "track").
+	Batch map[string]BatchReport `json:"batch,omitempty"`
+}
+
+// BatchReport is one batcher kind's coalescing behavior during a pass.
+type BatchReport struct {
+	Passes      int64        `json:"passes"`
+	Rows        int64        `json:"rows"`
+	AvgRows     float64      `json:"avg_rows"`
+	MaxRows     int64        `json:"max_rows"`
+	DroppedRows int64        `json:"dropped_rows"`
+	SizeHist    []SizeBucket `json:"size_hist"`
+}
+
+// SizeBucket is one batch-size histogram bucket: passes whose row count
+// fell in (previous bound, Le]; the final bucket has Le "+Inf".
+type SizeBucket struct {
+	Le     string `json:"le"`
+	Passes int64  `json:"passes"`
+}
+
+// batchReport converts an engine snapshot into the report shape.
+func batchReport(s serve.BatchSnapshot) BatchReport {
+	r := BatchReport{
+		Passes:      s.Passes,
+		Rows:        s.Rows,
+		MaxRows:     s.MaxRows,
+		DroppedRows: s.DroppedRows,
+	}
+	if s.Passes > 0 {
+		r.AvgRows = float64(s.Rows) / float64(s.Passes)
+	}
+	bounds := serve.BatchSizeBuckets()
+	for i, n := range s.SizeCounts {
+		le := "+Inf"
+		if i < len(bounds) {
+			le = fmt.Sprint(bounds[i])
+		}
+		r.SizeHist = append(r.SizeHist, SizeBucket{Le: le, Passes: n})
+	}
+	return r
+}
+
+// NewBench assembles the top-level report around scenario results.
+func NewBench(preset string, seed int64, runs int, scenarios []ScenarioResult) *Bench {
+	return &Bench{
+		Schema:      Schema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Preset:      preset,
+		Seed:        seed,
+		Runs:        runs,
+		Host:        CurrentHost(),
+		Scenarios:   scenarios,
+	}
+}
+
+// Scenario finds a result by name.
+func (b *Bench) Scenario(name string) (ScenarioResult, bool) {
+	for _, s := range b.Scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ScenarioResult{}, false
+}
+
+// WriteJSON writes the report, indented for diff-friendly commits.
+func (b *Bench) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadBench loads and schema-checks a BENCH.json.
+func ReadBench(path string) (*Bench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bench
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, this build reads %q", path, b.Schema, Schema)
+	}
+	return &b, nil
+}
+
+// WriteTable renders the human-readable summary.
+func (b *Bench) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "noble-perf %s preset=%s seed=%d runs=%d (%s/%s, %d cpu, %s)\n",
+		b.Schema, b.Preset, b.Seed, b.Runs,
+		b.Host.GOOS, b.Host.GOARCH, b.Host.NumCPU, b.Host.GoVersion)
+	fmt.Fprintf(w, "%-26s %5s %12s %9s %9s %9s %7s %9s\n",
+		"scenario", "conc", "throughput", "p50 ms", "p95 ms", "p99 ms", "errors", "avg batch")
+	for _, s := range b.Scenarios {
+		avg := "-"
+		var kinds []string
+		for kind := range s.Batch {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			if r := s.Batch[kind]; r.Passes > 0 {
+				if avg == "-" {
+					avg = fmt.Sprintf("%.1f", r.AvgRows)
+				} else {
+					avg += fmt.Sprintf("/%.1f", r.AvgRows)
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-26s %5d %8.0f %s %9.2f %9.2f %9.2f %7d %9s\n",
+			s.Name, s.Concurrency, s.Throughput, s.Unit,
+			s.LatencyMs.P50, s.LatencyMs.P95, s.LatencyMs.P99, s.Errors, avg)
+	}
+}

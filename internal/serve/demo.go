@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+
+	"noble/internal/core"
+	"noble/internal/dataset"
+	"noble/internal/imu"
+)
+
+// TrainDemoBundles trains a small Wi-Fi localizer ("demo-wifi") and IMU
+// tracker ("demo-imu") and publishes them as bundles under dir, skipping
+// any that already exist. tiny shrinks both models to train in seconds —
+// enough to exercise every serving path (CI smoke, crash-recovery, the
+// noble-perf rig), useless for absolute benchmark numbers; the full-size
+// variant takes minutes and is sized like the paper's UJI deployment.
+// Shared by `noble-serve -demo`/`-demo-tiny` and `noble-perf`, so every
+// tool that self-provisions models trains the same spec.
+func TrainDemoBundles(dir string, tiny bool, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "demo-wifi", "manifest.json")); err != nil {
+		// Production-scale survey: a 3.5 m survey grid across the
+		// synthetic campus yields ~1650 neighborhood classes — the same
+		// order as the real UJIIndoorLoc deployment (933 reference
+		// locations, and denser in XY once its four floors project onto
+		// one fine grid). The class-head width is the serving hot path,
+		// so the demo model exercises the batching engine at deployment
+		// scale. Expect a few minutes of one-time training.
+		dsCfg := dataset.DefaultUJIConfig()
+		dsCfg.RefSpacing = 3.5
+		dsCfg.SamplesPerRef = 4
+		cfg := core.DefaultWiFiConfig()
+		cfg.Epochs = 8
+		if tiny {
+			logf("training demo-wifi (tiny scale, a few seconds)...")
+			dsCfg.NumWAPs = 24
+			dsCfg.RefSpacing = 10
+			dsCfg.SamplesPerRef = 2
+			cfg.Hidden = []int{32}
+			cfg.Epochs = 3
+		} else {
+			logf("training demo-wifi (synthetic UJI survey at paper scale, takes a few minutes)...")
+		}
+		ds := dataset.SynthUJI(dsCfg)
+		logf("demo-wifi: %d train samples, %d WAPs", len(ds.Train), ds.NumWAPs)
+		start := time.Now()
+		model := core.TrainWiFi(ds, cfg)
+		logf("demo-wifi: %d classes, trained in %v", model.Classes(), time.Since(start).Round(time.Millisecond))
+		err := WriteBundle(dir, "demo-wifi", Manifest{
+			Kind: KindWiFi,
+			WiFi: &WiFiBundle{Plan: "uji", Dataset: dsCfg, Config: cfg},
+		}, func(f *os.File) error { return model.Save(f) })
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "demo-imu", "manifest.json")); err != nil {
+		logf("training demo-imu (small synthetic campus walks)...")
+		sensors := imu.DefaultConfig()
+		sensors.ReadingsPerSegment = 96
+		sensors.TotalSegments = 160
+		paths := imu.PathConfig{
+			NumPaths: 1200, MaxLen: 12, Frames: 6,
+			TrainFrac: 4389.0 / 6857.0, ValFrac: 1096.0 / 6857.0, Seed: 7,
+		}
+		bundle := &IMUBundle{Spacing: 6, Sensors: sensors, Seed: 2021, Paths: paths}
+		cfg := core.DefaultIMUConfig()
+		cfg.Hidden = []int{64, 64}
+		cfg.Epochs = 20
+		cfg.Tau = 1.0
+		if tiny {
+			sensors.ReadingsPerSegment = 32
+			sensors.TotalSegments = 48
+			bundle.Sensors = sensors
+			bundle.Spacing = 12
+			bundle.Paths = imu.PathConfig{
+				NumPaths: 160, MaxLen: 6, Frames: 3,
+				TrainFrac: 0.7, ValFrac: 0.1, Seed: 7,
+			}
+			cfg.ProjDim = 8
+			cfg.Hidden = []int{16, 16}
+			cfg.Tau = 2
+			cfg.Epochs = 4
+		}
+		bundle.Config = cfg
+		start := time.Now()
+		model := core.TrainIMU(bundle.BuildIMUDataset(), cfg)
+		logf("demo-imu: %d classes, trained in %v", model.Classes(), time.Since(start).Round(time.Millisecond))
+		err := WriteBundle(dir, "demo-imu", Manifest{Kind: KindIMU, IMU: bundle},
+			func(f *os.File) error { return model.Save(f) })
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -90,6 +90,13 @@ func (e *Engine) Sessions() *session.Store { return e.sessions }
 // Metrics exposes the metrics collector shared by all transports.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 
+// BatchSnapshot copies one batcher kind's counters ("localize",
+// "track"): passes, rows, max pass size, dropped rows, and the
+// batch-size histogram. Embedders that need coalescing behavior as data
+// rather than Prometheus text — the benchmark rig above all — diff two
+// snapshots around a measured window.
+func (e *Engine) BatchSnapshot(kind string) BatchSnapshot { return e.metrics.Snapshot(kind) }
+
 // Batching reports whether micro-batching is enabled.
 func (e *Engine) Batching() bool { return e.wifiBatcher.Window > 0 }
 

@@ -25,12 +25,52 @@ type Metrics struct {
 	requestIDs atomic.Int64 // server-assigned request IDs handed out
 }
 
+// batchSizeBuckets are the upper bounds of the batch-size histogram:
+// every forward pass lands in the first bucket whose bound is >= its row
+// count, or the overflow bucket past the last bound. Powers of two match
+// how occupancy actually clusters (1 = unbatched, MaxBatch = saturated).
+var batchSizeBuckets = []int{1, 2, 4, 8, 16, 32, 64}
+
 // batchKindStats is one batcher kind's coalescing counters.
 type batchKindStats struct {
 	count   int64 // forward passes
 	rows    int64 // rows across all passes
 	max     int64 // largest pass observed
 	dropped int64 // rows dropped because their request was canceled while queued
+
+	hist [numSizeBuckets]int64 // per batchSizeBuckets bound, +1 overflow
+}
+
+// numSizeBuckets = len(batchSizeBuckets) + 1 (the overflow slot); array
+// sizes need a constant, so the pairing is asserted in TestMetrics.
+const numSizeBuckets = 8
+
+// sizeBucket maps a pass's row count onto its histogram slot.
+func sizeBucket(size int) int {
+	for i, le := range batchSizeBuckets {
+		if size <= le {
+			return i
+		}
+	}
+	return len(batchSizeBuckets)
+}
+
+// BatchSnapshot is a point-in-time copy of one batcher kind's counters —
+// the machine-readable view the benchmark rig (internal/benchrig) diffs
+// around a measured pass. SizeCounts is indexed like BatchSizeBuckets,
+// with one extra overflow slot for passes past the last bound.
+type BatchSnapshot struct {
+	Passes      int64
+	Rows        int64
+	MaxRows     int64
+	DroppedRows int64
+	SizeCounts  []int64
+}
+
+// BatchSizeBuckets returns the batch-size histogram's upper bounds
+// (shared by every kind; the final overflow bucket is implicit).
+func BatchSizeBuckets() []int {
+	return append([]int(nil), batchSizeBuckets...)
 }
 
 type endpointStats struct {
@@ -92,6 +132,7 @@ func (m *Metrics) ObserveBatch(kind string, size int) {
 	if int64(size) > s.max {
 		s.max = int64(size)
 	}
+	s.hist[sizeBucket(size)]++
 }
 
 // ObserveBatchDrop records rows dropped from a batch queue because
@@ -117,6 +158,22 @@ func (m *Metrics) BatchStats(kind string) (passes, rows int64) {
 		return 0, 0
 	}
 	return s.count, s.rows
+}
+
+// Snapshot copies one batcher kind's full counter set, including the
+// batch-size histogram. A kind with no recorded passes returns a zero
+// snapshot with a zeroed histogram, so callers can diff unconditionally.
+func (m *Metrics) Snapshot(kind string) BatchSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := BatchSnapshot{SizeCounts: make([]int64, numSizeBuckets)}
+	s := m.batches[kind]
+	if s == nil {
+		return snap
+	}
+	snap.Passes, snap.Rows, snap.MaxRows, snap.DroppedRows = s.count, s.rows, s.max, s.dropped
+	copy(snap.SizeCounts, s.hist[:])
+	return snap
 }
 
 // BatchDropped returns how many rows were dropped from one kind's batch
@@ -194,6 +251,19 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "noble_batch_rows_sum{kind=%q} %d\n", kind, s.rows)
 		fmt.Fprintf(w, "noble_batch_rows_count{kind=%q} %d\n", kind, s.count)
 		fmt.Fprintf(w, "noble_batch_rows_max{kind=%q} %d\n", kind, s.max)
+	}
+	fmt.Fprintln(w, "# HELP noble_batch_size Forward-pass sizes (rows per pass) as a cumulative histogram, by batcher kind.")
+	fmt.Fprintln(w, "# TYPE noble_batch_size histogram")
+	for _, kind := range kinds {
+		s := m.batches[kind]
+		var cum int64
+		for i, le := range batchSizeBuckets {
+			cum += s.hist[i]
+			fmt.Fprintf(w, "noble_batch_size_bucket{kind=%q,le=\"%d\"} %d\n", kind, le, cum)
+		}
+		fmt.Fprintf(w, "noble_batch_size_bucket{kind=%q,le=\"+Inf\"} %d\n", kind, s.count)
+		fmt.Fprintf(w, "noble_batch_size_sum{kind=%q} %d\n", kind, s.rows)
+		fmt.Fprintf(w, "noble_batch_size_count{kind=%q} %d\n", kind, s.count)
 	}
 	fmt.Fprintln(w, "# HELP noble_batch_dropped_rows_total Rows dropped from batch queues because their request was canceled before the pass fired.")
 	fmt.Fprintln(w, "# TYPE noble_batch_dropped_rows_total counter")
