@@ -48,7 +48,8 @@ wait_listening() {
     local log="$1"
     addr=""
     for _ in $(seq 1 240); do
-        addr=$(sed -n 's/^noble-serve: listening on //p' "$log" | head -n1)
+        # The server logs logfmt: `... level=INFO msg=listening addr=127.0.0.1:PORT`
+        addr=$(sed -n 's/.*msg=listening addr=\([^ ]*\).*/\1/p' "$log" | head -n1)
         if [ -n "$addr" ] && curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
             return 0
         fi

@@ -234,6 +234,9 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte) (in
 		if ms, ok := deadlineMs(ctx); ok {
 			hdr = append(hdr, [2]string{"X-Deadline-Ms", strconv.FormatInt(ms, 10)})
 		}
+		if id, ok := traceID(ctx); ok {
+			hdr = append(hdr, [2]string{"X-Trace-Id", id})
+		}
 		return c.fast.roundTrip(ctx, method, path, hdr, body)
 	}
 	return c.sendHTTP(ctx, method, path, body)
@@ -259,6 +262,9 @@ func (c *Client) sendHTTP(ctx context.Context, method, path string, body []byte)
 	if ms, ok := deadlineMs(ctx); ok {
 		req.Header.Set("X-Deadline-Ms", strconv.FormatInt(ms, 10))
 	}
+	if id, ok := traceID(ctx); ok {
+		req.Header.Set("X-Trace-Id", id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, nil, err
@@ -269,6 +275,25 @@ func (c *Client) sendHTTP(ctx context.Context, method, path string, body []byte)
 		return resp.StatusCode, nil, err
 	}
 	return resp.StatusCode, raw, nil
+}
+
+// traceIDKey carries a caller-chosen trace ID on the context.
+type traceIDKey struct{}
+
+// WithTraceID returns a context whose requests carry the given trace ID
+// in the X-Trace-Id header. The server adopts it as the request's trace
+// ID (sanitized, capped at 64 bytes), so the caller can later pull the
+// exact request's timeline out of /debug/traces — the handle that ties
+// a fleet-side observation ("this call was slow") to the server-side
+// per-stage breakdown. Servers without tracing ignore the header.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// traceID extracts a WithTraceID value, if any.
+func traceID(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(traceIDKey{}).(string)
+	return id, ok && id != ""
 }
 
 // deadlineMs converts a context deadline into the X-Deadline-Ms value.

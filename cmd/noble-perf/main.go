@@ -48,6 +48,7 @@ func main() {
 	runs := flag.Int("runs", 0, "override measured passes per scenario (0 = preset value)")
 	duration := flag.Duration("duration", 0, "override measured pass duration (0 = preset value)")
 	quiet := flag.Bool("quiet", false, "suppress per-pass progress")
+	trace := flag.Bool("trace", true, "run with request tracing on (the production default); -trace=false measures the untraced baseline so the two reports bound the tracer's overhead")
 
 	gate := flag.Bool("gate", false, "gate mode: compare -in against -baseline instead of measuring")
 	in := flag.String("in", "BENCH.json", "gate mode: the fresh run to judge")
@@ -68,6 +69,7 @@ func main() {
 		log.Fatalf("%v", err)
 	}
 	rig.Seed = *seed
+	rig.NoTrace = !*trace
 	if *runs > 0 {
 		rig.Runs = *runs
 	}

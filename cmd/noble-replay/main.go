@@ -26,7 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -35,8 +35,11 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("noble-replay: ")
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 	journalDir := flag.String("journal", "", "state directory recorded by noble-serve -state-dir (required)")
 	modelsDir := flag.String("models", "models", "bundle directory with the models the journal was recorded against")
 	speed := flag.Float64("speed", 0, "timeline multiplier: 1 = recorded pacing, 10 = 10x, 0 = as fast as possible")
@@ -45,20 +48,21 @@ func main() {
 	batchMax := flag.Int("batch-max", 64, "max rows per coalesced forward pass")
 	flag.Parse()
 	if *journalDir == "" {
-		log.Fatal("-journal is required")
+		fatal("-journal is required")
 	}
 
 	rec, err := store.Load(*journalDir)
 	if err != nil {
-		log.Fatalf("loading journal %s: %v", *journalDir, err)
+		fatal("loading journal", "dir", *journalDir, "err", err)
 	}
 	if len(rec.Histories) == 0 {
-		log.Fatalf("journal %s holds no sessions", *journalDir)
+		fatal("journal holds no sessions", "dir", *journalDir)
 	}
 
-	reg := serve.NewRegistry(*modelsDir, log.Printf)
+	logf := func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+	reg := serve.NewRegistry(*modelsDir, logf)
 	if _, _, err := reg.Reload(); err != nil {
-		log.Fatalf("loading bundles from %s: %v", *modelsDir, err)
+		fatal("loading bundles", "dir", *modelsDir, "err", err)
 	}
 	engine := serve.NewEngine(serve.Config{
 		Registry:    reg,
@@ -70,7 +74,7 @@ func main() {
 		Speed: *speed, Eps: *eps,
 	})
 	if err != nil {
-		log.Fatalf("replay: %v", err)
+		fatal("replay", "err", err)
 	}
 
 	pace := "as fast as possible"

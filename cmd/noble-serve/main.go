@@ -9,7 +9,8 @@
 //	            [-batch-max 32] [-reload 2s] [-session-ttl 10m]
 //	            [-session-sweep 0] [-demo] [-demo-tiny]
 //	            [-state-dir ./state] [-fsync interval] [-sync-interval 100ms]
-//	            [-compact-every 1m]
+//	            [-compact-every 1m] [-trace] [-trace-sample 1.0]
+//	            [-trace-ring 256] [-slow-ms 250] [-admin-addr addr]
 //
 // With -state-dir, tracking sessions are durable: every session event
 // (create, committed IMU segments, WiFi re-anchor, close/evict) is
@@ -19,6 +20,18 @@
 // tradeoff (never, interval, always); -compact-every bounds recovery
 // cost by periodically folding the log into per-session snapshots. A
 // recorded directory replays offline with noble-replay.
+//
+// Every request is traced end to end (decode, batch-queue wait, the
+// coalesced forward pass, session lock, journal append/fsync, encode);
+// per-stage latency histograms land on /metrics and complete timelines
+// on /debug/traces, tail-sampled to keep the slowest and errored
+// requests. -trace-sample thins the recent-trace ring under load
+// (histograms and the slow/errored sets still see every request);
+// -slow-ms sets the slow-request threshold for retention and the
+// rate-limited slow-request log line; -trace=false turns the tracer
+// off entirely. -admin-addr opens a second listener with the full
+// debug plane (/debug/pprof, /debug/traces, /debug/runtime, /metrics)
+// kept off the serving port — bind it to loopback.
 //
 // Endpoints:
 //
@@ -34,7 +47,10 @@
 //	GET    /healthz          liveness
 //	GET    /metrics          Prometheus text: request counts, latency
 //	                         quantiles, micro-batch occupancy per kind,
-//	                         session gauges/counters
+//	                         session gauges/counters, per-stage trace
+//	                         histograms, runtime/GC gauges
+//	GET    /debug/traces     retained request traces (JSON)
+//	GET    /debug/runtime    goroutine/heap/GC snapshot (JSON)
 //
 // With -demo, a small Wi-Fi localizer and IMU tracker are trained at
 // startup (a few seconds) and written into -models as regular bundles, so
@@ -45,7 +61,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -53,13 +70,12 @@ import (
 	"syscall"
 	"time"
 
+	"noble/internal/obs"
 	"noble/internal/serve"
 	"noble/internal/store"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("noble-serve: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	modelsDir := flag.String("models", "models", "bundle directory (manifest.json + weights.gob per model)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond,
@@ -74,25 +90,57 @@ func main() {
 	fsync := flag.String("fsync", "interval", "journal durability: never (buffered only), interval (periodic fsync), always (group-committed fsync per request)")
 	syncInterval := flag.Duration("sync-interval", 100*time.Millisecond, "journal flush+fsync cadence under -fsync=interval")
 	compactEvery := flag.Duration("compact-every", time.Minute, "journal snapshot/compaction cadence (0 disables compaction)")
+	trace := flag.Bool("trace", true, "per-request end-to-end tracing (histograms on /metrics, timelines on /debug/traces)")
+	traceSample := flag.Float64("trace-sample", 1.0, "fraction of traces admitted to the recent ring (slow/errored retention and histograms always see every request)")
+	traceRing := flag.Int("trace-ring", 256, "recent-trace ring capacity on /debug/traces")
+	slowMs := flag.Int("slow-ms", 250, "slow-request threshold in milliseconds (tail retention + rate-limited warn log)")
+	adminAddr := flag.String("admin-addr", "", "debug-plane listen address (pprof, traces, runtime; empty disables — bind to loopback)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of logfmt text")
 	flag.Parse()
 
+	// Structured logging: one slog logger feeds the server's own lines,
+	// the registry and journal (via the printf adapter), and the tracer's
+	// slow-request warnings.
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	logf := func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if err := os.MkdirAll(*modelsDir, 0o755); err != nil {
-		log.Fatalf("creating models dir: %v", err)
+		fatal("creating models dir", "dir", *modelsDir, "err", err)
 	}
 	if *demo || *demoTiny {
-		if err := serve.TrainDemoBundles(*modelsDir, *demoTiny, log.Printf); err != nil {
-			log.Fatalf("demo bundles: %v", err)
+		if err := serve.TrainDemoBundles(*modelsDir, *demoTiny, logf); err != nil {
+			fatal("training demo bundles", "err", err)
 		}
 	}
 
-	reg := serve.NewRegistry(*modelsDir, log.Printf)
+	reg := serve.NewRegistry(*modelsDir, logf)
 	loaded, _, err := reg.Reload()
 	if err != nil {
-		log.Fatalf("loading bundles from %s: %v", *modelsDir, err)
+		fatal("loading bundles", "dir", *modelsDir, "err", err)
 	}
-	log.Printf("loaded %d model(s) from %s", loaded, *modelsDir)
+	logger.Info("models loaded", "count", loaded, "dir", *modelsDir)
 	for _, info := range reg.List() {
-		log.Printf("  %-16s kind=%s classes=%d flops=%d", info.Name, info.Kind, info.Classes, info.FLOPs)
+		logger.Info("model", "name", info.Name, "kind", info.Kind, "classes", info.Classes, "flops", info.FLOPs)
+	}
+
+	var tracer *obs.Tracer
+	if *trace {
+		tracer = obs.NewTracer(obs.Options{
+			RingSize:      *traceRing,
+			SampleRate:    *traceSample,
+			SlowThreshold: time.Duration(*slowMs) * time.Millisecond,
+			Logger:        logger,
+		})
 	}
 
 	// Durable session journal: open and recover BEFORE the engine serves
@@ -104,19 +152,19 @@ func main() {
 	if *stateDir != "" {
 		policy, err := store.ParseFsyncPolicy(*fsync)
 		if err != nil {
-			log.Fatalf("%v", err)
+			fatal("parsing -fsync", "err", err)
 		}
 		journal, err = store.Open(store.Config{
 			Dir:          *stateDir,
 			Fsync:        policy,
 			SyncInterval: *syncInterval,
-			Logf:         log.Printf,
+			Logf:         logf,
 		})
 		if err != nil {
-			log.Fatalf("opening session journal: %v", err)
+			fatal("opening session journal", "err", err)
 		}
 		if rec, err = journal.Recover(); err != nil {
-			log.Fatalf("recovering session journal: %v", err)
+			fatal("recovering session journal", "err", err)
 		}
 	}
 
@@ -126,22 +174,29 @@ func main() {
 		MaxBatch:    *batchMax,
 		SessionTTL:  *sessionTTL,
 		Journal:     journal,
+		Tracer:      tracer,
+		NoTrace:     !*trace,
 	})
 	if journal != nil {
 		sum := engine.RestoreSessions(rec)
-		log.Printf("session journal %s: fsync=%s, restored %d session(s) (%d skipped, %d closed in record, %d torn record(s) dropped)",
-			*stateDir, *fsync, sum.Restored, sum.Skipped, sum.Closed, sum.Torn)
+		logger.Info("session journal recovered", "dir", *stateDir, "fsync", *fsync,
+			"restored", sum.Restored, "skipped", sum.Skipped, "closed", sum.Closed, "torn", sum.Torn)
 	}
 	srv := serve.NewServer(engine)
 	if srv.Batching() {
-		log.Printf("micro-batching on: window=%v max=%d", *batchWindow, *batchMax)
+		logger.Info("micro-batching on", "window", *batchWindow, "max", *batchMax)
 	} else {
-		log.Printf("micro-batching off")
+		logger.Info("micro-batching off")
 	}
 	if *sessionTTL > 0 {
-		log.Printf("tracking sessions: ttl=%v", *sessionTTL)
+		logger.Info("session eviction on", "ttl", *sessionTTL)
 	} else {
-		log.Printf("tracking sessions: no eviction")
+		logger.Info("session eviction off")
+	}
+	if tracer != nil {
+		logger.Info("tracing on", "sample", tracer.SampleRate(), "ring", *traceRing, "slow_ms", *slowMs)
+	} else {
+		logger.Info("tracing off")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -151,6 +206,24 @@ func main() {
 	if journal != nil {
 		go journal.Run(ctx)
 		go engine.RunJournalCompaction(ctx, *compactEvery)
+	}
+
+	// Opt-in debug plane on its own listener: the full pprof family plus
+	// traces, runtime, and metrics, kept off the serving port so fleet
+	// traffic can never reach a profile endpoint.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatal("listening on admin addr", "addr", *adminAddr, "err", err)
+		}
+		adminSrv = &http.Server{Handler: srv.DebugHandler()}
+		logger.Info("debug plane listening", "addr", adminLn.Addr().String())
+		go func() {
+			if err := adminSrv.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug plane serving", "err", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -166,6 +239,9 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
+		if adminSrv != nil {
+			adminSrv.Shutdown(shutdownCtx)
+		}
 		close(drained)
 	}()
 
@@ -175,21 +251,21 @@ func main() {
 	// instead of hard-coding a port that may be taken.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("listening on %s: %v", *addr, err)
+		fatal("listening", "addr", *addr, "err", err)
 	}
-	log.Printf("listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("serving: %v", err)
+		fatal("serving", "err", err)
 	}
 	if journal != nil {
-		// ListenAndServe returns the moment Shutdown closes the listener,
-		// while in-flight handlers are still appending — wait for the
-		// drain to finish before closing the journal, or their final
-		// events would race the close and be lost.
+		// Serve returns the moment Shutdown closes the listener, while
+		// in-flight handlers are still appending — wait for the drain to
+		// finish before closing the journal, or their final events would
+		// race the close and be lost.
 		<-drained
 		if err := journal.Close(); err != nil {
-			log.Printf("closing session journal: %v", err)
+			logger.Error("closing session journal", "err", err)
 		}
 	}
-	log.Printf("shut down")
+	logger.Info("shut down")
 }

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"noble/client"
+	"noble/internal/obs"
 	"noble/internal/serve"
 	"noble/internal/store"
 )
@@ -50,6 +51,10 @@ type EngineOptions struct {
 	// temporary WAL directory with -fsync=interval semantics, deleted
 	// when the pass ends.
 	Journal bool
+	// NoTrace disables request tracing for this scenario (the engine
+	// default is tracing on at full sampling). The overhead-baseline
+	// runs use it to put a number on the tracer's cost.
+	NoTrace bool
 }
 
 // Scenario is one named workload. Run drives load until env.Expired()
@@ -114,6 +119,7 @@ type Rig struct {
 	Logf        func(format string, args ...any) // nil = silent
 
 	Seed            int64
+	NoTrace         bool          // disable tracing in every pass (overhead baseline runs)
 	PassDuration    time.Duration // measured pass length
 	WarmupDuration  time.Duration // discarded warm-up pass length
 	MinPassDuration time.Duration // floor below which a pass is invalid
@@ -172,6 +178,7 @@ type passOutcome struct {
 	ops     int64 // operations counted toward throughput (Ok + OpsClasses)
 	elapsed time.Duration
 	batch   map[string]serve.BatchSnapshot
+	stages  map[string]obs.StageStats
 }
 
 func (p passOutcome) throughput() float64 {
@@ -244,6 +251,12 @@ func (r *Rig) RunScenario(ctx context.Context, sc Scenario) (ScenarioResult, err
 			res.Batch[kind] = batchReport(best.batch[kind])
 		}
 	}
+	if len(best.stages) > 0 {
+		res.Stages = make(map[string]StageReport, len(best.stages))
+		for stage, st := range best.stages {
+			res.Stages[stage] = stageReport(st)
+		}
+	}
 	return res, nil
 }
 
@@ -259,6 +272,7 @@ func (r *Rig) runPass(ctx context.Context, sc Scenario, dur time.Duration) (pass
 		Registry:    reg,
 		BatchWindow: sc.Engine.BatchWindow,
 		MaxBatch:    sc.Engine.MaxBatch,
+		NoTrace:     sc.Engine.NoTrace || r.NoTrace,
 	}
 
 	passCtx, cancel := context.WithCancel(ctx)
@@ -349,6 +363,11 @@ func (r *Rig) runPass(ctx context.Context, sc Scenario, dur time.Duration) (pass
 			// Fresh engine per pass, so the snapshot IS the pass delta.
 			out.batch[kind] = engine.BatchSnapshot(kind)
 		}
+	}
+	if t := engine.Tracer(); t != nil {
+		// Same fresh-engine argument: the tracer saw only this pass, so
+		// its per-stage histograms are the pass's latency attribution.
+		out.stages = t.StageSnapshot()
 	}
 	return out, nil
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"noble/internal/obs"
 	"noble/internal/serve"
 )
 
@@ -82,6 +83,35 @@ type ScenarioResult struct {
 	// Batch holds the server-side coalescing counters accumulated during
 	// the peak pass, keyed by batcher kind ("localize", "track").
 	Batch map[string]BatchReport `json:"batch,omitempty"`
+
+	// Stages attributes the peak pass's server-side latency to pipeline
+	// stages (decode, queue_wait, batch_pass, session_lock,
+	// journal_append, journal_fsync, encode, total), from the engine
+	// tracer's per-stage histograms. Absent when the pass ran with
+	// tracing disabled.
+	Stages map[string]StageReport `json:"stages,omitempty"`
+}
+
+// StageReport is one pipeline stage's latency contribution during a
+// pass: how many spans hit the stage and how their durations sum out.
+type StageReport struct {
+	Count   int64   `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	AvgMs   float64 `json:"avg_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// stageReport converts a tracer stage snapshot into the report shape.
+func stageReport(s obs.StageStats) StageReport {
+	r := StageReport{
+		Count:   s.Count,
+		TotalMs: s.SumSeconds * 1e3,
+		MaxMs:   s.MaxSeconds * 1e3,
+	}
+	if s.Count > 0 {
+		r.AvgMs = r.TotalMs / float64(s.Count)
+	}
+	return r
 }
 
 // BatchReport is one batcher kind's coalescing behavior during a pass.

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// finishAfter backdates a trace's begin stamp so Finish observes a
+// chosen duration without sleeping.
+func finishAfter(tr *Trace, d time.Duration, status int) {
+	tr.begin = time.Now().Add(-d)
+	tr.Finish(status)
+}
+
+func TestBucketBoundsPairing(t *testing.T) {
+	if numStageBuckets != len(stageBounds)+1 {
+		t.Fatalf("numStageBuckets = %d, want len(stageBounds)+1 = %d", numStageBuckets, len(stageBounds)+1)
+	}
+	if bucketFor(0) != 0 {
+		t.Fatalf("zero seconds must land in the first bucket")
+	}
+	if bucketFor(10) != len(stageBounds) {
+		t.Fatalf("10s must land in the overflow bucket")
+	}
+}
+
+func TestSpansFeedHistograms(t *testing.T) {
+	tr0 := NewTracer(Options{})
+	ctx, tr := tr0.Start(context.Background(), "localize", "")
+	sp := Begin(ctx, StageDecode)
+	sp.End()
+	now := time.Now()
+	AddBatchSpan(ctx, "localize", 32, now.Add(-2*time.Millisecond), now)
+	finishAfter(tr, 5*time.Millisecond, 200)
+
+	snap := tr0.StageSnapshot()
+	if snap[StageDecode].Count != 1 {
+		t.Fatalf("decode count = %d, want 1", snap[StageDecode].Count)
+	}
+	bp := snap[StageBatchPass]
+	if bp.Count != 1 || bp.SumSeconds < 0.0015 || bp.SumSeconds > 0.01 {
+		t.Fatalf("batch_pass stats = %+v, want one ~2ms observation", bp)
+	}
+	if snap[StageTotal].Count != 1 {
+		t.Fatalf("total count = %d, want 1", snap[StageTotal].Count)
+	}
+
+	d := tr0.Dump()
+	if len(d.Recent) != 1 {
+		t.Fatalf("recent = %d traces, want 1", len(d.Recent))
+	}
+	var gotBatch bool
+	for _, s := range d.Recent[0].Spans {
+		if s.Stage == StageBatchPass {
+			gotBatch = true
+			if s.Kind != "localize" || s.Rows != 32 {
+				t.Fatalf("batch span = %+v, want kind=localize rows=32", s)
+			}
+		}
+	}
+	if !gotBatch {
+		t.Fatalf("dumped trace lacks its batch_pass span: %+v", d.Recent[0].Spans)
+	}
+}
+
+// TestTailSampling is the ring-buffer retention contract: slowest and
+// errored traces survive eviction even when the recent ring has long
+// since recycled them, and even when probabilistic sampling admits
+// (almost) nothing.
+func TestTailSampling(t *testing.T) {
+	tr0 := NewTracer(Options{RingSize: 4, SlowKeep: 2, ErrKeep: 2, SlowThreshold: time.Hour})
+
+	// One errored and two uniquely slow traces, early on.
+	_, e1 := tr0.Start(context.Background(), "track", "err-1")
+	finishAfter(e1, time.Millisecond, 500)
+	_, s1 := tr0.Start(context.Background(), "track", "slow-1")
+	finishAfter(s1, 900*time.Millisecond, 200)
+	_, s2 := tr0.Start(context.Background(), "track", "slow-2")
+	finishAfter(s2, 800*time.Millisecond, 200)
+
+	// Then far more fast, successful traffic than the recent ring holds.
+	for i := 0; i < 50; i++ {
+		_, tr := tr0.Start(context.Background(), "track", "")
+		finishAfter(tr, time.Millisecond, 200)
+	}
+
+	d := tr0.Dump()
+	if len(d.Recent) != 4 {
+		t.Fatalf("recent ring holds %d, want 4", len(d.Recent))
+	}
+	for _, r := range d.Recent {
+		if r.ID == "slow-1" || r.ID == "slow-2" || r.ID == "err-1" {
+			t.Fatalf("recent ring should have recycled the early traces, still holds %q", r.ID)
+		}
+	}
+	if len(d.Slowest) != 2 || d.Slowest[0].ID != "slow-1" || d.Slowest[1].ID != "slow-2" {
+		t.Fatalf("slowest = %+v, want [slow-1 slow-2]", ids(d.Slowest))
+	}
+	if len(d.ErroredRing) != 1 || d.ErroredRing[0].ID != "err-1" {
+		t.Fatalf("errored = %v, want [err-1]", ids(d.ErroredRing))
+	}
+
+	// Near-zero sampling: histograms and tail retention still see
+	// everything.
+	tr1 := NewTracer(Options{RingSize: 4, SlowKeep: 2, ErrKeep: 2, SampleRate: 1e-12, SlowThreshold: time.Hour})
+	_, e2 := tr1.Start(context.Background(), "track", "err-2")
+	finishAfter(e2, time.Millisecond, 503)
+	_, s3 := tr1.Start(context.Background(), "track", "slow-3")
+	finishAfter(s3, time.Second, 200)
+	for i := 0; i < 20; i++ {
+		_, tr := tr1.Start(context.Background(), "track", "")
+		finishAfter(tr, time.Microsecond, 200)
+	}
+	d1 := tr1.Dump()
+	if len(d1.ErroredRing) != 1 || d1.ErroredRing[0].ID != "err-2" {
+		t.Fatalf("errored under sampling = %v, want [err-2]", ids(d1.ErroredRing))
+	}
+	if len(d1.Slowest) == 0 || d1.Slowest[0].ID != "slow-3" {
+		t.Fatalf("slowest under sampling = %v, want slow-3 first", ids(d1.Slowest))
+	}
+	if got := tr1.StageSnapshot()[StageTotal].Count; got != 22 {
+		t.Fatalf("histograms must count every trace regardless of sampling: total count = %d, want 22", got)
+	}
+}
+
+func ids(ds []TraceDump) []string {
+	out := make([]string, len(ds))
+	for i := range ds {
+		out[i] = ds[i].ID
+	}
+	return out
+}
+
+func TestSpanTruncation(t *testing.T) {
+	tr0 := NewTracer(Options{})
+	ctx, tr := tr0.Start(context.Background(), "stream", "")
+	now := time.Now()
+	for i := 0; i < maxSpans+10; i++ {
+		AddSpan(ctx, StageDecode, now, now)
+	}
+	finishAfter(tr, time.Millisecond, 200)
+	d := tr0.Dump()
+	if len(d.Recent[0].Spans) != maxSpans {
+		t.Fatalf("kept %d spans, want cap %d", len(d.Recent[0].Spans), maxSpans)
+	}
+	if d.Recent[0].Truncated != 10 {
+		t.Fatalf("truncated = %d, want 10", d.Recent[0].Truncated)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr0 *Tracer
+	ctx, tr := tr0.Start(context.Background(), "x", "")
+	if tr != nil {
+		t.Fatalf("nil tracer must start nil traces")
+	}
+	if From(ctx) != nil {
+		t.Fatalf("nil tracer must not attach a trace to ctx")
+	}
+	sp := Begin(ctx, StageDecode)
+	sp.End()
+	AddSpan(ctx, StageDecode, time.Now(), time.Now())
+	AddBatchSpan(ctx, "localize", 1, time.Now(), time.Now())
+	SetRequestID(ctx, "r")
+	tr.Finish(200)
+	tr0.Dump()
+	tr0.StageSnapshot()
+	tr0.WritePrometheus(new(bytes.Buffer))
+}
+
+func TestSanitizeID(t *testing.T) {
+	if got := sanitizeID("abc-123.X:ok"); got != "abc-123.X:ok" {
+		t.Fatalf("clean ID mangled: %q", got)
+	}
+	if got := sanitizeID("a b\nc"); got != "a_b_c" {
+		t.Fatalf("dirty ID = %q, want a_b_c", got)
+	}
+	if got := sanitizeID(strings.Repeat("x", 200)); len(got) != 64 {
+		t.Fatalf("long ID kept %d bytes, want 64", len(got))
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr0 := NewTracer(Options{RingSize: 8, SlowKeep: 4, ErrKeep: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ctx, tr := tr0.Start(context.Background(), "localize", "")
+				sp := Begin(ctx, StageDecode)
+				sp.End()
+				AddBatchSpan(ctx, "localize", 4, time.Now(), time.Now())
+				status := 200
+				if i%10 == 0 {
+					status = 500
+				}
+				tr.Finish(status)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := tr0.StageSnapshot()
+	if snap[StageTotal].Count != 800 {
+		t.Fatalf("total = %d, want 800", snap[StageTotal].Count)
+	}
+	var buf bytes.Buffer
+	tr0.WritePrometheus(&buf)
+	for _, want := range []string{"noble_stage_seconds_bucket", "noble_traces_total{class=\"errored\"} 80"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("prometheus output missing %q", want)
+		}
+	}
+	WriteRuntimePrometheus(&buf)
+	if !strings.Contains(buf.String(), "noble_goroutines") {
+		t.Fatalf("runtime metrics missing noble_goroutines")
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	tr0 := NewTracer(Options{})
+	_, tr := tr0.Start(context.Background(), "x", "")
+	tr.Finish(200)
+	tr.Finish(500)
+	if got := tr0.StageSnapshot()[StageTotal].Count; got != 1 {
+		t.Fatalf("double Finish recorded %d traces, want 1", got)
+	}
+	if tr0.Dump().Errored != 0 {
+		t.Fatalf("second Finish must be ignored")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"noble/internal/geo"
+	"noble/internal/obs"
 )
 
 // This file is the /v1 HTTP adapter (plus the shared transport
@@ -103,6 +104,11 @@ func (s *Server) routes() {
 	s.routesV2()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// /debug: the introspection plane. Traces and runtime are cheap JSON
+	// reads; the full pprof family additionally lives on the opt-in
+	// admin mux (see DebugHandler).
+	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("GET /debug/runtime", s.handleDebugRuntime)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 }
@@ -123,11 +129,22 @@ func (s *Server) gate(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// instrument wraps a handler with request counting and latency recording.
+// instrument wraps a handler with request counting, latency recording,
+// and the request trace: every instrumented request gets a Trace on its
+// context (honoring a client-supplied X-Trace-Id, echoed back on the
+// response) whose spans the handler, the batcher, and the journal glue
+// fill in; the trace finishes with the response status when the handler
+// returns.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		if t := s.engine.Tracer(); t != nil {
+			ctx, tr := t.Start(r.Context(), name, r.Header.Get("X-Trace-Id"))
+			w.Header().Set("X-Trace-Id", tr.ID())
+			r = r.WithContext(ctx)
+			defer func() { tr.Finish(cw.code) }()
+		}
 		h(cw, r)
 		s.metrics.Observe(name, cw.code, time.Since(start))
 	}
@@ -193,6 +210,7 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	dec := obs.Begin(r.Context(), obs.StageDecode)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		failBodyError(w, err, "reading request: %v", err)
@@ -206,6 +224,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	dec.End()
 	preds, err := s.engine.Localize(r.Context(), LocalizeQuery{
 		Model:        req.Model,
 		Fingerprints: req.Fingerprints,
@@ -214,6 +233,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		failEngine(w, err)
 		return
 	}
+	enc := obs.Begin(r.Context(), obs.StageEncode)
 	resp := LocalizeResponse{Model: req.Model, Results: make([]Position, len(preds))}
 	for i, p := range preds {
 		resp.Results[i] = Position{
@@ -223,13 +243,16 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(appendLocalizeResponse(nil, &resp))
+	enc.End()
 }
 
 func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
+	dec := obs.Begin(r.Context(), obs.StageDecode)
 	var req TrackRequest
 	if !decodeStrict(w, r, &req) {
 		return
 	}
+	dec.End()
 	q := TrackQuery{Model: req.Model, Paths: make([]PathQuery, len(req.Paths))}
 	for i, p := range req.Paths {
 		q.Paths[i] = PathQuery{Start: geo.Point{X: p.Start.X, Y: p.Start.Y}, Features: p.Features}
@@ -239,6 +262,7 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 		failEngine(w, err)
 		return
 	}
+	enc := obs.Begin(r.Context(), obs.StageEncode)
 	resp := TrackResponse{Model: req.Model, Results: make([]TrackResult, len(preds))}
 	for i, p := range preds {
 		resp.Results[i] = TrackResult{
@@ -248,6 +272,7 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+	enc.End()
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -272,4 +297,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if j := s.engine.Journal(); j != nil {
 		j.WritePrometheus(w)
 	}
+	s.engine.Tracer().WritePrometheus(w) // nil-safe no-op with tracing off
+	obs.WriteRuntimePrometheus(w)
 }

@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"noble/internal/geo"
+	"noble/internal/obs"
 )
 
 // /v1 session adapter: wire shapes for the stateful tracking endpoints.
@@ -109,10 +110,12 @@ func sessionResponse(st SessionState) SessionResponse {
 
 func (s *Server) handleSessionSegments(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	dec := obs.Begin(r.Context(), obs.StageDecode)
 	var req SessionSegmentsRequest
 	if !decodeStrict(w, r, &req) {
 		return
 	}
+	dec.End()
 	st, err := s.engine.AppendSegments(r.Context(), segmentQuery(id, &req))
 	if err != nil {
 		// A populated state alongside the error is the partial-commit
@@ -129,7 +132,9 @@ func (s *Server) handleSessionSegments(w http.ResponseWriter, r *http.Request) {
 		failEngine(w, err)
 		return
 	}
+	enc := obs.Begin(r.Context(), obs.StageEncode)
 	writeJSON(w, http.StatusOK, sessionResponse(st))
+	enc.End()
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"noble/internal/geo"
+	"noble/internal/obs"
 )
 
 // The /v2 wire protocol: same inference surface as /v1 over the same
@@ -136,9 +137,11 @@ type localizeResponseV2 struct {
 
 func (s *Server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
 	reqID := s.engine.NextRequestID()
+	obs.SetRequestID(r.Context(), reqID)
 	// Localize is the production hot path on /v2 exactly as on /v1: the
 	// hand-rolled parser/encoder (fastjson.go) carries the fleet load,
 	// with encoding/json as the behavior-defining fallback.
+	dec := obs.Begin(r.Context(), obs.StageDecode)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeEnvelope(w, reqID, bodyError(err, "reading request: %v", err))
@@ -152,6 +155,7 @@ func (s *Server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	dec.End()
 	ctx, cancel, e := requestCtx(r, req.DeadlineMs)
 	if e != nil {
 		writeEnvelope(w, reqID, e)
@@ -163,6 +167,7 @@ func (s *Server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
 		writeEnvelope(w, reqID, err)
 		return
 	}
+	enc := obs.Begin(r.Context(), obs.StageEncode)
 	resp := LocalizeResponse{Model: req.Model, Results: make([]Position, len(preds))}
 	for i, p := range preds {
 		resp.Results[i] = Position{X: p.Pos.X, Y: p.Pos.Y, Class: p.Class, Building: p.Building, Floor: p.Floor}
@@ -170,6 +175,7 @@ func (s *Server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Request-Id", reqID)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(appendLocalizeResponseV2(nil, reqID, &resp))
+	enc.End()
 }
 
 // trackRequestV2 is POST /v2/track.
@@ -187,11 +193,14 @@ type trackResponseV2 struct {
 
 func (s *Server) handleTrackV2(w http.ResponseWriter, r *http.Request) {
 	reqID := s.engine.NextRequestID()
+	obs.SetRequestID(r.Context(), reqID)
+	dec := obs.Begin(r.Context(), obs.StageDecode)
 	var req trackRequestV2
 	if e := decodeStrictV2(w, r, &req); e != nil {
 		writeEnvelope(w, reqID, e)
 		return
 	}
+	dec.End()
 	ctx, cancel, e := requestCtx(r, req.DeadlineMs)
 	if e != nil {
 		writeEnvelope(w, reqID, e)
@@ -207,6 +216,7 @@ func (s *Server) handleTrackV2(w http.ResponseWriter, r *http.Request) {
 		writeEnvelope(w, reqID, err)
 		return
 	}
+	enc := obs.Begin(r.Context(), obs.StageEncode)
 	resp := trackResponseV2{RequestID: reqID, Model: req.Model, Results: make([]TrackResult, len(preds))}
 	for i, p := range preds {
 		resp.Results[i] = TrackResult{
@@ -217,6 +227,7 @@ func (s *Server) handleTrackV2(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Request-Id", reqID)
 	writeJSON(w, http.StatusOK, resp)
+	enc.End()
 }
 
 // sessionSegmentsRequestV2 is POST /v2/sessions/{id}/segments.
@@ -264,12 +275,15 @@ func sessionResponseV2Of(reqID string, st SessionState) sessionResponseV2 {
 
 func (s *Server) handleSessionSegmentsV2(w http.ResponseWriter, r *http.Request) {
 	reqID := s.engine.NextRequestID()
+	obs.SetRequestID(r.Context(), reqID)
 	id := r.PathValue("id")
+	dec := obs.Begin(r.Context(), obs.StageDecode)
 	var req sessionSegmentsRequestV2
 	if e := decodeStrictV2(w, r, &req); e != nil {
 		writeEnvelope(w, reqID, e)
 		return
 	}
+	dec.End()
 	ctx, cancel, e := requestCtx(r, req.DeadlineMs)
 	if e != nil {
 		writeEnvelope(w, reqID, e)
@@ -291,8 +305,10 @@ func (s *Server) handleSessionSegmentsV2(w http.ResponseWriter, r *http.Request)
 		writeEnvelope(w, reqID, err)
 		return
 	}
+	enc := obs.Begin(r.Context(), obs.StageEncode)
 	w.Header().Set("X-Request-Id", reqID)
 	writeJSON(w, http.StatusOK, sessionResponseV2Of(reqID, st))
+	enc.End()
 }
 
 func (s *Server) handleSessionGetV2(w http.ResponseWriter, r *http.Request) {
@@ -379,6 +395,7 @@ const maxStreamLineBytes = maxBodyBytes
 // single connection.
 func (s *Server) handleTrackStream(w http.ResponseWriter, r *http.Request) {
 	reqID := s.engine.NextRequestID()
+	obs.SetRequestID(r.Context(), reqID)
 	ctx, cancel, e := requestCtx(r, 0)
 	if e != nil {
 		writeEnvelope(w, reqID, e)

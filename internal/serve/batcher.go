@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"noble/internal/obs"
 )
 
 // PredictFunc answers one coalesced forward pass for a named model: R is
@@ -49,10 +51,13 @@ type Batcher[R, P any] struct {
 // batchJob is one request waiting for its pass. ctx is the submitting
 // request's context: the dispatcher drops a job whose ctx is already
 // done when its pass forms, so an abandoned request (client gone,
-// deadline expired while queued) never consumes forward-pass rows.
+// deadline expired while queued) never consumes forward-pass rows. It
+// also carries the request's trace, which is how the dispatcher
+// stitches the shared pass back into every rider's timeline.
 type batchJob[R, P any] struct {
 	ctx   context.Context
 	rows  []R
+	enq   time.Time // when Submit queued the job (queue_wait span start)
 	preds []P
 	err   error
 	done  chan struct{}
@@ -93,10 +98,13 @@ func (b *Batcher[R, P]) Submit(ctx context.Context, model string, rows []R) ([]P
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return b.run(model, rows)
+		start := time.Now()
+		preds, err := b.run(model, rows)
+		obs.AddBatchSpan(ctx, b.kind, len(rows), start, time.Now())
+		return preds, err
 	}
 
-	job := &batchJob[R, P]{ctx: ctx, rows: rows, done: make(chan struct{})}
+	job := &batchJob[R, P]{ctx: ctx, rows: rows, enq: time.Now(), done: make(chan struct{})}
 	b.mu.Lock()
 	q := b.queues[model]
 	if q == nil {
@@ -260,13 +268,19 @@ func resetTimer(t *time.Timer, d time.Duration) {
 }
 
 // flush runs one forward pass for the coalesced jobs and fans results
-// back out in arrival order.
+// back out in arrival order. Each rider's trace gets two spans from
+// here: its own queue_wait (enqueue to pass start) and the shared
+// batch_pass, annotated with the pass's kind and total row count —
+// recorded before done is closed, so the submitting goroutine never
+// observes its job finished with the spans still missing.
 func (b *Batcher[R, P]) flush(model string, jobs []*batchJob[R, P]) {
 	var rows []R
 	for _, j := range jobs {
 		rows = append(rows, j.rows...)
 	}
+	passStart := time.Now()
 	preds, err := b.run(model, rows)
+	passEnd := time.Now()
 	off := 0
 	for _, j := range jobs {
 		if err != nil {
@@ -275,6 +289,8 @@ func (b *Batcher[R, P]) flush(model string, jobs []*batchJob[R, P]) {
 			j.preds = preds[off : off+len(j.rows)]
 		}
 		off += len(j.rows)
+		obs.AddSpan(j.ctx, obs.StageQueueWait, j.enq, passStart)
+		obs.AddBatchSpan(j.ctx, b.kind, len(rows), passStart, passEnd)
 		close(j.done)
 	}
 }

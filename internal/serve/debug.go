@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"noble/internal/obs"
+)
+
+// This file is the /debug introspection plane: the retained request
+// traces, the process runtime view, and (on the standalone admin mux)
+// the full net/http/pprof family. The serving mux carries the cheap
+// JSON endpoints plus the two pprof routes it always had; everything
+// heavier is opt-in via DebugHandler on a separate listener, so the
+// profiling surface is never exposed on the fleet-facing port unless
+// the operator asked for it.
+
+// handleDebugTraces dumps the tracer's retained traces: the sampled
+// recent ring plus the tail-sampled slowest and errored sets, each
+// trace a full per-stage timeline.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	t := s.engine.Tracer()
+	if t == nil {
+		fail(w, http.StatusNotFound, "tracing is disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Dump())
+}
+
+// handleDebugRuntime reports goroutines, heap, and GC pause state as
+// JSON — the numbers to read next to a latency regression.
+func (s *Server) handleDebugRuntime(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.ReadRuntime())
+}
+
+// DebugHandler returns the standalone admin mux for an opt-in debug
+// listener (noble-serve -admin-addr): the full pprof family, the trace
+// and runtime dumps, and a metrics scrape — everything operational,
+// nothing fleet-facing. Serve it on a loopback or otherwise restricted
+// address; pprof profiles can stall and heap dumps are not free.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("GET /debug/runtime", s.handleDebugRuntime)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -11,6 +11,7 @@ import (
 	"noble/internal/core"
 	"noble/internal/geo"
 	"noble/internal/imu"
+	"noble/internal/obs"
 	"noble/internal/serve/session"
 	"noble/internal/store"
 )
@@ -39,6 +40,7 @@ type Engine struct {
 	// (and any compaction loop) starts, read-only afterwards.
 	retained []*store.SessionHistory
 	metrics  *Metrics
+	tracer   *obs.Tracer // nil when tracing is off
 	started  time.Time
 
 	draining atomic.Bool
@@ -59,7 +61,14 @@ func NewEngine(cfg Config) *Engine {
 		metrics:  NewMetrics(),
 		sessions: session.NewStore(cfg.SessionTTL),
 		journal:  cfg.Journal,
+		tracer:   cfg.Tracer,
 		started:  time.Now(),
+	}
+	// Tracing defaults ON at full sampling: observability that must be
+	// switched on is off exactly when it is needed, and running every
+	// test with it on is what shakes out instrumentation races.
+	if e.tracer == nil && !cfg.NoTrace {
+		e.tracer = obs.NewTracer(obs.Options{})
 	}
 	if e.journal != nil {
 		// The sweeper fires this after tombstoning and unmapping the
@@ -70,7 +79,7 @@ func NewEngine(cfg Config) *Engine {
 		// Durability rides the next interval sync — an eviction is not a
 		// client-visible acknowledgement, so it never forces an fsync.
 		e.sessions.SetOnEvict(func(s *session.Session) {
-			e.journalClose(s, true)
+			e.journalClose(context.Background(), s, true)
 		})
 	}
 	// Request IDs are unique per process run: a per-start prefix plus a
@@ -89,6 +98,10 @@ func (e *Engine) Sessions() *session.Store { return e.sessions }
 
 // Metrics exposes the metrics collector shared by all transports.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Tracer exposes the request tracer (nil when tracing is off). All
+// tracer methods are nil-safe, so callers use the result directly.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // BatchSnapshot copies one batcher kind's counters ("localize",
 // "track"): passes, rows, max pass size, dropped rows, and the
@@ -352,6 +365,7 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 	id := q.Session
 	sess, ok := e.sessions.Get(id)
 	created := false
+	lockHeld := false // the create path locks the session pre-publication
 	if !ok {
 		// Validate the whole creation spec — including the segment
 		// payload — outside the shard lock and BEFORE inserting anything:
@@ -393,18 +407,36 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 			// folds a session's records in sequence order, not file order,
 			// so a step journaled by a faster racer cannot get ahead of it.
 			createEv = e.captureCreate(s)
+			// Lock the session before it is published (uncontended — no
+			// other goroutine can hold an unpublished session's mutex, and
+			// locking costs no I/O, so the shard lock is not held up). A
+			// racing request resolving the session from the map then blocks
+			// on this lock until the create record below is appended:
+			// under -fsync=always its commit fsyncs the same shard, so it
+			// can never ack a later-seq record before seq 1 is durable.
+			s.Lock()
 			return s, nil
 		})
-		if created && createEv != nil {
-			e.journalAppend(createEv)
+		if created {
+			lockHeld = true
+			if createEv != nil {
+				e.journalAppend(ctx, createEv)
+			}
 		}
 	}
 	if q.Model != "" && q.Model != sess.Model {
+		if lockHeld {
+			sess.Unlock()
+		}
 		return zero, errf(CodeSessionConflict, http.StatusConflict,
 			"session %q is bound to model %q, not %q", id, sess.Model, q.Model)
 	}
 
-	sess.Lock()
+	if !lockHeld {
+		lockWait := obs.Begin(ctx, obs.StageSessionLock)
+		sess.Lock()
+		lockWait.End()
+	}
 	defer sess.Unlock()
 	// Stamp activity when the call finishes, not when the lock is
 	// acquired (deferred args evaluate immediately; the closure does not).
@@ -424,7 +456,7 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 	// Request-boundary durability: under -fsync=always everything this
 	// request journals is fsynced (group-committed) before the response.
 	if e.journal != nil {
-		defer e.journalCommit(id)
+		defer e.journalCommit(ctx, id)
 	}
 
 	// Validate the segment payload before mutating anything: a rejected
@@ -450,7 +482,7 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 		sess.Tracker.ReAnchor(pos)
 		sess.ReAnchors.Add(1)
 		e.sessions.NoteReAnchor()
-		e.journalReAnchor(sess, pos, q.WiFiModel, q.Fingerprint)
+		e.journalReAnchor(ctx, sess, pos, q.WiFiModel, q.Fingerprint)
 		state.ReAnchored = true
 		state.Anchor = &pos
 	}
@@ -475,7 +507,7 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 			if i > 0 {
 				sess.Steps.Add(int64(i))
 				e.sessions.NoteSteps(i)
-				e.journalSteps(sess, segDim, q.Features[:i*segDim], committed)
+				e.journalSteps(ctx, sess, segDim, q.Features[:i*segDim], committed)
 			}
 			e.fillSessionState(&state, sess)
 			stepErr := AsError(err)
@@ -496,7 +528,7 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 	if k > 0 {
 		sess.Steps.Add(int64(k))
 		e.sessions.NoteSteps(k)
-		e.journalSteps(sess, segDim, q.Features[:k*segDim], committed)
+		e.journalSteps(ctx, sess, segDim, q.Features[:k*segDim], committed)
 	}
 
 	e.fillSessionState(&state, sess)
@@ -537,9 +569,9 @@ func (e *Engine) DeleteSession(id string) error {
 	}
 	sess.MarkGone()
 	e.sessions.Delete(id)
-	e.journalClose(sess, false)
+	e.journalClose(context.Background(), sess, false)
 	if e.journal != nil {
-		e.journalCommit(id)
+		e.journalCommit(context.Background(), id)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"noble/internal/core"
 	"noble/internal/geo"
+	"noble/internal/obs"
 	"noble/internal/serve/session"
 	"noble/internal/store"
 )
@@ -28,8 +29,14 @@ import (
 func (e *Engine) Journal() *store.Journal { return e.journal }
 
 // journalAppend writes one event, absorbing (but counting) failures.
-func (e *Engine) journalAppend(ev *store.Event) {
-	if err := e.journal.Append(ev); err != nil {
+// The append is a buffered write (no fsync), but it still shows up as a
+// span: a rotation-triggered fsync or a filesystem stall on this path
+// is exactly the kind of tail latency the tracer exists to attribute.
+func (e *Engine) journalAppend(ctx context.Context, ev *store.Event) {
+	sp := obs.Begin(ctx, obs.StageJournalAppend)
+	err := e.journal.Append(ev)
+	sp.End()
+	if err != nil {
 		e.reg.logf("serve: journal append (%s %s): %v", ev.Type, ev.Session, err)
 	}
 }
@@ -66,11 +73,11 @@ func (e *Engine) captureCreate(s *session.Session) *store.Event {
 // The decoded position is authoritative (restore applies it without a
 // WiFi model); the fingerprint rides along for provenance and replay.
 // Caller holds the session lock.
-func (e *Engine) journalReAnchor(s *session.Session, pos geo.Point, wifiModel string, fingerprint []float64) {
+func (e *Engine) journalReAnchor(ctx context.Context, s *session.Session, pos geo.Point, wifiModel string, fingerprint []float64) {
 	if e.journal == nil {
 		return
 	}
-	e.journalAppend(&store.Event{
+	e.journalAppend(ctx, &store.Event{
 		Type:    store.EvReAnchor,
 		Session: s.ID,
 		Gen:     s.CreatedAt.UnixNano(),
@@ -88,7 +95,7 @@ func (e *Engine) journalReAnchor(s *session.Session, pos geo.Point, wifiModel st
 // predictions — replaying Commit(seg, pred) pairs restores the tracker
 // without inference. Caller holds the session lock; feats is the flat
 // committed prefix (len(preds) × segDim).
-func (e *Engine) journalSteps(s *session.Session, segDim int, feats []float64, preds []core.IMUPrediction) {
+func (e *Engine) journalSteps(ctx context.Context, s *session.Session, segDim int, feats []float64, preds []core.IMUPrediction) {
 	if e.journal == nil {
 		return
 	}
@@ -100,7 +107,7 @@ func (e *Engine) journalSteps(s *session.Session, segDim int, feats []float64, p
 			DispX: p.Displacement.X, DispY: p.Displacement.Y,
 		}
 	}
-	e.journalAppend(&store.Event{
+	e.journalAppend(ctx, &store.Event{
 		Type:    store.EvSteps,
 		Session: s.ID,
 		Gen:     s.CreatedAt.UnixNano(),
@@ -117,11 +124,11 @@ func (e *Engine) journalSteps(s *session.Session, segDim int, feats []float64, p
 
 // journalClose records a session's end (delete or eviction). Caller
 // holds the session lock.
-func (e *Engine) journalClose(s *session.Session, evicted bool) {
+func (e *Engine) journalClose(ctx context.Context, s *session.Session, evicted bool) {
 	if e.journal == nil {
 		return
 	}
-	e.journalAppend(&store.Event{
+	e.journalAppend(ctx, &store.Event{
 		Type:    store.EvClose,
 		Session: s.ID,
 		Gen:     s.CreatedAt.UnixNano(),
@@ -132,9 +139,14 @@ func (e *Engine) journalClose(s *session.Session, evicted bool) {
 }
 
 // journalCommit marks a request boundary (group-committed fsync under
-// -fsync=always).
-func (e *Engine) journalCommit(id string) {
-	if err := e.journal.Commit(id); err != nil {
+// -fsync=always). The journal_fsync span is the durability tax a
+// request actually paid — near zero when it group-committed behind a
+// neighbor's sync, a full fsync when it led one.
+func (e *Engine) journalCommit(ctx context.Context, id string) {
+	sp := obs.Begin(ctx, obs.StageJournalFsync)
+	err := e.journal.Commit(id)
+	sp.End()
+	if err != nil {
 		e.reg.logf("serve: journal commit (%s): %v", id, err)
 	}
 }
@@ -345,7 +357,7 @@ func (e *Engine) CompactJournal() error {
 			for i := range h.Events {
 				// Duplicates across compaction rounds are harmless:
 				// recovery deduplicates by (Gen, Seq).
-				e.journalAppend(&h.Events[i])
+				e.journalAppend(context.Background(), &h.Events[i])
 			}
 		}
 		return snaps

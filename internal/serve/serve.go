@@ -55,6 +55,7 @@ import (
 	"net/http"
 	"time"
 
+	"noble/internal/obs"
 	"noble/internal/serve/session"
 	"noble/internal/store"
 )
@@ -82,6 +83,14 @@ type Config struct {
 	// persistence. The caller owns the journal's lifecycle (Open,
 	// Recover, the Run sync loop, Close).
 	Journal *store.Journal
+	// Tracer collects per-request traces (see internal/obs). Nil gets a
+	// default tracer at 100% sampling — tracing is on by default, and
+	// the tier-1 suite runs with it on, so instrumentation races cannot
+	// hide behind an opt-in flag. Set NoTrace to run untraced.
+	Tracer *obs.Tracer
+	// NoTrace disables request tracing entirely (the overhead-measurement
+	// baseline for noble-perf -trace=false).
+	NoTrace bool
 }
 
 // Server is the HTTP adapter over an Engine. Construct with New (or

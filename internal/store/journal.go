@@ -109,6 +109,7 @@ type walShard struct {
 	dir string
 
 	mu         sync.Mutex
+	closed     bool // Close ran: no append or rotation may reopen a segment
 	f          *os.File
 	w          *bufio.Writer
 	seq        int64 // current segment number
@@ -217,7 +218,7 @@ func (sh *walShard) append(j *Journal, payload []byte) (int, error) {
 	rec := frame(make([]byte, 0, frameHeaderLen+len(payload)), payload)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.f == nil {
+	if sh.closed || sh.f == nil {
 		// Close won the race against a straggling handler (drain timeout
 		// expired): fail the append instead of panicking on a nil writer;
 		// the caller logs and counts it.
@@ -244,6 +245,12 @@ func (sh *walShard) append(j *Journal, payload []byte) (int, error) {
 // closed segment is always durable and never torn mid-file) and opens
 // the next. Caller holds sh.mu.
 func (sh *walShard) rotateLocked(j *Journal) error {
+	if sh.closed {
+		// A compaction in flight at shutdown must fail cleanly here: were
+		// rotation allowed to proceed it would reopen a fresh segment after
+		// Journal.Close, leaking an open file past process teardown.
+		return fmt.Errorf("store: journal is closed")
+	}
 	if err := sh.closeSegmentLocked(); err != nil {
 		return err
 	}
@@ -388,12 +395,15 @@ func (j *Journal) Run(ctx context.Context) {
 }
 
 // Close flushes, fsyncs, and closes every shard. The journal must not
-// be appended to afterwards.
+// be appended to afterwards: the closed flag makes any straggling
+// append, rotation, or in-flight compaction fail cleanly instead of
+// writing into (or reopening) a segment behind the shutdown.
 func (j *Journal) Close() error {
 	var firstErr error
 	for _, sh := range j.shards {
 		sh.syncMu.Lock()
 		sh.mu.Lock()
+		sh.closed = true
 		if err := sh.closeSegmentLocked(); err != nil && firstErr == nil {
 			firstErr = err
 		}

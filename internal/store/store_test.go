@@ -531,3 +531,35 @@ func TestRecoveryIsFileOrderIndependent(t *testing.T) {
 		}
 	})
 }
+
+// TestClosedJournalRejectsCompaction: a compaction still in flight when
+// Close runs must fail cleanly — before the closed flag, snapshotShard's
+// rotation would reopen a fresh WAL segment after shutdown, leaking an
+// open file past process teardown.
+func TestClosedJournalRejectsCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, func(c *Config) { c.Shards = 1 })
+	writeSession(t, j, "dev-a", 100, 2)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := listShardFiles(filepath.Join(dir, shardDirName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(func(int) []SessionSnapshot { return nil }); err == nil {
+		t.Fatal("Compact after Close succeeded; want journal-closed error")
+	}
+	if err := j.Append(ev(EvSteps, "dev-a", 100, 4)); err == nil {
+		t.Fatal("Append after Close succeeded; want journal-closed error")
+	}
+	after, err := listShardFiles(filepath.Join(dir, shardDirName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.wals) != len(before.wals) || len(after.snaps) != len(before.snaps) {
+		t.Fatalf("shard files changed after Close: %d->%d wals, %d->%d snaps",
+			len(before.wals), len(after.wals), len(before.snaps), len(after.snaps))
+	}
+}
