@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Static-analysis gate: the same checks CI's lint job runs, runnable
+# locally before a push. Ordered cheapest-first so the common failure
+# (an unformatted file) costs seconds, not a full type-check.
+#
+#   gofmt        formatting (whole tree, fixtures included)
+#   go vet       the stock toolchain analyzers
+#   noble-vet    the repo's own invariant suite (internal/vetrules) —
+#                must be clean on the tree AND must still refuse the
+#                three reconstructed historical bugs, so a broken
+#                analyzer cannot silently pass everything
+#   staticcheck  bug-finding (SA*) + simplification/style per
+#                staticcheck.conf — skipped with a notice if the binary
+#                is not installed (CI always has it)
+#   govulncheck  known-vuln scan over the call graph — likewise
+#                optional locally, required in CI
+#
+# Usage: ci/lint.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+    echo "gofmt needed on:"
+    echo "$out"
+    fail=1
+fi
+
+echo "== go vet"
+go vet ./... || fail=1
+
+echo "== noble-vet (internal/vetrules invariant suite)"
+mkdir -p build
+go build -o build/noble-vet ./cmd/noble-vet
+if ! build/noble-vet ./...; then
+    echo "noble-vet found violations (see docs/LINT.md for the rules and the //vet:ignore syntax)"
+    fail=1
+fi
+
+# Self-test: each reconstructed historical bug must still trip the
+# suite. Exit code 1 is "findings reported" — anything else (0 = the
+# analyzer rotted, 2 = the fixture no longer loads) is a failure.
+for fixture in journalock/regress closedflag/regress readonlyinfer/regress; do
+    dir="internal/vetrules/testdata/src/$fixture"
+    set +e
+    build/noble-vet "$dir" >/dev/null 2>&1
+    rc=$?
+    set -e
+    if [ "$rc" -ne 1 ]; then
+        echo "noble-vet self-test: $fixture exited $rc, want 1 (the reconstructed bug must keep tripping the suite)"
+        fail=1
+    fi
+done
+
+echo "== staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./... || fail=1
+else
+    echo "   staticcheck not installed; skipping (CI runs it — go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"
+fi
+
+echo "== govulncheck"
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./... || fail=1
+else
+    echo "   govulncheck not installed; skipping (CI runs it — go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: lint"
+    exit 1
+fi
+echo "PASS: lint"

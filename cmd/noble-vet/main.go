@@ -1,0 +1,85 @@
+// Command noble-vet runs the repo's custom invariant analyzers (see
+// internal/vetrules and docs/LINT.md) over Go packages.
+//
+// Usage:
+//
+//	noble-vet [-list] [packages or fixture dirs]
+//
+// Arguments are normally package patterns handed to `go list` (the CI
+// gate runs `noble-vet ./...`). An argument that names a directory
+// under a testdata/src tree is loaded as an analysistest fixture
+// package instead — that is how CI asserts the historical-bug
+// regression fixtures still trip their analyzers.
+//
+// Exit status: 0 for a clean tree, 1 when findings were reported, 2
+// when analysis itself failed (load or type-check error).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noble/internal/vetrules"
+	"noble/internal/vetrules/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: noble-vet [-list] [packages or fixture dirs]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := vetrules.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	var patterns []string
+	var pkgs []*analysis.Package
+	for _, arg := range args {
+		if srcRoot, pkgPath, ok := analysis.SplitFixtureDir(arg); ok {
+			if st, err := os.Stat(arg); err == nil && st.IsDir() {
+				pkg, err := analysis.LoadFixture(srcRoot, pkgPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "noble-vet: loading fixture %s: %v\n", arg, err)
+					os.Exit(2)
+				}
+				pkgs = append(pkgs, pkg)
+				continue
+			}
+		}
+		patterns = append(patterns, arg)
+	}
+	if len(patterns) > 0 {
+		loaded, err := analysis.LoadPatterns(patterns...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "noble-vet: %v\n", err)
+			os.Exit(2)
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	findings, err := analysis.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "noble-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "noble-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -196,6 +196,8 @@ func failBodyError(w http.ResponseWriter, err error, format string, args ...any)
 // decodeStrict decodes a size-capped JSON request body into v, rejecting
 // trailing garbage, and writes the error response itself on failure: an
 // oversized body is 413, anything else malformed is 400.
+//
+//vet:strictdecode-impl
 func decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(v); err != nil {
@@ -211,8 +213,10 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	dec := obs.Begin(r.Context(), obs.StageDecode)
+	//vet:ignore strictdecode -- localize fast path: the body is read whole for the hand-rolled fastjson parser; MaxBytesReader keeps the 413 cap and bodyError keeps the typed mapping (pinned by the golden-file tests)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		dec.End()
 		failBodyError(w, err, "reading request: %v", err)
 		return
 	}
@@ -220,6 +224,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	if !parseLocalizeRequest(body, &req) {
 		req = LocalizeRequest{}
 		if err := json.Unmarshal(body, &req); err != nil {
+			dec.End()
 			fail(w, http.StatusBadRequest, "decoding request: %v", err)
 			return
 		}
@@ -250,6 +255,7 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	dec := obs.Begin(r.Context(), obs.StageDecode)
 	var req TrackRequest
 	if !decodeStrict(w, r, &req) {
+		dec.End()
 		return
 	}
 	dec.End()

@@ -113,6 +113,7 @@ func (s *Server) handleSessionSegments(w http.ResponseWriter, r *http.Request) {
 	dec := obs.Begin(r.Context(), obs.StageDecode)
 	var req SessionSegmentsRequest
 	if !decodeStrict(w, r, &req) {
+		dec.End()
 		return
 	}
 	dec.End()

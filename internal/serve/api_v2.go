@@ -69,6 +69,8 @@ func bodyError(err error, format string, args ...any) *Error {
 
 // decodeStrictV2 decodes a size-capped JSON body into v, rejecting
 // trailing garbage, returning the typed error instead of writing it.
+//
+//vet:strictdecode-impl
 func decodeStrictV2(w http.ResponseWriter, r *http.Request, v any) *Error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(v); err != nil {
@@ -142,8 +144,10 @@ func (s *Server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
 	// hand-rolled parser/encoder (fastjson.go) carries the fleet load,
 	// with encoding/json as the behavior-defining fallback.
 	dec := obs.Begin(r.Context(), obs.StageDecode)
+	//vet:ignore strictdecode -- localize fast path: the body is read whole for the hand-rolled fastjson parser; MaxBytesReader keeps the 413 cap and bodyError keeps the typed mapping (pinned by the golden-file tests)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		dec.End()
 		writeEnvelope(w, reqID, bodyError(err, "reading request: %v", err))
 		return
 	}
@@ -151,6 +155,7 @@ func (s *Server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
 	if !parseLocalizeRequestV2(body, &req) {
 		req = localizeRequestV2{}
 		if err := json.Unmarshal(body, &req); err != nil {
+			dec.End()
 			writeEnvelope(w, reqID, errf(CodeBadBody, http.StatusBadRequest, "decoding request: %v", err))
 			return
 		}
@@ -197,6 +202,7 @@ func (s *Server) handleTrackV2(w http.ResponseWriter, r *http.Request) {
 	dec := obs.Begin(r.Context(), obs.StageDecode)
 	var req trackRequestV2
 	if e := decodeStrictV2(w, r, &req); e != nil {
+		dec.End()
 		writeEnvelope(w, reqID, e)
 		return
 	}
@@ -280,6 +286,7 @@ func (s *Server) handleSessionSegmentsV2(w http.ResponseWriter, r *http.Request)
 	dec := obs.Begin(r.Context(), obs.StageDecode)
 	var req sessionSegmentsRequestV2
 	if e := decodeStrictV2(w, r, &req); e != nil {
+		dec.End()
 		writeEnvelope(w, reqID, e)
 		return
 	}

@@ -79,6 +79,7 @@ func NewEngine(cfg Config) *Engine {
 		// Durability rides the next interval sync — an eviction is not a
 		// client-visible acknowledgement, so it never forces an fsync.
 		e.sessions.SetOnEvict(func(s *session.Session) {
+			//vet:ignore journalock -- eviction runs after MarkGone under the sweeper's lock hold: the tombstone makes the sweeper the session's sole writer, so no append can race this close record
 			e.journalClose(context.Background(), s, true)
 		})
 	}

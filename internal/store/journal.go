@@ -282,6 +282,12 @@ func (sh *walShard) closeSegmentLocked() error {
 
 // openSegment creates wal-<seq> and writes the file magic.
 func (sh *walShard) openSegment() error {
+	if sh.closed {
+		// Defense in depth behind rotateLocked's guard: no path may
+		// re-materialise segment files after Close (the PR-6 compaction
+		// resurrection bug), including any future caller added here.
+		return fmt.Errorf("store: journal is closed")
+	}
 	path := filepath.Join(sh.dir, walFileName(sh.seq))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
@@ -496,30 +502,7 @@ func (j *Journal) snapshotShard(sh *walShard, collect func(shard int) []SessionS
 	snaps := collect(sh.idx)
 	final := filepath.Join(sh.dir, snapFileName(boundary))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return 0, err
-	}
-	w := bufio.NewWriterSize(f, 64<<10)
-	if _, err := w.WriteString(snapMagic); err != nil {
-		f.Close()
-		return 0, err
-	}
-	for i := range snaps {
-		if _, err := w.Write(frame(nil, encodeSnapshot(&snaps[i]))); err != nil {
-			f.Close()
-			return 0, err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return 0, err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return 0, err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeSnapshotFile(tmp, snaps); err != nil {
 		return 0, err
 	}
 	if err := os.Rename(tmp, final); err != nil {
@@ -528,6 +511,38 @@ func (j *Journal) snapshotShard(sh *walShard, collect func(shard int) []SessionS
 	syncDir(sh.dir)
 	j.snapshots.Add(1)
 	return boundary, nil
+}
+
+// writeSnapshotFile writes one complete snapshot file: magic, a framed
+// record per session, flushed, fsynced, closed. The Close error is
+// propagated on every path — a close can be the first place write-back
+// failure surfaces, and swallowing it would let the caller rename a
+// snapshot whose buffered bytes never reached disk and then prune the
+// WAL segments that held the only durable copy.
+func writeSnapshotFile(path string, snaps []SessionSnapshot) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 64<<10)
+	err = func() error {
+		if _, err := w.WriteString(snapMagic); err != nil {
+			return err
+		}
+		for i := range snaps {
+			if _, err := w.Write(frame(nil, encodeSnapshot(&snaps[i]))); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // prune removes the files a snapshot at the given boundary supersedes.

@@ -185,6 +185,11 @@ type SessionSnapshot struct {
 // The framing (length + CRC) lives in frame/readFrame; everything below
 // is payload layout.
 
+// enc accumulates one record payload. Payloads built here never reach
+// disk directly: every caller hands the finished buffer to frame(),
+// which prefixes the length and the CRC that covers it.
+//
+//vet:walframe-codec
 type enc struct{ b []byte }
 
 func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }

@@ -1,0 +1,110 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis driver surface: an Analyzer owns a
+// Run function, a Pass hands it one type-checked package, and findings
+// flow out as Diagnostics. The shapes intentionally mirror x/tools so
+// the analyzers in internal/vetrules port verbatim to the upstream
+// framework if the module ever grows that dependency; until then the
+// repo stays buildable offline with only the standard library.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name is the identifier used in
+// findings and in //vet:ignore suppression comments; Doc is the
+// one-paragraph contract shown by `noble-vet -list`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's worth of syntax and type information into
+// an Analyzer's Run function. Report appends a Diagnostic; analyzers
+// must not retain the Pass past Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// WithStack walks every node under each file and invokes fn with the
+// node plus the stack of ancestors (outermost first, n last). Returning
+// false from fn prunes the subtree below n.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Funcs invokes fn once per function body in the files: every FuncDecl
+// with a body and every FuncLit. decl is the innermost enclosing
+// FuncDecl (nil only for a FuncLit outside any declaration, e.g. a
+// package-level var initializer); fun is the owning node itself, either
+// an *ast.FuncDecl or an *ast.FuncLit.
+func Funcs(files []*ast.File, fn func(decl *ast.FuncDecl, fun ast.Node, body *ast.BlockStmt)) {
+	WithStack(files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n, n, n.Body)
+			}
+		case *ast.FuncLit:
+			var decl *ast.FuncDecl
+			for i := len(stack) - 1; i >= 0; i-- {
+				if d, ok := stack[i].(*ast.FuncDecl); ok {
+					decl = d
+					break
+				}
+			}
+			fn(decl, n, n.Body)
+		}
+		return true
+	})
+}
+
+// WalkShallow walks the statements and expressions of body without
+// descending into nested function literals. Use it when ownership
+// matters: a `return` inside a closure is the closure's return, not the
+// enclosing function's.
+func WalkShallow(body *ast.BlockStmt, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package ready to be
+// handed to analyzers.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Sources map[string][]byte // filename -> raw bytes, for directive scanning
+	Types   *types.Package
+	Info    *types.Info
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// goListPkg is the subset of `go list -json` output the loader needs.
+type goListPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// LoadPatterns expands Go package patterns (./..., a dir, an import
+// path) via `go list` and returns each matched package parsed and
+// type-checked. Test files are excluded: the invariants noble-vet
+// encodes govern production code, and test call sites routinely violate
+// them on purpose (e.g. provoking a closed journal).
+//
+// All packages share one FileSet and one source importer so dependency
+// type-checking work is reused across packages.
+func LoadPatterns(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var metas []goListPkg
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p goListPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if len(p.GoFiles) > 0 {
+			metas = append(metas, p)
+		}
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ImportPath < metas[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, m := range metas {
+		pkg, err := checkDir(fset, imp, m.Dir, m.ImportPath, m.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkDir parses the named files in dir and type-checks them as one
+// package using imp for imports.
+func checkDir(fset *token.FileSet, imp types.Importer, dir, pkgPath string, goFiles []string) (*Package, error) {
+	pkg := &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Sources: map[string][]byte{},
+		Info:    newInfo(),
+	}
+	for _, name := range goFiles {
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		pkg.Sources[path] = src
+		pkg.Files = append(pkg.Files, f)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, pkg.Files, pkg.Info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("type-checking %s:\n  %s", pkgPath, strings.Join(msgs, "\n  "))
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// fixtureImporter resolves imports for analysistest-style fixture trees
+// rooted at a GOPATH-shaped src directory: an import path that exists
+// as a directory under srcRoot is loaded from source there; anything
+// else falls through to the standard library source importer.
+type fixtureImporter struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     types.Importer
+	cache   map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(fi.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := checkFixtureDir(fi, dir, path)
+		if err != nil {
+			return nil, err
+		}
+		fi.cache[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return fi.std.Import(path)
+}
+
+func checkFixtureDir(fi *fixtureImporter, dir, pkgPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", pkgPath, dir)
+	}
+	sort.Strings(goFiles)
+	return checkDir(fi.fset, fi, dir, pkgPath, goFiles)
+}
+
+// LoadFixture loads the fixture package at import path pkgPath under a
+// GOPATH-style srcRoot (conventionally internal/vetrules/testdata/src).
+// Fixture packages may import sibling fixture packages and the standard
+// library.
+func LoadFixture(srcRoot, pkgPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	fi := &fixtureImporter{
+		srcRoot: srcRoot,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*types.Package{},
+	}
+	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+	return checkFixtureDir(fi, dir, pkgPath)
+}
+
+// SplitFixtureDir recognises a filesystem path that points inside an
+// analysistest fixture tree (".../testdata/src/<pkg>") and splits it
+// into the src root and the fixture's import path. ok is false when the
+// path has no testdata/src component.
+func SplitFixtureDir(dir string) (srcRoot, pkgPath string, ok bool) {
+	clean := filepath.Clean(dir)
+	marker := filepath.Join("testdata", "src") + string(filepath.Separator)
+	i := strings.Index(clean, marker)
+	if i < 0 {
+		return "", "", false
+	}
+	srcRoot = clean[:i+len(marker)-1]
+	pkgPath = filepath.ToSlash(clean[i+len(marker):])
+	if pkgPath == "" {
+		return "", "", false
+	}
+	return srcRoot, pkgPath, true
+}

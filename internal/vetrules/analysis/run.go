@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic after suppression filtering, resolved to a
+// concrete file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// ignoreEntry is one parsed //vet:ignore directive.
+type ignoreEntry struct {
+	analyzers []string
+	file      string
+	line      int // the line the directive suppresses
+	pos       token.Position
+	used      bool
+}
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//vet:ignore journalock -- sweeper is the session's sole writer here
+//
+// The directive names one or more analyzers (comma-separated) and MUST
+// carry a justification after " -- ". Written on its own line it
+// suppresses findings on the line below; written at the end of a code
+// line it suppresses findings on that line.
+const ignorePrefix = "//vet:ignore"
+
+// IgnoreAnalyzerName attributes findings about the suppression
+// directives themselves (malformed syntax, unused suppressions).
+const IgnoreAnalyzerName = "vetignore"
+
+// parseIgnores scans a package's comments for //vet:ignore directives.
+// Malformed directives (no justification) are returned as findings.
+func parseIgnores(pkg *Package) ([]*ignoreEntry, []Finding) {
+	var entries []*ignoreEntry
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				names, reason, found := strings.Cut(rest, " -- ")
+				if !found || strings.TrimSpace(reason) == "" || strings.TrimSpace(names) == "" {
+					bad = append(bad, Finding{
+						Analyzer: IgnoreAnalyzerName,
+						Pos:      pos,
+						Message:  "malformed //vet:ignore: want `//vet:ignore <analyzer>[,<analyzer>] -- <justification>`",
+					})
+					continue
+				}
+				e := &ignoreEntry{file: pos.Filename, line: pos.Line, pos: pos}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						e.analyzers = append(e.analyzers, n)
+					}
+				}
+				if standaloneComment(pkg.Sources[pos.Filename], pos) {
+					e.line = pos.Line + 1
+				}
+				entries = append(entries, e)
+			}
+		}
+	}
+	return entries, bad
+}
+
+// standaloneComment reports whether the comment at pos is the first
+// non-whitespace token on its line; such directives apply to the line
+// below rather than their own.
+func standaloneComment(src []byte, pos token.Position) bool {
+	if src == nil {
+		return true
+	}
+	lineStart := pos.Offset - (pos.Column - 1)
+	if lineStart < 0 || pos.Offset > len(src) {
+		return true
+	}
+	return strings.TrimSpace(string(src[lineStart:pos.Offset])) == ""
+}
+
+// RunAnalyzers runs each analyzer over each package, applies
+// //vet:ignore suppression, and returns the surviving findings sorted
+// by position. Suppressions that name an analyzer that ran but did not
+// fire on the suppressed line are themselves reported: stale ignores
+// hide nothing and must be deleted.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range pkgs {
+		ignores, bad := parseIgnores(pkg)
+		all = append(all, bad...)
+		ran := map[string]bool{}
+		for _, a := range analyzers {
+			ran[a.Name] = true
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			var diags []Diagnostic
+			pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		diagLoop:
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				for _, ig := range ignores {
+					if ig.file == pos.Filename && ig.line == pos.Line && contains(ig.analyzers, a.Name) {
+						ig.used = true
+						continue diagLoop
+					}
+				}
+				all = append(all, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+		for _, ig := range ignores {
+			if ig.used {
+				continue
+			}
+			covered := true
+			for _, n := range ig.analyzers {
+				if !ran[n] {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				all = append(all, Finding{
+					Analyzer: IgnoreAnalyzerName,
+					Pos:      ig.pos,
+					Message: fmt.Sprintf("unused //vet:ignore %s: no suppressed finding on line %d",
+						strings.Join(ig.analyzers, ","), ig.line),
+				})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

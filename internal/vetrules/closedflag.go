@@ -1,0 +1,200 @@
+package vetrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"noble/internal/vetrules/analysis"
+)
+
+// Closedflag enforces the lifecycle contract PR-6 repaired: once a type
+// carries a closed/draining guard field, every method that can
+// re-materialise live resources (assigning a non-nil pointer, handle,
+// or callback into the receiver) must consult the guard first. The
+// motivating bug: walShard.openSegment reopened segment files when a
+// compaction raced Close, resurrecting a closed journal.
+//
+// The rule: for each struct with a bool (or atomic.Bool) field named
+// "closed" or "draining", any method that assigns a non-nil value to a
+// receiver field of pointer, interface, chan, or func type must read
+// the guard field earlier in the method body. Assigning nil (teardown)
+// and assigning the guard itself are exempt.
+var Closedflag = &analysis.Analyzer{
+	Name: "closedflag",
+	Doc: "types with a closed/draining guard field must check the guard before any method " +
+		"re-materialises live state (non-nil assignment to a pointer/interface/chan/func field)",
+	Run: runClosedflag,
+}
+
+func runClosedflag(pass *analysis.Pass) error {
+	guards := guardedStructs(pass.Pkg)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || decl.Recv == nil {
+				continue
+			}
+			tname := recvTypeName(decl)
+			guard, ok := guards[tname]
+			if !ok {
+				continue
+			}
+			checkClosedflagMethod(pass, decl, tname, guard)
+		}
+	}
+	return nil
+}
+
+// guardedStructs maps the names of package-level struct types that
+// declare a guard field to that field's name.
+func guardedStructs(pkg *types.Package) map[string]string {
+	out := map[string]string{}
+	if pkg == nil {
+		return out
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if fld.Name() != "closed" && fld.Name() != "draining" {
+				continue
+			}
+			if isBoolGuard(fld.Type()) {
+				out[name] = fld.Name()
+				break
+			}
+		}
+	}
+	return out
+}
+
+func isBoolGuard(t types.Type) bool {
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+		return true
+	}
+	return baseTypeName(t) == "Bool" // sync/atomic.Bool
+}
+
+func runtimeHandleType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func checkClosedflagMethod(pass *analysis.Pass, decl *ast.FuncDecl, tname, guard string) {
+	recvVar := receiverVar(pass.TypesInfo, decl)
+	if recvVar == nil {
+		return
+	}
+
+	// Guard reads: any appearance of recv.<guard> that is not the
+	// direct target of an assignment. recv.closed.Load() counts.
+	var guardReads []token.Pos
+	type write struct {
+		pos   token.Pos
+		field string
+	}
+	var writes []write
+
+	assignTargets := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || !isReceiverSelector(pass.TypesInfo, sel, recvVar) {
+				continue
+			}
+			assignTargets[sel] = true
+			fld := sel.Sel.Name
+			if fld == guard {
+				continue
+			}
+			ft := pass.TypesInfo.TypeOf(sel)
+			if ft == nil || !runtimeHandleType(ft) {
+				continue
+			}
+			if rhs := pairedRHS(as, i); rhs != nil && isNilExpr(pass.TypesInfo, rhs) {
+				continue
+			}
+			writes = append(writes, write{sel.Pos(), fld})
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == guard && isReceiverSelector(pass.TypesInfo, sel, recvVar) && !assignTargets[sel] {
+			guardReads = append(guardReads, sel.Pos())
+		}
+		return true
+	})
+
+	for _, w := range writes {
+		checked := false
+		for _, g := range guardReads {
+			if g < w.pos {
+				checked = true
+				break
+			}
+		}
+		if !checked {
+			pass.Reportf(w.pos,
+				"%s.%s assigns %s.%s without first checking the %q guard: a call racing Close/drain "+
+					"could resurrect closed state",
+				tname, decl.Name.Name, recvVar.Name(), w.field, guard)
+		}
+	}
+}
+
+// receiverVar resolves the method receiver's *types.Var (nil for
+// unnamed/blank receivers).
+func receiverVar(info *types.Info, decl *ast.FuncDecl) *types.Var {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[decl.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// isReceiverSelector reports whether sel is recv.<field> for the given
+// receiver variable (directly, or through a closure capture).
+func isReceiverSelector(info *types.Info, sel *ast.SelectorExpr, recv *types.Var) bool {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return info.Uses[id] == recv
+}
+
+// pairedRHS returns the RHS expression assigned to LHS index i, or nil
+// when the assignment shapes don't pair one-to-one (multi-value call).
+func pairedRHS(as *ast.AssignStmt, i int) ast.Expr {
+	if len(as.Lhs) == len(as.Rhs) {
+		return as.Rhs[i]
+	}
+	return nil
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}

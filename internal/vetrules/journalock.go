@@ -1,0 +1,115 @@
+package vetrules
+
+import (
+	"go/ast"
+	"go/token"
+
+	"noble/internal/vetrules/analysis"
+)
+
+// journalSinks are the calls that append to the durable session
+// journal: the engine's journaling helpers plus Journal.Append itself.
+var journalSinks = map[string]bool{
+	"journalAppend":   true,
+	"journalSteps":    true,
+	"journalReAnchor": true,
+	"journalClose":    true,
+}
+
+// journalLockConvention is the doc-comment phrase that licenses a
+// function to journal without taking the lock itself: the caller
+// guarantees it. The convention predates this analyzer (see
+// internal/serve/persist.go) — the analyzer just makes it checkable.
+const journalLockConvention = "Caller holds the session lock"
+
+// Journalock enforces the PR-4 durability contract that PR-5's seq-1
+// bug violated: every journal append for a session must happen while
+// that session's lock is held, so the per-session seq order on disk
+// matches commit order and fsync=always covers the record before any
+// racing append observes the session. A sink call is accepted when a
+// Session.Lock()/TryLock() call precedes it in the same function
+// (closures included — the create path locks inside the store-init
+// closure), when the enclosing function documents the
+// "Caller holds the session lock" convention, or when the enclosing
+// function is itself one of the journaling helpers.
+var Journalock = &analysis.Analyzer{
+	Name: "journalock",
+	Doc: "journal appends (Journal.Append, journalAppend/journalSteps/journalReAnchor/journalClose) " +
+		"must be dominated by the owning session's Lock() in the same function, or carry the " +
+		"documented caller-holds-lock convention",
+	Run: runJournalock,
+}
+
+func runJournalock(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			checkJournalockFunc(pass, decl)
+		}
+	}
+	return nil
+}
+
+func checkJournalockFunc(pass *analysis.Pass, decl *ast.FuncDecl) {
+	if journalSinks[decl.Name.Name] {
+		// The helpers themselves are the documented lock boundary;
+		// their internal Journal.Append calls inherit the convention.
+		return
+	}
+	if decl.Name.Name == "Append" && recvTypeName(decl) == "Journal" {
+		return
+	}
+	if docContains(decl.Doc, journalLockConvention) {
+		return
+	}
+
+	var lockPositions []token.Pos
+	type sink struct {
+		pos  token.Pos
+		name string
+	}
+	var sinks []sink
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "TryLock":
+			if exprTypeName(pass.TypesInfo, sel.X) == "Session" {
+				lockPositions = append(lockPositions, call.Pos())
+			}
+		case "journalAppend", "journalSteps", "journalReAnchor", "journalClose":
+			sinks = append(sinks, sink{call.Pos(), sel.Sel.Name})
+		case "Append":
+			if exprTypeName(pass.TypesInfo, sel.X) == "Journal" {
+				sinks = append(sinks, sink{call.Pos(), "Journal.Append"})
+			}
+		}
+		return true
+	})
+
+	for _, s := range sinks {
+		dominated := false
+		for _, lp := range lockPositions {
+			if lp < s.pos {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			pass.Reportf(s.pos,
+				"%s without a preceding Session.Lock in %s: journal appends must happen under the session lock "+
+					"(or document the %q convention)",
+				s.name, decl.Name.Name, journalLockConvention)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package vetrules
+
+import (
+	"go/ast"
+	"go/token"
+
+	"noble/internal/vetrules/analysis"
+)
+
+// Readonlyinfer enforces the rule PR-2's BlockDense race taught us:
+// inference paths are read-only. Model layers run concurrently for many
+// requests over shared weights; a Forward that caches activations
+// outside the training guard corrupts a neighbouring request's pass.
+//
+// Two checks:
+//
+//  1. In a method named Forward with a bool parameter named "train",
+//     every write to a receiver field must be training-gated: inside an
+//     `if` whose condition mentions train, or after an early
+//     `if !train { ... return }`.
+//
+//  2. Methods whose name starts with "Predict" (the public inference
+//     entry points) must not write receiver fields at all.
+var Readonlyinfer = &analysis.Analyzer{
+	Name: "readonlyinfer",
+	Doc: "inference paths are read-only: Forward(train=false) and Predict* methods must not " +
+		"write receiver state outside a train guard",
+	Run: runReadonlyinfer,
+}
+
+func runReadonlyinfer(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || decl.Recv == nil {
+				continue
+			}
+			switch {
+			case decl.Name.Name == "Forward" && hasBoolParamNamed(decl, "train"):
+				checkForwardWrites(pass, decl)
+			case len(decl.Name.Name) > len("Predict") && decl.Name.Name[:len("Predict")] == "Predict":
+				checkPredictWrites(pass, decl)
+			}
+		}
+	}
+	return nil
+}
+
+func hasBoolParamNamed(decl *ast.FuncDecl, want string) bool {
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == want {
+				if id, ok := field.Type.(*ast.Ident); ok && id.Name == "bool" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// receiverWrites collects assignments (and ++/--) whose target is
+// rooted at the method receiver: recv.f, recv.f[i], recv.f.g, ...
+func receiverWrites(pass *analysis.Pass, decl *ast.FuncDecl) []ast.Node {
+	recv := receiverVar(pass.TypesInfo, decl)
+	if recv == nil {
+		return nil
+	}
+	rooted := func(e ast.Expr) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.Ident:
+				return pass.TypesInfo.Uses[x] == recv
+			default:
+				return false
+			}
+		}
+	}
+	var writes []ast.Node
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				// A plain ident LHS (even the receiver itself) only
+				// rebinds a local; selectors/indexes rooted at the
+				// receiver mutate shared state.
+				if _, plain := ast.Unparen(lhs).(*ast.Ident); plain {
+					continue
+				}
+				if rooted(lhs) {
+					writes = append(writes, lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if rooted(n.X) {
+				writes = append(writes, n.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+func checkForwardWrites(pass *analysis.Pass, decl *ast.FuncDecl) {
+	writes := receiverWrites(pass, decl)
+	if len(writes) == 0 {
+		return
+	}
+
+	// Gate style A: enclosing `if <cond mentions train>`.
+	// Gate style B: an earlier `if <cond mentions !train> { ...; return }`.
+	var earlyReturnEnds []token.Pos
+	type guardRange struct{ lo, hi token.Pos }
+	var guards []guardRange
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !mentionsIdent(ifs.Cond, "train") {
+			return true
+		}
+		guards = append(guards, guardRange{ifs.Pos(), ifs.End()})
+		if endsInReturn(ifs.Body) {
+			earlyReturnEnds = append(earlyReturnEnds, ifs.End())
+		}
+		return true
+	})
+
+	for _, w := range writes {
+		gated := false
+		for _, g := range guards {
+			if g.lo <= w.Pos() && w.End() <= g.hi {
+				gated = true
+				break
+			}
+		}
+		if !gated {
+			for _, e := range earlyReturnEnds {
+				if e <= w.Pos() {
+					gated = true
+					break
+				}
+			}
+		}
+		if !gated {
+			pass.Reportf(w.Pos(),
+				"receiver write in Forward outside a train guard: inference runs concurrently over "+
+					"shared layers, so ungated writes race (the BlockDense bug) — gate with `if train` "+
+					"or an early `if !train { return }`",
+			)
+		}
+	}
+}
+
+func checkPredictWrites(pass *analysis.Pass, decl *ast.FuncDecl) {
+	for _, w := range receiverWrites(pass, decl) {
+		pass.Reportf(w.Pos(),
+			"receiver write in %s: Predict entry points are inference paths and must be read-only "+
+				"(concurrent requests share this receiver)",
+			decl.Name.Name)
+	}
+}
+
+func mentionsIdent(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BlockStmt:
+		return endsInReturn(last)
+	default:
+		return false
+	}
+}

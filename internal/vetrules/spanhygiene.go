@@ -1,0 +1,190 @@
+package vetrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"noble/internal/vetrules/analysis"
+)
+
+// Spanhygiene keeps the PR-6 tracing plane trustworthy. Two rules:
+//
+//  1. Every span opened with `x := obs.Begin(...)` must be ended on
+//     every return path of the function that opened it — either a
+//     `defer x.End()`, or an `x.End()` preceding each return. A leaked
+//     span skews the per-stage histograms silently (the stage simply
+//     never reports), which is exactly the failure mode a latency
+//     attribution plane exists to rule out.
+//
+//  2. Tracer APIs must not be fed context.Background()/context.TODO():
+//     a fresh context carries no trace, so the span silently detaches
+//     from the request that caused it. Pass the request context (or a
+//     context derived from it) instead.
+//
+// The package that implements the tracer (declares ActiveSpan) is
+// exempt — it manipulates spans structurally.
+var Spanhygiene = &analysis.Analyzer{
+	Name: "spanhygiene",
+	Doc: "obs spans must be ended on every return path, and tracer APIs must not be called " +
+		"with context.Background()/context.TODO()",
+	Run: runSpanhygiene,
+}
+
+// obsSpanAPIs are the obs entry points that attach to a trace carried
+// by their context argument.
+var obsSpanAPIs = map[string]bool{
+	"Begin":        true,
+	"AddSpan":      true,
+	"AddBatchSpan": true,
+	"With":         true,
+	"SetRequestID": true,
+}
+
+func runSpanhygiene(pass *analysis.Pass) error {
+	if declaresTypeNamed(pass, "ActiveSpan") {
+		return nil
+	}
+	checkBackgroundContexts(pass)
+	analysis.Funcs(pass.Files, func(decl *ast.FuncDecl, fun ast.Node, body *ast.BlockStmt) {
+		checkSpanEnds(pass, body)
+	})
+	return nil
+}
+
+func checkBackgroundContexts(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !obsSpanAPIs[sel.Sel.Name] || !isObsPkgSelector(pass, sel) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ac, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if isPkgCall(pass.TypesInfo, ac, "context", "Background") ||
+					isPkgCall(pass.TypesInfo, ac, "context", "TODO") {
+					pass.Reportf(arg.Pos(),
+						"obs.%s called with context.%s: a fresh context carries no trace, "+
+							"so this span detaches from its request — propagate the request context",
+						sel.Sel.Name, ast.Unparen(ac.Fun).(*ast.SelectorExpr).Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isObsPkgSelector reports whether sel.X names an imported package
+// called "obs".
+func isObsPkgSelector(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Name() == "obs"
+}
+
+// checkSpanEnds analyses one function body (closures are analysed
+// separately by Funcs; WalkShallow keeps their returns out of ours).
+func checkSpanEnds(pass *analysis.Pass, body *ast.BlockStmt) {
+	type span struct {
+		obj      any // *types.Var of the span variable
+		name     string
+		pos      token.Pos
+		deferred bool
+		ends     []token.Pos
+	}
+	var spans []*span
+	spanFor := func(e ast.Expr) *span {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return nil
+		}
+		for _, s := range spans {
+			if s.obj == any(obj) {
+				return s
+			}
+		}
+		return nil
+	}
+
+	var returns []token.Pos
+	analysis.WalkShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Begin" || !isObsPkgSelector(pass, sel) {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			spans = append(spans, &span{obj: obj, name: id.Name, pos: call.Pos()})
+		case *ast.DeferStmt:
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if s := spanFor(sel.X); s != nil {
+					s.deferred = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if s := spanFor(sel.X); s != nil {
+					s.ends = append(s.ends, n.Pos())
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		}
+		return true
+	})
+
+	for _, s := range spans {
+		if s.deferred {
+			continue
+		}
+		if len(s.ends) == 0 {
+			pass.Reportf(s.pos, "span %s from obs.Begin is never ended: the %s stage will never report", s.name, s.name)
+			continue
+		}
+		for _, r := range returns {
+			if r <= s.pos {
+				continue
+			}
+			ended := false
+			for _, e := range s.ends {
+				if e > s.pos && e <= r {
+					ended = true
+					break
+				}
+			}
+			if !ended {
+				pass.Reportf(r, "return leaks span %s opened at %s: end it on every return path (or defer %s.End())",
+					s.name, pass.Fset.Position(s.pos), s.name)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package vetrules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"noble/internal/vetrules/analysis"
+)
+
+// strictDecodeImplMarker blesses the one function per protocol version
+// that is allowed to touch the raw request body with a JSON decoder:
+// the shared strict decoder itself. Everything else goes through it.
+const strictDecodeImplMarker = "//vet:strictdecode-impl"
+
+// Strictdecode pins the request-decoding discipline PR-2/PR-3
+// established: handlers decode bodies through decodeStrict (size cap →
+// 413, trailing-garbage and unknown-field rejection → 400, typed error
+// envelope) and surface failures through the serve/errors.go code
+// table. A handler that reaches for json.NewDecoder(r.Body),
+// io.ReadAll(r.Body), fmt.Errorf, errors.New, or http.Error bypasses
+// the size caps and emits errors no client can dispatch on.
+//
+// "Handler" means any function with an http.ResponseWriter parameter.
+// The blessed decoder implementations carry //vet:strictdecode-impl in
+// their doc comment.
+var Strictdecode = &analysis.Analyzer{
+	Name: "strictdecode",
+	Doc: "HTTP handlers must decode request bodies via decodeStrict and map errors through the " +
+		"typed error table — no raw json.Decoder/io.ReadAll on r.Body, no fmt.Errorf/errors.New/http.Error",
+	Run: runStrictdecode,
+}
+
+func runStrictdecode(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			if !hasResponseWriterParam(pass.TypesInfo, decl) {
+				continue
+			}
+			if docHasDirective(decl.Doc, strictDecodeImplMarker) {
+				continue
+			}
+			checkStrictdecodeFunc(pass, decl)
+		}
+	}
+	return nil
+}
+
+func hasResponseWriterParam(info *types.Info, decl *ast.FuncDecl) bool {
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range decl.Type.Params.List {
+		if isNetHTTPType(info.TypeOf(field.Type), "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}
+
+func isNetHTTPType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+func checkStrictdecodeFunc(pass *analysis.Pass, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isPkgCall(pass.TypesInfo, call, "json", "NewDecoder") && len(call.Args) == 1 &&
+			mentionsRequestBody(pass.TypesInfo, call.Args[0]):
+			pass.Reportf(call.Pos(),
+				"handler %s decodes the request body with a raw json.Decoder: use decodeStrict "+
+					"(size cap, unknown-field and trailing-garbage rejection, typed errors)",
+				decl.Name.Name)
+		case isPkgCall(pass.TypesInfo, call, "io", "ReadAll") && len(call.Args) == 1 &&
+			mentionsRequestBody(pass.TypesInfo, call.Args[0]):
+			pass.Reportf(call.Pos(),
+				"handler %s reads the raw request body: use decodeStrict, or justify the "+
+					"fast path with //vet:ignore strictdecode",
+				decl.Name.Name)
+		case isPkgCall(pass.TypesInfo, call, "fmt", "Errorf"),
+			isPkgCall(pass.TypesInfo, call, "errors", "New"):
+			pass.Reportf(call.Pos(),
+				"handler %s constructs an untyped error: map failures through the serve/errors.go "+
+					"code table (errf/AsError) so clients get a machine-readable code",
+				decl.Name.Name)
+		case isPkgCall(pass.TypesInfo, call, "http", "Error"):
+			pass.Reportf(call.Pos(),
+				"handler %s writes a plain-text http.Error: respond with the typed JSON error "+
+					"envelope (fail/failEngine)",
+				decl.Name.Name)
+		}
+		return true
+	})
+}
+
+// mentionsRequestBody reports whether the expression tree contains a
+// selector <expr>.Body where <expr> is an *http.Request.
+func mentionsRequestBody(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Body" {
+			return true
+		}
+		if isNetHTTPType(info.TypeOf(sel.X), "Request") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,204 @@
+package vetrules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"noble/internal/vetrules/analysis"
+)
+
+// Syncclose closes the durability gap the ISSUE-7 audit found in the
+// snapshot write path: on files opened for writing, a discarded
+// Close()/Sync() error can silently drop buffered bytes — the write
+// succeeded, the fsync or final flush did not, and nobody noticed. In
+// a WAL/snapshot layer that is data loss, not style.
+//
+// Scope: packages that declare a file magic (the durability layer and
+// its fixtures). Within a function, any variable bound from os.Create
+// or a writable os.OpenFile is tracked; a bare `f.Close()`, `f.Sync()`,
+// `defer f.Close()`, or `_ = f.Close()` on it is a finding — unless a
+// *checked* Close of the same file appears later in the function, which
+// licenses the usual deferred-double-close backstop pattern. Read-only
+// opens (os.Open) are exempt: their Close can fail without losing data.
+var Syncclose = &analysis.Analyzer{
+	Name: "syncclose",
+	Doc: "in the durability layer, Close/Sync errors on files opened for writing must be " +
+		"checked and propagated — a failed close can drop buffered bytes",
+	Run: runSyncclose,
+}
+
+func runSyncclose(pass *analysis.Pass) error {
+	if len(magicConsts(pass)) == 0 {
+		return nil // not a durability package
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			checkSynccloseFunc(pass, decl)
+		}
+	}
+	return nil
+}
+
+// closeUse is one Close/Sync call on a tracked file, classified by how
+// its result is consumed.
+type closeUse struct {
+	call    *ast.CallExpr
+	obj     types.Object
+	method  string // "Close" or "Sync"
+	discard string // "" when the error is checked, else the discard form
+}
+
+func checkSynccloseFunc(pass *analysis.Pass, decl *ast.FuncDecl) {
+	// Variables bound from writable opens in this function.
+	writable := map[types.Object]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isWritableOpen(pass.TypesInfo, call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				writable[obj] = true
+			}
+		}
+		return true
+	})
+	if len(writable) == 0 {
+		return
+	}
+
+	trackedCall := func(call *ast.CallExpr) (types.Object, string) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+			return nil, ""
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return nil, ""
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || !writable[obj] {
+			return nil, ""
+		}
+		return obj, sel.Sel.Name
+	}
+
+	// Classify every tracked Close/Sync by its immediate parent node.
+	var uses []closeUse
+	var stack []ast.Node
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj, method := trackedCall(call)
+		if obj == nil {
+			return true
+		}
+		form := ""
+		if len(stack) >= 2 {
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.ExprStmt:
+				form = "statement"
+			case *ast.DeferStmt:
+				form = "defer"
+			case *ast.GoStmt:
+				form = "go statement"
+			case *ast.AssignStmt:
+				if blankOnly(parent.Lhs) {
+					form = "blank assignment"
+				}
+			}
+		}
+		uses = append(uses, closeUse{call, obj, method, form})
+		return true
+	})
+
+	// Checked Close positions license earlier deferred backstops.
+	var checkedClosePos []struct {
+		obj types.Object
+		pos token.Pos
+	}
+	for _, u := range uses {
+		if u.discard == "" && u.method == "Close" {
+			checkedClosePos = append(checkedClosePos, struct {
+				obj types.Object
+				pos token.Pos
+			}{u.obj, u.call.Pos()})
+		}
+	}
+
+	for _, u := range uses {
+		if u.discard == "" {
+			continue
+		}
+		// Only a *deferred* backstop is licensed by a later checked
+		// Close: an inline discard on an error path returns before the
+		// checked Close ever runs.
+		if u.discard == "defer" {
+			backstopped := false
+			for _, c := range checkedClosePos {
+				if c.obj == u.obj && c.pos > u.call.Pos() {
+					backstopped = true
+					break
+				}
+			}
+			if backstopped {
+				continue
+			}
+		}
+		pass.Reportf(u.call.Pos(),
+			"%s discards the error from %s.%s on a file opened for writing: a failed %s can drop "+
+				"buffered snapshot/WAL bytes — check and propagate it",
+			u.discard, u.obj.Name(), u.method, strings.ToLower(u.method))
+	}
+}
+
+func blankOnly(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		if id, ok := e.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// isWritableOpen matches os.Create and os.OpenFile whose flag argument
+// mentions a write-capable flag.
+func isWritableOpen(info *types.Info, call *ast.CallExpr) bool {
+	if isPkgCall(info, call, "os", "Create") {
+		return true
+	}
+	if !isPkgCall(info, call, "os", "OpenFile") {
+		return false
+	}
+	if len(call.Args) < 2 {
+		return false
+	}
+	writable := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			switch id.Name {
+			case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+				writable = true
+			}
+		}
+		return true
+	})
+	return writable
+}

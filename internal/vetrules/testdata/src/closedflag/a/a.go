@@ -1,0 +1,65 @@
+// Package a exercises closedflag: guarded types must check their
+// closed/draining flag before re-materialising live state.
+package a
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+type shard struct {
+	closed bool
+	f      *os.File
+	buf    []byte
+}
+
+func (sh *shard) openChecked(path string) error {
+	if sh.closed {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sh.f = f
+	return nil
+}
+
+func (sh *shard) teardown() {
+	sh.closed = true // assigning the guard itself is exempt
+	sh.f = nil       // nil teardown is exempt
+}
+
+func (sh *shard) grow() {
+	sh.buf = append(sh.buf, 0) // slices are not runtime handles: exempt
+}
+
+func (sh *shard) openUnchecked(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sh.f = f // want `shard\.openUnchecked assigns sh\.f without first checking the "closed" guard`
+	return nil
+}
+
+type drainer struct {
+	draining atomic.Bool
+	onFlush  func()
+}
+
+func (d *drainer) setChecked(fn func()) {
+	if d.draining.Load() {
+		return
+	}
+	d.onFlush = fn
+}
+
+func (d *drainer) setUnchecked(fn func()) {
+	d.onFlush = fn // want `drainer\.setUnchecked assigns d\.onFlush without first checking the "draining" guard`
+}
+
+func (d *drainer) setSuppressed(fn func()) {
+	//vet:ignore closedflag -- fixture: construction-time wiring before the type is published
+	d.onFlush = fn
+}

@@ -1,0 +1,38 @@
+// Package regress reconstructs the PR-6 walShard resurrection bug: a
+// CompactJournal in flight at shutdown rotated the WAL after Close and
+// reopened segment files on a closed journal, leaking an open file
+// past process teardown. The fix gave walShard a closed flag checked
+// on the rotation path; this fixture preserves the unchecked shape so
+// noble-vet keeps refusing it.
+package regress
+
+import "os"
+
+type walShard struct {
+	closed bool
+	f      *os.File
+	seq    int64
+}
+
+func (sh *walShard) Close() error {
+	sh.closed = true
+	f := sh.f
+	sh.f = nil
+	if f != nil {
+		return f.Close()
+	}
+	return nil
+}
+
+// rotate is the resurrection: it reopens the next segment with no
+// closed check, so a compaction racing Close re-creates segment files
+// on a journal that has already torn down.
+func (sh *walShard) rotate() error {
+	sh.seq++
+	f, err := os.Create("wal.log")
+	if err != nil {
+		return err
+	}
+	sh.f = f // want `walShard\.rotate assigns sh\.f without first checking the "closed" guard`
+	return nil
+}

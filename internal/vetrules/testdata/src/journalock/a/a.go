@@ -1,0 +1,61 @@
+// Package a exercises journalock: journal sinks must be dominated by a
+// Session.Lock in the same function, carry the documented convention,
+// or be journaling helpers themselves.
+package a
+
+import "sync"
+
+type Session struct{ mu sync.Mutex }
+
+func (s *Session) Lock()         { s.mu.Lock() }
+func (s *Session) TryLock() bool { return s.mu.TryLock() }
+func (s *Session) Unlock()       { s.mu.Unlock() }
+
+type Journal struct{}
+
+func (j *Journal) Append(ev int) error { _ = ev; return nil }
+
+type Engine struct{ journal *Journal }
+
+// journalAppend is a journaling helper: its own Journal.Append inherits
+// the helper-chain exemption, while calls TO it are checked.
+func (e *Engine) journalAppend(s *Session, ev int) { _ = s; _ = e.journal.Append(ev) }
+
+func (e *Engine) lockedDirect(s *Session) {
+	s.Lock()
+	defer s.Unlock()
+	e.journalAppend(s, 1)
+}
+
+func (e *Engine) lockedInClosure(s *Session) {
+	func() {
+		s.Lock()
+		defer s.Unlock()
+		e.journalAppend(s, 1)
+	}()
+}
+
+func (e *Engine) tryLocked(s *Session) {
+	if !s.TryLock() {
+		return
+	}
+	defer s.Unlock()
+	_ = e.journal.Append(2)
+}
+
+// flushSteps journals one batch. Caller holds the session lock.
+func (e *Engine) flushSteps(s *Session) { e.journalAppend(s, 3) }
+
+func (e *Engine) unlockedHelper(s *Session) {
+	e.journalAppend(s, 4) // want `journalAppend without a preceding Session\.Lock`
+}
+
+func (e *Engine) unlockedDirect(s *Session) {
+	_ = s
+	_ = e.journal.Append(5) // want `Journal\.Append without a preceding Session\.Lock`
+}
+
+func (e *Engine) suppressed(s *Session) {
+	//vet:ignore journalock -- fixture: this path is single-writer by construction
+	e.journalAppend(s, 6)
+}

@@ -1,0 +1,40 @@
+// Package regress reconstructs the PR-5 seq-1 durability bug: the
+// session-create path journaled the create record inside the
+// store-init closure BEFORE the session lock was taken, so with
+// -fsync=always a racing append could commit (and fsync) ahead of the
+// create record it depends on. The PR-6 fix moved the Lock inside the
+// closure, before the append; this fixture preserves the broken shape
+// so noble-vet keeps refusing it.
+package regress
+
+type Session struct{ seq int64 }
+
+func (s *Session) Lock()   {}
+func (s *Session) Unlock() {}
+
+func (s *Session) NextSeq() int64 { s.seq++; return s.seq }
+
+type Journal struct{}
+
+func (j *Journal) Append(ev int) error { _ = ev; return nil }
+
+type Engine struct{ journal *Journal }
+
+func (e *Engine) getOrCreate(id string, create func() *Session) *Session {
+	_ = id
+	return create()
+}
+
+// AppendSegments mirrors the buggy create path: the create record is
+// appended pre-publication but outside the lock, then the lock is
+// taken only for the step appends that follow.
+func (e *Engine) AppendSegments(id string) {
+	s := e.getOrCreate(id, func() *Session {
+		ns := &Session{}
+		_ = e.journal.Append(1) // want `Journal\.Append without a preceding Session\.Lock`
+		return ns
+	})
+	s.Lock()
+	defer s.Unlock()
+	_ = e.journal.Append(2)
+}

@@ -1,0 +1,80 @@
+// Package a exercises metriclabels: label/kind strings reaching metric
+// sinks must be provably bounded — literals, constants, or values that
+// only ever flow from them through in-package parameters and fields.
+package a
+
+import (
+	"context"
+	"net/http"
+
+	"obs"
+)
+
+type Metrics struct{}
+
+func (m *Metrics) Observe(endpoint string, code int)   { _, _ = endpoint, code }
+func (m *Metrics) ObserveBatch(kind string, n int)     { _, _ = kind, n }
+func (m *Metrics) ObserveBatchDrop(kind string, n int) { _, _ = kind, n }
+func (m *Metrics) registerBatchKind(kind string)       { _ = kind }
+
+const kindTrack = "track"
+
+type batcher struct {
+	kind string
+	m    *Metrics
+}
+
+func newBatcher(kind string, m *Metrics) *batcher {
+	m.registerBatchKind(kind) // bounded: both newBatcher call sites pass constants
+	return &batcher{kind: kind, m: m}
+}
+
+func (b *batcher) flush(n int) {
+	b.m.ObserveBatch(b.kind, n) // bounded through the field
+}
+
+func wire(m *Metrics) {
+	_ = newBatcher("localize", m)
+	_ = newBatcher(kindTrack, m)
+}
+
+func instrument(m *Metrics, name string) {
+	m.Observe(name, 200) // bounded: every instrument call site is a literal
+	m.Observe("pre_"+name, 200)
+}
+
+func routes(m *Metrics) {
+	instrument(m, "localize")
+	instrument(m, "health_"+kindTrack)
+}
+
+func stages(ctx context.Context, m *Metrics) {
+	s := obs.Begin(ctx, obs.StageDecode)
+	s.End()
+}
+
+func requestDerived(m *Metrics, r *http.Request) {
+	m.Observe(r.URL.Path, 200) // want `unbounded metric label reaches Observe`
+}
+
+func launders(m *Metrics, label string) {
+	m.ObserveBatchDrop(label, 1) // want `unbounded metric label reaches ObserveBatchDrop`
+}
+
+func laundersCaller(m *Metrics, r *http.Request) {
+	launders(m, r.Host)
+}
+
+func unboundedStage(ctx context.Context, name string) {
+	s := obs.Begin(ctx, name) // want `unbounded metric label reaches Begin`
+	s.End()
+}
+
+func unboundedStageCaller(ctx context.Context, r *http.Request) {
+	unboundedStage(ctx, r.URL.Path)
+}
+
+func suppressed(m *Metrics, r *http.Request) {
+	//vet:ignore metriclabels -- fixture: the path set is a fixed route table upstream
+	m.Observe(r.URL.Path, 200)
+}

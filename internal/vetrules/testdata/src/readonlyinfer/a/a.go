@@ -1,0 +1,67 @@
+// Package a exercises readonlyinfer: Forward writes are train-gated
+// (either guard style), Predict entry points are read-only.
+package a
+
+type Dense struct {
+	w []float64
+	x []float64
+}
+
+// Forward gates its activation cache with the block style.
+func (d *Dense) Forward(x []float64, train bool) []float64 {
+	if train {
+		d.x = x
+	}
+	out := make([]float64, len(d.w))
+	return out
+}
+
+type BatchNorm struct {
+	std  []float64
+	runs int
+}
+
+// Forward gates with the early-return style: everything after the
+// !train return is training-only.
+func (bn *BatchNorm) Forward(x []float64, train bool) []float64 {
+	if !train {
+		return x
+	}
+	bn.std = x
+	bn.runs++
+	return x
+}
+
+type Leaky struct{ cache []float64 }
+
+func (l *Leaky) Forward(x []float64, train bool) []float64 {
+	l.cache = x // want `receiver write in Forward outside a train guard`
+	return x
+}
+
+type Model struct {
+	hits  int
+	cache map[string]int
+}
+
+func (m *Model) PredictBatch(x [][]float64) int {
+	m.hits++ // want `receiver write in PredictBatch`
+	return m.hits
+}
+
+func (m *Model) PredictMemo(key string) int {
+	m.cache[key] = 1 // want `receiver write in PredictMemo`
+	return m.cache[key]
+}
+
+func (m *Model) PredictClean(x [][]float64) int {
+	local := m.hits
+	local++
+	return local
+}
+
+func (m *Model) PredictSuppressed() int {
+	//vet:ignore readonlyinfer -- fixture: counter is atomic in the real type
+	m.hits++
+	return m.hits
+}

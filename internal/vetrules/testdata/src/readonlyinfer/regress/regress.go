@@ -1,0 +1,27 @@
+// Package regress reconstructs the PR-2 BlockDense race: Forward
+// cached its input for backprop unconditionally, so concurrent
+// inference requests sharing the layer raced on b.x (caught by -race
+// under batched /v1/localize load; fixed by gating the cache on
+// train). This fixture preserves the broken shape so noble-vet keeps
+// refusing it.
+package regress
+
+type BlockDense struct {
+	w [][]float64
+	x []float64
+}
+
+func (b *BlockDense) Forward(x []float64, train bool) []float64 {
+	b.x = x // want `receiver write in Forward outside a train guard`
+	out := make([]float64, len(b.w))
+	for i, row := range b.w {
+		s := 0.0
+		for j, wv := range row {
+			if j < len(x) {
+				s += wv * x[j]
+			}
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package a exercises spanhygiene: spans end on every return path, and
+// tracer APIs never get a fresh background context.
+package a
+
+import (
+	"context"
+	"time"
+
+	"obs"
+)
+
+func deferred(ctx context.Context) {
+	s := obs.Begin(ctx, obs.StageDecode)
+	defer s.End()
+	if time.Now().IsZero() {
+		return
+	}
+}
+
+func endedOnEveryPath(ctx context.Context) error {
+	s := obs.Begin(ctx, obs.StageDecode)
+	if time.Now().IsZero() {
+		s.End()
+		return nil
+	}
+	s.End()
+	return nil
+}
+
+func endedBeforeLaterReturns(ctx context.Context) error {
+	s := obs.Begin(ctx, obs.StageDecode)
+	ok := time.Now().IsZero()
+	s.End()
+	if ok {
+		return nil
+	}
+	return nil
+}
+
+func closureReturnsAreNotOurs(ctx context.Context) {
+	s := obs.Begin(ctx, obs.StageDecode)
+	f := func() {
+		return
+	}
+	f()
+	s.End()
+}
+
+func leaky(ctx context.Context) error {
+	s := obs.Begin(ctx, obs.StageDecode)
+	if time.Now().IsZero() {
+		return nil // want `return leaks span s`
+	}
+	s.End()
+	return nil
+}
+
+func neverEnded(ctx context.Context) {
+	s := obs.Begin(ctx, obs.StageEncode) // want `span s from obs\.Begin is never ended`
+	_ = s
+}
+
+func detachedAdd() {
+	now := time.Now()
+	obs.AddSpan(context.Background(), obs.StageDecode, now, now) // want `obs\.AddSpan called with context\.Background`
+}
+
+func detachedBegin() {
+	s := obs.Begin(context.TODO(), obs.StageDecode) // want `obs\.Begin called with context\.TODO`
+	s.End()
+}
+
+func suppressedLeak(ctx context.Context) error {
+	s := obs.Begin(ctx, obs.StageDecode)
+	if time.Now().IsZero() {
+		//vet:ignore spanhygiene -- fixture: this path aborts the trace on purpose
+		return nil
+	}
+	s.End()
+	return nil
+}

@@ -1,0 +1,57 @@
+// Package a exercises strictdecode: handlers decode through the
+// blessed strict decoder and surface typed errors only.
+package a
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// decodeStrict is the blessed strict decoder for this fixture.
+//
+//vet:strictdecode-impl
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return dec.Decode(v) == nil
+}
+
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	var v struct{}
+	if !decodeStrict(w, r, &v) {
+		return
+	}
+}
+
+func handleRawDecoder(w http.ResponseWriter, r *http.Request) {
+	var v struct{}
+	_ = json.NewDecoder(r.Body).Decode(&v) // want `raw json\.Decoder`
+}
+
+func handleReadAll(w http.ResponseWriter, r *http.Request) {
+	_, _ = io.ReadAll(r.Body) // want `reads the raw request body`
+}
+
+func handleUntypedErrors(w http.ResponseWriter, r *http.Request) error {
+	if r.ContentLength == 0 {
+		return errors.New("empty") // want `constructs an untyped error`
+	}
+	return fmt.Errorf("bad request %q", r.URL.Path) // want `constructs an untyped error`
+}
+
+func handlePlainText(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `plain-text http\.Error`
+}
+
+func handleSuppressedFastPath(w http.ResponseWriter, r *http.Request) {
+	//vet:ignore strictdecode -- fixture: fast path with the size cap enforced by MaxBytesReader
+	body, _ := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	_ = body
+}
+
+// notAHandler has no ResponseWriter parameter, so raw reads are fine.
+func notAHandler(r *http.Request) ([]byte, error) {
+	return io.ReadAll(r.Body)
+}

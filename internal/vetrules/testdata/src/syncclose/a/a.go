@@ -1,0 +1,90 @@
+// Package a exercises syncclose: in the durability layer (scoped by
+// the file-magic constant), Close/Sync errors on written files must be
+// checked — except the deferred double-close backstop ahead of a
+// checked Close.
+package a
+
+import (
+	"bufio"
+	"os"
+)
+
+const walMagic = "NOBWAL01"
+
+func writeChecked(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	err = func() error {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func writeBackstopped(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // licensed: the checked Close below runs on the success path
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeSloppy(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close() // want `statement discards the error from f\.Close`
+		return err
+	}
+	_ = f.Sync() // want `blank assignment discards the error from f\.Sync`
+	return nil
+}
+
+func writeDeferredOnly(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer discards the error from f\.Close`
+	_, err = f.Write(b)
+	return err
+}
+
+func readOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // read-only opens are exempt: a failed close loses nothing
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, st.Size()), nil
+}
+
+func writeSuppressed(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	//vet:ignore syncclose -- fixture: marker file, existence is the payload
+	f.Close()
+}

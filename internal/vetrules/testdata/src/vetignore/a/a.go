@@ -1,0 +1,22 @@
+// Package a exercises the suppression directive itself: a directive
+// without a justification is malformed (and suppresses nothing), and a
+// directive whose analyzer never fires on its line is stale and must
+// be deleted.
+package a
+
+type M struct{ n int }
+
+func (m *M) PredictMalformed() {
+	//vet:ignore readonlyinfer // want `malformed //vet:ignore`
+	m.n = 1 // want `receiver write in PredictMalformed`
+}
+
+func (m *M) helper() {
+	//vet:ignore readonlyinfer -- helper is not an inference path, nothing fires here // want `unused //vet:ignore`
+	m.n = 2
+}
+
+func (m *M) PredictSuppressed() {
+	//vet:ignore readonlyinfer -- fixture: deliberate suppressed write
+	m.n = 3
+}

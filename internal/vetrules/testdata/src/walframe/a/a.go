@@ -1,0 +1,46 @@
+// Package a exercises walframe's CRC-coverage rule: little-endian
+// writes into record buffers happen either next to the framing CRC or
+// on a marked codec type.
+package a
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+const (
+	walMagic  = "NOBWAL01"
+	snapMagic = "NOBSNP01"
+)
+
+// enc builds payloads that are always framed by the caller.
+//
+//vet:walframe-codec
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+func frame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// readFrame only reads; Uint* accessors are not writes.
+func readFrame(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b)
+}
+
+func sneakWrite(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v) // want `binary\.LittleEndian\.AppendUint64 outside the framing CRC`
+}
+
+func sneakPut(buf []byte, v uint32) {
+	binary.LittleEndian.PutUint32(buf, v) // want `binary\.LittleEndian\.PutUint32 outside the framing CRC`
+}
+
+func suppressedWrite(buf []byte, v uint32) {
+	//vet:ignore walframe -- fixture: scratch buffer that never reaches disk
+	binary.LittleEndian.PutUint32(buf, v)
+}

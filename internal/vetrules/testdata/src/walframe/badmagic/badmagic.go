@@ -1,0 +1,9 @@
+// Package badmagic exercises walframe's version-constant pinning:
+// magics keep their pinned values, stay 8 bytes, and never collide.
+package badmagic
+
+const (
+	walMagic   = "NOBWAL99" // want `file magic walMagic redefined to "NOBWAL99" \(pinned "NOBWAL01"\)`
+	snapMagic  = "BAD"      // want `redefined to "BAD"` `is 3 bytes \(must be 8\)`
+	crashMagic = "NOBWAL99" // want `file magics walMagic and crashMagic share the value "NOBWAL99"`
+)

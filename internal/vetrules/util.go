@@ -1,0 +1,172 @@
+// Package vetrules holds noble-vet's custom analyzers: one per
+// invariant this codebase has been burned by (or depends on for
+// production safety). See docs/LINT.md for the catalogue and the
+// suppression syntax, and internal/vetrules/analysis for the driver.
+package vetrules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"noble/internal/vetrules/analysis"
+)
+
+// Suite returns every noble-vet analyzer in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Journalock,
+		Closedflag,
+		Spanhygiene,
+		Metriclabels,
+		Strictdecode,
+		Walframe,
+		Syncclose,
+		Readonlyinfer,
+	}
+}
+
+// baseTypeName returns the name of t's named type after stripping
+// pointers and aliases, or "" when t has no name (struct literals,
+// builtins, type parameters).
+func baseTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Alias:
+		return t.Obj().Name()
+	}
+	return ""
+}
+
+// exprTypeName is baseTypeName of e's type.
+func exprTypeName(info *types.Info, e ast.Expr) string {
+	return baseTypeName(info.TypeOf(e))
+}
+
+// recvTypeName returns the receiver base type name of a method decl,
+// or "" for plain functions.
+func recvTypeName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return ""
+	}
+	t := decl.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr: // generic receiver T[P1, P2]
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// docContains reports whether a decl's doc comment contains substr.
+func docContains(doc *ast.CommentGroup, substr string) bool {
+	return doc != nil && strings.Contains(doc.Text(), substr)
+}
+
+// docHasDirective reports whether the raw doc comment carries the given
+// //-directive (CommentGroup.Text strips directive comments, so this
+// scans the raw list).
+func docHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call invokes (generic
+// instantiations folded to their origin), or nil for indirect calls,
+// conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := info.Uses[id].(*types.Func); ok {
+		return fn.Origin()
+	}
+	return nil
+}
+
+// isPkgCall reports whether call is pkgName.funcName(...) for an
+// imported package whose *package name* (not path) is pkgName.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgName, funcName string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != funcName {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Name() == pkgName
+}
+
+// declaresTypeNamed reports whether the package being analyzed declares
+// a type with the given name (used for self-scoping: e.g. spanhygiene
+// skips the package that implements ActiveSpan).
+func declaresTypeNamed(pass *analysis.Pass, name string) bool {
+	if pass.Pkg == nil {
+		return false
+	}
+	obj := pass.Pkg.Scope().Lookup(name)
+	_, ok := obj.(*types.TypeName)
+	return ok
+}
+
+// typeDeclDoc collects the doc comment group for every type declared in
+// the package's files, keyed by type name. Both the GenDecl doc and the
+// TypeSpec doc are consulted (gofmt moves docs onto the GenDecl for
+// single-spec declarations).
+func typeDeclDoc(files []*ast.File) map[string]*ast.CommentGroup {
+	docs := map[string]*ast.CommentGroup{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				docs[ts.Name.Name] = doc
+			}
+		}
+	}
+	return docs
+}

@@ -1,0 +1,145 @@
+// Package vettest is a minimal analysistest: it loads fixture packages
+// from a GOPATH-style testdata/src tree, runs one analyzer (with the
+// production suppression filter in the loop, so //vet:ignore behaviour
+// is testable), and checks the findings against `// want` comments.
+//
+// Expectation syntax, as in golang.org/x/tools analysistest: a comment
+// on the same line as the expected diagnostic holding one or more Go
+// string literals, each a regexp the diagnostic message must match:
+//
+//	sh.f = f // want `assigns sh\.f without first checking`
+//
+// Every finding must match an expectation on its line and every
+// expectation must be matched by a finding; anything else fails the
+// test.
+package vettest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"noble/internal/vetrules/analysis"
+)
+
+// expectation is one `// want` regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package under srcRoot and checks analyzer a's
+// findings against the fixtures' want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		pkg, err := analysis.LoadFixture(srcRoot, pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		wants, err := parseWants(pkg)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", pkgPath, err)
+		}
+	findingLoop:
+		for _, f := range findings {
+			for _, w := range wants {
+				if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+					continue
+				}
+				if w.re.MatchString(f.Message) {
+					w.matched = true
+					continue findingLoop
+				}
+			}
+			t.Errorf("%s: unexpected finding: %s", pkgPath, f)
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no finding matched want %q", pkgPath, w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// parseWants extracts `// want` expectations from a package's comments.
+func parseWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWantPatterns(c.Text[i+len("// want "):])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWantPatterns reads a sequence of Go string literals (quoted or
+// backquoted) separated by spaces.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted want pattern")
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted want pattern")
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted want pattern %s: %v", s[:end+1], err)
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+1:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted Go strings (at %q)", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("// want comment with no patterns")
+	}
+	return out, nil
+}

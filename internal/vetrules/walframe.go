@@ -1,0 +1,176 @@
+package vetrules
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"noble/internal/vetrules/analysis"
+)
+
+// walframeCodecMarker blesses a payload-codec type: its methods build
+// record payloads that are framed (length + CRC) by the caller, so
+// their binary.LittleEndian writes are covered even though the CRC
+// computation is elsewhere.
+const walframeCodecMarker = "//vet:walframe-codec"
+
+// pinnedMagics are the on-disk file-format version constants. They are
+// a wire contract: journals recorded by one build must restore under
+// any later build, so redefining a magic (instead of adding a new one
+// and teaching recovery both) silently orphans every journal on disk.
+// Bumping a format legitimately means minting walMagic02 here AND in
+// the store, with recovery accepting both.
+var pinnedMagics = map[string]string{
+	"walMagic":  "NOBWAL01",
+	"snapMagic": "NOBSNP01",
+}
+
+// pinnedMagicLen is the fixed magic width the scan/recover paths assume.
+const pinnedMagicLen = 8
+
+// Walframe guards the WAL record framing in the durability layer. It
+// self-scopes to packages that declare a file magic (a string constant
+// whose name ends in "Magic") and enforces:
+//
+//  1. Every binary.LittleEndian.Append*/Put* into a record buffer
+//     happens either in a function that computes the framing CRC
+//     (references crc32.ChecksumIEEE) or in a method of a codec type
+//     marked //vet:walframe-codec — i.e. bytes cannot reach disk
+//     outside the CRC envelope.
+//
+//  2. Magic constants are never redefined: known names keep their
+//     pinned values, all magics are pairwise distinct, and every magic
+//     is exactly magicLen (8) bytes so the header scan stays valid.
+var Walframe = &analysis.Analyzer{
+	Name: "walframe",
+	Doc: "binary.LittleEndian writes into record buffers must be covered by the framing CRC, " +
+		"and file-magic version constants must never be redefined",
+	Run: runWalframe,
+}
+
+func runWalframe(pass *analysis.Pass) error {
+	magics := magicConsts(pass)
+	if len(magics) == 0 {
+		return nil // not a durability package
+	}
+	checkMagicPins(pass, magics)
+	docs := typeDeclDoc(pass.Files)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			checkWalframeFunc(pass, decl, docs)
+		}
+	}
+	return nil
+}
+
+type magicConst struct {
+	name  string
+	value string
+	pos   ast.Node
+}
+
+// magicConsts collects package-level string constants whose name ends
+// in "Magic".
+func magicConsts(pass *analysis.Pass) []magicConst {
+	var out []magicConst
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasSuffix(name.Name, "Magic") {
+						continue
+					}
+					c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					out = append(out, magicConst{name.Name, constant.StringVal(c.Val()), name})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkMagicPins(pass *analysis.Pass, magics []magicConst) {
+	for i, m := range magics {
+		if want, pinned := pinnedMagics[m.name]; pinned && m.value != want {
+			pass.Reportf(m.pos.Pos(),
+				"file magic %s redefined to %q (pinned %q): changing a magic in place orphans every "+
+					"journal on disk — mint a new versioned magic and teach recovery both",
+				m.name, m.value, want)
+		}
+		if len(m.value) != pinnedMagicLen {
+			pass.Reportf(m.pos.Pos(),
+				"file magic %s is %d bytes (must be %d): header scans read a fixed-width magic",
+				m.name, len(m.value), pinnedMagicLen)
+		}
+		for _, other := range magics[:i] {
+			if other.value == m.value {
+				pass.Reportf(m.pos.Pos(),
+					"file magics %s and %s share the value %q: recovery cannot tell the formats apart",
+					other.name, m.name, m.value)
+			}
+		}
+	}
+}
+
+func checkWalframeFunc(pass *analysis.Pass, decl *ast.FuncDecl, docs map[string]*ast.CommentGroup) {
+	if recv := recvTypeName(decl); recv != "" && docHasDirective(docs[recv], walframeCodecMarker) {
+		return
+	}
+	referencesCRC := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPkgCall(pass.TypesInfo, call, "crc32", "ChecksumIEEE") {
+			referencesCRC = true
+			return false
+		}
+		return true
+	})
+	if referencesCRC {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !strings.HasPrefix(sel.Sel.Name, "Append") && !strings.HasPrefix(sel.Sel.Name, "Put") {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || (inner.Sel.Name != "LittleEndian" && inner.Sel.Name != "BigEndian") {
+			return true
+		}
+		id, ok := inner.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); !ok || pn.Imported().Path() != "encoding/binary" {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"binary.%s.%s outside the framing CRC: record bytes written here bypass torn-write "+
+				"detection — frame them (crc32.ChecksumIEEE) or put the write on a "+
+				"//vet:walframe-codec codec type",
+			inner.Sel.Name, sel.Sel.Name)
+		return true
+	})
+}
