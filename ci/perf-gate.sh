@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Performance regression gate: run the noble-perf ci preset against tiny
-# demo models and compare the fresh BENCH.json to the committed
+# Performance regression gate: run the noble-perf ci preset against the
+# perf-scale demo models (large enough that the forward pass dominates a
+# request, so the fp64-vs-int8 scenarios measure the model tiers) and
+# compare the fresh BENCH.json to the committed
 # BENCH_baseline.json. Fails on >15% throughput regression or >25% p99
 # inflation in any scenario (thresholds live in noble-perf -gate; see
 # docs/BENCH.md).
@@ -32,7 +34,7 @@ trap cleanup EXIT
 echo "== building noble-perf"
 go build -o "$bin/" ./cmd/noble-perf
 
-echo "== running the ci scenario suite (tiny demo models, trained on first use)"
+echo "== running the ci scenario suite (perf-scale demo models, trained on first use)"
 "$bin/noble-perf" -preset=ci -models "$models" -o "$out"
 
 if [ -n "${REBASELINE:-}" ]; then

@@ -37,7 +37,8 @@ type TrackResult struct {
 // ModelInfo summarizes one registered model.
 type ModelInfo struct {
 	Name       string `json:"name"`
-	Kind       string `json:"kind"` // "wifi" or "imu"
+	Kind       string `json:"kind"`      // "wifi" or "imu"
+	Precision  string `json:"precision"` // serving tier: "fp64" or "int8"
 	Classes    int    `json:"classes"`
 	FLOPs      int64  `json:"flops"`
 	Generation int    `json:"generation"`

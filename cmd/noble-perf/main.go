@@ -17,10 +17,15 @@
 //
 // -preset=ci keeps the whole suite short enough for every push;
 // -preset=full runs longer passes for stabler numbers when recording a
-// baseline. If -models has no bundles, tiny demo models (seconds to
-// train) are trained into it first — absolute numbers then describe the
-// tiny models, which is exactly what the gate wants: the same models on
-// both sides of the comparison.
+// baseline. If -models is missing bundles, demo models at -demo-scale
+// (default "perf": large enough that the forward pass dominates a
+// request, so the fp64-vs-int8 scenarios measure the model tiers rather
+// than HTTP overhead) are trained into it first — absolute numbers then
+// describe those models, which is exactly what the gate wants: the same
+// models on both sides of the comparison. The four bundles (fp64 + int8
+// twins) are loaded ONCE — int8 loads re-run the accuracy gate, which
+// regenerates datasets and is far too expensive per pass — and every
+// pass gets a fresh registry over the same immutable models.
 package main
 
 import (
@@ -41,7 +46,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("noble-perf: ")
 	preset := flag.String("preset", "ci", "timing preset: ci (short passes, gate-friendly) or full (longer passes, baseline-quality)")
-	modelsDir := flag.String("models", "models", "bundle directory; tiny demo models are trained here if empty")
+	modelsDir := flag.String("models", "models", "bundle directory; demo models are trained here if missing")
+	demoScale := flag.String("demo-scale", serve.DemoPerf, "demo bundle scale trained into -models when missing: tiny, perf or full")
 	out := flag.String("o", "BENCH.json", "output path for the machine-readable report")
 	scenarioRe := flag.String("scenario", "", "only run scenarios whose name matches this regexp")
 	seed := flag.Int64("seed", 42, "payload generator seed (fixed = identical request stream every run)")
@@ -88,13 +94,31 @@ func main() {
 	if err := os.MkdirAll(*modelsDir, 0o755); err != nil {
 		log.Fatalf("creating models dir: %v", err)
 	}
-	if err := serve.TrainDemoBundles(*modelsDir, true, log.Printf); err != nil {
+	if err := serve.TrainDemoBundles(*modelsDir, *demoScale, log.Printf); err != nil {
 		log.Fatalf("training demo bundles: %v", err)
 	}
+	// Load every bundle once, up front: an int8 bundle load replays its
+	// calibration and re-runs the accuracy gate against a regenerated
+	// dataset, which is seconds of work — fine at boot, unacceptable per
+	// pass. Passes still get a FRESH registry each (no state leakage);
+	// the models themselves are immutable under inference.
+	boot := serve.NewRegistry(*modelsDir, log.Printf)
+	if _, _, err := boot.Reload(); err != nil {
+		log.Fatalf("loading bundles: %v", err)
+	}
+	if failed := boot.FailedBundles(); len(failed) > 0 {
+		log.Fatalf("bundles failed to load: %v", failed)
+	}
+	var models []*serve.Model
+	for _, info := range boot.List() {
+		if m, ok := boot.Get(info.Name); ok {
+			models = append(models, m)
+		}
+	}
 	rig.NewRegistry = func() (*serve.Registry, error) {
-		reg := serve.NewRegistry(*modelsDir, func(string, ...any) {})
-		if _, _, err := reg.Reload(); err != nil {
-			return nil, err
+		reg := serve.NewRegistry("", func(string, ...any) {})
+		for _, m := range models {
+			reg.Add(m)
 		}
 		return reg, nil
 	}

@@ -86,6 +86,7 @@ func main() {
 	sessionSweep := flag.Duration("session-sweep", 0, "session eviction sweep interval (0 = ttl/4)")
 	demo := flag.Bool("demo", false, "train small demo models into -models before serving")
 	demoTiny := flag.Bool("demo-tiny", false, "train miniature demo models (seconds, not minutes) — for smoke tests and CI, not benchmarks")
+	checkBundles := flag.Bool("check-bundles", false, "load every bundle (int8 bundles re-run the accuracy gate) and exit: 0 if all load, 1 otherwise")
 	stateDir := flag.String("state-dir", "", "durable session journal directory (empty disables persistence)")
 	fsync := flag.String("fsync", "interval", "journal durability: never (buffered only), interval (periodic fsync), always (group-committed fsync per request)")
 	syncInterval := flag.Duration("sync-interval", 100*time.Millisecond, "journal flush+fsync cadence under -fsync=interval")
@@ -118,7 +119,11 @@ func main() {
 		fatal("creating models dir", "dir", *modelsDir, "err", err)
 	}
 	if *demo || *demoTiny {
-		if err := serve.TrainDemoBundles(*modelsDir, *demoTiny, logf); err != nil {
+		scale := serve.DemoFull
+		if *demoTiny {
+			scale = serve.DemoTiny
+		}
+		if err := serve.TrainDemoBundles(*modelsDir, scale, logf); err != nil {
 			fatal("training demo bundles", "err", err)
 		}
 	}
@@ -130,7 +135,18 @@ func main() {
 	}
 	logger.Info("models loaded", "count", loaded, "dir", *modelsDir)
 	for _, info := range reg.List() {
-		logger.Info("model", "name", info.Name, "kind", info.Kind, "classes", info.Classes, "flops", info.FLOPs)
+		logger.Info("model", "name", info.Name, "kind", info.Kind, "precision", info.Precision,
+			"classes", info.Classes, "flops", info.FLOPs)
+	}
+	if *checkBundles {
+		// Validation mode for CI and deploy pipelines: every bundle in
+		// the directory must load (int8 bundles must also re-pass the
+		// accuracy gate inside LoadBundle). Exit status is the verdict.
+		if failed := reg.FailedBundles(); len(failed) > 0 {
+			fatal("bundle check failed", "failed", fmt.Sprintf("%v", failed))
+		}
+		logger.Info("bundle check passed", "bundles", loaded)
+		return
 	}
 
 	var tracer *obs.Tracer

@@ -42,8 +42,16 @@ func main() {
 	saveFlag := flag.String("save", "", "write trained weights to this file")
 	bundleFlag := flag.String("bundle", "", "publish the model as a noble-serve bundle under this directory")
 	nameFlag := flag.String("name", "", "bundle name (default <dataset>-<size>)")
+	precision := flag.String("precision", "fp64", "serving tier to publish: fp64, or int8 (runs calibration plus the publish-blocking accuracy gate)")
+	calibMethod := flag.String("calib-method", "absmax", "int8 activation range calibration: absmax or percentile")
+	calibPercentile := flag.Float64("calib-percentile", 99.9, "percentile for -calib-method=percentile")
+	calibSamples := flag.Int("calib-samples", 0, "max validation rows consumed by calibration (0 = default)")
+	errorBudget := flag.Float64("error-budget", 0, "int8 accuracy gate: max relative mean-error increase in percent (0 = default 2)")
 	verbose := flag.Bool("v", false, "log per-epoch loss")
 	flag.Parse()
+	if *precision != core.PrecisionFP64 && *precision != core.PrecisionInt8 {
+		log.Fatalf("-precision %q: want fp64 or int8", *precision)
+	}
 
 	ds, spec := loadDataset(*datasetFlag, *sizeFlag, *trainCSV, *testCSV, *threshold)
 	if *bundleFlag != "" && spec == nil {
@@ -88,6 +96,30 @@ func main() {
 			100*eval.HitRate(floors, dataset.FloorLabels(ds.Test)))
 	}
 
+	// The quantized tier: calibrate on the validation split and enforce
+	// the accuracy gate BEFORE anything is written. A model that fails
+	// the gate is never saved or published as int8 — that is the entire
+	// point of the gate.
+	var calib *serve.CalibrationFile
+	if *precision == core.PrecisionInt8 {
+		var err error
+		calib, err = serve.QuantizeWiFiModel(model, ds, serve.QuantizeOptions{
+			Method:       *calibMethod,
+			Percentile:   *calibPercentile,
+			CalibSamples: *calibSamples,
+			BudgetPct:    *errorBudget,
+		})
+		if err != nil {
+			log.Fatalf("int8 publish blocked: %v", err)
+		}
+		budget := *errorBudget
+		if budget == 0 {
+			budget = serve.DefaultErrorBudgetPct
+		}
+		fmt.Printf("int8 gate passed: mean error %.2f m (fp64) -> %.2f m (int8), delta %+.2f%% (budget %.2f%%)\n",
+			calib.FP64MeanErr, calib.Int8MeanErr, calib.DeltaPct, budget)
+	}
+
 	if *saveFlag != "" {
 		f, err := os.Create(*saveFlag)
 		if err != nil {
@@ -113,9 +145,17 @@ func main() {
 			name = fmt.Sprintf("%s-%s", *datasetFlag, *sizeFlag)
 		}
 		man := serve.Manifest{Kind: serve.KindWiFi, WiFi: spec}
+		var extras []serve.ExtraFile
+		if calib != nil {
+			man.Precision = &serve.PrecisionBlock{
+				Mode:           core.PrecisionInt8,
+				ErrorBudgetPct: *errorBudget,
+			}
+			extras = append(extras, serve.CalibrationExtra("calibration.json", calib))
+		}
 		if err := serve.WriteBundle(*bundleFlag, name, man, func(f *os.File) error {
 			return model.Save(f)
-		}); err != nil {
+		}, extras...); err != nil {
 			log.Fatalf("publishing bundle: %v", err)
 		}
 		fmt.Printf("bundle published to %s/%s\n", *bundleFlag, name)

@@ -70,6 +70,11 @@ type Scenario struct {
 	Engine      EngineOptions
 	Run         func(env *Env) error
 
+	// NeedsInt8 marks scenarios that drive the quantized tier: the pass
+	// fails up front (harness misconfiguration, not data) when the
+	// registry holds no int8 models.
+	NeedsInt8 bool
+
 	// OpsClasses lists error classes that still count as completed
 	// operations for throughput. The deadline scenario sets it to
 	// {"deadline"}: an intentionally expired request exercised the drop
@@ -88,8 +93,10 @@ type Env struct {
 	Rec         *Recorder
 	Seed        int64
 	Concurrency int
-	WiFi        client.ModelInfo // first wifi-kind model
-	IMU         client.ModelInfo // first imu-kind model
+	WiFi        client.ModelInfo // first fp64 wifi-kind model
+	IMU         client.ModelInfo // first fp64 imu-kind model
+	WiFiInt8    client.ModelInfo // first int8 wifi-kind model (zero if none registered)
+	IMUInt8     client.ModelInfo // first int8 imu-kind model (zero if none registered)
 
 	deadline time.Time
 }
@@ -332,15 +339,25 @@ func (r *Rig) runPass(ctx context.Context, sc Scenario, dur time.Duration) (pass
 		deadline:    time.Now().Add(dur),
 	}
 	for _, m := range models {
+		// A model with no precision field (an old server) is fp64: the
+		// int8 tier always reports itself.
+		int8 := m.Precision == "int8"
 		switch {
-		case m.Kind == "wifi" && env.WiFi.Name == "":
+		case m.Kind == "wifi" && !int8 && env.WiFi.Name == "":
 			env.WiFi = m
-		case m.Kind == "imu" && env.IMU.Name == "":
+		case m.Kind == "imu" && !int8 && env.IMU.Name == "":
 			env.IMU = m
+		case m.Kind == "wifi" && int8 && env.WiFiInt8.Name == "":
+			env.WiFiInt8 = m
+		case m.Kind == "imu" && int8 && env.IMUInt8.Name == "":
+			env.IMUInt8 = m
 		}
 	}
 	if env.WiFi.Name == "" || env.IMU.Name == "" {
-		return zero, fmt.Errorf("need one wifi and one imu model, have %+v", models)
+		return zero, fmt.Errorf("need one fp64 wifi and one fp64 imu model, have %+v", models)
+	}
+	if sc.NeedsInt8 && (env.WiFiInt8.Name == "" || env.IMUInt8.Name == "") {
+		return zero, fmt.Errorf("scenario needs int8 models but the registry has none (have %+v)", models)
 	}
 
 	rec.Arm()

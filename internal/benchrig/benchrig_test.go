@@ -24,7 +24,7 @@ func demoModels(t *testing.T) string {
 	demoOnce.Do(func() {
 		demoDir, demoErr = os.MkdirTemp("", "benchrig-models-")
 		if demoErr == nil {
-			demoErr = serve.TrainDemoBundles(demoDir, true, nil)
+			demoErr = serve.TrainDemoBundles(demoDir, serve.DemoTiny, nil)
 		}
 	})
 	if demoErr != nil {
@@ -139,11 +139,14 @@ func TestSuiteNamesAreStableAndUnique(t *testing.T) {
 		"cold_localize",
 		"localize_batch_c8",
 		"localize_batch_c32",
+		"localize_int8_c32",
 		"localize_unbatched_c32",
 		"track_sessions_c16",
+		"track_int8_c16",
 		"track_journal_c16",
 		"track_stream_c8",
 		"mixed_deadline_c24",
+		"mixed_precision_c24",
 	}
 	suite := Suite()
 	if len(suite) != len(want) {

@@ -55,6 +55,21 @@ func Suite() []Scenario {
 			Run:         func(env *Env) error { return runLocalize(env, nil) },
 		},
 		{
+			Name: "localize_int8_c32",
+			Description: "localize_batch_c32 against the int8 quantized bundle — the quantized " +
+				"tier's end-to-end speedup is this throughput over localize_batch_c32's",
+			Concurrency: 32,
+			Unit:        "req/s",
+			Kinds:       []string{"localize"},
+			Engine:      batched,
+			NeedsInt8:   true,
+			Run: func(env *Env) error {
+				envQ := *env
+				envQ.WiFi = env.WiFiInt8
+				return runLocalize(&envQ, nil)
+			},
+		},
+		{
 			Name: "localize_unbatched_c32",
 			Description: "closed-loop localize at 32 devices with micro-batching OFF — " +
 				"the baseline the batching speedup is measured against",
@@ -73,6 +88,22 @@ func Suite() []Scenario {
 			Kinds:       []string{"track", "localize"},
 			Engine:      batched,
 			Run:         func(env *Env) error { return runTrackSessions(env, nil) },
+		},
+		{
+			Name: "track_int8_c16",
+			Description: "track_sessions_c16 with both the IMU tracker and the re-anchor " +
+				"localizer on the int8 tier",
+			Concurrency: 16,
+			Unit:        "steps/s",
+			Kinds:       []string{"track", "localize"},
+			Engine:      batched,
+			NeedsInt8:   true,
+			Run: func(env *Env) error {
+				envQ := *env
+				envQ.IMU = env.IMUInt8
+				envQ.WiFi = env.WiFiInt8
+				return runTrackSessions(&envQ, nil)
+			},
 		},
 		{
 			Name: "track_journal_c16",
@@ -109,7 +140,41 @@ func Suite() []Scenario {
 			Run:         runMixedDeadline,
 			OpsClasses:  []string{loadshape.ErrClassDeadline},
 		},
+		{
+			Name: "mixed_precision_c24",
+			Description: "mixed-registry localize: 12 workers on the fp64 bundle and 12 on its " +
+				"int8 twin, concurrently against one engine — the rolling-upgrade traffic shape",
+			Concurrency: 24,
+			Unit:        "req/s",
+			Kinds:       []string{"localize"},
+			Engine:      batched,
+			NeedsInt8:   true,
+			Run:         runMixedPrecision,
+		},
 	}
+}
+
+// runMixedPrecision splits the localize workers evenly across the fp64
+// bundle and its int8 twin — the traffic shape of a fleet mid-way
+// through a precision rollout, where both tiers batch on one engine.
+func runMixedPrecision(env *Env) error {
+	half := env.Concurrency / 2
+	done := make(chan error, 2)
+	go func() {
+		envF := *env
+		envF.Concurrency = half
+		done <- runLocalize(&envF, nil)
+	}()
+	go func() {
+		envQ := *env
+		envQ.Concurrency = env.Concurrency - half
+		envQ.WiFi = env.WiFiInt8
+		done <- runLocalize(&envQ, nil)
+	}()
+	if err := <-done; err != nil {
+		return err
+	}
+	return <-done
 }
 
 // rng returns the scenario payload generator: seeded, so every pass and

@@ -8,6 +8,7 @@ import (
 	"noble/internal/imu"
 	"noble/internal/mat"
 	"noble/internal/nn"
+	"noble/internal/nn/qlinear"
 	"noble/internal/quantize"
 )
 
@@ -82,6 +83,11 @@ type IMUModel struct {
 	proj    *nn.BlockDense
 	dispNet *nn.Sequential // projection output → standardized displacement (2)
 	locNet  *nn.Sequential // [displacement ⊕ one-hot start] → end class
+
+	// int8 serving mirrors of the three modules; nil until EnableInt8.
+	qproj    *qlinear.Seq
+	qdispNet *qlinear.Seq
+	qlocNet  *qlinear.Seq
 
 	frames int
 	maxLen int
@@ -377,7 +383,12 @@ func (m *IMUModel) PredictPaths(paths []imu.Path) []IMUPrediction {
 		return nil
 	}
 	x, startOH, starts, _, _ := m.inputs(paths)
-	v, logits := m.forward(x, startOH, starts, false)
+	var v, logits *mat.Dense
+	if m.qproj != nil {
+		v, logits = m.qforward(x, startOH, starts)
+	} else {
+		v, logits = m.forward(x, startOH, starts, false)
+	}
 	out := make([]IMUPrediction, len(paths))
 	for i := range out {
 		cls := mat.ArgMax(logits.Row(i))

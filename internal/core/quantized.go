@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"noble/internal/imu"
+	"noble/internal/mat"
+	"noble/internal/nn"
+	"noble/internal/nn/qlinear"
+)
+
+// This file threads the int8 quantized-inference tier (nn/qlinear)
+// through both NObLe models. Quantization is an inference-time overlay
+// on a trained fp64 model: EnableInt8 derives the int8 mirror — per-
+// channel weight codes re-derived deterministically from the fp64
+// weights, activation scales drawn from the given source — and from
+// then on the model's serving entry points (PredictMatrix /
+// PredictPaths) run the integer path. The fp64 network stays intact
+// underneath: weight snapshots, Save/Load, and Embed are unaffected,
+// and callers that need a side-by-side comparison (the accuracy gate)
+// evaluate in fp64 first and call EnableInt8 after.
+
+// Precision labels reported by the models and carried through bundle
+// manifests, the serving API, and metrics.
+const (
+	PrecisionFP64 = "fp64"
+	PrecisionInt8 = "int8"
+)
+
+// drained rejects a scale source with unconsumed values: stored
+// calibration must match the model's quantized-layer count exactly, in
+// both directions.
+func drained(src qlinear.ScaleSource) error {
+	if s, ok := src.(*qlinear.Scales); ok && s.Remaining() != 0 {
+		return fmt.Errorf("core: calibration has %d unconsumed activation scales", s.Remaining())
+	}
+	return nil
+}
+
+// EnableInt8 switches the model's serving path to int8. src supplies
+// activation scales in canonical order — a qlinear.Calibrator measuring
+// them from calib (train time) or qlinear.Scales replaying stored
+// values with calib nil (bundle load). calib rows are normalized
+// fingerprints, e.g. the validation split's feature matrix.
+func (m *WiFiModel) EnableInt8(src qlinear.ScaleSource, calib *mat.Dense) error {
+	qnet, err := qlinear.FromMultiHead(m.net, src, calib)
+	if err != nil {
+		return fmt.Errorf("core: quantize wifi model: %w", err)
+	}
+	if err := drained(src); err != nil {
+		return err
+	}
+	m.qnet = qnet
+	return nil
+}
+
+// Precision reports which arithmetic the serving path runs.
+func (m *WiFiModel) Precision() string {
+	if m.qnet != nil {
+		return PrecisionInt8
+	}
+	return PrecisionFP64
+}
+
+// headOutputs runs the precision-dispatched forward pass for serving.
+func (m *WiFiModel) headOutputs(x *mat.Dense) []*mat.Dense {
+	if m.qnet != nil {
+		_, outs := m.qnet.Forward(x)
+		return outs
+	}
+	_, outs := m.net.Forward(x, false)
+	return outs
+}
+
+// EnableInt8 switches the IMU model's serving path to int8, quantizing
+// the projection, displacement, and location modules in that canonical
+// order. The location module's input wiring (the fixed start +
+// displacement affine) stays in fp64 — it is a handful of adds per
+// path, not a GEMM. calibPaths provide activation data for a
+// Calibrator (e.g. the validation paths); with stored Scales they may
+// be nil.
+func (m *IMUModel) EnableInt8(src qlinear.ScaleSource, calibPaths []imu.Path) error {
+	var x, startOH, starts *mat.Dense
+	if len(calibPaths) > 0 {
+		x, startOH, starts, _, _ = m.inputs(calibPaths)
+	}
+	qproj, h, err := qlinear.FromSequential(nn.NewSequential(m.proj), src, x)
+	if err != nil {
+		return fmt.Errorf("core: quantize imu projection: %w", err)
+	}
+	qdisp, v, err := qlinear.FromSequential(m.dispNet, src, h)
+	if err != nil {
+		return fmt.Errorf("core: quantize imu displacement module: %w", err)
+	}
+	var locIn *mat.Dense
+	if v != nil {
+		locIn = m.locInput(v, startOH, starts)
+	}
+	qloc, _, err := qlinear.FromSequential(m.locNet, src, locIn)
+	if err != nil {
+		return fmt.Errorf("core: quantize imu location module: %w", err)
+	}
+	if err := drained(src); err != nil {
+		return err
+	}
+	m.qproj, m.qdispNet, m.qlocNet = qproj, qdisp, qloc
+	return nil
+}
+
+// Precision reports which arithmetic the serving path runs.
+func (m *IMUModel) Precision() string {
+	if m.qproj != nil {
+		return PrecisionInt8
+	}
+	return PrecisionFP64
+}
+
+// qforward mirrors forward on the quantized modules.
+func (m *IMUModel) qforward(x, startOH, starts *mat.Dense) (v, logits *mat.Dense) {
+	h := m.qproj.Forward(x)
+	v = m.qdispNet.Forward(h)
+	logits = m.qlocNet.Forward(m.locInput(v, startOH, starts))
+	return v, logits
+}

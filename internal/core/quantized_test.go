@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"noble/internal/dataset"
+	"noble/internal/eval"
+	"noble/internal/geo"
+	"noble/internal/nn/qlinear"
+)
+
+// TestWiFiInt8PredictBatchMatchesPredict mirrors the fp64 contract for
+// the quantized path: micro-batched serving must be bit-for-bit
+// identical to single-sample inference. Static calibrated activation
+// scales make this hold by construction; this test pins it.
+func TestWiFiInt8PredictBatchMatchesPredict(t *testing.T) {
+	ds := tinyWiFi()
+	m := TrainWiFi(ds, tinyWiFiConfig())
+	if err := m.EnableInt8(&qlinear.Calibrator{Method: qlinear.CalibAbsMax}, dataset.FeaturesMatrix(ds.Val)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision() != PrecisionInt8 {
+		t.Fatalf("precision = %q after EnableInt8", m.Precision())
+	}
+	rows := make([][]float64, len(ds.Test))
+	for i, s := range ds.Test {
+		rows[i] = s.Features
+	}
+	batch := m.PredictBatch(rows)
+	for i, s := range ds.Test {
+		if single := m.Predict(s.Features); single != batch[i] {
+			t.Fatalf("sample %d: int8 batch %+v != single %+v", i, batch[i], single)
+		}
+	}
+}
+
+// TestWiFiInt8AccuracyAndReplay checks the two lifecycle properties the
+// serving tier depends on: quantization costs little localization
+// accuracy, and replaying the calibrator's recorded scales into a
+// freshly restored model (the bundle-load path) reproduces the int8
+// predictions exactly.
+func TestWiFiInt8AccuracyAndReplay(t *testing.T) {
+	ds := tinyWiFi()
+	m := TrainWiFi(ds, tinyWiFiConfig())
+	x := dataset.FeaturesMatrix(ds.Test)
+	truth := dataset.Positions(ds.Test)
+	fpMean := eval.Stats(eval.Errors(predPositions(m.PredictMatrix(x)), truth)).Mean
+
+	cal := &qlinear.Calibrator{Method: qlinear.CalibPercentile, Percentile: 99.9}
+	if err := m.EnableInt8(cal, dataset.FeaturesMatrix(ds.Val)); err != nil {
+		t.Fatal(err)
+	}
+	int8Preds := m.PredictMatrix(x)
+	int8Mean := eval.Stats(eval.Errors(predPositions(int8Preds), truth)).Mean
+	if int8Mean > fpMean*1.10+0.2 {
+		t.Fatalf("int8 mean error %v m vs fp64 %v m — quantization destroyed accuracy", int8Mean, fpMean)
+	}
+
+	// Save/Load + stored-scale replay must reproduce int8 predictions.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewWiFiModel(ds, tinyWiFiConfig())
+	if err := fresh.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.EnableInt8(&qlinear.Scales{Values: cal.Scales}, nil); err != nil {
+		t.Fatal(err)
+	}
+	replay := fresh.PredictMatrix(x)
+	for i := range int8Preds {
+		if replay[i] != int8Preds[i] {
+			t.Fatalf("sample %d: replayed int8 %+v != calibrated int8 %+v", i, replay[i], int8Preds[i])
+		}
+	}
+}
+
+// TestWiFiInt8ScaleMismatchRejected: the stored-scale path must refuse
+// a calibration whose scale count does not match the model.
+func TestWiFiInt8ScaleMismatchRejected(t *testing.T) {
+	ds := tinyWiFi()
+	m := NewWiFiModel(ds, tinyWiFiConfig())
+	if err := m.EnableInt8(&qlinear.Scales{Values: []float32{0.1}}, nil); err == nil {
+		t.Fatal("expected error for too-few stored scales")
+	}
+	if m.Precision() != PrecisionFP64 {
+		t.Fatalf("failed EnableInt8 must leave precision fp64, got %q", m.Precision())
+	}
+	cal := &qlinear.Calibrator{}
+	if err := m.EnableInt8(cal, dataset.FeaturesMatrix(ds.Val)); err != nil {
+		t.Fatal(err)
+	}
+	extra := append(append([]float32(nil), cal.Scales...), 0.5)
+	fresh := NewWiFiModel(ds, tinyWiFiConfig())
+	if err := fresh.EnableInt8(&qlinear.Scales{Values: extra}, nil); err == nil {
+		t.Fatal("expected error for too-many stored scales")
+	}
+}
+
+// TestIMUInt8AccuracyAndReplay is the IMU mirror: quantized tracking
+// stays close to fp64 and stored-scale replay is exact.
+func TestIMUInt8AccuracyAndReplay(t *testing.T) {
+	ds := tinyIMU()
+	m := TrainIMU(ds, tinyIMUConfig())
+	truth := make([]geo.Point, len(ds.Test))
+	for i := range ds.Test {
+		truth[i] = ds.Test[i].End
+	}
+	fpMean := eval.Stats(eval.Errors(imuPositions(m.PredictPaths(ds.Test)), truth)).Mean
+
+	cal := &qlinear.Calibrator{Method: qlinear.CalibAbsMax}
+	if err := m.EnableInt8(cal, ds.Validation); err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision() != PrecisionInt8 {
+		t.Fatalf("precision = %q after EnableInt8", m.Precision())
+	}
+	int8Preds := m.PredictPaths(ds.Test)
+	int8Mean := eval.Stats(eval.Errors(imuPositions(int8Preds), truth)).Mean
+	if int8Mean > fpMean*1.15+0.5 {
+		t.Fatalf("int8 mean error %v m vs fp64 %v m", int8Mean, fpMean)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewIMUModel(ds, tinyIMUConfig())
+	if err := fresh.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.EnableInt8(&qlinear.Scales{Values: cal.Scales}, nil); err != nil {
+		t.Fatal(err)
+	}
+	replay := fresh.PredictPaths(ds.Test)
+	for i := range int8Preds {
+		if replay[i] != int8Preds[i] {
+			t.Fatalf("path %d: replayed int8 %+v != calibrated int8 %+v", i, replay[i], int8Preds[i])
+		}
+	}
+}

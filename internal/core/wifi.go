@@ -18,6 +18,7 @@ import (
 	"noble/internal/geo"
 	"noble/internal/mat"
 	"noble/internal/nn"
+	"noble/internal/nn/qlinear"
 	"noble/internal/quantize"
 )
 
@@ -72,6 +73,7 @@ type WiFiModel struct {
 	Grids *quantize.MultiRes
 
 	net          *nn.MultiHead
+	qnet         *qlinear.MultiHead // int8 serving mirror; nil until EnableInt8
 	numWAPs      int
 	numBuildings int
 	numFloors    int
@@ -196,9 +198,10 @@ func TrainWiFi(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
 // stacked as matrix rows and decodes each sample: the fine head's argmax
 // class is looked up in the codebook for its central coordinates (§III-B),
 // and the building/floor heads report their argmax (falling back to 0 when
-// the head is disabled).
+// the head is disabled). After EnableInt8 the forward pass runs the
+// quantized mirror; decoding is identical either way.
 func (m *WiFiModel) PredictMatrix(x *mat.Dense) []WiFiPrediction {
-	_, outs := m.net.Forward(x, false)
+	outs := m.headOutputs(x)
 	preds := make([]WiFiPrediction, x.Rows)
 	for i := range preds {
 		cls := mat.ArgMax(outs[m.fineHead].Row(i))

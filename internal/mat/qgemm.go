@@ -1,0 +1,228 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the int8 quantized-inference substrate beside the f64
+// kernels: a packed weight type (QMat), symmetric per-channel weight
+// quantization, activation-row quantization against a static calibrated
+// scale, and the int8×int8→int32 GEMM the quantized serving tier runs on.
+//
+// The contract mirrors the f64 kernels' bit-identity guarantee, and here
+// it is strictly easier to keep: integer accumulation is exact, so the
+// generic Go kernel, the AVX2 tile, and the naive reference dot product
+// agree bit-for-bit regardless of summation order. Determinism across
+// batch sizes also falls out of the design — weight scales are fixed per
+// channel and activation scales are calibrated constants, so a row's
+// quantized result never depends on its batchmates.
+
+// qKChunk is the packed inner-dimension granularity: columns are padded
+// to a multiple of 32 int8 values so the AVX2 kernel (which consumes two
+// 16-byte VPMOVSXBW chunks per iteration) never needs a k remainder
+// loop. The padding is zeros, and 0·w contributes exactly 0 to an
+// integer accumulator, so padded and unpadded results are identical.
+const qKChunk = 32
+
+// qMaxK bounds the inner dimension so the int32 accumulator cannot
+// overflow: |a·w| per term is at most 127·127 = 16129, so K terms reach
+// at most K·16129, which stays far below 2³¹ for K ≤ 100000.
+const qMaxK = 100000
+
+// QMat is a weight matrix quantized to symmetric per-channel int8 with
+// float32 scales, packed for the quantized GEMM: column (output channel)
+// j of the logical K×N matrix is stored contiguously at
+// Data[j*Kp : (j+1)*Kp], zero-padded from K to Kp. The channel-major
+// layout gives the kernels unit-stride weight access, and the dequantized
+// value of entry (k, j) is float64(Data[j*Kp+k]) * float64(Scale[j]).
+//
+// Every code is an int8 value in [-127, 127], but Data widens the
+// storage to int16: the AVX2 tile then streams weights with plain vector
+// loads and feeds VPMADDWD directly, leaving the (port-constrained)
+// sign-extension shuffle to the activation side only, which is 4-8×
+// smaller. The values are identical either way — widening the storage of
+// an int8 quantity changes nothing about the arithmetic — and the packed
+// form is still 4× smaller than the f64 weights it shadows.
+type QMat struct {
+	K, N int // logical shape: K inputs × N output channels
+	Kp   int // K rounded up to a multiple of qKChunk
+	Data []int16
+	// Scale holds the per-channel quantization step: column j of the
+	// source matrix was divided by Scale[j] and rounded. A channel that
+	// is entirely zero has Scale 0 (and all-zero codes).
+	Scale []float32
+}
+
+// QuantizeWeights quantizes a K×N f64 weight matrix to symmetric
+// per-channel int8: Scale[j] = maxabs(column j)/127 and every entry is
+// round(w/Scale[j]), which by construction lies in [-127, 127]. The
+// mapping is deterministic — the same weights always produce the same
+// codes and scales — so int8 artifacts never need to be persisted; they
+// are re-derived from the f64 snapshot.
+func QuantizeWeights(w *Dense) *QMat {
+	if w.Rows > qMaxK {
+		panic(fmt.Sprintf("mat: QuantizeWeights inner dimension %d exceeds %d (int32 accumulator bound)", w.Rows, qMaxK))
+	}
+	k, n := w.Rows, w.Cols
+	kp := (k + qKChunk - 1) / qKChunk * qKChunk
+	q := &QMat{K: k, N: n, Kp: kp, Data: make([]int16, n*kp), Scale: make([]float32, n)}
+	for j := 0; j < n; j++ {
+		var amax float64
+		for i := 0; i < k; i++ {
+			if a := math.Abs(w.At(i, j)); a > amax {
+				amax = a
+			}
+		}
+		if amax == 0 {
+			continue // Scale stays 0, codes stay 0
+		}
+		scale := float32(amax / 127)
+		q.Scale[j] = scale
+		inv := 127 / amax
+		col := q.Data[j*kp : j*kp+k]
+		for i := 0; i < k; i++ {
+			col[i] = int16(clampInt8(math.RoundToEven(w.At(i, j) * inv)))
+		}
+	}
+	return q
+}
+
+// Dequantize reconstructs the f64 matrix the codes represent (scale times
+// code, per channel) — the reference the accuracy gate and the tests
+// compare against.
+func (q *QMat) Dequantize() *Dense {
+	out := New(q.K, q.N)
+	for j := 0; j < q.N; j++ {
+		s := float64(q.Scale[j])
+		col := q.Data[j*q.Kp : j*q.Kp+q.K]
+		for i, c := range col {
+			out.Set(i, j, float64(c)*s)
+		}
+	}
+	return out
+}
+
+// At returns the quantized code of logical entry (k, j); codes always
+// fit int8.
+func (q *QMat) At(k, j int) int8 { return int8(q.Data[j*q.Kp+k]) }
+
+// QuantizeRowInto quantizes one activation row against the static scale:
+// dst[k] = clamp(round(src[k]/scale), ±127), with dst padded to the
+// packed length by zeros. dst must be at least Kp long for the target
+// QMat; scale ≤ 0 (a degenerate calibration) quantizes everything to 0.
+// Rounding is to nearest, ties to even — implemented with the classic
+// 1.5·2⁵² add/subtract so the hot loop needs no function call; it is
+// exact for any |v/scale| < 2⁵¹ and everything beyond that clamps
+// anyway. This runs once per input value per quantized layer, so it is
+// on the serving critical path.
+func QuantizeRowInto(dst []int8, src []float64, scale float32) {
+	if scale <= 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	inv := 1 / float64(scale)
+	const magic = 6755399441055744.0 // 1.5·2⁵²
+	for k, v := range src {
+		r := v*inv + magic - magic
+		if !(r >= -127) {
+			if r != r { // NaN: degenerate input pins to 0
+				r = 0
+			} else {
+				r = -127
+			}
+		} else if r > 127 {
+			r = 127
+		}
+		dst[k] = int8(r)
+	}
+	for k := len(src); k < len(dst); k++ {
+		dst[k] = 0
+	}
+}
+
+func clampInt8(v float64) int8 {
+	// NaN compares false on both bounds and falls through to the cast,
+	// so pin it to 0 explicitly.
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v > 127:
+		return 127
+	case v < -127:
+		return -127
+	}
+	return int8(v)
+}
+
+// MulInto computes the int8 GEMM: acc[r*q.N+j] = Σ_k a[r*q.Kp+k] · code(k, j)
+// for r < rows, overwriting acc. a holds rows quantized activation rows
+// packed at Kp stride (see QuantizeRowInto); acc must hold rows*N values.
+// Dispatches to the AVX2 tile when the CPU supports it; integer
+// accumulation is exact, so both paths are bit-identical by construction
+// (property-tested in qgemm_test.go).
+func (q *QMat) MulInto(acc []int32, a []int8, rows int) {
+	if len(a) < rows*q.Kp || len(acc) < rows*q.N {
+		panic(fmt.Sprintf("mat: QMat.MulInto buffers too small (%d rows, %d×%d)", rows, q.K, q.N))
+	}
+	if useQGemmAVX2 && q.Kp > 0 {
+		q.mulAVX2(acc, a, rows)
+		return
+	}
+	q.mulGeneric(acc, a, rows)
+}
+
+// mulGeneric is the portable kernel (and the remainder path for column
+// counts the AVX2 tile does not cover).
+func (q *QMat) mulGeneric(acc []int32, a []int8, rows int) {
+	for r := 0; r < rows; r++ {
+		arow := a[r*q.Kp : (r+1)*q.Kp]
+		out := acc[r*q.N : (r+1)*q.N]
+		for j := 0; j < q.N; j++ {
+			out[j] = qdotGeneric(arow, q.Data[j*q.Kp:(j+1)*q.Kp])
+		}
+	}
+}
+
+// qdotGeneric is the scalar int8 dot product the SIMD kernel must match
+// exactly (b holds int8-valued codes in widened storage).
+func qdotGeneric(a []int8, b []int16) int32 {
+	var s int32
+	for k, av := range a {
+		s += int32(av) * int32(b[k])
+	}
+	return s
+}
+
+// mulAVX2 runs the 2-row × 4-channel assembly tile over the bulk of the
+// output and finishes ragged channel remainders with the scalar dot
+// product (exact integers: the mixed paths still agree bit-for-bit).
+// Odd row counts duplicate the last row into the spare lane — the same
+// padding trick as the f64 kernels; duplicate lanes compute and store
+// identical values.
+func (q *QMat) mulAVX2(acc []int32, a []int8, rows int) {
+	kp, n := q.Kp, q.N
+	for r := 0; r < rows; r += 2 {
+		r1 := r + 1
+		if r1 >= rows {
+			r1 = r
+		}
+		a0 := a[r*kp : (r+1)*kp]
+		a1 := a[r1*kp : (r1+1)*kp]
+		out0 := acc[r*n : (r+1)*n]
+		out1 := acc[r1*n : (r1+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			qgemm2x4avx2(kp, &a0[0], &a1[0],
+				&q.Data[j*kp], &q.Data[(j+1)*kp], &q.Data[(j+2)*kp], &q.Data[(j+3)*kp],
+				&out0[j], &out1[j])
+		}
+		for ; j < n; j++ {
+			col := q.Data[j*kp : (j+1)*kp]
+			out0[j] = qdotGeneric(a0, col)
+			out1[j] = qdotGeneric(a1, col)
+		}
+	}
+}

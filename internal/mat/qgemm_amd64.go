@@ -1,0 +1,32 @@
+//go:build amd64
+
+package mat
+
+// useQGemmAVX2 gates the int8 GEMM tile on AVX2 (VPMOVSXBW/VPMADDWD on
+// 256-bit registers) plus the same OS YMM-state checks the f64 kernels
+// need. Unlike the f64 tiles — where un-fused AVX1 arithmetic is what
+// preserves bit-identity — the int8 tile is exact integer math, so any
+// ISA level that computes the sums at all computes them identically.
+var useQGemmAVX2 = useAVXGemm && detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, ebx, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx&avx2 != 0
+}
+
+// qgemm2x4avx2 computes a 2-row × 4-channel int8 dot-product tile over
+// the full padded inner dimension kp (a multiple of 32): for r in {0,1}
+// and c in 0..3, d_r[c] = Σ_k a_r[k]·b_c[k], storing four int32 results
+// at each of d0 and d1. Activations are sign-extended in 16-value
+// chunks; weights load directly from their widened int16 storage and
+// feed VPMADDWD — safe from its i16 saturation because |values| ≤ 127,
+// so a pair sum is at most 2·127·127 = 32258 < 2¹⁵ — accumulating in
+// 8-lane int32 registers that are reduced horizontally once at the end.
+// Integer addition is associative, so the result is bit-identical to
+// qdotGeneric.
+func qgemm2x4avx2(kp int, a0, a1 *int8, b0, b1, b2, b3 *int16, d0, d1 *int32)

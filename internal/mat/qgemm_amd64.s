@@ -1,0 +1,120 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func qgemm2x4avx2(kp int, a0, a1 *int8, b0, b1, b2, b3 *int16, d0, d1 *int32)
+//
+// 2-row × 4-channel int8 dot-product tile over the full padded inner
+// dimension (kp is a multiple of 32; see qKChunk). Weights arrive as
+// int8-valued codes in int16 storage, so the weight side is a plain
+// vector load feeding VPMADDWD straight from memory; only the two
+// activation rows need the VPMOVSXBW widening shuffle, which keeps the
+// shuffle port off the critical path. Register layout: Y0..Y3 are
+// row 0's per-channel int32 accumulators, Y4..Y7 row 1's; Y8..Y11 the
+// sign-extended activation chunks for the two halves of the current
+// 32-value step, Y12 the current weight chunk, Y13 the VPMADDWD
+// product. Values are bounded by ±127, so a VPMADDWD pair sum is at
+// most 2·127·127 = 32258 — no i16 saturation is reachable — and the
+// int32 lanes are reduced once at the end with a VPHADDD tree. Integer
+// sums are exact, so the result is bit-identical to the generic kernel
+// regardless of accumulation order.
+TEXT ·qgemm2x4avx2(SB), NOSPLIT, $0-72
+	MOVQ kp+0(FP), CX
+	MOVQ a0+8(FP), R8
+	MOVQ a1+16(FP), R9
+	MOVQ b0+24(FP), R10
+	MOVQ b1+32(FP), R11
+	MOVQ b2+40(FP), R12
+	MOVQ b3+48(FP), R13
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+	XORQ SI, SI            // activation byte index == weight element index
+	TESTQ CX, CX
+	JZ    reduce
+
+kloop:
+	VPMOVSXBW (R8)(SI*1), Y8      // row 0, values [k, k+16)
+	VPMOVSXBW 16(R8)(SI*1), Y9    // row 0, values [k+16, k+32)
+	VPMOVSXBW (R9)(SI*1), Y10     // row 1, low half
+	VPMOVSXBW 16(R9)(SI*1), Y11   // row 1, high half
+
+	VMOVDQU  (R10)(SI*2), Y12     // channel 0 weights, low half (16 × i16)
+	VPMADDWD Y12, Y8, Y13
+	VPADDD   Y13, Y0, Y0
+	VPMADDWD Y12, Y10, Y13
+	VPADDD   Y13, Y4, Y4
+	VMOVDQU  32(R10)(SI*2), Y12   // channel 0, high half
+	VPMADDWD Y12, Y9, Y13
+	VPADDD   Y13, Y0, Y0
+	VPMADDWD Y12, Y11, Y13
+	VPADDD   Y13, Y4, Y4
+
+	VMOVDQU  (R11)(SI*2), Y12     // channel 1
+	VPMADDWD Y12, Y8, Y13
+	VPADDD   Y13, Y1, Y1
+	VPMADDWD Y12, Y10, Y13
+	VPADDD   Y13, Y5, Y5
+	VMOVDQU  32(R11)(SI*2), Y12
+	VPMADDWD Y12, Y9, Y13
+	VPADDD   Y13, Y1, Y1
+	VPMADDWD Y12, Y11, Y13
+	VPADDD   Y13, Y5, Y5
+
+	VMOVDQU  (R12)(SI*2), Y12     // channel 2
+	VPMADDWD Y12, Y8, Y13
+	VPADDD   Y13, Y2, Y2
+	VPMADDWD Y12, Y10, Y13
+	VPADDD   Y13, Y6, Y6
+	VMOVDQU  32(R12)(SI*2), Y12
+	VPMADDWD Y12, Y9, Y13
+	VPADDD   Y13, Y2, Y2
+	VPMADDWD Y12, Y11, Y13
+	VPADDD   Y13, Y6, Y6
+
+	VMOVDQU  (R13)(SI*2), Y12     // channel 3
+	VPMADDWD Y12, Y8, Y13
+	VPADDD   Y13, Y3, Y3
+	VPMADDWD Y12, Y10, Y13
+	VPADDD   Y13, Y7, Y7
+	VMOVDQU  32(R13)(SI*2), Y12
+	VPMADDWD Y12, Y9, Y13
+	VPADDD   Y13, Y3, Y3
+	VPMADDWD Y12, Y11, Y13
+	VPADDD   Y13, Y7, Y7
+
+	ADDQ $32, SI
+	CMPQ SI, CX
+	JLT  kloop
+
+reduce:
+	// Row 0: collapse the four 8-lane accumulators to [c0 c1 c2 c3].
+	// VPHADDD(B, A) packs A's pair sums in the low half of each 128-bit
+	// lane and B's in the high half, so two tree levels interleave all
+	// four channels per lane; the extract+add folds the two lanes.
+	VPHADDD Y1, Y0, Y13
+	VPHADDD Y3, Y2, Y12
+	VPHADDD Y12, Y13, Y13
+	VEXTRACTI128 $1, Y13, X12
+	VPADDD X12, X13, X13
+	MOVQ d0+56(FP), AX
+	VMOVDQU X13, (AX)
+
+	// Row 1.
+	VPHADDD Y5, Y4, Y13
+	VPHADDD Y7, Y6, Y12
+	VPHADDD Y12, Y13, Y13
+	VEXTRACTI128 $1, Y13, X12
+	VPADDD X12, X13, X13
+	MOVQ d1+64(FP), AX
+	VMOVDQU X13, (AX)
+
+	VZEROUPPER
+	RET

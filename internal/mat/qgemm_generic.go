@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 builds always take the portable int8 kernel.
+const useQGemmAVX2 = false
+
+// qgemm2x4avx2 is never called when useQGemmAVX2 is false; this stub
+// keeps the package compiling on other architectures.
+func qgemm2x4avx2(kp int, a0, a1 *int8, b0, b1, b2, b3 *int16, d0, d1 *int32) {
+	panic("mat: qgemm2x4avx2 called on non-amd64 build")
+}

@@ -1,0 +1,258 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveQMul is the obvious triple loop over the logical (unpadded) shape
+// — the reference every packed kernel must reproduce exactly.
+func naiveQMul(q *QMat, a []int8, rows int) []int32 {
+	out := make([]int32, rows*q.N)
+	for r := 0; r < rows; r++ {
+		for j := 0; j < q.N; j++ {
+			var s int32
+			for k := 0; k < q.K; k++ {
+				s += int32(a[r*q.Kp+k]) * int32(q.At(k, j))
+			}
+			out[r*q.N+j] = s
+		}
+	}
+	return out
+}
+
+func randQMat(rng *rand.Rand, k, n int) (*QMat, []int8, int) {
+	w := New(k, n)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64())
+	}
+	q := QuantizeWeights(w)
+	rows := 1 + rng.Intn(11)
+	a := make([]int8, rows*q.Kp)
+	for r := 0; r < rows; r++ {
+		for i := 0; i < k; i++ {
+			a[r*q.Kp+i] = int8(rng.Intn(255) - 127)
+		}
+	}
+	return q, a, rows
+}
+
+// TestQMatMulMatchesNaive is the property test: across random shapes
+// (including non-multiple-of-16 K and ragged column counts), the packed
+// kernel — whichever path the CPU dispatches to — equals the naive
+// reference bit-for-bit.
+func TestQMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(70)
+		n := 1 + rng.Intn(23)
+		if trial%7 == 0 {
+			k = 16 * (1 + rng.Intn(8)) // exact-chunk shapes too
+		}
+		q, a, rows := randQMat(rng, k, n)
+		got := make([]int32, rows*q.N)
+		q.MulInto(got, a, rows)
+		want := naiveQMul(q, a, rows)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (K=%d N=%d rows=%d): acc[%d] = %d, want %d",
+					trial, k, n, rows, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQMatMulGenericMatchesAVX2 pins the satellite requirement directly:
+// on hardware with the AVX2 tile, the generic Go kernel and the assembly
+// path agree bit-for-bit on every element.
+func TestQMatMulGenericMatchesAVX2(t *testing.T) {
+	if !useQGemmAVX2 {
+		t.Skip("no AVX2 int8 kernel on this machine; generic path is the only path")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		q, a, rows := randQMat(rng, 1+rng.Intn(200), 1+rng.Intn(40))
+		simd := make([]int32, rows*q.N)
+		q.mulAVX2(simd, a, rows)
+		gen := make([]int32, rows*q.N)
+		q.mulGeneric(gen, a, rows)
+		for i := range gen {
+			if simd[i] != gen[i] {
+				t.Fatalf("trial %d (K=%d N=%d rows=%d): avx2 acc[%d] = %d, generic %d",
+					trial, q.K, q.N, rows, i, simd[i], gen[i])
+			}
+		}
+	}
+}
+
+// TestQMatMulRowIndependence: a row's accumulators must not depend on its
+// batchmates — the kernel-level half of the batch-size determinism
+// contract (TestWiFiPredictBatchInt8MatchesPredict covers the model
+// level).
+func TestQMatMulRowIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q, a, rows := randQMat(rng, 130, 37)
+	if rows < 2 {
+		a = append(a, a...)
+		rows *= 2
+	}
+	batch := make([]int32, rows*q.N)
+	q.MulInto(batch, a, rows)
+	for r := 0; r < rows; r++ {
+		solo := make([]int32, q.N)
+		q.MulInto(solo, a[r*q.Kp:(r+1)*q.Kp], 1)
+		for j, v := range solo {
+			if batch[r*q.N+j] != v {
+				t.Fatalf("row %d col %d: batched %d, solo %d", r, j, batch[r*q.N+j], v)
+			}
+		}
+	}
+}
+
+// TestQuantizeWeightsRoundTrip checks the symmetric per-channel scheme:
+// codes stay in [-127, 127], scales are maxabs/127, and dequantization
+// reproduces each entry within half a quantization step.
+func TestQuantizeWeightsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := New(45, 9)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * 3
+	}
+	// A dead channel must quantize to scale 0 and all-zero codes.
+	for i := 0; i < w.Rows; i++ {
+		w.Set(i, 4, 0)
+	}
+	q := QuantizeWeights(w)
+	if q.Scale[4] != 0 {
+		t.Fatalf("dead channel scale = %v, want 0", q.Scale[4])
+	}
+	deq := q.Dequantize()
+	for j := 0; j < w.Cols; j++ {
+		var amax float64
+		for i := 0; i < w.Rows; i++ {
+			if a := math.Abs(w.At(i, j)); a > amax {
+				amax = a
+			}
+		}
+		for i := 0; i < w.Rows; i++ {
+			if c := q.At(i, j); c > 127 || c < -127 {
+				t.Fatalf("code (%d,%d) = %d out of range", i, j, c)
+			}
+			step := amax / 127
+			if diff := math.Abs(deq.At(i, j) - w.At(i, j)); step > 0 && diff > step/2+1e-12 {
+				t.Fatalf("entry (%d,%d): dequant %v vs %v exceeds half step %v", i, j, deq.At(i, j), w.At(i, j), step/2)
+			}
+		}
+	}
+}
+
+// TestQuantizeRowInto covers clamping, padding, and the degenerate
+// scale.
+func TestQuantizeRowInto(t *testing.T) {
+	dst := make([]int8, 16)
+	QuantizeRowInto(dst, []float64{0, 1, -1, 1000, -1000, 0.49, -0.51}, 1)
+	want := []int8{0, 1, -1, 127, -127, 0, -1}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], w)
+		}
+	}
+	for i := len(want); i < len(dst); i++ {
+		if dst[i] != 0 {
+			t.Fatalf("padding dst[%d] = %d, want 0", i, dst[i])
+		}
+	}
+	for i := range dst {
+		dst[i] = 42
+	}
+	QuantizeRowInto(dst, []float64{1, 2, 3}, 0)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatalf("zero-scale dst[%d] = %d, want 0", i, dst[i])
+		}
+	}
+}
+
+// FuzzQMatMul fuzzes raw code/activation bytes through both kernels.
+func FuzzQMatMul(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3), uint8(2))
+	f.Add(make([]byte, 64), uint8(16), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, nRaw uint8) {
+		k := 1 + int(kRaw)%64
+		n := 1 + int(nRaw)%8
+		kp := (k + qKChunk - 1) / qKChunk * qKChunk
+		q := &QMat{K: k, N: n, Kp: kp, Data: make([]int16, n*kp), Scale: make([]float32, n)}
+		at := func(i int) int8 {
+			if len(raw) == 0 {
+				return 0
+			}
+			v := int8(raw[i%len(raw)])
+			if v == -128 {
+				v = -127 // symmetric quantization never emits -128
+			}
+			return v
+		}
+		idx := 0
+		for j := 0; j < n; j++ {
+			for i := 0; i < k; i++ {
+				q.Data[j*kp+i] = int16(at(idx))
+				idx++
+			}
+		}
+		rows := 3
+		a := make([]int8, rows*kp)
+		for r := 0; r < rows; r++ {
+			for i := 0; i < k; i++ {
+				a[r*kp+i] = at(idx)
+				idx++
+			}
+		}
+		got := make([]int32, rows*n)
+		q.MulInto(got, a, rows)
+		want := naiveQMul(q, a, rows)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("acc[%d] = %d, want %d (K=%d N=%d)", i, got[i], want[i], k, n)
+			}
+		}
+	})
+}
+
+func BenchmarkQMatMul128x1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	w := New(128, 1024)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	q := QuantizeWeights(w)
+	rows := 32
+	a := make([]int8, rows*q.Kp)
+	for i := range a {
+		a[i] = int8(rng.Intn(255) - 127)
+	}
+	acc := make([]int32, rows*q.N)
+	b.SetBytes(int64(rows * q.K * q.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.MulInto(acc, a, rows)
+	}
+}
+
+func BenchmarkF64MatMul128x1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	w := New(128, 1024)
+	x := New(32, 128)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := New(32, 1024)
+	b.SetBytes(int64(32 * 128 * 1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, w)
+	}
+}

@@ -1,0 +1,407 @@
+// Package qlinear is the int8 inference mirror of package nn: a
+// quantized serving tier built from a trained fp64 network, never
+// trained itself. Eligible fully connected layers (both matrix
+// dimensions ≥ MinQuantDim) are re-expressed as symmetric per-channel
+// int8 weights (mat.QMat) plus one static activation scale per layer,
+// and everything else — batch norm, activations, small projections —
+// runs through the original fp64 layer unchanged via Wrap.
+//
+// Activation scales are static: they come from a one-time calibration
+// pass over held-out data (Calibrator), not from the batch being
+// served. That choice buys the batch-size determinism contract for
+// free — a row's quantized output can never depend on its batchmates —
+// and makes the scales a small, auditable artifact (the bundle's
+// calibration.json) instead of runtime state.
+//
+// Layers here implement the single-parameter Forward(x) signature.
+// That is deliberate: there is no train mode, so there is nothing the
+// signature could cache, and the repository's readonlyinfer vet rule
+// treats one-parameter Forward methods as inference-only and flags any
+// receiver write inside them.
+package qlinear
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"noble/internal/mat"
+	"noble/internal/nn"
+)
+
+// MinQuantDim is the eligibility floor for quantizing a Dense layer:
+// both In and Out must reach it. Below this a layer's GEMM is too small
+// for int8 to pay for the quantize/dequantize round trip, and tiny
+// output heads (building/floor probes) keep full precision for
+// accuracy at negligible cost.
+const MinQuantDim = 16
+
+// Layer is a quantized-inference transformation. Forward takes only
+// the batch — no train flag — because this tier cannot train; the
+// readonlyinfer vet rule enforces that implementations write no
+// receiver state, which is what makes concurrent serving on a shared
+// model race-free.
+type Layer interface {
+	Forward(x *mat.Dense) *mat.Dense
+}
+
+// Wrap adapts an fp64 nn.Layer into the inference-only interface by
+// pinning train=false. Non-quantized layers (batch norm, activations,
+// below-threshold Dense) pass through it unchanged.
+type Wrap struct {
+	L nn.Layer
+}
+
+// Forward runs the wrapped layer's inference pass.
+func (w Wrap) Forward(x *mat.Dense) *mat.Dense { return w.L.Forward(x, false) }
+
+// QDense is the int8 image of a trained nn.Dense: per-channel int8
+// weight codes, the fp64 bias carried over verbatim, and one static
+// activation scale. Forward quantizes each input row against ActScale,
+// runs the integer GEMM, and dequantizes with per-channel combined
+// scales, so the arithmetic inside the matrix product is pure int8×int8
+// with exact int32 accumulation.
+type QDense struct {
+	In, Out  int
+	W        *mat.QMat
+	Bias     []float64
+	ActScale float32
+
+	// deq[j] = float64(ActScale) · float64(W.Scale[j]), precomputed so
+	// dequantization is one multiply per output element.
+	deq []float64
+}
+
+// NewQDense quantizes a trained Dense layer against the given static
+// activation scale.
+func NewQDense(d *nn.Dense, actScale float32) *QDense {
+	return newQDense(d.Weight.W, d.Bias.W.Data, actScale)
+}
+
+func newQDense(w *mat.Dense, bias []float64, actScale float32) *QDense {
+	q := &QDense{
+		In:       w.Rows,
+		Out:      w.Cols,
+		W:        mat.QuantizeWeights(w),
+		Bias:     append([]float64(nil), bias...),
+		ActScale: actScale,
+	}
+	q.deq = make([]float64, q.Out)
+	for j := range q.deq {
+		q.deq[j] = float64(actScale) * float64(q.W.Scale[j])
+	}
+	return q
+}
+
+// foldBatchNorm composes a trained Dense with the inference-time affine
+// of the BatchNorm that follows it: y = γ·(x·W + b − μ)/√(σ²+ε) + β is
+// itself a dense layer with W′ = W·diag(g) and b′ = (b−μ)·g + β, where
+// g = γ/√(σ²+ε). The quantized tier always folds this pattern — it
+// removes the separate normalization pass from the serving path, and
+// per-channel weight scales absorb g exactly, so folding costs no
+// quantization headroom.
+func foldBatchNorm(d *nn.Dense, bn *nn.BatchNorm) (*mat.Dense, []float64) {
+	w := mat.New(d.In, d.Out)
+	bias := make([]float64, d.Out)
+	for j := 0; j < d.Out; j++ {
+		g := bn.Gamma.W.Data[j] / math.Sqrt(bn.RunningVar[j]+bn.Eps)
+		for i := 0; i < d.In; i++ {
+			w.Set(i, j, d.Weight.W.At(i, j)*g)
+		}
+		bias[j] = (d.Bias.W.Data[j]-bn.RunningMean[j])*g + bn.Beta.W.Data[j]
+	}
+	return w, bias
+}
+
+// Tanh is the quantized tier's activation: a degree-13 Lambert
+// continued-fraction rational, clamped to ±1 beyond |x| = 5. Its
+// absolute error is below 1.5e-5 for |x| ≤ 4 and below ~1e-4
+// everywhere — one to two orders of magnitude finer than the 1/127
+// quantization step the very next layer rounds to — and it avoids the
+// exp-based math.Tanh, which profiles as one of the largest non-GEMM
+// costs on the serving path. The fp64 tier keeps exact math.Tanh; this
+// approximation exists only behind the accuracy gate.
+type Tanh struct{}
+
+// Forward applies the rational tanh elementwise.
+func (Tanh) Forward(x *mat.Dense) *mat.Dense {
+	out := mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = ratTanh(v)
+	}
+	return out
+}
+
+func ratTanh(x float64) float64 {
+	switch {
+	case x > 5:
+		return 1
+	case x < -5:
+		return -1
+	case x != x:
+		return x
+	}
+	x2 := x * x
+	p := x * (135135 + x2*(17325+x2*(378+x2)))
+	q := 135135 + x2*(62370+x2*(3150+x2*28))
+	return p / q
+}
+
+// Forward computes x·W + b through the int8 path. Each input row is
+// quantized independently against the static scale, so the result for a
+// row is identical whatever batch it arrives in.
+func (q *QDense) Forward(x *mat.Dense) *mat.Dense {
+	if x.Cols != q.In {
+		panic(fmt.Sprintf("qlinear: QDense %d→%d got input with %d cols", q.In, q.Out, x.Cols))
+	}
+	rows := x.Rows
+	a := make([]int8, rows*q.W.Kp)
+	for r := 0; r < rows; r++ {
+		mat.QuantizeRowInto(a[r*q.W.Kp:(r+1)*q.W.Kp], x.Row(r), q.ActScale)
+	}
+	acc := make([]int32, rows*q.Out)
+	q.W.MulInto(acc, a, rows)
+	out := mat.New(rows, q.Out)
+	for r := 0; r < rows; r++ {
+		dst := out.Row(r)
+		src := acc[r*q.Out : (r+1)*q.Out]
+		for j, v := range src {
+			dst[j] = float64(v)*q.deq[j] + q.Bias[j]
+		}
+	}
+	return out
+}
+
+// QBlockDense mirrors nn.BlockDense: the shared quantized transform is
+// applied to each of Blocks consecutive column groups via the same
+// reshape trick as the fp64 layer.
+type QBlockDense struct {
+	Blocks int
+	Inner  *QDense
+}
+
+// Forward reshapes (batch, Blocks·In) to (batch·Blocks, In), applies
+// the shared quantized layer, and reshapes back.
+func (b *QBlockDense) Forward(x *mat.Dense) *mat.Dense {
+	if x.Cols != b.Blocks*b.Inner.In {
+		panic(fmt.Sprintf("qlinear: QBlockDense expected %d cols, got %d", b.Blocks*b.Inner.In, x.Cols))
+	}
+	flat := x.Reshape(x.Rows*b.Blocks, b.Inner.In)
+	out := b.Inner.Forward(flat)
+	return out.Reshape(x.Rows, b.Blocks*b.Inner.Out)
+}
+
+// Seq chains quantized-inference layers.
+type Seq struct {
+	Layers []Layer
+}
+
+// Forward runs the layers in order.
+func (s *Seq) Forward(x *mat.Dense) *mat.Dense {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// MultiHead mirrors nn.MultiHead for inference: a quantized trunk whose
+// final activation is the embedding, feeding one output layer per head.
+type MultiHead struct {
+	Trunk *Seq
+	Heads []Layer
+}
+
+// Forward returns the trunk embedding and every head's raw output, in
+// head order.
+func (m *MultiHead) Forward(x *mat.Dense) (emb *mat.Dense, outs []*mat.Dense) {
+	emb = m.Trunk.Forward(x)
+	outs = make([]*mat.Dense, len(m.Heads))
+	for i, h := range m.Heads {
+		outs[i] = h.Forward(emb)
+	}
+	return emb, outs
+}
+
+// ScaleSource supplies one activation scale per quantized layer, in the
+// canonical build order (trunk layers first, then heads). The two
+// implementations are the two halves of the bundle lifecycle: a
+// Calibrator measures scales from held-out data at train time, and
+// Scales replays the stored values at load time. Because both are
+// consumed through the same builder walk, the orders agree by
+// construction.
+type ScaleSource interface {
+	// next returns the scale for the upcoming quantized layer. x holds
+	// the fp64 activations entering that layer when the caller is
+	// propagating calibration data, or nil when scales are replayed
+	// without data.
+	next(x *mat.Dense) (float32, error)
+}
+
+// Calibrator derives static activation scales from a calibration
+// matrix as it flows through the fp64 network. Method is "absmax"
+// (scale = max|x|/127) or "percentile" (scale = p-th percentile of
+// |x| divided by 127, clipping outliers that would otherwise waste the
+// int8 range).
+type Calibrator struct {
+	Method     string
+	Percentile float64
+
+	// Scales accumulates the emitted scales in canonical order; this is
+	// exactly what the bundle's calibration.json persists.
+	Scales []float32
+}
+
+// CalibAbsMax and CalibPercentile name the supported calibration
+// methods.
+const (
+	CalibAbsMax     = "absmax"
+	CalibPercentile = "percentile"
+)
+
+func (c *Calibrator) next(x *mat.Dense) (float32, error) {
+	if x == nil {
+		return 0, fmt.Errorf("qlinear: calibrator needs activation data")
+	}
+	var bound float64
+	switch c.Method {
+	case CalibAbsMax, "":
+		for _, v := range x.Data {
+			if a := math.Abs(v); a > bound {
+				bound = a
+			}
+		}
+	case CalibPercentile:
+		p := c.Percentile
+		if p <= 0 || p > 100 {
+			return 0, fmt.Errorf("qlinear: percentile %v outside (0, 100]", p)
+		}
+		abs := make([]float64, len(x.Data))
+		for i, v := range x.Data {
+			abs[i] = math.Abs(v)
+		}
+		sort.Float64s(abs)
+		idx := int(math.Ceil(p/100*float64(len(abs)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		bound = abs[idx]
+	default:
+		return 0, fmt.Errorf("qlinear: unknown calibration method %q", c.Method)
+	}
+	s := float32(bound / 127)
+	c.Scales = append(c.Scales, s)
+	return s, nil
+}
+
+// Scales replays stored activation scales in canonical order — the
+// load-time half of the calibration lifecycle.
+type Scales struct {
+	Values []float32
+	i      int
+}
+
+func (s *Scales) next(*mat.Dense) (float32, error) {
+	if s.i >= len(s.Values) {
+		return 0, fmt.Errorf("qlinear: calibration has %d activation scales but the model needs more", len(s.Values))
+	}
+	v := s.Values[s.i]
+	s.i++
+	if v < 0 || math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+		return 0, fmt.Errorf("qlinear: activation scale %d is invalid (%v)", s.i-1, v)
+	}
+	return v, nil
+}
+
+// Remaining reports how many stored scales were not consumed; a loader
+// treats a nonzero remainder as a corrupt calibration.
+func (s *Scales) Remaining() int { return len(s.Values) - s.i }
+
+// quantizable reports whether a Dense layer is worth quantizing.
+func quantizable(d *nn.Dense) bool { return d.In >= MinQuantDim && d.Out >= MinQuantDim }
+
+// FromSequential builds the quantized mirror of a trained fp64
+// Sequential. Eligible Dense (and BlockDense) layers become their int8
+// counterparts with scales drawn from src — a Dense immediately
+// followed by a BatchNorm is folded into a single quantized layer, and
+// tanh activations switch to the tier's rational approximation;
+// everything else is wrapped. When calib is non-nil it is propagated
+// through the fp64 layers so a Calibrator can observe each quantized
+// layer's input distribution, and the final activations are returned
+// (nil otherwise). Calibration always propagates through the exact
+// fp64 layers, so recorded scales are independent of the folding and
+// approximation choices above.
+func FromSequential(s *nn.Sequential, src ScaleSource, calib *mat.Dense) (*Seq, *mat.Dense, error) {
+	out := &Seq{Layers: make([]Layer, 0, len(s.Layers))}
+	for i := 0; i < len(s.Layers); i++ {
+		l := s.Layers[i]
+		folded := 1 // fp64 layers this step consumes
+		switch t := l.(type) {
+		case *nn.Dense:
+			if quantizable(t) {
+				scale, err := src.next(calib)
+				if err != nil {
+					return nil, nil, err
+				}
+				if i+1 < len(s.Layers) {
+					if bn, ok := s.Layers[i+1].(*nn.BatchNorm); ok {
+						w, bias := foldBatchNorm(t, bn)
+						out.Layers = append(out.Layers, newQDense(w, bias, scale))
+						folded = 2
+						break
+					}
+				}
+				out.Layers = append(out.Layers, NewQDense(t, scale))
+			} else {
+				out.Layers = append(out.Layers, Wrap{t})
+			}
+		case *nn.BlockDense:
+			if quantizable(t.Inner) {
+				// The reshape that feeds the shared inner layer only
+				// regroups values, so the block input's distribution is
+				// the inner layer's input distribution.
+				scale, err := src.next(calib)
+				if err != nil {
+					return nil, nil, err
+				}
+				out.Layers = append(out.Layers, &QBlockDense{Blocks: t.Blocks, Inner: NewQDense(t.Inner, scale)})
+			} else {
+				out.Layers = append(out.Layers, Wrap{t})
+			}
+		case *nn.Tanh:
+			out.Layers = append(out.Layers, Tanh{})
+		default:
+			out.Layers = append(out.Layers, Wrap{l})
+		}
+		for n := 0; n < folded; n++ {
+			if calib != nil {
+				calib = s.Layers[i+n].Forward(calib, false)
+			}
+		}
+		i += folded - 1
+	}
+	return out, calib, nil
+}
+
+// FromMultiHead builds the quantized mirror of a trained multi-head
+// model: the trunk via FromSequential, then each head (in declaration
+// order) against the trunk's output embedding. The canonical scale
+// order is therefore trunk-quantized-layers then head-quantized-layers.
+func FromMultiHead(m *nn.MultiHead, src ScaleSource, calib *mat.Dense) (*MultiHead, error) {
+	trunk, emb, err := FromSequential(m.Trunk, src, calib)
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiHead{Trunk: trunk, Heads: make([]Layer, len(m.Heads))}
+	for i, h := range m.Heads {
+		if d, ok := h.Layer.(*nn.Dense); ok && quantizable(d) {
+			scale, err := src.next(emb)
+			if err != nil {
+				return nil, err
+			}
+			out.Heads[i] = NewQDense(d, scale)
+			continue
+		}
+		out.Heads[i] = Wrap{h.Layer}
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package qlinear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"noble/internal/mat"
+	"noble/internal/nn"
+)
+
+func randDense(rng *rand.Rand, rows, cols int, scale float64) *mat.Dense {
+	m := mat.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * scale
+	}
+	return m
+}
+
+func newTestModel(rng *rand.Rand, in int) *nn.MultiHead {
+	trunk := nn.NewMLP("t", in, []int{32, 32}, true, rng)
+	heads := []*nn.Head{
+		{Name: "big", Layer: nn.NewDense("t.big", 32, 40, nn.InitXavier, rng), Weight: 1},
+		{Name: "tiny", Layer: nn.NewDense("t.tiny", 32, 3, nn.InitXavier, rng), Weight: 1},
+	}
+	return nn.NewMultiHead(trunk, heads...)
+}
+
+// TestQDenseMatchesIntegerReference recomputes a QDense forward with
+// explicit scalar integer arithmetic — the layer must match it
+// bit-for-bit, since both sides do exact int32 accumulation followed by
+// the identical dequantization expression.
+func TestQDenseMatchesIntegerReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := nn.NewDense("d", 50, 20, nn.InitXavier, rng)
+	for i := range d.Bias.W.Data {
+		d.Bias.W.Data[i] = rng.NormFloat64()
+	}
+	const actScale = float32(0.02)
+	q := NewQDense(d, actScale)
+	x := randDense(rng, 7, 50, 1)
+	got := q.Forward(x)
+	for r := 0; r < x.Rows; r++ {
+		arow := make([]int8, q.W.Kp)
+		mat.QuantizeRowInto(arow, x.Row(r), actScale)
+		for j := 0; j < q.Out; j++ {
+			var acc int32
+			for k := 0; k < q.In; k++ {
+				acc += int32(arow[k]) * int32(q.W.At(k, j))
+			}
+			want := float64(acc)*float64(actScale)*float64(q.W.Scale[j]) + d.Bias.W.Data[j]
+			if got.At(r, j) != want {
+				t.Fatalf("out(%d,%d) = %v, want %v", r, j, got.At(r, j), want)
+			}
+		}
+	}
+}
+
+// TestCalibrateThenReplayIdentical is the lifecycle contract: scales
+// measured by a Calibrator at train time and replayed through Scales at
+// load time must build a byte-for-byte identical network.
+func TestCalibrateThenReplayIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := newTestModel(rng, 24)
+	calib := randDense(rng, 64, 24, 2)
+
+	cal := &Calibrator{Method: CalibAbsMax}
+	qm1, err := FromMultiHead(m, cal, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trunk has two eligible Dense layers, plus the one eligible head.
+	if len(cal.Scales) != 3 {
+		t.Fatalf("calibrator emitted %d scales, want 3", len(cal.Scales))
+	}
+
+	replay := &Scales{Values: cal.Scales}
+	qm2, err := FromMultiHead(m, replay, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Remaining() != 0 {
+		t.Fatalf("replay left %d scales unconsumed", replay.Remaining())
+	}
+
+	x := randDense(rng, 9, 24, 2)
+	emb1, outs1 := qm1.Forward(x)
+	emb2, outs2 := qm2.Forward(x)
+	for i := range emb1.Data {
+		if emb1.Data[i] != emb2.Data[i] {
+			t.Fatalf("embedding diverges at %d: %v vs %v", i, emb1.Data[i], emb2.Data[i])
+		}
+	}
+	for h := range outs1 {
+		for i := range outs1[h].Data {
+			if outs1[h].Data[i] != outs2[h].Data[i] {
+				t.Fatalf("head %d diverges at %d", h, i)
+			}
+		}
+	}
+}
+
+// TestQuantizedCloseToFP64 bounds the quantization error on a
+// well-conditioned model: int8 outputs track the fp64 outputs closely.
+func TestQuantizedCloseToFP64(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := newTestModel(rng, 24)
+	calib := randDense(rng, 128, 24, 1)
+	qm, err := FromMultiHead(m, &Calibrator{Method: CalibAbsMax}, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randDense(rng, 16, 24, 1)
+	fpEmb, fpOuts := m.Forward(x, false)
+	qEmb, qOuts := qm.Forward(x)
+	maxDiff := func(a, b *mat.Dense) float64 {
+		var d float64
+		for i := range a.Data {
+			if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+				d = v
+			}
+		}
+		return d
+	}
+	if d := maxDiff(fpEmb, qEmb); d > 0.15 {
+		t.Fatalf("embedding drifted %v from fp64", d)
+	}
+	for h := range fpOuts {
+		if d := maxDiff(fpOuts[h], qOuts[h]); d > 0.35 {
+			t.Fatalf("head %d drifted %v from fp64", h, d)
+		}
+	}
+}
+
+// TestSmallLayersStayFP64: heads below MinQuantDim must pass through
+// the exact fp64 layer.
+func TestSmallLayersStayFP64(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := newTestModel(rng, 24)
+	qm, err := FromMultiHead(m, &Calibrator{}, randDense(rng, 32, 24, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := qm.Heads[0].(*QDense); !ok {
+		t.Fatalf("eligible head not quantized: %T", qm.Heads[0])
+	}
+	if _, ok := qm.Heads[1].(Wrap); !ok {
+		t.Fatalf("tiny head should stay fp64, got %T", qm.Heads[1])
+	}
+	// The wrapped head on the same embedding must agree with fp64 exactly.
+	x := randDense(rng, 5, 24, 1)
+	qEmb, qOuts := qm.Forward(x)
+	want := m.Heads[1].Layer.Forward(qEmb, false)
+	for i := range want.Data {
+		if qOuts[1].Data[i] != want.Data[i] {
+			t.Fatalf("wrapped head diverges at %d", i)
+		}
+	}
+}
+
+// TestPercentileCalibration: a percentile bound must ignore a gross
+// outlier that absmax would let dominate the scale.
+func TestPercentileCalibration(t *testing.T) {
+	x := mat.New(100, 10)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	x.Data[0] = 1e6
+
+	abs := &Calibrator{Method: CalibAbsMax}
+	sAbs, err := abs.next(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := &Calibrator{Method: CalibPercentile, Percentile: 99.5}
+	sPct, err := pct.next(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sAbs < 1e6/127*0.99 {
+		t.Fatalf("absmax scale %v should reflect the outlier", sAbs)
+	}
+	if math.Abs(float64(sPct)-1.0/127) > 1e-6 {
+		t.Fatalf("percentile scale %v, want ~%v", sPct, 1.0/127)
+	}
+}
+
+// TestScalesValidation: replay must reject exhaustion and invalid
+// values — this is what refuses a truncated or corrupted
+// calibration.json at load time.
+func TestScalesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := newTestModel(rng, 24)
+	if _, err := FromMultiHead(m, &Scales{Values: []float32{0.1}}, nil); err == nil {
+		t.Fatal("expected error for too-few scales")
+	}
+	bad := float32(math.NaN())
+	if _, err := FromMultiHead(m, &Scales{Values: []float32{0.1, bad, 0.1}}, nil); err == nil {
+		t.Fatal("expected error for NaN scale")
+	}
+	if _, err := FromMultiHead(m, &Calibrator{Method: "bogus"}, mat.New(4, 24)); err == nil {
+		t.Fatal("expected error for unknown calibration method")
+	}
+	if _, err := FromMultiHead(m, &Calibrator{}, nil); err == nil {
+		t.Fatal("expected error for calibrator without data")
+	}
+}

@@ -299,6 +299,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w)
+	s.engine.Registry().WritePrometheus(w)
 	s.engine.Sessions().WritePrometheus(w)
 	if j := s.engine.Journal(); j != nil {
 		j.WritePrometheus(w)

@@ -33,6 +33,12 @@ type Manifest struct {
 	Weights string      `json:"weights,omitempty"` // weight file, default "weights.gob"
 	WiFi    *WiFiBundle `json:"wifi,omitempty"`
 	IMU     *IMUBundle  `json:"imu,omitempty"`
+
+	// Precision selects the serving tier. Nil (every pre-existing
+	// bundle) means fp64; mode "int8" makes LoadBundle replay the
+	// bundle's calibration artifact and re-run the accuracy gate before
+	// the model is allowed to serve (see precision.go).
+	Precision *PrecisionBlock `json:"precision,omitempty"`
 }
 
 // WiFiBundle reconstructs a Wi-Fi localizer: regenerate the synthetic
@@ -73,17 +79,16 @@ func (b *IMUBundle) BuildIMUDataset() *imu.PathDataset {
 	return imu.BuildPaths(track, b.Paths)
 }
 
-// LoadBundle reads the bundle in dir, rebuilds the model architecture from
-// the manifest's dataset spec, and restores the saved weights. The
-// returned Model is named after the bundle directory.
-func LoadBundle(dir string) (*Model, error) {
+// openBundle reads a bundle's manifest and opens its weights file; the
+// caller owns closing the returned file.
+func openBundle(dir string) (*Manifest, *os.File, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
-		return nil, fmt.Errorf("serve: reading bundle manifest: %w", err)
+		return nil, nil, fmt.Errorf("serve: reading bundle manifest: %w", err)
 	}
 	var man Manifest
 	if err := json.Unmarshal(raw, &man); err != nil {
-		return nil, fmt.Errorf("serve: parsing %s: %w", filepath.Join(dir, "manifest.json"), err)
+		return nil, nil, fmt.Errorf("serve: parsing %s: %w", filepath.Join(dir, "manifest.json"), err)
 	}
 	weights := man.Weights
 	if weights == "" {
@@ -91,21 +96,38 @@ func LoadBundle(dir string) (*Model, error) {
 	}
 	wf, err := os.Open(filepath.Join(dir, weights))
 	if err != nil {
-		return nil, fmt.Errorf("serve: opening bundle weights: %w", err)
+		return nil, nil, fmt.Errorf("serve: opening bundle weights: %w", err)
 	}
+	return &man, wf, nil
+}
+
+// LoadBundle reads the bundle in dir, rebuilds the model architecture from
+// the manifest's dataset spec, restores the saved weights, and — for an
+// int8 bundle — replays the calibration and re-runs the accuracy gate.
+// The returned Model is named after the bundle directory.
+func LoadBundle(dir string) (*Model, error) {
+	manp, wf, err := openBundle(dir)
+	if err != nil {
+		return nil, err
+	}
+	man := *manp
 	defer wf.Close()
 
 	m := &Model{Name: filepath.Base(dir), Kind: man.Kind}
+	var (
+		wifiDS *dataset.WiFi
+		imuDS  *imu.PathDataset
+	)
 	switch man.Kind {
 	case KindWiFi:
 		if man.WiFi == nil {
 			return nil, fmt.Errorf("serve: bundle %s: kind wifi without wifi spec", m.Name)
 		}
-		ds, err := man.WiFi.BuildWiFiDataset()
+		wifiDS, err = man.WiFi.BuildWiFiDataset()
 		if err != nil {
 			return nil, err
 		}
-		model := core.NewWiFiModel(ds, man.WiFi.Config)
+		model := core.NewWiFiModel(wifiDS, man.WiFi.Config)
 		if err := model.Load(wf); err != nil {
 			return nil, fmt.Errorf("serve: bundle %s: %w", m.Name, err)
 		}
@@ -114,7 +136,8 @@ func LoadBundle(dir string) (*Model, error) {
 		if man.IMU == nil {
 			return nil, fmt.Errorf("serve: bundle %s: kind imu without imu spec", m.Name)
 		}
-		model := core.NewIMUModel(man.IMU.BuildIMUDataset(), man.IMU.Config)
+		imuDS = man.IMU.BuildIMUDataset()
+		model := core.NewIMUModel(imuDS, man.IMU.Config)
 		if err := model.Load(wf); err != nil {
 			return nil, fmt.Errorf("serve: bundle %s: %w", m.Name, err)
 		}
@@ -122,14 +145,27 @@ func LoadBundle(dir string) (*Model, error) {
 	default:
 		return nil, fmt.Errorf("serve: bundle %s: unknown kind %q", m.Name, man.Kind)
 	}
+	// Precision tier: replay the calibration and re-run the accuracy
+	// gate against the regenerated held-out split. A bundle that fails
+	// here never reaches the registry.
+	if err := applyPrecision(dir, &man, m, wifiDS, imuDS); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
+// ExtraFile is an additional bundle payload file (e.g. the int8
+// calibration artifact) written atomically alongside the weights.
+type ExtraFile struct {
+	Name  string
+	Write func(f *os.File) error
+}
+
 // WriteBundle persists a trained model as a loadable bundle at
-// <dir>/<name>/. Both files are written to temporaries and renamed into
-// place — weights first, manifest last — so a watching registry never
-// observes a manifest without matching weights.
-func WriteBundle(dir, name string, man Manifest, save func(f *os.File) error) error {
+// <dir>/<name>/. Every file is written to a temporary and renamed into
+// place — weights first, then extras, manifest last — so a watching
+// registry never observes a manifest without its full payload.
+func WriteBundle(dir, name string, man Manifest, save func(f *os.File) error, extras ...ExtraFile) error {
 	bundle := filepath.Join(dir, name)
 	if err := os.MkdirAll(bundle, 0o755); err != nil {
 		return fmt.Errorf("serve: creating bundle dir: %w", err)
@@ -139,6 +175,11 @@ func WriteBundle(dir, name string, man Manifest, save func(f *os.File) error) er
 	}
 	if err := atomicWrite(filepath.Join(bundle, man.Weights), save); err != nil {
 		return err
+	}
+	for _, ex := range extras {
+		if err := atomicWrite(filepath.Join(bundle, ex.Name), ex.Write); err != nil {
+			return err
+		}
 	}
 	raw, err := json.MarshalIndent(&man, "", "  ")
 	if err != nil {

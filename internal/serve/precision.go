@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"noble/internal/core"
+	"noble/internal/dataset"
+	"noble/internal/eval"
+	"noble/internal/geo"
+	"noble/internal/imu"
+	"noble/internal/nn/qlinear"
+)
+
+// This file is the serving side of the quantized inference tier: the
+// manifest precision block, the calibration artifact written next to the
+// weights, and the publish-blocking accuracy gate. The gate runs twice
+// per bundle lifetime — at train time (a bundle that fails is never
+// published) and again at registry load (a bundle whose calibration was
+// corrupted or hand-edited after publish is refused, and the previous
+// generation keeps serving). Both checks recompute the fp64-vs-int8
+// localization error from scratch on the held-out test split; the
+// numbers recorded in calibration.json are provenance, not trusted
+// input.
+
+const (
+	// DefaultErrorBudgetPct is the accuracy gate's default: quantization
+	// may cost at most this much relative mean localization error.
+	DefaultErrorBudgetPct = 2.0
+	// MaxErrorBudgetPct caps manifest-declared budgets. A budget above
+	// this is a hand-edited manifest trying to wave a broken calibration
+	// through the gate, and is rejected outright.
+	MaxErrorBudgetPct = 10.0
+
+	// defaultCalibrationFile is the calibration artifact filename used
+	// when the precision block omits one.
+	defaultCalibrationFile = "calibration.json"
+
+	// defaultCalibSamples caps how many held-out samples feed activation
+	// range calibration; beyond a couple thousand rows the ranges are
+	// stable and more data only slows publishing.
+	defaultCalibSamples = 2048
+)
+
+// PrecisionBlock is the manifest's precision declaration. Absent (nil)
+// means fp64 — every pre-existing bundle keeps loading unchanged.
+type PrecisionBlock struct {
+	Mode string `json:"mode"` // "fp64" or "int8"
+	// Calibration names the calibration artifact inside the bundle
+	// (default "calibration.json"). Only meaningful for int8.
+	Calibration string `json:"calibration,omitempty"`
+	// ErrorBudgetPct is the accuracy gate threshold: the maximum allowed
+	// relative increase, in percent, of mean localization error under
+	// int8. 0 means DefaultErrorBudgetPct.
+	ErrorBudgetPct float64 `json:"error_budget_pct,omitempty"`
+}
+
+// budget validates and resolves the block's error budget.
+func (p *PrecisionBlock) budget() (float64, error) {
+	b := p.ErrorBudgetPct
+	if b == 0 {
+		return DefaultErrorBudgetPct, nil
+	}
+	if math.IsNaN(b) || b < 0 || b > MaxErrorBudgetPct {
+		return 0, fmt.Errorf("serve: error_budget_pct %v out of range (0, %v]", b, MaxErrorBudgetPct)
+	}
+	return b, nil
+}
+
+// calibrationFile resolves the artifact filename.
+func (p *PrecisionBlock) calibrationFile() string {
+	if p.Calibration != "" {
+		return p.Calibration
+	}
+	return defaultCalibrationFile
+}
+
+// CalibrationFile is the on-disk calibration artifact: the activation
+// scales the quantized layers replay at load time, plus the gate
+// evidence recorded when the bundle was published.
+type CalibrationFile struct {
+	Method     string  `json:"method"`               // "absmax" or "percentile"
+	Percentile float64 `json:"percentile,omitempty"` // for method "percentile"
+	Samples    int     `json:"samples"`              // calibration rows consumed
+
+	// ActScales are the static per-layer activation scales, in the
+	// model's canonical quantized-layer order (trunk, then heads).
+	ActScales []float32 `json:"act_scales"`
+
+	// Gate evidence from publish time (informational; the load-side gate
+	// recomputes both sides rather than trusting these).
+	FP64MeanErr float64 `json:"fp64_mean_err_m"`
+	Int8MeanErr float64 `json:"int8_mean_err_m"`
+	DeltaPct    float64 `json:"delta_pct"`
+}
+
+// QuantizeOptions configures the train-time calibration pass.
+type QuantizeOptions struct {
+	Method       string  // qlinear.CalibAbsMax (default) or qlinear.CalibPercentile
+	Percentile   float64 // for CalibPercentile; default 99.9
+	CalibSamples int     // max held-out rows for calibration (0 = default)
+	BudgetPct    float64 // accuracy budget (0 = DefaultErrorBudgetPct)
+}
+
+func (o QuantizeOptions) calibrator() *qlinear.Calibrator {
+	method := o.Method
+	if method == "" {
+		method = qlinear.CalibAbsMax
+	}
+	pct := o.Percentile
+	if pct == 0 {
+		pct = 99.9
+	}
+	return &qlinear.Calibrator{Method: method, Percentile: pct}
+}
+
+func (o QuantizeOptions) budget() (float64, error) {
+	return (&PrecisionBlock{ErrorBudgetPct: o.BudgetPct}).budget()
+}
+
+func (o QuantizeOptions) samples() int {
+	if o.CalibSamples > 0 {
+		return o.CalibSamples
+	}
+	return defaultCalibSamples
+}
+
+// gateCheck applies the accuracy budget to a measured fp64/int8 error
+// pair. A degenerate fp64 error of 0 gates on the absolute int8 error
+// instead (any increase from exactly 0 would be an infinite relative
+// delta).
+func gateCheck(fpErr, int8Err, budgetPct float64) (deltaPct float64, err error) {
+	if fpErr > 0 {
+		deltaPct = (int8Err - fpErr) / fpErr * 100
+	} else if int8Err > 0 {
+		deltaPct = math.Inf(1)
+	}
+	if math.IsNaN(deltaPct) || deltaPct > budgetPct {
+		return deltaPct, fmt.Errorf(
+			"serve: int8 accuracy gate failed: mean error %.4f m (fp64) -> %.4f m (int8), delta %+.2f%% exceeds budget %.2f%%",
+			fpErr, int8Err, deltaPct, budgetPct)
+	}
+	return deltaPct, nil
+}
+
+func wifiPositions(preds []core.WiFiPrediction) []geo.Point {
+	out := make([]geo.Point, len(preds))
+	for i, p := range preds {
+		out[i] = p.Pos
+	}
+	return out
+}
+
+func imuEndpoints(preds []core.IMUPrediction) []geo.Point {
+	out := make([]geo.Point, len(preds))
+	for i, p := range preds {
+		out[i] = p.End
+	}
+	return out
+}
+
+// wifiMeanErr is the gate metric for Wi-Fi bundles: mean localization
+// error over the held-out test split.
+func wifiMeanErr(m *core.WiFiModel, ds *dataset.WiFi) float64 {
+	x := dataset.FeaturesMatrix(ds.Test)
+	return eval.Stats(eval.Errors(wifiPositions(m.PredictMatrix(x)), dataset.Positions(ds.Test))).Mean
+}
+
+// imuMeanErr is the gate metric for IMU bundles: mean endpoint error
+// over the held-out test paths.
+func imuMeanErr(m *core.IMUModel, ds *imu.PathDataset) float64 {
+	truth := make([]geo.Point, len(ds.Test))
+	for i := range ds.Test {
+		truth[i] = ds.Test[i].End
+	}
+	return eval.Stats(eval.Errors(imuEndpoints(m.PredictPaths(ds.Test)), truth)).Mean
+}
+
+// QuantizeWiFiModel runs the train-time calibration pass and accuracy
+// gate on a trained Wi-Fi model: it measures fp64 accuracy on the test
+// split, calibrates activation ranges on the validation split, switches
+// the model to the int8 tier, re-measures, and enforces the budget. On
+// success the model serves int8 and the returned artifact is ready to
+// publish; on gate failure the error is the publish blocker.
+func QuantizeWiFiModel(m *core.WiFiModel, ds *dataset.WiFi, opts QuantizeOptions) (*CalibrationFile, error) {
+	budget, err := opts.budget()
+	if err != nil {
+		return nil, err
+	}
+	if len(ds.Val) == 0 {
+		return nil, fmt.Errorf("serve: int8 calibration needs a validation split, dataset has none")
+	}
+	fpErr := wifiMeanErr(m, ds)
+
+	calibSamples := ds.Val
+	if n := opts.samples(); len(calibSamples) > n {
+		calibSamples = calibSamples[:n]
+	}
+	cal := opts.calibrator()
+	if err := m.EnableInt8(cal, dataset.FeaturesMatrix(calibSamples)); err != nil {
+		return nil, err
+	}
+	int8Err := wifiMeanErr(m, ds)
+	delta, err := gateCheck(fpErr, int8Err, budget)
+	if err != nil {
+		return nil, err
+	}
+	return &CalibrationFile{
+		Method:      cal.Method,
+		Percentile:  percentileFor(cal),
+		Samples:     len(calibSamples),
+		ActScales:   cal.Scales,
+		FP64MeanErr: fpErr,
+		Int8MeanErr: int8Err,
+		DeltaPct:    delta,
+	}, nil
+}
+
+// QuantizeIMUModel is the IMU mirror of QuantizeWiFiModel.
+func QuantizeIMUModel(m *core.IMUModel, ds *imu.PathDataset, opts QuantizeOptions) (*CalibrationFile, error) {
+	budget, err := opts.budget()
+	if err != nil {
+		return nil, err
+	}
+	if len(ds.Validation) == 0 {
+		return nil, fmt.Errorf("serve: int8 calibration needs a validation split, dataset has none")
+	}
+	fpErr := imuMeanErr(m, ds)
+
+	calibPaths := ds.Validation
+	if n := opts.samples(); len(calibPaths) > n {
+		calibPaths = calibPaths[:n]
+	}
+	cal := opts.calibrator()
+	if err := m.EnableInt8(cal, calibPaths); err != nil {
+		return nil, err
+	}
+	int8Err := imuMeanErr(m, ds)
+	delta, err := gateCheck(fpErr, int8Err, budget)
+	if err != nil {
+		return nil, err
+	}
+	return &CalibrationFile{
+		Method:      cal.Method,
+		Percentile:  percentileFor(cal),
+		Samples:     len(calibPaths),
+		ActScales:   cal.Scales,
+		FP64MeanErr: fpErr,
+		Int8MeanErr: int8Err,
+		DeltaPct:    delta,
+	}, nil
+}
+
+// percentileFor records the percentile only when it was actually used.
+func percentileFor(c *qlinear.Calibrator) float64 {
+	if c.Method == qlinear.CalibPercentile {
+		return c.Percentile
+	}
+	return 0
+}
+
+// CalibrationExtra packages a calibration artifact as a bundle extra
+// file for WriteBundle.
+func CalibrationExtra(name string, cal *CalibrationFile) ExtraFile {
+	return ExtraFile{Name: name, Write: func(f *os.File) error {
+		raw, err := json.MarshalIndent(cal, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = f.Write(append(raw, '\n'))
+		return err
+	}}
+}
+
+// loadCalibration reads and sanity-checks a bundle's calibration
+// artifact. Scale validation here is shallow (finite, non-negative);
+// the deep check is structural — replaying the scales into the model
+// fails if the count mismatches, and the re-run gate fails if the
+// values are wrong.
+func loadCalibration(path string) (*CalibrationFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading calibration: %w", err)
+	}
+	var cal CalibrationFile
+	if err := json.Unmarshal(raw, &cal); err != nil {
+		return nil, fmt.Errorf("serve: parsing %s: %w", path, err)
+	}
+	if len(cal.ActScales) == 0 {
+		return nil, fmt.Errorf("serve: calibration %s has no act_scales", path)
+	}
+	for i, s := range cal.ActScales {
+		if math.IsNaN(float64(s)) || math.IsInf(float64(s), 0) || s < 0 {
+			return nil, fmt.Errorf("serve: calibration %s: act_scales[%d] = %v is not a valid scale", path, i, s)
+		}
+	}
+	return &cal, nil
+}
+
+// applyPrecision switches a freshly loaded bundle model to its
+// manifest-declared precision tier and re-runs the accuracy gate. Called
+// from LoadBundle with the regenerated dataset, so a bundle whose
+// calibration no longer reproduces acceptable accuracy is refused at
+// load — the registry keeps the previous generation serving.
+func applyPrecision(dir string, man *Manifest, m *Model, wifiDS *dataset.WiFi, imuDS *imu.PathDataset) error {
+	p := man.Precision
+	if p == nil || p.Mode == "" || p.Mode == core.PrecisionFP64 {
+		if p != nil && p.Mode != "" && p.Mode != core.PrecisionFP64 && p.Mode != core.PrecisionInt8 {
+			return fmt.Errorf("serve: bundle %s: unknown precision mode %q", m.Name, p.Mode)
+		}
+		return nil
+	}
+	if p.Mode != core.PrecisionInt8 {
+		return fmt.Errorf("serve: bundle %s: unknown precision mode %q", m.Name, p.Mode)
+	}
+	budget, err := p.budget()
+	if err != nil {
+		return fmt.Errorf("serve: bundle %s: %w", m.Name, err)
+	}
+	cal, err := loadCalibration(filepath.Join(dir, p.calibrationFile()))
+	if err != nil {
+		return fmt.Errorf("serve: bundle %s: %w", m.Name, err)
+	}
+	scales := &qlinear.Scales{Values: cal.ActScales}
+	switch {
+	case m.WiFi != nil:
+		fpErr := wifiMeanErr(m.WiFi, wifiDS)
+		if err := m.WiFi.EnableInt8(scales, nil); err != nil {
+			return fmt.Errorf("serve: bundle %s: %w", m.Name, err)
+		}
+		if _, err := gateCheck(fpErr, wifiMeanErr(m.WiFi, wifiDS), budget); err != nil {
+			return fmt.Errorf("serve: bundle %s: load-time recheck: %w", m.Name, err)
+		}
+	case m.IMU != nil:
+		fpErr := imuMeanErr(m.IMU, imuDS)
+		if err := m.IMU.EnableInt8(scales, nil); err != nil {
+			return fmt.Errorf("serve: bundle %s: %w", m.Name, err)
+		}
+		if _, err := gateCheck(fpErr, imuMeanErr(m.IMU, imuDS), budget); err != nil {
+			return fmt.Errorf("serve: bundle %s: load-time recheck: %w", m.Name, err)
+		}
+	}
+	return nil
+}

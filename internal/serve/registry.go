@@ -3,10 +3,13 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,6 +34,7 @@ type Model struct {
 type ModelInfo struct {
 	Name       string `json:"name"`
 	Kind       string `json:"kind"`
+	Precision  string `json:"precision"` // "fp64" or "int8"
 	Classes    int    `json:"classes"`
 	FLOPs      int64  `json:"flops"`
 	Generation int    `json:"generation"`
@@ -56,12 +60,14 @@ func (m *Model) Info() ModelInfo {
 	}
 	switch {
 	case m.WiFi != nil:
+		info.Precision = m.WiFi.Precision()
 		info.Classes = m.WiFi.Classes()
 		info.FLOPs = m.WiFi.FLOPs()
 		info.InputDim = m.WiFi.InputDim()
 		info.Buildings = m.WiFi.NumBuildings()
 		info.Floors = m.WiFi.NumFloors()
 	case m.IMU != nil:
+		info.Precision = m.IMU.Precision()
 		info.Classes = m.IMU.Classes()
 		info.FLOPs = m.IMU.FLOPs()
 		info.MaxSegments = m.IMU.MaxLen()
@@ -70,17 +76,14 @@ func (m *Model) Info() ModelInfo {
 	return info
 }
 
-// fileStamp fingerprints a bundle file for change detection.
-type fileStamp struct {
-	mtime int64
-	size  int64
-}
-
-// bundleStamp fingerprints a whole bundle (manifest + weights).
-type bundleStamp struct {
-	manifest fileStamp
-	weights  fileStamp
-}
+// bundleStamp fingerprints a whole bundle directory for change
+// detection: one sorted line per regular payload file (name, size,
+// mtime). Fingerprinting EVERY payload file — not just manifest and
+// weights — matters for multi-file bundles: republishing only the
+// calibration artifact of an int8 bundle must register as a change, or
+// the watcher would keep serving stale scales (and the failed-load
+// backoff would never retry a bundle fixed by rewriting one side file).
+type bundleStamp string
 
 // Registry holds the live models. Lookups take a read lock; reloads build
 // replacement models entirely off the request path and swap them in under
@@ -239,6 +242,35 @@ func (r *Registry) Reload() (loaded, removed int, err error) {
 	return loaded, removed, nil
 }
 
+// FailedBundles returns the names of bundles whose latest on-disk
+// generation failed to load (sorted). A non-empty result means the
+// directory contains bundles the registry refused — the signal
+// `noble-serve -check-bundles` and the CI accuracy gate exit non-zero
+// on.
+func (r *Registry) FailedBundles() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.failed))
+	for name := range r.failed {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus emits one info-style gauge per registered model, so
+// scrapes can tell which precision tier (and generation) each bundle is
+// serving.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	infos := r.List()
+	fmt.Fprintln(w, "# HELP noble_model_info Registered models: precision tier and generation per bundle (value is always 1).")
+	fmt.Fprintln(w, "# TYPE noble_model_info gauge")
+	for _, info := range infos {
+		fmt.Fprintf(w, "noble_model_info{name=%q,kind=%q,precision=%q,generation=\"%d\"} 1\n",
+			info.Name, info.Kind, info.Precision, info.Generation)
+	}
+}
+
 // Watch polls Reload at the given interval until ctx is canceled.
 func (r *Registry) Watch(ctx context.Context, interval time.Duration) {
 	if interval <= 0 || r.dir == "" {
@@ -260,27 +292,37 @@ func (r *Registry) Watch(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// stampBundle fingerprints the manifest and weight files of a bundle dir.
-// ok is false when the dir is not (yet) a complete bundle.
+// stampBundle fingerprints every regular file in a bundle dir
+// (in-progress ".tmp-*" temporaries excluded). ok is false when the dir
+// is not (yet) a complete bundle: no manifest, or the manifest's
+// declared weights file is missing.
 func stampBundle(dir string) (bundleStamp, bool) {
-	var s bundleStamp
-	mi, err := os.Stat(filepath.Join(dir, "manifest.json"))
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
-		return s, false
+		return "", false
 	}
-	s.manifest = fileStamp{mtime: mi.ModTime().UnixNano(), size: mi.Size()}
-
 	weights := defaultWeightsFile
-	if raw, err := os.ReadFile(filepath.Join(dir, "manifest.json")); err == nil {
-		var man Manifest
-		if json.Unmarshal(raw, &man) == nil && man.Weights != "" {
-			weights = man.Weights
-		}
+	var man Manifest
+	if json.Unmarshal(raw, &man) == nil && man.Weights != "" {
+		weights = man.Weights
 	}
-	wi, err := os.Stat(filepath.Join(dir, weights))
+	if _, err := os.Stat(filepath.Join(dir, weights)); err != nil {
+		return "", false
+	}
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return s, false
+		return "", false
 	}
-	s.weights = fileStamp{mtime: wi.ModTime().UnixNano(), size: wi.Size()}
-	return s, true
+	var b strings.Builder
+	for _, e := range entries { // ReadDir sorts by name
+		if !e.Type().IsRegular() || strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return "", false // racing a republish; settle next poll
+		}
+		fmt.Fprintf(&b, "%s\x00%d\x00%d\n", e.Name(), fi.Size(), fi.ModTime().UnixNano())
+	}
+	return bundleStamp(b.String()), true
 }

@@ -12,7 +12,7 @@ import (
 // requests over shared weights; a Forward that caches activations
 // outside the training guard corrupts a neighbouring request's pass.
 //
-// Two checks:
+// Three checks:
 //
 //  1. In a method named Forward with a bool parameter named "train",
 //     every write to a receiver field must be training-gated: inside an
@@ -21,6 +21,12 @@ import (
 //
 //  2. Methods whose name starts with "Predict" (the public inference
 //     entry points) must not write receiver fields at all.
+//
+//  3. A Forward with exactly one parameter and no train flag is a
+//     quantized inference layer (the qlinear.Layer shape, which has no
+//     training mode at all): it must not write receiver fields, ever.
+//     Loss Forwards (pred, target) take two parameters and keep their
+//     Backward caches.
 var Readonlyinfer = &analysis.Analyzer{
 	Name: "readonlyinfer",
 	Doc: "inference paths are read-only: Forward(train=false) and Predict* methods must not " +
@@ -38,12 +44,31 @@ func runReadonlyinfer(pass *analysis.Pass) error {
 			switch {
 			case decl.Name.Name == "Forward" && hasBoolParamNamed(decl, "train"):
 				checkForwardWrites(pass, decl)
+			case decl.Name.Name == "Forward" && paramCount(decl) == 1:
+				checkQuantForwardWrites(pass, decl)
 			case len(decl.Name.Name) > len("Predict") && decl.Name.Name[:len("Predict")] == "Predict":
 				checkPredictWrites(pass, decl)
 			}
 		}
 	}
 	return nil
+}
+
+// paramCount counts declared parameters, honouring grouped names
+// (`a, b int` is two).
+func paramCount(decl *ast.FuncDecl) int {
+	if decl.Type.Params == nil {
+		return 0
+	}
+	n := 0
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			n++ // unnamed parameter
+			continue
+		}
+		n += len(field.Names)
+	}
+	return n
 }
 
 func hasBoolParamNamed(decl *ast.FuncDecl, want string) bool {
@@ -159,6 +184,19 @@ func checkForwardWrites(pass *analysis.Pass, decl *ast.FuncDecl) {
 					"or an early `if !train { return }`",
 			)
 		}
+	}
+}
+
+// checkQuantForwardWrites handles the single-parameter Forward of the
+// quantized inference tier: there is no train mode, so any receiver
+// write is a concurrency bug.
+func checkQuantForwardWrites(pass *analysis.Pass, decl *ast.FuncDecl) {
+	for _, w := range receiverWrites(pass, decl) {
+		pass.Reportf(w.Pos(),
+			"receiver write in single-parameter Forward: quantized inference layers have no "+
+				"training mode and run concurrently over shared weights — keep all scratch state "+
+				"in locals",
+		)
 	}
 }
 

@@ -65,3 +65,46 @@ func (m *Model) PredictSuppressed() int {
 	m.hits++
 	return m.hits
 }
+
+// QDense is the quantized inference-layer shape: a single-parameter
+// Forward with no train mode. Scratch in locals is fine.
+type QDense struct {
+	w     []float64
+	scale float64
+}
+
+func (q *QDense) Forward(x []float64) []float64 {
+	acc := make([]float64, len(q.w))
+	for i, wv := range q.w {
+		if i < len(x) {
+			acc[i] = wv * x[i] * q.scale
+		}
+	}
+	return acc
+}
+
+// QCached caches its activation on the receiver — the race the
+// quantized tier must never reintroduce.
+type QCached struct {
+	w    []float64
+	last []float64
+}
+
+func (q *QCached) Forward(x []float64) []float64 {
+	q.last = x // want `receiver write in single-parameter Forward`
+	return q.last
+}
+
+// MSE is the loss shape: two parameters, so the Backward cache is
+// legitimate training state and must NOT be flagged.
+type MSE struct{ diff []float64 }
+
+func (l *MSE) Forward(pred, target []float64) float64 {
+	l.diff = make([]float64, len(pred))
+	s := 0.0
+	for i := range pred {
+		l.diff[i] = pred[i] - target[i]
+		s += l.diff[i] * l.diff[i]
+	}
+	return s
+}
