@@ -1,0 +1,156 @@
+// Command lifecyclewait polls a running noble-serve's /debug/lifecycle
+// view until one model's deployment reaches an expected shape — the
+// assertion primitive of ci/lifecycle-gate.sh. Encoding the predicate
+// here keeps the gate script free of fragile shell JSON parsing, and
+// polling (instead of fixed sleeps) makes the gate fast on fast
+// machines and patient on loaded CI runners.
+//
+// On success it prints one line describing the matched deployment:
+//
+//	active=<bundle-id> staged=<stage>:<bundle-id>
+//
+// (staged=- when nothing is staged), so the calling script can capture
+// bundle identities and compare them across gate phases.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"noble/internal/serve"
+)
+
+// lifecycleView is the shape of /debug/lifecycle we assert on.
+type lifecycleView struct {
+	Models []serve.ModelInfo `json:"models"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lifecyclewait: ")
+	url := flag.String("url", "", "noble-serve base URL (the main listener; /debug/lifecycle lives there)")
+	model := flag.String("model", "demo-wifi", "model name to watch")
+	stage := flag.String("stage", "", "expected staged-generation state: shadow, canary, any (something staged), or none (nothing staged); empty skips the check")
+	activeBundle := flag.String("active-bundle", "", "expected active bundle id; prefix with ! to assert anything-but; empty skips the check")
+	minSamples := flag.Int64("min-samples", 0, "require the staged generation to have accumulated at least this much evidence (mirrored rows + re-anchor scores)")
+	timeout := flag.Duration("timeout", 60*time.Second, "give up after this long")
+	interval := flag.Duration("interval", 150*time.Millisecond, "poll interval")
+	flag.Parse()
+
+	if *url == "" {
+		log.Fatal("-url is required")
+	}
+	switch *stage {
+	case "", "shadow", "canary", "any", "none":
+	default:
+		log.Fatalf("unknown -stage %q (want shadow, canary, any, or none)", *stage)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(*timeout)
+	last := "no successful poll yet"
+	for {
+		active, staged, err := poll(client, *url, *model)
+		if err != nil {
+			last = err.Error()
+		} else {
+			last = describe(active, staged)
+			if matches(active, staged, *stage, *activeBundle, *minSamples) {
+				fmt.Println(last)
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "lifecyclewait: timed out after %v waiting for model %s (stage=%q active-bundle=%q min-samples=%d); last state: %s\n",
+				*timeout, *model, *stage, *activeBundle, *minSamples, last)
+			os.Exit(1)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// poll fetches the lifecycle view once and splits out the watched
+// model's active and staged generations (either may be nil).
+func poll(client *http.Client, url, model string) (active, staged *serve.ModelInfo, err error) {
+	resp, err := client.Get(strings.TrimRight(url, "/") + "/debug/lifecycle")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("/debug/lifecycle: %s", resp.Status)
+	}
+	var view lifecycleView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, nil, fmt.Errorf("decoding /debug/lifecycle: %w", err)
+	}
+	for i := range view.Models {
+		m := &view.Models[i]
+		if m.Name != model {
+			continue
+		}
+		switch m.Stage {
+		case "active":
+			active = m
+		case "shadow", "canary":
+			staged = m
+		}
+	}
+	return active, staged, nil
+}
+
+func matches(active, staged *serve.ModelInfo, stage, activeBundle string, minSamples int64) bool {
+	switch stage {
+	case "none":
+		if staged != nil {
+			return false
+		}
+	case "any":
+		if staged == nil {
+			return false
+		}
+	case "shadow", "canary":
+		if staged == nil || staged.Stage != stage {
+			return false
+		}
+	}
+	if activeBundle != "" {
+		if active == nil {
+			return false
+		}
+		if want, neg := strings.CutPrefix(activeBundle, "!"); neg {
+			if active.BundleID == want {
+				return false
+			}
+		} else if active.BundleID != want {
+			return false
+		}
+	}
+	if minSamples > 0 {
+		if staged == nil || staged.Lifecycle == nil {
+			return false
+		}
+		if staged.Lifecycle.MirroredRows+staged.Lifecycle.ReAnchorScores < minSamples {
+			return false
+		}
+	}
+	return true
+}
+
+func describe(active, staged *serve.ModelInfo) string {
+	a := "-"
+	if active != nil {
+		a = active.BundleID
+	}
+	s := "-"
+	if staged != nil {
+		s = staged.Stage + ":" + staged.BundleID
+	}
+	return fmt.Sprintf("active=%s staged=%s", a, s)
+}

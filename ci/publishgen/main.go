@@ -1,0 +1,140 @@
+// Command publishgen republishes an already-trained Wi-Fi bundle as a
+// new generation with a chosen quality variant and an explicit
+// lifecycle policy — the bundle source for ci/lifecycle-gate.sh.
+//
+// It reads the bundle's manifest, regenerates the embedded synthetic
+// survey, retrains a variant of the model, rewrites the bundle in
+// place (every file gets a fresh mtime, so the watching registry's
+// stamp changes and the new generation enters shadow), and writes the
+// lifecycle.json sidecar carrying the promotion policy the gate wants
+// enforced.
+//
+// Variants:
+//
+//   - good: the bundle's own training recipe with a shifted seed —
+//     comparable accuracy, so mirror divergence from the serving
+//     generation stays small and a loose policy promotes it.
+//   - degraded: one epoch at a vanishing learning rate — the network
+//     stays at its random initialization and spreads probability almost
+//     uniformly over the cell grid, so its predictions collapse toward
+//     the survey centroid and mirror divergence from the serving
+//     generation is large. A tight policy must roll it back.
+//
+// The policy flags are written verbatim; they default to small windows
+// so the gate converges in seconds under modest load.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"noble/internal/core"
+	"noble/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("publishgen: ")
+	models := flag.String("models", "", "bundle directory noble-serve watches")
+	name := flag.String("name", "demo-wifi", "wifi bundle to republish")
+	variant := flag.String("variant", "good", "good (retrained, comparable quality) or degraded (untrained weights, large divergence)")
+	target := flag.String("target", "active", "lifecycle target stage: shadow, canary, or active")
+	seedSkew := flag.Int64("seed-skew", 1, "added to the bundle's training seed so the republished weights differ from the serving generation")
+	minShadow := flag.Int64("min-shadow", 40, "policy: mirrored samples a shadow needs before canary")
+	minCanary := flag.Int64("min-canary", 40, "policy: canary evaluation window, in samples")
+	maxErr := flag.Float64("max-error-delta", 0, "policy: max live error delta vs active, meters (0 = per-variant default: good 500, degraded 0.5)")
+	maxP99 := flag.Float64("max-p99-delta", 10000, "policy: max p99 pass-latency delta, ms (loose by default — the gate exercises the error path)")
+	flag.Parse()
+
+	if *models == "" {
+		log.Fatal("-models is required")
+	}
+	switch *target {
+	case "shadow", "canary", "active":
+	default:
+		log.Fatalf("unknown -target %q (want shadow, canary, or active)", *target)
+	}
+	if *maxErr == 0 {
+		switch *variant {
+		case "good":
+			*maxErr = 500
+		case "degraded":
+			*maxErr = 0.5
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(*models, *name, "manifest.json"))
+	if err != nil {
+		log.Fatalf("reading bundle manifest: %v", err)
+	}
+	var man serve.Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		log.Fatalf("decoding bundle manifest: %v", err)
+	}
+	if man.Kind != serve.KindWiFi || man.WiFi == nil {
+		log.Fatalf("bundle %s is kind %q; publishgen only republishes wifi bundles", *name, man.Kind)
+	}
+
+	ds, err := man.WiFi.BuildWiFiDataset()
+	if err != nil {
+		log.Fatalf("rebuilding survey: %v", err)
+	}
+	// The manifest keeps the bundle's real recipe (plus the seed skew)
+	// even for the degraded variant: successive publishgen runs read the
+	// previous run's manifest, and a persisted sabotage recipe would
+	// silently degrade every later "good" publish. The overrides below
+	// are training-only; they don't change the architecture the loader
+	// rebuilds from the manifest.
+	cfg := man.WiFi.Config
+	cfg.Seed += *seedSkew
+	train := cfg
+	switch *variant {
+	case "good":
+	case "degraded":
+		// One epoch at a vanishing learning rate: a valid training
+		// config (the model constructor rejects Epochs <= 0) whose
+		// weights stay at their random initialization. No NaNs — a
+		// diverged-loss degradation would poison the divergence mean
+		// with NaN and the policy comparison would never fire.
+		train.Epochs = 1
+		train.LR = 1e-12
+		train.LRDecay = 1
+	default:
+		log.Fatalf("unknown -variant %q (want good or degraded)", *variant)
+	}
+
+	start := time.Now()
+	model := core.TrainWiFi(ds, train)
+	log.Printf("%s variant of %s: %d classes, trained in %v (seed %d, epochs %d)",
+		*variant, *name, model.Classes(), time.Since(start).Round(time.Millisecond), train.Seed, train.Epochs)
+
+	man.WiFi.Config = cfg
+	spec := serve.LifecycleSpec{
+		Target: *target,
+		Policy: serve.LifecyclePolicy{
+			MinShadowRequests: *minShadow,
+			MinCanaryRequests: *minCanary,
+			MaxErrorDeltaM:    *maxErr,
+			MaxP99DeltaMS:     *maxP99,
+		},
+	}
+	err = serve.WriteBundle(*models, *name, man,
+		func(f *os.File) error { return model.Save(f) },
+		serve.ExtraFile{Name: "lifecycle.json", Write: func(f *os.File) error {
+			raw, err := json.MarshalIndent(&spec, "", "  ")
+			if err != nil {
+				return err
+			}
+			_, err = f.Write(append(raw, '\n'))
+			return err
+		}})
+	if err != nil {
+		log.Fatalf("republishing bundle: %v", err)
+	}
+	log.Printf("republished %s (target %s, policy: shadow %d, canary %d, max error delta %gm, max p99 delta %gms)",
+		*name, *target, *minShadow, *minCanary, *maxErr, *maxP99)
+}

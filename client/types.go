@@ -44,6 +44,12 @@ type ModelInfo struct {
 	Generation int    `json:"generation"`
 	LoadedAt   string `json:"loaded_at"`
 
+	// Deployment lifecycle. Stage is "shadow", "canary", or "active"
+	// (empty against a pre-lifecycle server); /v2/models lists staged
+	// generations alongside the active ones, /v1/models actives only.
+	Stage    string `json:"stage,omitempty"`
+	BundleID string `json:"bundle_id,omitempty"`
+
 	// Wi-Fi only.
 	InputDim  int `json:"input_dim,omitempty"`
 	Buildings int `json:"buildings,omitempty"`
@@ -52,6 +58,36 @@ type ModelInfo struct {
 	// IMU only.
 	MaxSegments int `json:"max_segments,omitempty"`
 	SegmentDim  int `json:"segment_dim,omitempty"`
+
+	// Lifecycle carries a generation's promotion policy and live
+	// evaluation evidence (/v2/models only).
+	Lifecycle *LifecycleInfo `json:"lifecycle,omitempty"`
+}
+
+// LifecycleInfo is one model generation's deployment state: its stage,
+// the stage its bundle is allowed to reach, the promotion policy, and
+// the live evidence (mirrored traffic, re-anchor error scores, pass
+// latency) the server's promotion controller weighs.
+type LifecycleInfo struct {
+	Stage           string          `json:"stage"`
+	Target          string          `json:"target"`
+	Since           string          `json:"since"`
+	MirroredRows    int64           `json:"mirrored_rows"`
+	ReAnchorScores  int64           `json:"reanchor_scores"`
+	MeanErrorM      float64         `json:"mean_error_m"`
+	MeanDivergenceM float64         `json:"mean_divergence_m"`
+	P99PassMS       float64         `json:"p99_pass_ms"`
+	DroppedMirrors  int64           `json:"dropped_mirrors"`
+	Policy          LifecyclePolicy `json:"policy"`
+}
+
+// LifecyclePolicy is the promotion contract a bundle declared in its
+// lifecycle.json sidecar.
+type LifecyclePolicy struct {
+	MinShadowRequests int64   `json:"min_shadow_requests"`
+	MinCanaryRequests int64   `json:"min_canary_requests"`
+	MaxErrorDeltaM    float64 `json:"max_error_delta_m"`
+	MaxP99DeltaMS     float64 `json:"max_p99_delta_ms"`
 }
 
 // Health is the server liveness summary. RequestID and Draining are

@@ -11,6 +11,9 @@
 //	            [-state-dir ./state] [-fsync interval] [-sync-interval 100ms]
 //	            [-compact-every 1m] [-trace] [-trace-sample 1.0]
 //	            [-trace-ring 256] [-slow-ms 250] [-admin-addr addr]
+//	            [-mirror-rate 0.1] [-lifecycle-tick 5s]
+//	noble-serve -admin-addr host:port -promote model
+//	noble-serve -admin-addr host:port -rollback model
 //
 // With -state-dir, tracking sessions are durable: every session event
 // (create, committed IMU segments, WiFi re-anchor, close/evict) is
@@ -30,8 +33,21 @@
 // -slow-ms sets the slow-request threshold for retention and the
 // rate-limited slow-request log line; -trace=false turns the tracer
 // off entirely. -admin-addr opens a second listener with the full
-// debug plane (/debug/pprof, /debug/traces, /debug/runtime, /metrics)
+// debug plane (/debug/pprof, /debug/traces, /debug/runtime,
+// /debug/lifecycle, /metrics, and the lifecycle admin endpoints)
 // kept off the serving port — bind it to loopback.
+//
+// New bundle generations do not swap straight into serving: unless a
+// bundle's lifecycle.json says otherwise, a republish lands the new
+// generation in SHADOW, where a sampled fraction of live traffic
+// (-mirror-rate) is mirrored through it off the request path and every
+// WiFi re-anchor scores its prediction against the fix. The promotion
+// controller (-lifecycle-tick) advances shadow → canary → active when
+// the bundle's policy window is met, and automatically rolls back a
+// canary whose live error or pass latency regresses past policy.
+// Lifecycle transitions are journaled to -state-dir, so stages survive
+// a crash. Manual overrides run as an admin client against a live
+// server: noble-serve -admin-addr ... -promote model (or -rollback).
 //
 // Endpoints:
 //
@@ -51,6 +67,8 @@
 //	                         histograms, runtime/GC gauges
 //	GET    /debug/traces     retained request traces (JSON)
 //	GET    /debug/runtime    goroutine/heap/GC snapshot (JSON)
+//	GET    /debug/lifecycle  deployment pipeline: every live generation's
+//	                         stage, policy, and live evaluation evidence
 //
 // With -demo, a small Wi-Fi localizer and IMU tracker are trained at
 // startup (a few seconds) and written into -models as regular bundles, so
@@ -62,18 +80,38 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"noble/internal/obs"
 	"noble/internal/serve"
+	"noble/internal/serve/lifecycle"
 	"noble/internal/store"
 )
+
+// lifecycleOverride POSTs a manual promote/rollback to a running
+// server's admin plane and reports the server's verdict.
+func lifecycleOverride(adminAddr, model, verb string) error {
+	url := fmt.Sprintf("http://%s/admin/lifecycle/%s/%s", adminAddr, model, verb)
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server said %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -97,6 +135,14 @@ func main() {
 	slowMs := flag.Int("slow-ms", 250, "slow-request threshold in milliseconds (tail retention + rate-limited warn log)")
 	adminAddr := flag.String("admin-addr", "", "debug-plane listen address (pprof, traces, runtime; empty disables — bind to loopback)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of logfmt text")
+	mirrorRate := flag.Float64("mirror-rate", 0.1,
+		"fraction of localize/track traffic mirrored through staged (shadow/canary) generations for live evaluation (0 disables sampled mirroring)")
+	lifecycleTick := flag.Duration("lifecycle-tick", 5*time.Second,
+		"promotion-controller evaluation cadence (0 disables automatic promotion/rollback; manual overrides still work)")
+	promote := flag.String("promote", "",
+		"admin-client mode: promote the named model's staged generation one stage via -admin-addr, then exit")
+	rollback := flag.String("rollback", "",
+		"admin-client mode: retire the named model's staged generation via -admin-addr, then exit")
 	flag.Parse()
 
 	// Structured logging: one slog logger feeds the server's own lines,
@@ -115,6 +161,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Manual lifecycle overrides run as an admin-plane HTTP client
+	// against an already-running server, then exit.
+	if *promote != "" || *rollback != "" {
+		if *adminAddr == "" {
+			fatal("lifecycle override needs -admin-addr pointing at the running server's debug plane")
+		}
+		model, verb := *promote, "promote"
+		if *rollback != "" {
+			model, verb = *rollback, "rollback"
+		}
+		if err := lifecycleOverride(*adminAddr, model, verb); err != nil {
+			fatal("lifecycle override", "model", model, "action", verb, "err", err)
+		}
+		logger.Info("lifecycle override applied", "model", model, "action", verb)
+		return
+	}
+
 	if err := os.MkdirAll(*modelsDir, 0o755); err != nil {
 		fatal("creating models dir", "dir", *modelsDir, "err", err)
 	}
@@ -129,19 +192,14 @@ func main() {
 	}
 
 	reg := serve.NewRegistry(*modelsDir, logf)
-	loaded, _, err := reg.Reload()
-	if err != nil {
-		fatal("loading bundles", "dir", *modelsDir, "err", err)
-	}
-	logger.Info("models loaded", "count", loaded, "dir", *modelsDir)
-	for _, info := range reg.List() {
-		logger.Info("model", "name", info.Name, "kind", info.Kind, "precision", info.Precision,
-			"classes", info.Classes, "flops", info.FLOPs)
-	}
 	if *checkBundles {
 		// Validation mode for CI and deploy pipelines: every bundle in
 		// the directory must load (int8 bundles must also re-pass the
 		// accuracy gate inside LoadBundle). Exit status is the verdict.
+		loaded, _, err := reg.Reload()
+		if err != nil {
+			fatal("loading bundles", "dir", *modelsDir, "err", err)
+		}
 		if failed := reg.FailedBundles(); len(failed) > 0 {
 			fatal("bundle check failed", "failed", fmt.Sprintf("%v", failed))
 		}
@@ -182,6 +240,10 @@ func main() {
 		if rec, err = journal.Recover(); err != nil {
 			fatal("recovering session journal", "err", err)
 		}
+		// Recovered lifecycle events drive where Reload places each
+		// bundle: a generation that was mid-canary when the process died
+		// resumes as canary, a rolled-back one stays retired.
+		reg.SetRecoveredStages(serve.RecoveredStages(rec))
 	}
 
 	engine := serve.NewEngine(serve.Config{
@@ -192,7 +254,22 @@ func main() {
 		Journal:     journal,
 		Tracer:      tracer,
 		NoTrace:     !*trace,
+		MirrorRate:  *mirrorRate,
 	})
+
+	// First bundle load AFTER journal recovery (stages resume where they
+	// were) and AFTER engine construction (the engine's transition hook is
+	// installed, so even bootstrap activations are journaled).
+	loaded, _, err := reg.Reload()
+	if err != nil {
+		fatal("loading bundles", "dir", *modelsDir, "err", err)
+	}
+	logger.Info("models loaded", "count", loaded, "dir", *modelsDir)
+	for _, info := range reg.ListLifecycle() {
+		logger.Info("model", "name", info.Name, "kind", info.Kind, "precision", info.Precision,
+			"classes", info.Classes, "flops", info.FLOPs, "stage", info.Stage)
+	}
+
 	if journal != nil {
 		sum := engine.RestoreSessions(rec)
 		logger.Info("session journal recovered", "dir", *stateDir, "fsync", *fsync,
@@ -218,6 +295,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go reg.Watch(ctx, *reload)
+	if *lifecycleTick > 0 {
+		ctl := &lifecycle.Controller{Registry: reg, Interval: *lifecycleTick, Logf: logf}
+		go ctl.Run(ctx)
+		logger.Info("promotion controller on", "tick", *lifecycleTick, "mirror_rate", *mirrorRate)
+	} else {
+		logger.Info("promotion controller off")
+	}
 	go srv.Sessions().Run(ctx, *sessionSweep)
 	if journal != nil {
 		go journal.Run(ctx)

@@ -55,6 +55,13 @@ type EngineOptions struct {
 	// default is tracing on at full sampling). The overhead-baseline
 	// runs use it to put a number on the tracer's cost.
 	NoTrace bool
+	// MirrorRate samples this fraction of traffic through staged
+	// generations for live shadow evaluation (0 disables mirroring).
+	MirrorRate float64
+	// ShadowWiFi stages a shadow copy of the fp64 WiFi model — same
+	// weights, fresh lifecycle state — before traffic starts, so a
+	// MirrorRate scenario has a staged generation to mirror through.
+	ShadowWiFi bool
 }
 
 // Scenario is one named workload. Run drives load until env.Expired()
@@ -267,6 +274,25 @@ func (r *Rig) RunScenario(ctx context.Context, sc Scenario) (ScenarioResult, err
 	return res, nil
 }
 
+// stageShadowWiFi stages a shadow generation of the first fp64 WiFi
+// model: identical weights under a fresh lifecycle state, so the
+// shadow-mirror scenario measures pure mirroring overhead — the
+// sampled re-submit, the extra coalesced passes, the divergence
+// accounting — with zero model-cost difference between generations.
+func stageShadowWiFi(reg *serve.Registry) error {
+	for _, info := range reg.List() {
+		if info.Kind != "wifi" || info.Precision == "int8" {
+			continue
+		}
+		m, ok := reg.Get(info.Name)
+		if !ok {
+			continue
+		}
+		return reg.AddStaged(&serve.Model{Name: m.Name, Kind: m.Kind, WiFi: m.WiFi}, serve.StageShadow)
+	}
+	return fmt.Errorf("no fp64 wifi model to stage a shadow of")
+}
+
 // runPass boots a fresh server, drives the scenario for dur, and tears
 // everything down.
 func (r *Rig) runPass(ctx context.Context, sc Scenario, dur time.Duration) (passOutcome, error) {
@@ -275,11 +301,17 @@ func (r *Rig) runPass(ctx context.Context, sc Scenario, dur time.Duration) (pass
 	if err != nil {
 		return zero, fmt.Errorf("loading models: %w", err)
 	}
+	if sc.Engine.ShadowWiFi {
+		if err := stageShadowWiFi(reg); err != nil {
+			return zero, err
+		}
+	}
 	cfg := serve.Config{
 		Registry:    reg,
 		BatchWindow: sc.Engine.BatchWindow,
 		MaxBatch:    sc.Engine.MaxBatch,
 		NoTrace:     sc.Engine.NoTrace || r.NoTrace,
+		MirrorRate:  sc.Engine.MirrorRate,
 	}
 
 	passCtx, cancel := context.WithCancel(ctx)

@@ -141,6 +141,7 @@ func TestSuiteNamesAreStableAndUnique(t *testing.T) {
 		"localize_batch_c32",
 		"localize_int8_c32",
 		"localize_unbatched_c32",
+		"shadow_mirror_c32",
 		"track_sessions_c16",
 		"track_int8_c16",
 		"track_journal_c16",

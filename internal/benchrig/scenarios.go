@@ -80,6 +80,21 @@ func Suite() []Scenario {
 			Run:         func(env *Env) error { return runLocalize(env, nil) },
 		},
 		{
+			Name: "shadow_mirror_c32",
+			Description: "localize_batch_c32 with a same-weights shadow generation staged and " +
+				"10% of traffic mirrored through it off the request path — the mirrored-traffic " +
+				"overhead scenario (budget: ≤5% throughput cost vs localize_batch_c32 on a " +
+				"multi-core box; a saturated single vCPU pays the mirrored compute itself, ~10%)",
+			Concurrency: 32,
+			Unit:        "req/s",
+			Kinds:       []string{"localize"},
+			Engine: EngineOptions{
+				BatchWindow: defaultWindow, MaxBatch: defaultMaxBatch,
+				MirrorRate: 0.1, ShadowWiFi: true,
+			},
+			Run: func(env *Env) error { return runLocalize(env, nil) },
+		},
+		{
 			Name: "track_sessions_c16",
 			Description: "steady-state stateful tracking: 16 device sessions streaming one IMU " +
 				"segment per request, WiFi re-anchor every 16 steps, journal off",

@@ -109,6 +109,7 @@ func (s *Server) routes() {
 	// admin mux (see DebugHandler).
 	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("GET /debug/runtime", s.handleDebugRuntime)
+	s.mux.HandleFunc("GET /debug/lifecycle", s.handleDebugLifecycle)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 }

@@ -340,10 +340,15 @@ func (s *Server) handleSessionDeleteV2(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"request_id": reqID, "session": id, "deleted": true})
 }
 
+// handleModelsV2 is lifecycle-aware: unlike /v1/models (active
+// generations only, legacy shape), it lists every live generation —
+// staged shadow/canary candidates included — each with its lifecycle
+// block (stage, target, promotion policy, and the live evaluation
+// evidence the controller weighs).
 func (s *Server) handleModelsV2(w http.ResponseWriter, r *http.Request) {
 	reqID := s.engine.NextRequestID()
 	w.Header().Set("X-Request-Id", reqID)
-	writeJSON(w, http.StatusOK, map[string]any{"request_id": reqID, "models": s.engine.Models()})
+	writeJSON(w, http.StatusOK, map[string]any{"request_id": reqID, "models": s.engine.ModelsLifecycle()})
 }
 
 // healthResponseV2 answers /v2/health.

@@ -33,6 +33,40 @@ func (s *Server) handleDebugRuntime(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, obs.ReadRuntime())
 }
 
+// handleDebugLifecycle dumps the deployment pipeline: every live
+// generation (active and staged) with stage, policy, and evaluation
+// evidence, plus the bundle names the registry currently refuses.
+func (s *Server) handleDebugLifecycle(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":         s.engine.ModelsLifecycle(),
+		"broken_bundles": s.engine.Registry().FailedBundles(),
+	})
+}
+
+// handleLifecyclePromote is the manual override: advance a model's
+// staged generation one stage (shadow→canary, canary→active),
+// regardless of its policy window. Admin mux only.
+func (s *Server) handleLifecyclePromote(w http.ResponseWriter, r *http.Request) {
+	model := r.PathValue("model")
+	to, err := s.engine.Registry().PromoteStaged(model, "manual promote via admin endpoint")
+	if err != nil {
+		fail(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"model": model, "stage": string(to)})
+}
+
+// handleLifecycleRollback retires a model's staged generation. Admin
+// mux only.
+func (s *Server) handleLifecycleRollback(w http.ResponseWriter, r *http.Request) {
+	model := r.PathValue("model")
+	if err := s.engine.Registry().RollbackStaged(model, "manual rollback via admin endpoint"); err != nil {
+		fail(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"model": model, "stage": string(StageRetired)})
+}
+
 // DebugHandler returns the standalone admin mux for an opt-in debug
 // listener (noble-serve -admin-addr): the full pprof family, the trace
 // and runtime dumps, and a metrics scrape — everything operational,
@@ -42,6 +76,9 @@ func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	mux.HandleFunc("GET /debug/runtime", s.handleDebugRuntime)
+	mux.HandleFunc("GET /debug/lifecycle", s.handleDebugLifecycle)
+	mux.HandleFunc("POST /admin/lifecycle/{model}/promote", s.handleLifecyclePromote)
+	mux.HandleFunc("POST /admin/lifecycle/{model}/rollback", s.handleLifecycleRollback)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -43,6 +44,14 @@ type Engine struct {
 	tracer   *obs.Tracer // nil when tracing is off
 	started  time.Time
 
+	// Shadow/canary mirroring (see mirror.go): every mirrorEvery-th
+	// localize/track request is replayed through the staged generation
+	// off the request path, bounded by the mirrorSlots in-flight cap.
+	mirrorEvery int64
+	mirrorSeq   atomic.Int64
+	mirrorSlots chan struct{}
+	lcSeq       atomic.Int64 // WAL lifecycle event sequence
+
 	draining atomic.Bool
 	reqSeq   atomic.Int64
 	idPrefix string
@@ -82,6 +91,19 @@ func NewEngine(cfg Config) *Engine {
 			//vet:ignore journalock -- eviction runs after MarkGone under the sweeper's lock hold: the tombstone makes the sweeper the session's sole writer, so no append can race this close record
 			e.journalClose(context.Background(), s, true)
 		})
+	}
+	if cfg.MirrorRate > 0 {
+		rate := cfg.MirrorRate
+		if rate > 1 {
+			rate = 1
+		}
+		e.mirrorEvery = int64(math.Round(1 / rate))
+	}
+	e.mirrorSlots = make(chan struct{}, mirrorInFlightCap)
+	if e.journal != nil {
+		// Journal every stage transition as a WAL lifecycle event so the
+		// deployment pipeline's state survives crash recovery.
+		e.reg.SetOnTransition(e.journalLifecycle)
 	}
 	// Request IDs are unique per process run: a per-start prefix plus a
 	// sequence number, cheap enough for the localize hot path.
@@ -149,23 +171,41 @@ func (e *Engine) resolveModel(name, kind string) (*Model, *Error) {
 
 // predictWiFiBatch is the localize Batcher's callback: resolve the model
 // at flush time (so batches formed across a hot reload run on the newest
-// generation) and run one batched forward pass.
+// generation) and run one batched forward pass. A plain model name
+// resolves to the active generation; mirrored rows arrive under a
+// generation-qualified key (see genKey) so they coalesce into their own
+// passes on the exact staged generation — and go unanswered once it is
+// retired. Per-row pass latency is recorded on the generation, feeding
+// the p99 the promotion policy bounds.
 func (e *Engine) predictWiFiBatch(model string, rows [][]float64) ([]core.WiFiPrediction, error) {
-	m, ok := e.reg.Get(model)
+	m, ok := e.reg.ResolveGen(model)
 	if !ok || m.WiFi == nil {
-		return nil, fmt.Errorf("model %q disappeared", model)
+		name, _, _ := splitGenKey(model)
+		return nil, fmt.Errorf("model %q disappeared", name)
 	}
-	return m.WiFi.PredictBatch(rows), nil
+	t0 := time.Now()
+	preds := m.WiFi.PredictBatch(rows)
+	if m.Stats != nil {
+		m.Stats.RecordPass(time.Since(t0), len(rows))
+	}
+	return preds, nil
 }
 
 // predictIMUBatch is the track Batcher's callback, coalescing track
-// paths and session steps into one PredictPaths pass.
+// paths and session steps into one PredictPaths pass. Generation
+// resolution and latency recording mirror predictWiFiBatch.
 func (e *Engine) predictIMUBatch(model string, paths []imu.Path) ([]core.IMUPrediction, error) {
-	m, ok := e.reg.Get(model)
+	m, ok := e.reg.ResolveGen(model)
 	if !ok || m.IMU == nil {
-		return nil, fmt.Errorf("model %q disappeared", model)
+		name, _, _ := splitGenKey(model)
+		return nil, fmt.Errorf("model %q disappeared", name)
 	}
-	return m.IMU.PredictPaths(paths), nil
+	t0 := time.Now()
+	preds := m.IMU.PredictPaths(paths)
+	if m.Stats != nil {
+		m.Stats.RecordPass(time.Since(t0), len(paths))
+	}
+	return preds, nil
 }
 
 // submitErr maps a batcher Submit failure: context expiry keeps its
@@ -212,6 +252,7 @@ func (e *Engine) Localize(ctx context.Context, q LocalizeQuery) ([]core.WiFiPred
 	if err != nil {
 		return nil, submitErr(err)
 	}
+	e.mirrorLocalize(q.Model, q.Fingerprints, preds)
 	return preds, nil
 }
 
@@ -257,6 +298,7 @@ func (e *Engine) Track(ctx context.Context, q TrackQuery) ([]core.IMUPrediction,
 	if err != nil {
 		return nil, submitErr(err)
 	}
+	e.mirrorTrack(q.Model, paths, preds)
 	return preds, nil
 }
 
@@ -477,6 +519,15 @@ func (e *Engine) AppendSegments(ctx context.Context, q SegmentQuery) (SessionSta
 		} else {
 			pos = fix.Pos
 		}
+		// The fix is a free live label: before it snaps the trajectory,
+		// score every live generation's prediction against it — the
+		// active IMU's dead-reckoned estimate, the staged IMU's decode of
+		// the same window, and (when the fix came from a fingerprint) the
+		// staged WiFi's localization. This is the ground-truth signal the
+		// promotion controller weighs.
+		if !created {
+			e.scoreReAnchor(sess, pos, q.WiFiModel, q.Fingerprint)
+		}
 		// On a fresh session whose origin IS the fix this is a no-op
 		// (empty window, estimate already at the fix); otherwise it snaps
 		// the trajectory to the absolute position.
@@ -587,8 +638,14 @@ func (e *Engine) fillSessionState(state *SessionState, sess *session.Session) {
 	state.Traveled = sess.Tracker.Traveled()
 }
 
-// Models lists the registered models.
+// Models lists the registered models (active generations only — the
+// user-visible catalog).
 func (e *Engine) Models() []ModelInfo { return e.reg.List() }
+
+// ModelsLifecycle lists every live generation — active and staged —
+// with lifecycle state and evaluation evidence (the /v2 and /debug
+// view).
+func (e *Engine) ModelsLifecycle() []ModelInfo { return e.reg.ListLifecycle() }
 
 // HealthInfo is the Engine's liveness summary.
 type HealthInfo struct {

@@ -1,0 +1,238 @@
+// Package lifecycle is the promotion controller for staged model
+// generations: the policy half of the deployment pipeline whose
+// mechanism lives in the serve registry.
+//
+// The registry owns the stage machine (shadow → canary → active →
+// retired) and the single Transition entry point; this package decides
+// WHEN to call it. The controller periodically snapshots every
+// deployment's live evaluation evidence — mirrored-traffic divergence,
+// re-anchor error scores, per-row pass latency — and compares each
+// staged generation against the generation currently serving:
+//
+//   - a shadow that has mirrored enough traffic advances to canary
+//     (sample count is the only gate; shadow exists to accumulate
+//     evidence, not to be judged on it),
+//   - a canary whose live error or pass-latency p99 regresses beyond
+//     the bundle's declared policy is rolled back immediately,
+//   - a canary that completes its evaluation window inside the policy
+//     bounds is promoted to active via the registry's atomic swap.
+//
+// Every decision is applied through Registry.Transition, so the
+// registry's OnTransition hook journals it as a WAL lifecycle event and
+// the stage survives crash recovery. The controller holds no state of
+// its own beyond the tick loop: restarting it mid-window is always
+// safe, because the evidence lives with the generation.
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"noble/internal/serve"
+)
+
+// Action is a controller decision for one staged generation.
+type Action string
+
+const (
+	// ActionHold leaves the generation where it is (window not complete,
+	// or its target stage caps further promotion).
+	ActionHold Action = "hold"
+	// ActionAdvance moves a shadow with a complete sample window to
+	// canary.
+	ActionAdvance Action = "advance"
+	// ActionPromote swaps a passing canary to active.
+	ActionPromote Action = "promote"
+	// ActionRollback retires a canary whose live error or latency
+	// regressed beyond policy.
+	ActionRollback Action = "rollback"
+)
+
+// Verdict is one evaluated deployment: what the comparator concluded
+// and the evidence it weighed.
+type Verdict struct {
+	Model    string
+	BundleID string
+	Stage    serve.Stage
+	Action   Action
+	Reason   string
+
+	// Evidence behind the decision (meaningful for canaries).
+	Samples      int64
+	ErrorDeltaM  float64
+	LatencyDelta float64 // p99 pass latency delta, ms
+}
+
+// minRollbackEvidence bounds how early a canary may be rolled back: a
+// regression verdict needs at least a quarter of the canary window (and
+// never fewer than one sample), so a single unlucky mirror pass cannot
+// kill a healthy candidate.
+func minRollbackEvidence(p serve.LifecyclePolicy) int64 {
+	if n := p.MinCanaryRequests / 4; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// errorDelta measures how much worse the staged generation's live error
+// is than the active's, in meters. Re-anchor scores are the primary
+// signal — both generations are scored against the same WiFi fixes —
+// and mirror divergence is the fallback when no fixes have flowed
+// (divergence measures distance from the active's own predictions, so
+// the active's reference value is identically zero).
+func errorDelta(active, staged serve.GenStatsSnapshot) (float64, bool) {
+	if staged.Scores > 0 && active.Scores > 0 {
+		return staged.MeanErrorM - active.MeanErrorM, true
+	}
+	if staged.DivergenceN > 0 {
+		return staged.MeanDivergenceM, true
+	}
+	return 0, false
+}
+
+// latencyDelta measures the staged generation's per-row pass-latency
+// p99 regression versus the active, in milliseconds.
+func latencyDelta(active, staged serve.GenStatsSnapshot) (float64, bool) {
+	if staged.P99PassMS <= 0 {
+		return 0, false
+	}
+	return staged.P99PassMS - active.P99PassMS, true
+}
+
+// Evaluate runs the comparator over one deployment snapshot and returns
+// the verdict for its staged generation (nil when nothing is staged).
+// Pure: it never touches the registry, which makes policy decisions
+// unit-testable from synthetic snapshots.
+func Evaluate(d serve.DeploymentStatus) *Verdict {
+	st := d.Staged
+	if st == nil {
+		return nil
+	}
+	v := &Verdict{
+		Model:    d.Name,
+		BundleID: st.BundleID,
+		Stage:    st.Stage,
+		Action:   ActionHold,
+		Samples:  st.Stats.Samples(),
+	}
+	switch st.Stage {
+	case serve.StageShadow:
+		if v.Samples < st.Policy.MinShadowRequests {
+			v.Reason = fmt.Sprintf("shadow window %d/%d samples", v.Samples, st.Policy.MinShadowRequests)
+			return v
+		}
+		if st.Target == serve.StageShadow {
+			v.Reason = "shadow window complete; held at target stage shadow"
+			return v
+		}
+		v.Action = ActionAdvance
+		v.Reason = fmt.Sprintf("shadow window complete (%d samples)", v.Samples)
+		return v
+
+	case serve.StageCanary:
+		var active serve.GenStatsSnapshot
+		if d.Active != nil {
+			active = d.Active.Stats
+		}
+		errD, haveErr := errorDelta(active, st.Stats)
+		latD, haveLat := latencyDelta(active, st.Stats)
+		v.ErrorDeltaM, v.LatencyDelta = errD, latD
+
+		if v.Samples >= minRollbackEvidence(st.Policy) {
+			if haveErr && errD > st.Policy.MaxErrorDeltaM {
+				v.Action = ActionRollback
+				v.Reason = fmt.Sprintf("live error regressed: delta %.3fm exceeds policy max %.3fm over %d samples",
+					errD, st.Policy.MaxErrorDeltaM, v.Samples)
+				return v
+			}
+			if haveLat && latD > st.Policy.MaxP99DeltaMS {
+				v.Action = ActionRollback
+				v.Reason = fmt.Sprintf("pass latency regressed: p99 delta %.3fms exceeds policy max %.3fms",
+					latD, st.Policy.MaxP99DeltaMS)
+				return v
+			}
+		}
+		if v.Samples < st.Policy.MinCanaryRequests {
+			v.Reason = fmt.Sprintf("canary window %d/%d samples", v.Samples, st.Policy.MinCanaryRequests)
+			return v
+		}
+		if st.Target != serve.StageActive {
+			v.Reason = "canary window complete; held at target stage canary"
+			return v
+		}
+		v.Action = ActionPromote
+		v.Reason = fmt.Sprintf("canary window complete inside policy (error delta %.3fm ≤ %.3fm, p99 delta %.3fms ≤ %.3fms, %d samples)",
+			errD, st.Policy.MaxErrorDeltaM, latD, st.Policy.MaxP99DeltaMS, v.Samples)
+		return v
+	}
+	v.Reason = "no staged evaluation for stage " + string(st.Stage)
+	return v
+}
+
+// Controller drives the policy loop against a registry.
+type Controller struct {
+	Registry *serve.Registry
+	// Interval between evaluation ticks; Run defaults it to 5s.
+	Interval time.Duration
+	// Logf defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Tick evaluates every deployment once and applies the resulting
+// transitions. Returns the non-hold verdicts it acted on. A transition
+// that fails (e.g. a concurrent Reload superseded the staged
+// generation between snapshot and apply) is logged and skipped — the
+// registry's Transition re-validates legality under its own lock, so
+// the snapshot being stale is never unsafe, only wasted work.
+func (c *Controller) Tick() []Verdict {
+	var acted []Verdict
+	for _, d := range c.Registry.Deployments() {
+		v := Evaluate(d)
+		if v == nil || v.Action == ActionHold {
+			continue
+		}
+		var err error
+		switch v.Action {
+		case ActionAdvance:
+			err = c.Registry.Transition(v.Model, serve.StageCanary, v.Reason)
+		case ActionPromote:
+			err = c.Registry.Transition(v.Model, serve.StageActive, v.Reason)
+		case ActionRollback:
+			err = c.Registry.Transition(v.Model, serve.StageRetired, v.Reason)
+		}
+		if err != nil {
+			c.logf("lifecycle: %s %s skipped: %v", v.Action, v.Model, err)
+			continue
+		}
+		acted = append(acted, *v)
+	}
+	return acted
+}
+
+// Run ticks until ctx is canceled.
+func (c *Controller) Run(ctx context.Context) {
+	interval := c.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Tick()
+		}
+	}
+}

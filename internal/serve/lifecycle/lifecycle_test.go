@@ -1,0 +1,148 @@
+package lifecycle
+
+import (
+	"testing"
+
+	"noble/internal/serve"
+)
+
+// Synthetic-snapshot tests for the pure comparator: every verdict the
+// controller can reach, from hand-built deployment snapshots.
+
+func policy() serve.LifecyclePolicy {
+	return serve.LifecyclePolicy{
+		MinShadowRequests: 100,
+		MinCanaryRequests: 200,
+		MaxErrorDeltaM:    1.0,
+		MaxP99DeltaMS:     5.0,
+	}
+}
+
+// dep builds a deployment snapshot: an active with baseline stats and a
+// staged generation at the given stage/target with the given stats.
+func dep(stage, target serve.Stage, staged serve.GenStatsSnapshot, active serve.GenStatsSnapshot) serve.DeploymentStatus {
+	return serve.DeploymentStatus{
+		Name:   "m",
+		Active: &serve.GenStatus{Name: "m", Generation: 1, Stage: serve.StageActive, Stats: active},
+		Staged: &serve.GenStatus{
+			Name: "m", Generation: 2, BundleID: "beef02",
+			Stage: stage, Target: target, Policy: policy(), Stats: staged,
+		},
+	}
+}
+
+// scored builds stats with n re-anchor scores at the given mean error
+// and a pass-latency p99.
+func scored(n int64, meanErr, p99 float64) serve.GenStatsSnapshot {
+	return serve.GenStatsSnapshot{
+		Scores: n, ErrorSumM: meanErr * float64(n), MeanErrorM: meanErr, P99PassMS: p99,
+	}
+}
+
+func TestEvaluateNothingStaged(t *testing.T) {
+	d := serve.DeploymentStatus{Name: "m", Active: &serve.GenStatus{Name: "m"}}
+	if v := Evaluate(d); v != nil {
+		t.Fatalf("verdict for a staged-less deployment: %+v", v)
+	}
+}
+
+func TestEvaluateShadowHoldsUntilWindow(t *testing.T) {
+	d := dep(serve.StageShadow, serve.StageActive,
+		serve.GenStatsSnapshot{Mirrored: 99}, scored(500, 2.0, 1.0))
+	v := Evaluate(d)
+	if v.Action != ActionHold || v.Samples != 99 {
+		t.Fatalf("verdict %+v, want hold at 99/100 samples", v)
+	}
+}
+
+func TestEvaluateShadowAdvancesOnCount(t *testing.T) {
+	// Shadow advancement is count-only: terrible divergence must not
+	// block it — judgment happens at canary.
+	d := dep(serve.StageShadow, serve.StageActive,
+		serve.GenStatsSnapshot{Mirrored: 60, Scores: 40, DivergenceN: 60, MeanDivergenceM: 50},
+		scored(500, 2.0, 1.0))
+	v := Evaluate(d)
+	if v.Action != ActionAdvance {
+		t.Fatalf("verdict %+v, want advance at 100 samples", v)
+	}
+}
+
+func TestEvaluateShadowHeldAtTargetStage(t *testing.T) {
+	d := dep(serve.StageShadow, serve.StageShadow,
+		serve.GenStatsSnapshot{Mirrored: 500}, scored(500, 2.0, 1.0))
+	if v := Evaluate(d); v.Action != ActionHold {
+		t.Fatalf("verdict %+v, want hold: lifecycle.json pinned target shadow", v)
+	}
+}
+
+func TestEvaluateCanaryPromotes(t *testing.T) {
+	// 0.5 m worse and 2 ms slower: inside the 1 m / 5 ms policy.
+	d := dep(serve.StageCanary, serve.StageActive, scored(200, 2.5, 3.0), scored(500, 2.0, 1.0))
+	v := Evaluate(d)
+	if v.Action != ActionPromote {
+		t.Fatalf("verdict %+v, want promote", v)
+	}
+	if v.ErrorDeltaM != 0.5 || v.LatencyDelta != 2.0 {
+		t.Fatalf("evidence deltas %+v, want error 0.5 latency 2.0", v)
+	}
+}
+
+func TestEvaluateCanaryHoldsInsideWindow(t *testing.T) {
+	d := dep(serve.StageCanary, serve.StageActive, scored(199, 2.0, 1.0), scored(500, 2.0, 1.0))
+	if v := Evaluate(d); v.Action != ActionHold {
+		t.Fatalf("verdict %+v, want hold at 199/200 samples", v)
+	}
+}
+
+func TestEvaluateCanaryRollsBackOnError(t *testing.T) {
+	// Error regression past policy trips rollback as soon as the
+	// evidence floor (window/4 = 50) is met — well before the full
+	// window.
+	d := dep(serve.StageCanary, serve.StageActive, scored(50, 3.5, 1.0), scored(500, 2.0, 1.0))
+	v := Evaluate(d)
+	if v.Action != ActionRollback {
+		t.Fatalf("verdict %+v, want rollback at +1.5m error delta", v)
+	}
+}
+
+func TestEvaluateCanaryRollsBackOnLatency(t *testing.T) {
+	d := dep(serve.StageCanary, serve.StageActive, scored(50, 2.0, 7.5), scored(500, 2.0, 1.0))
+	v := Evaluate(d)
+	if v.Action != ActionRollback {
+		t.Fatalf("verdict %+v, want rollback at +6.5ms p99 delta", v)
+	}
+}
+
+func TestEvaluateCanaryRegressionNeedsEvidence(t *testing.T) {
+	// Same regression, below the window/4 evidence floor: one unlucky
+	// pass must not kill the candidate.
+	d := dep(serve.StageCanary, serve.StageActive, scored(49, 3.5, 7.5), scored(500, 2.0, 1.0))
+	if v := Evaluate(d); v.Action != ActionHold {
+		t.Fatalf("verdict %+v, want hold below the rollback evidence floor", v)
+	}
+}
+
+func TestEvaluateDivergenceFallback(t *testing.T) {
+	// A WiFi deployment: the active never scores against fixes (the fix
+	// IS its prediction), so the comparator must judge the staged
+	// generation on mirror divergence alone.
+	staged := serve.GenStatsSnapshot{Mirrored: 200, DivergenceN: 200, MeanDivergenceM: 2.5, P99PassMS: 1.0}
+	d := dep(serve.StageCanary, serve.StageActive, staged, serve.GenStatsSnapshot{P99PassMS: 1.0})
+	v := Evaluate(d)
+	if v.Action != ActionRollback {
+		t.Fatalf("verdict %+v, want rollback: 2.5m divergence vs 1m policy", v)
+	}
+
+	staged.MeanDivergenceM = 0.25
+	d = dep(serve.StageCanary, serve.StageActive, staged, serve.GenStatsSnapshot{P99PassMS: 1.0})
+	if v := Evaluate(d); v.Action != ActionPromote {
+		t.Fatalf("verdict %+v, want promote on in-policy divergence", v)
+	}
+}
+
+func TestEvaluateCanaryHeldAtTargetStage(t *testing.T) {
+	d := dep(serve.StageCanary, serve.StageCanary, scored(500, 2.0, 1.0), scored(500, 2.0, 1.0))
+	if v := Evaluate(d); v.Action != ActionHold {
+		t.Fatalf("verdict %+v, want hold: lifecycle.json pinned target canary", v)
+	}
+}

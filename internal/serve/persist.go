@@ -151,6 +151,95 @@ func (e *Engine) journalCommit(ctx context.Context, id string) {
 	}
 }
 
+// journalLifecycle records one stage transition as a WAL lifecycle
+// event — the registry's OnTransition hook when persistence is on. The
+// event is keyed by model (store.LifecycleKey), not by session, so one
+// model's transitions share a shard and recover in append order; the
+// engine-wide sequence breaks ties among same-nanosecond events.
+func (e *Engine) journalLifecycle(ev TransitionEvent) {
+	if e.journal == nil {
+		return
+	}
+	//vet:ignore journalock -- lifecycle events are keyed by model under the reserved lifecycle namespace, not by session: there is no session (or session lock) involved, and the registry serializes transition delivery
+	e.journalAppend(context.Background(), &store.Event{
+		Type:    store.EvLifecycle,
+		Session: store.LifecycleKey(ev.Model),
+		Seq:     e.lcSeq.Add(1),
+		Time:    ev.Time.UnixNano(),
+		Lifecycle: &store.LifecycleEvent{
+			Model:    ev.Model,
+			BundleID: ev.BundleID,
+			From:     string(ev.From),
+			To:       string(ev.To),
+			Reason:   ev.Reason,
+		},
+	})
+}
+
+// RecoveredStages reduces a recovery's lifecycle events to the latest
+// stage per (model, bundle) — keyed as Registry.SetRecoveredStages
+// expects — so the first Reload after a restart re-places each bundle
+// at the stage it held at the crash. Later events win by (Time, Seq);
+// Seq alone cannot order events because it restarts at 1 each boot.
+func RecoveredStages(rec *store.Recovery) map[string]Stage {
+	type order struct{ t, seq int64 }
+	latest := make(map[string]order)
+	out := make(map[string]Stage)
+	for _, ev := range rec.Lifecycle {
+		l := ev.Lifecycle
+		k := recoveredKey(l.Model, l.BundleID)
+		o := order{ev.Time, ev.Seq}
+		if prev, ok := latest[k]; ok && (prev.t > o.t || (prev.t == o.t && prev.seq > o.seq)) {
+			continue
+		}
+		latest[k] = o
+		out[k] = Stage(l.To)
+	}
+	return out
+}
+
+// lifecycleCarryEvents builds one current-stage lifecycle event per
+// disk-backed live generation — plus one retired event per rolled-back
+// bundle whose bytes are still on disk — for compaction carry-forward.
+// Without this, compaction would prune the segments holding the stage
+// history, and a post-compaction restart would re-place a rolled-back
+// bundle in shadow (resurrecting it) or restart a canary's evaluation
+// from scratch.
+func (e *Engine) lifecycleCarryEvents() []*store.Event {
+	now := time.Now().UnixNano()
+	var evs []*store.Event
+	add := func(model, bundleID string, stage Stage) {
+		if bundleID == "" {
+			return // programmatic generation; nothing on disk to recover
+		}
+		evs = append(evs, &store.Event{
+			Type:    store.EvLifecycle,
+			Session: store.LifecycleKey(model),
+			Seq:     e.lcSeq.Add(1),
+			Time:    now,
+			Lifecycle: &store.LifecycleEvent{
+				Model:    model,
+				BundleID: bundleID,
+				From:     string(stage),
+				To:       string(stage),
+				Reason:   "compaction carry-forward",
+			},
+		})
+	}
+	for _, d := range e.reg.Deployments() {
+		if d.Active != nil {
+			add(d.Name, d.Active.BundleID, d.Active.Stage)
+		}
+		if d.Staged != nil {
+			add(d.Name, d.Staged.BundleID, d.Staged.Stage)
+		}
+	}
+	for name, id := range e.reg.RetiredDisk() {
+		add(name, id, StageRetired)
+	}
+	return evs
+}
+
 // RestoreSummary reports a startup restore.
 type RestoreSummary struct {
 	Restored int
@@ -359,6 +448,15 @@ func (e *Engine) CompactJournal() error {
 				// recovery deduplicates by (Gen, Seq).
 				e.journalAppend(context.Background(), &h.Events[i])
 			}
+		}
+		// Re-record lifecycle stage state the same way: these appends land
+		// in the post-rotation segment, so they survive the prune that
+		// takes the original stage events away.
+		for _, ev := range e.lifecycleCarryEvents() {
+			if e.journal.ShardFor(ev.Session) != shard {
+				continue
+			}
+			e.journalAppend(context.Background(), ev)
 		}
 		return snaps
 	})

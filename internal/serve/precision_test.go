@@ -147,6 +147,8 @@ func TestRegistryStampCoversCalibration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Republishes here pin the pre-lifecycle direct-swap path.
+	writeImmediateLifecycle(t, bundleDir)
 
 	reg := NewRegistry(dir, t.Logf)
 	if _, _, err := reg.Reload(); err != nil {
@@ -203,6 +205,9 @@ func TestReloadPrecisionFlipUnderTraffic(t *testing.T) {
 		func(f *os.File) error { return model.Save(f) }); err != nil {
 		t.Fatal(err)
 	}
+	// The mid-traffic republish below pins the direct-swap path; the
+	// shadow pipeline has its own tests.
+	writeImmediateLifecycle(t, filepath.Join(dir, "flip"))
 
 	reg := NewRegistry(dir, t.Logf)
 	if _, _, err := reg.Reload(); err != nil {

@@ -27,6 +27,17 @@
 // always see a complete model and a bundle that fails to load leaves the
 // previous generation serving.
 //
+// Hot reload is a staged deployment pipeline, not "latest load wins": a
+// changed bundle of a served name enters SHADOW (never answering user
+// traffic), accumulates live evidence — a sampled fraction of real
+// requests mirrored through it off the request path, plus re-anchor
+// fixes scoring every live generation's prediction against ground truth
+// — advances to CANARY, and is promoted to active (or automatically
+// rolled back) by the policy controller in internal/serve/lifecycle
+// according to the bundle's lifecycle.json sidecar. Stage transitions
+// are journaled as WAL lifecycle events, so the pipeline's state
+// survives a crash. See Registry, Stage, and the lifecycle package.
+//
 // Micro-batching exploits the shape of the paper's workload — millions of
 // devices issuing tiny single-fingerprint or single-segment queries —
 // where the per-request matmul is too small to amortize dispatch cost.
@@ -91,6 +102,12 @@ type Config struct {
 	// NoTrace disables request tracing entirely (the overhead-measurement
 	// baseline for noble-perf -trace=false).
 	NoTrace bool
+	// MirrorRate is the fraction of localize/track traffic mirrored
+	// through staged (shadow/canary) model generations for live
+	// evaluation, in (0, 1]. Zero disables sampled mirroring; re-anchor
+	// scoring of staged generations still runs (fixes are the lifecycle's
+	// ground-truth labels and are far rarer than inference traffic).
+	MirrorRate float64
 }
 
 // Server is the HTTP adapter over an Engine. Construct with New (or

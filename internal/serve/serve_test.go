@@ -320,6 +320,16 @@ func TestBundleRoundTrip(t *testing.T) {
 	}
 }
 
+// writeImmediateLifecycle marks a bundle for direct activation on load
+// (lifecycle.json immediate), restoring the pre-lifecycle swap behavior
+// for tests that pin it.
+func writeImmediateLifecycle(t *testing.T, bundleDir string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(bundleDir, lifecycleFile), []byte(`{"immediate": true}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // tinyWiFiDatasetCfg mirrors the fixture's dataset spec for manifests.
 func tinyWiFiDatasetCfg() dataset.WiFiConfig {
 	dcfg := dataset.SmallIPINConfig()
@@ -371,15 +381,48 @@ func TestRegistryHotReload(t *testing.T) {
 		}
 	}
 
+	// A changed bundle of a served name enters SHADOW: the active
+	// generation keeps answering traffic untouched.
 	if loaded, _, err := reg.Reload(); err != nil || loaded != 1 {
 		t.Fatalf("hot reload: loaded=%d err=%v", loaded, err)
 	}
+	active, _ := reg.Get("m")
+	if active.Generation != 1 || active.WiFi != gen1.WiFi || active.Stage != StageActive {
+		t.Fatalf("active after shadow publish: gen=%d stage=%s", active.Generation, active.Stage)
+	}
+	staged, ok := reg.Staged("m")
+	if !ok || staged.Generation != 2 || staged.Stage != StageShadow {
+		t.Fatalf("staged after publish: ok=%v %+v", ok, staged)
+	}
+	if staged.WiFi == gen1.WiFi {
+		t.Fatal("shadow generation must be a new model instance")
+	}
+
+	// The same shadow bundle must not reload again.
+	if loaded, _, err := reg.Reload(); err != nil || loaded != 0 {
+		t.Fatalf("idempotent shadow reload: loaded=%d err=%v", loaded, err)
+	}
+
+	// Promote shadow → canary → active through the single transition
+	// func: the canary takes over traffic atomically and gen1 retires.
+	if err := reg.Transition("m", StageCanary, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Transition("m", StageActive, "test"); err != nil {
+		t.Fatal(err)
+	}
 	gen2, _ := reg.Get("m")
-	if gen2.Generation != 2 {
-		t.Fatalf("generation after reload: %d, want 2", gen2.Generation)
+	if gen2.Generation != 2 || gen2.Stage != StageActive {
+		t.Fatalf("generation after promotion: gen=%d stage=%s, want gen=2 active", gen2.Generation, gen2.Stage)
 	}
 	if gen2.WiFi == gen1.WiFi {
-		t.Fatal("reload must swap in a new model instance")
+		t.Fatal("promotion must swap in the new model instance")
+	}
+	if gen1.Stage != StageRetired {
+		t.Fatalf("old active stage after promotion: %s, want retired", gen1.Stage)
+	}
+	if _, ok := reg.Staged("m"); ok {
+		t.Fatal("promotion must clear the staged slot")
 	}
 
 	// Removing the bundle dir drops the model.
@@ -430,6 +473,9 @@ func TestRegistryBrokenBundleLogsOncePerGeneration(t *testing.T) {
 	if err := WriteBundle(dir, "m", man, func(f *os.File) error { return wifiModel.Save(f) }); err != nil {
 		t.Fatal(err)
 	}
+
+	// Republishes in this test pin the pre-lifecycle direct-swap path.
+	writeImmediateLifecycle(t, filepath.Join(dir, "m"))
 
 	var mu sync.Mutex
 	var failLogs int

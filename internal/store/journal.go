@@ -89,7 +89,7 @@ type Journal struct {
 
 	// Counters for /metrics; the per-shard dirty state backs the lag and
 	// unsynced-bytes gauges.
-	appends      [5]atomic.Int64 // indexed by EventType (0 unused)
+	appends      [7]atomic.Int64 // indexed by EventType (0 and recSnapshot unused)
 	appendErrors atomic.Int64
 	bytes        atomic.Int64
 	rotations    atomic.Int64
@@ -197,7 +197,7 @@ func (j *Journal) Fsync() FsyncPolicy { return j.cfg.Fsync }
 // cheap enough to run under the session lock, which is what keeps one
 // session's records in mutation order.
 func (j *Journal) Append(ev *Event) error {
-	if ev.Type < EvCreate || ev.Type > EvClose {
+	if (ev.Type < EvCreate || ev.Type > EvClose) && ev.Type != EvLifecycle {
 		return fmt.Errorf("store: appending record of type %s", ev.Type)
 	}
 	payload := encodeEvent(ev)
@@ -589,9 +589,9 @@ func (j *Journal) WritePrometheus(w io.Writer) {
 		}
 		sh.mu.Unlock()
 	}
-	fmt.Fprintln(w, "# HELP noble_journal_appends_total Session events appended to the journal, by event type.")
+	fmt.Fprintln(w, "# HELP noble_journal_appends_total Events appended to the journal, by event type.")
 	fmt.Fprintln(w, "# TYPE noble_journal_appends_total counter")
-	for _, t := range []EventType{EvCreate, EvSteps, EvReAnchor, EvClose} {
+	for _, t := range []EventType{EvCreate, EvSteps, EvReAnchor, EvClose, EvLifecycle} {
 		fmt.Fprintf(w, "noble_journal_appends_total{event=%q} %d\n", t.String(), j.appends[t].Load())
 	}
 	fmt.Fprintln(w, "# HELP noble_journal_append_errors_total Journal append failures (events lost to the journal, serving unaffected).")

@@ -70,6 +70,14 @@ const (
 	// recSnapshot tags a compacted per-session state record inside a
 	// snapshot file. Never appears in WAL segments.
 	recSnapshot EventType = 5
+
+	// EvLifecycle records a model-generation stage transition (shadow →
+	// canary → active → retired) made by the serving layer's deployment
+	// pipeline. Unlike the session events above it is keyed by model, not
+	// session: Session carries a reserved "\x00lifecycle\x00<model>" key so
+	// the event shards consistently per model, and recovery collects these
+	// records separately instead of folding them into session histories.
+	EvLifecycle EventType = 6
 )
 
 // String names the event type for logs and metrics labels.
@@ -85,6 +93,8 @@ func (t EventType) String() string {
 		return "close"
 	case recSnapshot:
 		return "snapshot"
+	case EvLifecycle:
+		return "lifecycle"
 	}
 	return fmt.Sprintf("event(%d)", uint8(t))
 }
@@ -102,10 +112,11 @@ type Event struct {
 	Seq     int64 // per-session sequence, 1-based
 	Time    int64 // wall clock of the append, unix nanoseconds
 
-	Create   *CreateEvent
-	Steps    *StepsEvent
-	ReAnchor *ReAnchorEvent
-	Close    *CloseEvent
+	Create    *CreateEvent
+	Steps     *StepsEvent
+	ReAnchor  *ReAnchorEvent
+	Close     *CloseEvent
+	Lifecycle *LifecycleEvent
 }
 
 // CreateEvent binds a new session to an IMU model and an origin.
@@ -149,6 +160,24 @@ type ReAnchorEvent struct {
 type CloseEvent struct {
 	Evicted bool // true for TTL eviction, false for explicit delete
 }
+
+// LifecycleEvent is one model-generation stage transition. BundleID is
+// the content fingerprint of the bundle the stage applies to — the
+// durable identity that survives restarts (in-memory generation numbers
+// do not). From is empty for the initial placement of a generation.
+type LifecycleEvent struct {
+	Model    string
+	BundleID string
+	From     string
+	To       string
+	Reason   string
+}
+
+// LifecycleKey returns the reserved Session key lifecycle events for a
+// model are appended under, so all of one model's transitions land in
+// one shard and replay in append order. The NUL framing cannot collide
+// with real session IDs arriving over HTTP paths.
+func LifecycleKey(model string) string { return "\x00lifecycle\x00" + model }
 
 // TrackerSnapshot is a core.PathTracker's full mutable state as plain
 // data: enough to rebuild the tracker bit-identically (window contents,
@@ -325,6 +354,13 @@ func encodeEvent(ev *Event) []byte {
 			v = 1
 		}
 		e.u8(v)
+	case EvLifecycle:
+		l := ev.Lifecycle
+		e.str(l.Model)
+		e.str(l.BundleID)
+		e.str(l.From)
+		e.str(l.To)
+		e.str(l.Reason)
 	}
 	return e.b
 }
@@ -376,6 +412,14 @@ func decodeEvent(b []byte) (Event, error) {
 		ev.ReAnchor = r
 	case EvClose:
 		ev.Close = &CloseEvent{Evicted: d.u8() == 1}
+	case EvLifecycle:
+		l := &LifecycleEvent{}
+		l.Model = d.str()
+		l.BundleID = d.str()
+		l.From = d.str()
+		l.To = d.str()
+		l.Reason = d.str()
+		ev.Lifecycle = l
 	default:
 		return ev, fmt.Errorf("store: unknown record type %d", uint8(ev.Type))
 	}

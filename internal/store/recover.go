@@ -48,6 +48,13 @@ type Recovery struct {
 	Histories []*SessionHistory
 	Stats     RestoreStats
 
+	// Lifecycle holds the model-generation stage transitions scanned from
+	// the WAL, in scan order (segments ascend within a shard, and one
+	// model's events all live in one shard, so per-model order is append
+	// order). These never fold into session histories; the serving layer
+	// reduces them to the latest stage per (model, bundle).
+	Lifecycle []Event
+
 	byID    map[string]*SessionHistory
 	pending map[string][]Event // raw scanned events, folded by finish()
 	order   []string           // session first-seen order
@@ -158,8 +165,16 @@ func (r *Recovery) finish() {
 	}
 }
 
-// enqueue stages one scanned record for the sorted fold.
+// enqueue stages one scanned record for the sorted fold. Lifecycle
+// records are model-keyed, not session-keyed: they are collected aside,
+// never entering the per-session (Gen, Seq) fold.
 func (r *Recovery) enqueue(ev Event) {
+	if ev.Type == EvLifecycle {
+		if ev.Lifecycle != nil {
+			r.Lifecycle = append(r.Lifecycle, ev)
+		}
+		return
+	}
 	if _, seen := r.pending[ev.Session]; !seen {
 		r.order = append(r.order, ev.Session)
 	}

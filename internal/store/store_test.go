@@ -30,12 +30,19 @@ func ev(t EventType, id string, gen, seq int64) *Event {
 		e.ReAnchor = &ReAnchorEvent{X: 9.75, Y: -0.125, WiFiModel: "wifi-m", Fingerprint: []float64{0.1, 0, 0.9}}
 	case EvClose:
 		e.Close = &CloseEvent{Evicted: true}
+	case EvLifecycle:
+		e.Session = LifecycleKey("wifi-m")
+		e.Gen = 0
+		e.Lifecycle = &LifecycleEvent{
+			Model: "wifi-m", BundleID: "ab54c0ffee", From: "shadow", To: "canary",
+			Reason: "shadow window complete (200 samples)",
+		}
 	}
 	return e
 }
 
 func TestEventEncodeDecodeRoundTrip(t *testing.T) {
-	for _, typ := range []EventType{EvCreate, EvSteps, EvReAnchor, EvClose} {
+	for _, typ := range []EventType{EvCreate, EvSteps, EvReAnchor, EvClose, EvLifecycle} {
 		in := ev(typ, "dev-42", 1000, 3)
 		out, err := decodeEvent(encodeEvent(in))
 		if err != nil {
@@ -152,6 +159,52 @@ func TestJournalAppendRecoverRoundTrip(t *testing.T) {
 	}
 	if c := byID["dev-c"]; c == nil || !c.Closed || !c.Evicted {
 		t.Fatalf("dev-c must be closed+evicted: %+v", c)
+	}
+}
+
+// TestLifecycleEventsRecoveredSeparately: lifecycle transitions share
+// the WAL with session events but are keyed under the reserved
+// lifecycle namespace — recovery must collect them into rec.Lifecycle,
+// never as session histories, and must preserve order and payload.
+func TestLifecycleEventsRecoveredSeparately(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, nil)
+	writeSession(t, j, "dev-a", 100, 2)
+	lc := func(seq int64, from, to string) *Event {
+		return &Event{
+			Type: EvLifecycle, Session: LifecycleKey("m"), Seq: seq, Time: seq,
+			Lifecycle: &LifecycleEvent{Model: "m", BundleID: "cafe01", From: from, To: to, Reason: "test"},
+		}
+	}
+	if err := j.Append(lc(1, "", "shadow")); err != nil {
+		t.Fatal(err)
+	}
+	writeSession(t, j, "dev-b", 200, 1)
+	if err := j.Append(lc(2, "shadow", "canary")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if rec.Stats.Live != 2 {
+		t.Fatalf("stats %+v: lifecycle events must not count as sessions", rec.Stats)
+	}
+	for _, h := range rec.Histories {
+		if strings.HasPrefix(h.ID, "\x00") {
+			t.Fatalf("lifecycle key %q leaked into session histories", h.ID)
+		}
+	}
+	if len(rec.Lifecycle) != 2 {
+		t.Fatalf("%d lifecycle events recovered, want 2: %+v", len(rec.Lifecycle), rec.Lifecycle)
+	}
+	got := []*LifecycleEvent{rec.Lifecycle[0].Lifecycle, rec.Lifecycle[1].Lifecycle}
+	if got[0].To != "shadow" || got[1].To != "canary" || got[1].BundleID != "cafe01" {
+		t.Fatalf("lifecycle payloads: %+v %+v", got[0], got[1])
 	}
 }
 

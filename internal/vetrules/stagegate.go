@@ -1,0 +1,151 @@
+package vetrules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"noble/internal/vetrules/analysis"
+)
+
+// Stagegate enforces the deployment-pipeline invariant PR-9 introduced:
+// a model generation's lifecycle stage may only change through the
+// registry's single transition function, so every stage mutation is
+// validated against the state machine, stamped, stats-reset, and
+// journaled as a WAL lifecycle event. A stray `m.Stage = ...` anywhere
+// else would silently skip the legality check and the crash-recovery
+// journal.
+//
+// Marking scheme, all within the declaring package:
+//
+//   - `//vet:stagegate` on a named type (serve.Stage) gates it: any
+//     assignment to a struct FIELD of that type is flagged.
+//   - `//vet:stagegate-transition` on a function exempts its body — the
+//     one blessed mutation point (serve.applyStage).
+//   - `//vet:stagegate-exempt` on a struct field declaration exempts
+//     that field — configuration-shaped fields of the stage type (a
+//     bundle's TargetStage) that are not live state.
+//
+// Composite literals are not flagged: constructing a snapshot or a
+// status struct with a Stage value reads state, it doesn't transition a
+// live generation.
+var Stagegate = &analysis.Analyzer{
+	Name: "stagegate",
+	Doc: "fields of a //vet:stagegate-marked type may only be assigned inside a " +
+		"//vet:stagegate-transition function (single-transition-point stage machines)",
+	Run: runStagegate,
+}
+
+const (
+	stagegateMark       = "//vet:stagegate"
+	stagegateTransition = "//vet:stagegate-transition"
+	stagegateExempt     = "//vet:stagegate-exempt"
+)
+
+// docHasExactDirective is docHasDirective with whole-comment matching,
+// so the bare type mark is not satisfied by its -transition/-exempt
+// variants.
+func docHasExactDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive {
+			return true
+		}
+	}
+	return false
+}
+
+func runStagegate(pass *analysis.Pass) error {
+	gated := map[string]bool{} // named types carrying //vet:stagegate
+	for name, doc := range typeDeclDoc(pass.Files) {
+		if docHasExactDirective(doc, stagegateMark) {
+			gated[name] = true
+		}
+	}
+	if len(gated) == 0 {
+		return nil
+	}
+	exempt := stagegateExemptFields(pass.Files)
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			if docHasExactDirective(decl.Doc, stagegateTransition) {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					ftype := exprTypeName(pass.TypesInfo, sel)
+					if !gated[ftype] {
+						continue
+					}
+					// Only field writes count: a gated-typed package
+					// variable behind a selector (pkg.Var) has no
+					// Selection entry.
+					s, ok := pass.TypesInfo.Selections[sel]
+					if !ok || s.Kind() != types.FieldVal {
+						continue
+					}
+					owner := exprTypeName(pass.TypesInfo, sel.X)
+					if exempt[owner+"."+sel.Sel.Name] {
+						continue
+					}
+					pass.Reportf(sel.Pos(),
+						"%s.%s is a %s stage field: assign it only inside the "+
+							"//vet:stagegate-transition function, so the transition is "+
+							"validated, stamped, and journaled",
+						owner, sel.Sel.Name, ftype)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// stagegateExemptFields collects "Struct.Field" keys for fields whose
+// declaration carries //vet:stagegate-exempt (doc comment or trailing
+// line comment).
+func stagegateExemptFields(files []*ast.File) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					if !docHasExactDirective(fld.Doc, stagegateExempt) &&
+						!docHasExactDirective(fld.Comment, stagegateExempt) {
+						continue
+					}
+					for _, name := range fld.Names {
+						out[ts.Name.Name+"."+name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

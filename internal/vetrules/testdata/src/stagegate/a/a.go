@@ -1,0 +1,66 @@
+// Package a exercises stagegate: fields of a //vet:stagegate-marked
+// type may only be assigned inside a //vet:stagegate-transition
+// function.
+package a
+
+import "time"
+
+// Stage is the gated state machine.
+//
+//vet:stagegate
+type Stage string
+
+const (
+	StageShadow Stage = "shadow"
+	StageActive Stage = "active"
+)
+
+// Loud is an unrelated named string type: never gated.
+type Loud string
+
+type Model struct {
+	Stage      Stage
+	StageSince time.Time
+	// TargetStage is config, not live state.
+	//
+	//vet:stagegate-exempt
+	TargetStage Stage
+	Noise       Loud
+}
+
+// applyStage is the single blessed mutation point.
+//
+//vet:stagegate-transition
+func applyStage(m *Model, to Stage, now time.Time) {
+	m.Stage = to
+	m.StageSince = now
+}
+
+func promote(m *Model) {
+	applyStage(m, StageActive, time.Now())
+}
+
+func sneakySwap(m *Model) {
+	m.Stage = StageActive // want `Model\.Stage is a Stage stage field: assign it only inside the //vet:stagegate-transition function`
+}
+
+func sneakyMulti(a, b *Model) {
+	a.Stage, b.Stage = StageShadow, StageActive // want `Model\.Stage is a Stage stage field` `Model\.Stage is a Stage stage field`
+}
+
+func configure(m *Model) {
+	m.TargetStage = StageActive // exempt: marked config field
+	m.Noise = "fine"            // unrelated type
+}
+
+func locals() Stage {
+	var s Stage
+	s = StageShadow // local variable, not a field
+	return s
+}
+
+// snapshot construction reads state; composite literals are not
+// transitions.
+func snapshot(m *Model) Model {
+	return Model{Stage: m.Stage, TargetStage: m.TargetStage}
+}

@@ -23,6 +23,7 @@ func Suite() []*analysis.Analyzer {
 		Walframe,
 		Syncclose,
 		Readonlyinfer,
+		Stagegate,
 	}
 }
 

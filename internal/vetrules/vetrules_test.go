@@ -42,6 +42,10 @@ func TestReadonlyinfer(t *testing.T) {
 	vettest.Run(t, srcRoot, vetrules.Readonlyinfer, "readonlyinfer/a", "readonlyinfer/regress")
 }
 
+func TestStagegate(t *testing.T) {
+	vettest.Run(t, srcRoot, vetrules.Stagegate, "stagegate/a")
+}
+
 func TestVetIgnoreDirective(t *testing.T) {
 	vettest.Run(t, srcRoot, vetrules.Readonlyinfer, "vetignore/a")
 }
