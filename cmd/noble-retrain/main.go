@@ -1,0 +1,211 @@
+// Command noble-retrain closes the model lifecycle loop from outside
+// the server: it harvests re-anchor fixes from a noble-serve session
+// WAL into a versioned training corpus, retrains the WiFi bundle(s)
+// that produced them on seed data + corpus, and republishes into the
+// bundle directory — where the serving registry stages the new
+// generation in SHADOW and the lifecycle controller promotes or
+// discards it on live evidence. See DESIGN.md §11 and
+// docs/OPERATIONS.md.
+//
+// One-shot (harvest, then retrain each target):
+//
+//	noble-retrain -state-dir state/ -models models/
+//	noble-retrain -state-dir state/ -models models/ -harvest-only
+//	noble-retrain -state-dir state/ -models models/ -model demo-wifi \
+//	    -target active -policy-min-shadow 40 -policy-min-canary 40
+//
+// Daemon (periodic harvest plus drift/schedule triggering against a
+// live server's metrics):
+//
+//	noble-retrain -state-dir state/ -models models/ -watch \
+//	    -metrics-url http://127.0.0.1:8080/metrics \
+//	    -max-error-delta 2 -min-samples 50 -every 24h
+//
+// The WAL scan is read-only, so both modes are safe against the live
+// server that owns the journal. Retrained bundles NEVER serve
+// directly: publishing is the only write this tool performs against
+// the deployment, and promotion stays with the lifecycle controller.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"noble/internal/retrain"
+	"noble/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noble-retrain: ")
+	stateDir := flag.String("state-dir", "", "session WAL directory to harvest (required)")
+	models := flag.String("models", "", "bundle directory to retrain into (required unless -harvest-only)")
+	corpusDir := flag.String("corpus", "", "training corpus directory (default <state-dir>/retrain)")
+	modelFlag := flag.String("model", "", "comma-separated wifi bundles to retrain (default: every retrainable bundle with corpus fixes)")
+	harvestOnly := flag.Bool("harvest-only", false, "harvest into the corpus and stop")
+	minFixes := flag.Int("min-fixes", 1, "refuse to retrain a model with fewer corpus fixes than this")
+	retention := flag.Duration("retention", 168*time.Hour, "drop corpus fixes older than this (0 keeps everything)")
+	maxFixes := flag.Int("max-fixes", 100000, "cap each model's corpus at the newest N fixes (0 = unbounded)")
+	watch := flag.Bool("watch", false, "run as a daemon: harvest every -interval and retrain on the drift/schedule triggers")
+	interval := flag.Duration("interval", 30*time.Second, "watch mode: harvest and trigger-evaluation period")
+	metricsURL := flag.String("metrics-url", "", "watch mode: a live noble-serve /metrics URL; feeds the drift trigger from the noble_lifecycle_* histograms")
+	maxErrDelta := flag.Float64("max-error-delta", 0, "watch mode: retrain when a model's rolling re-anchor error exceeds its promotion-time baseline by this many meters (0 disables)")
+	minSamples := flag.Int64("min-samples", 50, "watch mode: re-anchor scores needed past the baseline before the drift trigger may fire")
+	every := flag.Duration("every", 0, "watch mode: also retrain on this wall-clock schedule (0 disables)")
+	target := flag.String("target", "", "write a lifecycle.json sidecar with this promotion target (shadow, canary, or active; empty keeps the bundle's existing sidecar)")
+	polShadow := flag.Int64("policy-min-shadow", 0, "sidecar policy: mirrored samples a shadow needs before canary (0 = registry default)")
+	polCanary := flag.Int64("policy-min-canary", 0, "sidecar policy: canary evaluation window, in samples (0 = registry default)")
+	polErr := flag.Float64("policy-max-error-delta", 0, "sidecar policy: max live error delta vs active, meters (0 = registry default)")
+	polP99 := flag.Float64("policy-max-p99-delta", 0, "sidecar policy: max p99 pass-latency delta, ms (0 = registry default)")
+	flag.Parse()
+
+	if *stateDir == "" {
+		log.Fatal("-state-dir is required")
+	}
+	if *models == "" && !*harvestOnly {
+		log.Fatal("-models is required (or pass -harvest-only)")
+	}
+	if *corpusDir == "" {
+		*corpusDir = filepath.Join(*stateDir, "retrain")
+	}
+	var spec *serve.LifecycleSpec
+	switch *target {
+	case "":
+	case "shadow", "canary", "active":
+		spec = &serve.LifecycleSpec{
+			Target: *target,
+			Policy: serve.LifecyclePolicy{
+				MinShadowRequests: *polShadow,
+				MinCanaryRequests: *polCanary,
+				MaxErrorDeltaM:    *polErr,
+				MaxP99DeltaMS:     *polP99,
+			},
+		}
+	default:
+		log.Fatalf("unknown -target %q (want shadow, canary, or active)", *target)
+	}
+
+	policy := retrain.TriggerPolicy{
+		MaxErrorDeltaM: *maxErrDelta,
+		MinSamples:     *minSamples,
+		Every:          *every,
+	}
+	mgr := retrain.NewManager(retrain.ManagerConfig{
+		StateDir:    *stateDir,
+		ModelsDir:   *models,
+		CorpusDir:   *corpusDir,
+		Retention:   *retention,
+		MaxPerModel: *maxFixes,
+		MinFixes:    *minFixes,
+		Trigger:     policy,
+		Samples:     sampleSource(*metricsURL, *corpusDir),
+		Lifecycle:   spec,
+		Logf:        log.Printf,
+	})
+
+	if *watch {
+		log.Printf("watching %s every %v (trigger: %s)", *stateDir, *interval, policy.Describe())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		mgr.Run(ctx, *interval)
+		return
+	}
+
+	// One-shot: harvest, then retrain each target. An empty corpus is a
+	// hard failure — it means the WAL holds no fingerprint-carrying
+	// fixes (or the wrong -state-dir), and every downstream step would
+	// silently train on seed data alone.
+	stats, err := mgr.HarvestNow()
+	if err != nil {
+		log.Fatalf("harvest: %v", err)
+	}
+	log.Printf("harvest: %d sessions scanned, %d fixes visible, %d new, %d pruned, corpus now %d",
+		stats.Sessions, stats.Scanned, stats.Added, stats.Pruned, stats.Total)
+	if stats.Total == 0 {
+		log.Fatalf("corpus at %s is empty after harvest — no re-anchor fixes in %s", *corpusDir, *stateDir)
+	}
+	if *harvestOnly {
+		return
+	}
+
+	targets, err := resolveTargets(*modelFlag, *models, *corpusDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(targets) == 0 {
+		log.Fatal("no retrainable wifi bundles with corpus fixes (pass -model to pick explicitly)")
+	}
+	for _, model := range targets {
+		rec, err := mgr.RunOnce(model, "cli")
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := rec.Result
+		fmt.Printf("retrained %s: %d seed + %d harvested samples, mean %.2f m, published to %s (awaiting promotion from shadow)\n",
+			model, res.SeedSamples, res.UsedFixes, res.MeanErrM, res.BundlePath)
+	}
+}
+
+// sampleSource feeds the drift trigger. With a metrics URL the samples
+// come from the live server's noble_lifecycle_* histograms; without
+// one (schedule-only watching), each corpus model gets an empty sample
+// so the wall-clock trigger still tracks it.
+func sampleSource(metricsURL, corpusDir string) func() []retrain.Sample {
+	if metricsURL != "" {
+		return func() []retrain.Sample {
+			samples, err := retrain.ScrapeLifecycle(metricsURL)
+			if err != nil {
+				log.Printf("scrape %s: %v", metricsURL, err)
+				return nil
+			}
+			return samples
+		}
+	}
+	return func() []retrain.Sample {
+		c, err := retrain.OpenCorpus(corpusDir)
+		if err != nil {
+			return nil
+		}
+		var out []retrain.Sample
+		for _, m := range c.Models() {
+			out = append(out, retrain.Sample{Model: m})
+		}
+		return out
+	}
+}
+
+// resolveTargets picks the bundles to retrain: the -model list, or
+// every corpus model with a retrainable wifi bundle on disk.
+func resolveTargets(modelFlag, modelsDir, corpusDir string) ([]string, error) {
+	if modelFlag != "" {
+		return strings.Split(modelFlag, ","), nil
+	}
+	c, err := retrain.OpenCorpus(corpusDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, m := range c.Models() {
+		raw, err := os.ReadFile(filepath.Join(modelsDir, m, "manifest.json"))
+		if err != nil {
+			continue
+		}
+		var man serve.Manifest
+		if err := json.Unmarshal(raw, &man); err != nil {
+			continue
+		}
+		if man.Kind == serve.KindWiFi && man.WiFi != nil {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}

@@ -12,8 +12,12 @@
 //	            [-compact-every 1m] [-trace] [-trace-sample 1.0]
 //	            [-trace-ring 256] [-slow-ms 250] [-admin-addr addr]
 //	            [-mirror-rate 0.1] [-lifecycle-tick 5s]
+//	            [-retrain-corpus dir] [-retrain-every 0] [-retrain-tick 30s]
+//	            [-retrain-max-error-delta 0] [-retrain-min-samples 50]
+//	            [-retrain-retention 168h] [-retrain-min-fixes 8]
 //	noble-serve -admin-addr host:port -promote model
 //	noble-serve -admin-addr host:port -rollback model
+//	noble-serve -admin-addr host:port -retrain model
 //
 // With -state-dir, tracking sessions are durable: every session event
 // (create, committed IMU segments, WiFi re-anchor, close/evict) is
@@ -49,6 +53,17 @@
 // a crash. Manual overrides run as an admin client against a live
 // server: noble-serve -admin-addr ... -promote model (or -rollback).
 //
+// With -state-dir the retraining loop (DESIGN.md §11) is also armed:
+// the session WAL's re-anchor fixes are harvestable into a training
+// corpus (-retrain-corpus, default <state-dir>/retrain), POST
+// /admin/retrain/{model} kicks a harvest+retrain whose republished
+// bundle enters shadow like any other, and /debug/retrain +
+// noble_retrain_* metrics expose the loop's state. Setting
+// -retrain-every and/or -retrain-max-error-delta starts the automatic
+// trigger: retrain on a wall-clock schedule, or when a model's rolling
+// re-anchor error drifts past its promotion-time baseline by the
+// configured delta (evaluated every -retrain-tick).
+//
 // Endpoints:
 //
 //	POST   /v1/localize      {"model":"m","fingerprints":[[...]]}
@@ -69,6 +84,8 @@
 //	GET    /debug/runtime    goroutine/heap/GC snapshot (JSON)
 //	GET    /debug/lifecycle  deployment pipeline: every live generation's
 //	                         stage, policy, and live evaluation evidence
+//	GET    /debug/retrain    retraining loop: corpus size, trigger state,
+//	                         last harvest and last retrain run
 //
 // With -demo, a small Wi-Fi localizer and IMU tracker are trained at
 // startup (a few seconds) and written into -models as regular bundles, so
@@ -86,11 +103,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"noble/internal/obs"
+	"noble/internal/retrain"
 	"noble/internal/serve"
 	"noble/internal/serve/lifecycle"
 	"noble/internal/store"
@@ -108,6 +127,24 @@ func lifecycleOverride(adminAddr, model, verb string) error {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server said %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// retrainOverride POSTs a manual retrain kick to a running server's
+// admin plane. The server answers 202 and runs the harvest+retrain in
+// the background; watch /debug/retrain for the outcome.
+func retrainOverride(adminAddr, model string) error {
+	url := fmt.Sprintf("http://%s/admin/retrain/%s", adminAddr, model)
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusAccepted {
 		return fmt.Errorf("server said %s: %s", resp.Status, strings.TrimSpace(string(body)))
 	}
 	return nil
@@ -143,6 +180,24 @@ func main() {
 		"admin-client mode: promote the named model's staged generation one stage via -admin-addr, then exit")
 	rollback := flag.String("rollback", "",
 		"admin-client mode: retire the named model's staged generation via -admin-addr, then exit")
+	retrainKick := flag.String("retrain", "",
+		"admin-client mode: kick a harvest+retrain of the named model via -admin-addr, then exit")
+	retrainCorpus := flag.String("retrain-corpus", "",
+		"training corpus directory for harvested re-anchor fixes (default <state-dir>/retrain; needs -state-dir)")
+	retrainTick := flag.Duration("retrain-tick", 30*time.Second,
+		"retrain trigger evaluation cadence (harvest + drift/schedule check; needs a trigger flag below to do anything)")
+	retrainEvery := flag.Duration("retrain-every", 0,
+		"retrain each corpus-backed wifi bundle on this wall-clock schedule (0 disables the schedule trigger)")
+	retrainMaxErrDelta := flag.Float64("retrain-max-error-delta", 0,
+		"retrain when a model's rolling re-anchor error exceeds its baseline by this many meters (0 disables the drift trigger)")
+	retrainMinSamples := flag.Int64("retrain-min-samples", 50,
+		"re-anchor scores needed past the baseline before the drift trigger may fire")
+	retrainRetention := flag.Duration("retrain-retention", 168*time.Hour,
+		"drop harvested corpus fixes older than this (0 keeps everything)")
+	retrainMaxFixes := flag.Int("retrain-max-fixes", 100000,
+		"cap each model's corpus at the newest N fixes (0 = unbounded)")
+	retrainMinFixes := flag.Int("retrain-min-fixes", 8,
+		"refuse to retrain a model with fewer corpus fixes than this")
 	flag.Parse()
 
 	// Structured logging: one slog logger feeds the server's own lines,
@@ -161,8 +216,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Manual lifecycle overrides run as an admin-plane HTTP client
-	// against an already-running server, then exit.
+	// Manual lifecycle/retrain overrides run as an admin-plane HTTP
+	// client against an already-running server, then exit.
 	if *promote != "" || *rollback != "" {
 		if *adminAddr == "" {
 			fatal("lifecycle override needs -admin-addr pointing at the running server's debug plane")
@@ -175,6 +230,16 @@ func main() {
 			fatal("lifecycle override", "model", model, "action", verb, "err", err)
 		}
 		logger.Info("lifecycle override applied", "model", model, "action", verb)
+		return
+	}
+	if *retrainKick != "" {
+		if *adminAddr == "" {
+			fatal("retrain kick needs -admin-addr pointing at the running server's debug plane")
+		}
+		if err := retrainOverride(*adminAddr, *retrainKick); err != nil {
+			fatal("retrain kick", "model", *retrainKick, "err", err)
+		}
+		logger.Info("retrain kicked", "model", *retrainKick, "next", "watch /debug/retrain")
 		return
 	}
 
@@ -276,6 +341,53 @@ func main() {
 			"restored", sum.Restored, "skipped", sum.Skipped, "closed", sum.Closed, "torn", sum.Torn)
 	}
 	srv := serve.NewServer(engine)
+
+	// Retraining manager: armed whenever sessions are durable (the WAL is
+	// the evidence source). Without trigger flags it is manual-only —
+	// POST /admin/retrain/{model} or the noble-retrain CLI drive it; with
+	// -retrain-every / -retrain-max-error-delta the trigger loop below
+	// harvests and retrains on its own. Samples come straight from the
+	// registry (no scrape hop), and Reload stages a fresh publish without
+	// waiting for the directory watcher.
+	var retrainMgr *retrain.Manager
+	if *stateDir != "" {
+		corpusDir := *retrainCorpus
+		if corpusDir == "" {
+			corpusDir = filepath.Join(*stateDir, "retrain")
+		}
+		retrainMgr = retrain.NewManager(retrain.ManagerConfig{
+			StateDir:    *stateDir,
+			ModelsDir:   *modelsDir,
+			CorpusDir:   corpusDir,
+			Retention:   *retrainRetention,
+			MaxPerModel: *retrainMaxFixes,
+			MinFixes:    *retrainMinFixes,
+			Trigger: retrain.TriggerPolicy{
+				MaxErrorDeltaM: *retrainMaxErrDelta,
+				MinSamples:     *retrainMinSamples,
+				Every:          *retrainEvery,
+			},
+			Samples: func() []retrain.Sample {
+				var out []retrain.Sample
+				for _, dep := range reg.Deployments() {
+					if dep.Active == nil {
+						continue
+					}
+					out = append(out, retrain.Sample{
+						Model:      dep.Name,
+						Generation: dep.Active.Generation,
+						Scores:     dep.Active.Stats.Scores,
+						ErrorSumM:  dep.Active.Stats.ErrorSumM,
+					})
+				}
+				return out
+			},
+			Reload: func() error { _, _, err := reg.Reload(); return err },
+			Logf:   logf,
+		})
+		srv.SetRetrain(retrainMgr)
+	}
+
 	if srv.Batching() {
 		logger.Info("micro-batching on", "window", *batchWindow, "max", *batchMax)
 	} else {
@@ -301,6 +413,13 @@ func main() {
 		logger.Info("promotion controller on", "tick", *lifecycleTick, "mirror_rate", *mirrorRate)
 	} else {
 		logger.Info("promotion controller off")
+	}
+	if retrainMgr != nil && (*retrainEvery > 0 || *retrainMaxErrDelta > 0) {
+		go retrainMgr.Run(ctx, *retrainTick)
+		logger.Info("retrain trigger on", "tick", *retrainTick,
+			"every", *retrainEvery, "max_error_delta", *retrainMaxErrDelta, "min_samples", *retrainMinSamples)
+	} else if retrainMgr != nil {
+		logger.Info("retrain manual-only", "hint", "POST /admin/retrain/{model} or noble-retrain")
 	}
 	go srv.Sessions().Run(ctx, *sessionSweep)
 	if journal != nil {

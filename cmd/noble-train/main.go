@@ -14,6 +14,10 @@
 // the manifest records the generation spec so the serving side can
 // rebuild the architecture deterministically, which is impossible for an
 // external CSV.
+//
+// The command is a flag shim over internal/train, which holds the whole
+// training path (including the int8 calibration gate) so the retraining
+// loop in internal/retrain can invoke it programmatically.
 package main
 
 import (
@@ -23,203 +27,107 @@ import (
 	"os"
 
 	"noble/internal/core"
-	"noble/internal/dataset"
-	"noble/internal/eval"
-	"noble/internal/geo"
-	"noble/internal/serve"
+	"noble/internal/train"
 )
+
+// cmdFlags is the command's flag set. registerFlags is split out from
+// main so the golden help test can render the exact usage text without
+// running the command; the refactor to internal/train must never change
+// a flag.
+type cmdFlags struct {
+	dataset, size      *string
+	trainCSV, testCSV  *string
+	threshold          *float64
+	epochs             *int
+	tau                *float64
+	save, bundle, name *string
+	precision          *string
+	calibMethod        *string
+	calibPercentile    *float64
+	calibSamples       *int
+	errorBudget        *float64
+	verbose            *bool
+}
+
+func registerFlags(fs *flag.FlagSet) *cmdFlags {
+	return &cmdFlags{
+		dataset:         fs.String("dataset", "uji", "synthetic dataset: uji or ipin"),
+		size:            fs.String("size", "small", "synthetic dataset size: small or full"),
+		trainCSV:        fs.String("train-csv", "", "UJIIndoorLoc-format training CSV (overrides -dataset)"),
+		testCSV:         fs.String("test-csv", "", "UJIIndoorLoc-format test CSV (required with -train-csv)"),
+		threshold:       fs.Float64("threshold", -104, "detection threshold (dBm) for CSV normalization"),
+		epochs:          fs.Int("epochs", 0, "training epochs (0 = config default)"),
+		tau:             fs.Float64("tau", 0, "fine quantization cell side in meters (0 = default 0.4)"),
+		save:            fs.String("save", "", "write trained weights to this file"),
+		bundle:          fs.String("bundle", "", "publish the model as a noble-serve bundle under this directory"),
+		name:            fs.String("name", "", "bundle name (default <dataset>-<size>)"),
+		precision:       fs.String("precision", "fp64", "serving tier to publish: fp64, or int8 (runs calibration plus the publish-blocking accuracy gate)"),
+		calibMethod:     fs.String("calib-method", "absmax", "int8 activation range calibration: absmax or percentile"),
+		calibPercentile: fs.Float64("calib-percentile", 99.9, "percentile for -calib-method=percentile"),
+		calibSamples:    fs.Int("calib-samples", 0, "max validation rows consumed by calibration (0 = default)"),
+		errorBudget:     fs.Float64("error-budget", 0, "int8 accuracy gate: max relative mean-error increase in percent (0 = default 2)"),
+		verbose:         fs.Bool("v", false, "log per-epoch loss"),
+	}
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("noble-train: ")
-	datasetFlag := flag.String("dataset", "uji", "synthetic dataset: uji or ipin")
-	sizeFlag := flag.String("size", "small", "synthetic dataset size: small or full")
-	trainCSV := flag.String("train-csv", "", "UJIIndoorLoc-format training CSV (overrides -dataset)")
-	testCSV := flag.String("test-csv", "", "UJIIndoorLoc-format test CSV (required with -train-csv)")
-	threshold := flag.Float64("threshold", -104, "detection threshold (dBm) for CSV normalization")
-	epochs := flag.Int("epochs", 0, "training epochs (0 = config default)")
-	tau := flag.Float64("tau", 0, "fine quantization cell side in meters (0 = default 0.4)")
-	saveFlag := flag.String("save", "", "write trained weights to this file")
-	bundleFlag := flag.String("bundle", "", "publish the model as a noble-serve bundle under this directory")
-	nameFlag := flag.String("name", "", "bundle name (default <dataset>-<size>)")
-	precision := flag.String("precision", "fp64", "serving tier to publish: fp64, or int8 (runs calibration plus the publish-blocking accuracy gate)")
-	calibMethod := flag.String("calib-method", "absmax", "int8 activation range calibration: absmax or percentile")
-	calibPercentile := flag.Float64("calib-percentile", 99.9, "percentile for -calib-method=percentile")
-	calibSamples := flag.Int("calib-samples", 0, "max validation rows consumed by calibration (0 = default)")
-	errorBudget := flag.Float64("error-budget", 0, "int8 accuracy gate: max relative mean-error increase in percent (0 = default 2)")
-	verbose := flag.Bool("v", false, "log per-epoch loss")
+	f := registerFlags(flag.CommandLine)
 	flag.Parse()
-	if *precision != core.PrecisionFP64 && *precision != core.PrecisionInt8 {
-		log.Fatalf("-precision %q: want fp64 or int8", *precision)
+	if *f.precision != core.PrecisionFP64 && *f.precision != core.PrecisionInt8 {
+		log.Fatalf("-precision %q: want fp64 or int8", *f.precision)
 	}
 
-	ds, spec := loadDataset(*datasetFlag, *sizeFlag, *trainCSV, *testCSV, *threshold)
-	if *bundleFlag != "" && spec == nil {
+	ds, spec, err := train.LoadData(train.DataOptions{
+		Dataset:   *f.dataset,
+		Size:      *f.size,
+		TrainCSV:  *f.trainCSV,
+		TestCSV:   *f.testCSV,
+		Threshold: *f.threshold,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *f.bundle != "" && spec == nil {
 		log.Fatal("-bundle requires a synthetic dataset (the manifest must record a reproducible generation spec)")
 	}
 
 	cfg := core.DefaultWiFiConfig()
-	if *epochs > 0 {
-		cfg.Epochs = *epochs
+	if *f.epochs > 0 {
+		cfg.Epochs = *f.epochs
 	}
-	if *tau > 0 {
-		cfg.TauFine = *tau
-		if cfg.TauCoarse <= *tau {
-			cfg.TauCoarse = *tau * 4
+	if *f.tau > 0 {
+		cfg.TauFine = *f.tau
+		if cfg.TauCoarse <= *f.tau {
+			cfg.TauCoarse = *f.tau * 4
 		}
 	}
-	if *verbose {
+	if *f.verbose {
 		cfg.Logf = log.Printf
 	}
 
-	fmt.Printf("training on %d samples (%d WAPs, %d buildings, %d floors)\n",
-		len(ds.Train), ds.NumWAPs, ds.NumBuildings, ds.NumFloors)
-	model := core.TrainWiFi(ds, cfg)
-	fmt.Printf("model: %d neighborhood classes, %d MACs/inference\n", model.Classes(), model.FLOPs())
-
-	if len(ds.Test) > 0 {
-		x := dataset.FeaturesMatrix(ds.Test)
-		preds := model.PredictMatrix(x)
-		pos := make([]geo.Point, len(preds))
-		floors := make([]int, len(preds))
-		buildings := make([]int, len(preds))
-		for i, p := range preds {
-			pos[i] = p.Pos
-			floors[i] = p.Floor
-			buildings[i] = p.Building
-		}
-		stats := eval.Stats(eval.Errors(pos, dataset.Positions(ds.Test)))
-		fmt.Printf("test: mean %.2f m, median %.2f m, p90 %.2f m (n=%d)\n",
-			stats.Mean, stats.Median, stats.P90, stats.N)
-		fmt.Printf("test: building acc %.2f%%, floor acc %.2f%%\n",
-			100*eval.HitRate(buildings, dataset.BuildingLabels(ds.Test)),
-			100*eval.HitRate(floors, dataset.FloorLabels(ds.Test)))
+	name := *f.name
+	if name == "" {
+		name = fmt.Sprintf("%s-%s", *f.dataset, *f.size)
 	}
-
-	// The quantized tier: calibrate on the validation split and enforce
-	// the accuracy gate BEFORE anything is written. A model that fails
-	// the gate is never saved or published as int8 — that is the entire
-	// point of the gate.
-	var calib *serve.CalibrationFile
-	if *precision == core.PrecisionInt8 {
-		var err error
-		calib, err = serve.QuantizeWiFiModel(model, ds, serve.QuantizeOptions{
-			Method:       *calibMethod,
-			Percentile:   *calibPercentile,
-			CalibSamples: *calibSamples,
-			BudgetPct:    *errorBudget,
-		})
-		if err != nil {
-			log.Fatalf("int8 publish blocked: %v", err)
-		}
-		budget := *errorBudget
-		if budget == 0 {
-			budget = serve.DefaultErrorBudgetPct
-		}
-		fmt.Printf("int8 gate passed: mean error %.2f m (fp64) -> %.2f m (int8), delta %+.2f%% (budget %.2f%%)\n",
-			calib.FP64MeanErr, calib.Int8MeanErr, calib.DeltaPct, budget)
-	}
-
-	if *saveFlag != "" {
-		f, err := os.Create(*saveFlag)
-		if err != nil {
-			log.Fatalf("creating %s: %v", *saveFlag, err)
-		}
-		if err := model.Save(f); err != nil {
-			f.Close()
-			log.Fatalf("saving model: %v", err)
-		}
-		// Close errors carry write-back failures (full disk): check them
-		// instead of deferring, so we never report success over a
-		// truncated weights file.
-		if err := f.Close(); err != nil {
-			log.Fatalf("closing %s: %v", *saveFlag, err)
-		}
-		fmt.Printf("weights written to %s\n", *saveFlag)
-	}
-
-	if *bundleFlag != "" {
-		spec.Config = cfg
-		name := *nameFlag
-		if name == "" {
-			name = fmt.Sprintf("%s-%s", *datasetFlag, *sizeFlag)
-		}
-		man := serve.Manifest{Kind: serve.KindWiFi, WiFi: spec}
-		var extras []serve.ExtraFile
-		if calib != nil {
-			man.Precision = &serve.PrecisionBlock{
-				Mode:           core.PrecisionInt8,
-				ErrorBudgetPct: *errorBudget,
-			}
-			extras = append(extras, serve.CalibrationExtra("calibration.json", calib))
-		}
-		if err := serve.WriteBundle(*bundleFlag, name, man, func(f *os.File) error {
-			return model.Save(f)
-		}, extras...); err != nil {
-			log.Fatalf("publishing bundle: %v", err)
-		}
-		fmt.Printf("bundle published to %s/%s\n", *bundleFlag, name)
-	}
-}
-
-// loadDataset materializes the requested dataset. For synthetic datasets
-// the returned spec records how to regenerate it (for serving bundles);
-// it is nil for CSV input.
-func loadDataset(name, size, trainCSV, testCSV string, threshold float64) (*dataset.WiFi, *serve.WiFiBundle) {
-	if trainCSV != "" {
-		if testCSV == "" {
-			log.Fatal("-train-csv requires -test-csv")
-		}
-		train := mustLoadCSV(trainCSV, threshold)
-		test := mustLoadCSV(testCSV, threshold)
-		maxB, maxF := 0, 0
-		for _, s := range append(append([]dataset.WiFiSample{}, train...), test...) {
-			if s.Building > maxB {
-				maxB = s.Building
-			}
-			if s.Floor > maxF {
-				maxF = s.Floor
-			}
-		}
-		return &dataset.WiFi{
-			NumWAPs:      len(train[0].RSSI),
-			NumBuildings: maxB + 1,
-			NumFloors:    maxF + 1,
-			Train:        train,
-			Test:         test,
-		}, nil
-	}
-	var cfg dataset.WiFiConfig
-	switch {
-	case name == "uji" && size == "full":
-		cfg = dataset.DefaultUJIConfig()
-	case name == "uji":
-		cfg = dataset.SmallUJIConfig()
-	case name == "ipin" && size == "full":
-		cfg = dataset.DefaultIPINConfig()
-	case name == "ipin":
-		cfg = dataset.SmallIPINConfig()
-	default:
-		log.Fatalf("unknown dataset %q (want uji or ipin)", name)
-	}
-	if name == "uji" {
-		return dataset.SynthUJI(cfg), &serve.WiFiBundle{Plan: "uji", Dataset: cfg}
-	}
-	return dataset.SynthIPIN(cfg), &serve.WiFiBundle{Plan: "ipin", Dataset: cfg}
-}
-
-func mustLoadCSV(path string, threshold float64) []dataset.WiFiSample {
-	f, err := os.Open(path)
+	_, err = train.Run(train.Options{
+		Data:            ds,
+		Spec:            spec,
+		Config:          cfg,
+		Precision:       *f.precision,
+		CalibMethod:     *f.calibMethod,
+		CalibPercentile: *f.calibPercentile,
+		CalibSamples:    *f.calibSamples,
+		ErrorBudgetPct:  *f.errorBudget,
+		SavePath:        *f.save,
+		BundleDir:       *f.bundle,
+		BundleName:      name,
+		Printf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stdout, format, args...)
+		},
+	})
 	if err != nil {
-		log.Fatalf("opening %s: %v", path, err)
+		log.Fatal(err)
 	}
-	defer f.Close()
-	samples, err := dataset.LoadUJICSV(f, threshold)
-	if err != nil {
-		log.Fatalf("parsing %s: %v", path, err)
-	}
-	if len(samples) == 0 {
-		log.Fatalf("%s contains no samples", path)
-	}
-	return samples
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestHelpGolden pins the command's -h output (modulo the binary-name
+// "Usage of" header). The refactor that moved the training path into
+// internal/train must keep the flag surface byte-identical; any flag
+// change has to be deliberate enough to update the golden file.
+//
+// Regenerate with: go test ./cmd/noble-train -run TestHelpGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/help.golden")
+
+func TestHelpGolden(t *testing.T) {
+	fs := flag.NewFlagSet("noble-train", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	registerFlags(fs)
+	fs.PrintDefaults()
+
+	golden := filepath.Join("testdata", "help.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", golden, err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s: %v", golden, err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("flag help drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}

@@ -146,12 +146,32 @@ func NewWiFiModel(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
 // architecture with NewWiFiModel and optimizes the summed cross-entropy
 // objective.
 func TrainWiFi(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
+	return TrainWiFiAugmented(ds, nil, cfg)
+}
+
+// TrainWiFiAugmented fits NObLe on the dataset's training split plus
+// extra samples harvested at serving time (re-anchor fixes with their
+// fingerprints — the paper's free supervision). The architecture is
+// built from ds alone: the quantization grids, codebook, and head sizes
+// come from the seed survey, so a model retrained with any extra set
+// stays load-compatible with bundles published from the same manifest
+// spec. Extra positions are labeled on those fixed grids via
+// nearest-class lookup (Labels never rejects a position), and extra
+// building/floor labels must already lie within the dataset's
+// cardinalities. With a nil extra set it is exactly TrainWiFi.
+func TrainWiFiAugmented(ds *dataset.WiFi, extra []dataset.WiFiSample, cfg WiFiConfig) *WiFiModel {
 	m := NewWiFiModel(ds, cfg)
 	grids := m.Grids
-	positions := dataset.Positions(ds.Train)
+	train := ds.Train
+	if len(extra) > 0 {
+		train = make([]dataset.WiFiSample, 0, len(ds.Train)+len(extra))
+		train = append(train, ds.Train...)
+		train = append(train, extra...)
+	}
+	positions := dataset.Positions(train)
 
 	// Targets.
-	x := dataset.FeaturesMatrix(ds.Train)
+	x := dataset.FeaturesMatrix(train)
 	fineLabels := grids.Fine.Labels(positions)
 	var fineTargets *mat.Dense
 	if cfg.MultiLabel {
@@ -165,10 +185,10 @@ func TrainWiFi(ds *dataset.WiFi, cfg WiFiConfig) *WiFiModel {
 		targets[m.coarseHead] = grids.Coarse.OneHot(grids.Coarse.Labels(positions))
 	}
 	if m.buildingHead >= 0 {
-		targets[m.buildingHead] = nn.OneHotBatch(dataset.BuildingLabels(ds.Train), ds.NumBuildings)
+		targets[m.buildingHead] = nn.OneHotBatch(dataset.BuildingLabels(train), ds.NumBuildings)
 	}
 	if m.floorHead >= 0 {
-		targets[m.floorHead] = nn.OneHotBatch(dataset.FloorLabels(ds.Train), ds.NumFloors)
+		targets[m.floorHead] = nn.OneHotBatch(dataset.FloorLabels(train), ds.NumFloors)
 	}
 
 	params := m.net.Params()

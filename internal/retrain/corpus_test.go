@@ -1,0 +1,220 @@
+package retrain
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"noble/internal/store"
+)
+
+// Journal event builders for harvest tests.
+
+func createEvent(id string, gen, seq int64) *store.Event {
+	return &store.Event{
+		Type: store.EvCreate, Session: id, Gen: gen, Seq: seq, Time: gen + seq,
+		Create: &store.CreateEvent{Model: "imu-m", Window: 2, SegDim: 3},
+	}
+}
+
+func stepsEvent(id string, gen, seq int64) *store.Event {
+	return &store.Event{
+		Type: store.EvSteps, Session: id, Gen: gen, Seq: seq, Time: gen + seq,
+		Steps: &store.StepsEvent{
+			SegDim: 3, Count: 1, Features: []float64{1, 2, 3},
+			Preds: []store.PredRecord{{EndX: 1, EndY: 2, Class: 3}},
+		},
+	}
+}
+
+func fixEvent(id string, gen, seq int64, model string, x, y float64) *store.Event {
+	return &store.Event{
+		Type: store.EvReAnchor, Session: id, Gen: gen, Seq: seq, Time: gen + seq,
+		ReAnchor: &store.ReAnchorEvent{X: x, Y: y, WiFiModel: model, Fingerprint: []float64{0.1, 0.5, 0.9}},
+	}
+}
+
+func openJournal(t *testing.T, dir string) *store.Journal {
+	t.Helper()
+	j, err := store.Open(store.Config{Dir: dir, Shards: 1, Fsync: store.FsyncNever, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j
+}
+
+func mustAppend(t *testing.T, j *store.Journal, evs ...*store.Event) {
+	t.Helper()
+	for _, e := range evs {
+		if err := j.Append(e); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+// TestHarvestDedupAcrossOverlappingScans drives the corpus through the
+// journal's real lifecycle: repeated harvests of a LIVE journal re-read
+// the same segment files (full overlap — dedup must add nothing),
+// compaction folds scanned fixes into a fingerprint-less snapshot
+// (making them unharvestable, which is why the corpus is the durable
+// copy), and post-compaction fixes arrive as new corpus entries.
+func TestHarvestDedupAcrossOverlappingScans(t *testing.T) {
+	state := t.TempDir()
+	corpusDir := filepath.Join(t.TempDir(), "corpus")
+	j := openJournal(t, state)
+	mustAppend(t, j,
+		createEvent("dev-a", 100, 1),
+		stepsEvent("dev-a", 100, 2),
+		fixEvent("dev-a", 100, 3, "wifi-m", 1, 2),
+		fixEvent("dev-a", 100, 4, "wifi-m", 3, 4),
+	)
+
+	// First harvest against the live journal.
+	c, err := OpenCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Harvest(state, c, HarvestOptions{})
+	if err != nil {
+		t.Fatalf("harvest 1: %v", err)
+	}
+	if stats.Scanned != 2 || stats.Added != 2 || stats.Total != 2 {
+		t.Fatalf("harvest 1 stats %+v, want 2 scanned / 2 added / 2 total", stats)
+	}
+
+	// Second harvest with nothing new: the scan re-reads the exact same
+	// segment files, and (session, gen, seq) dedup must absorb all of it.
+	c2, err := OpenCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err = Harvest(state, c2, HarvestOptions{})
+	if err != nil {
+		t.Fatalf("harvest 2: %v", err)
+	}
+	if stats.Scanned != 2 || stats.Added != 0 || stats.Total != 2 {
+		t.Fatalf("harvest 2 stats %+v, want 2 scanned / 0 added / 2 total", stats)
+	}
+
+	// Compact: the harvested fixes fold into a snapshot (no
+	// fingerprints) and their segments are pruned. A fix appended after
+	// compaction is the only one the next scan can see.
+	err = j.Compact(func(shard int) []store.SessionSnapshot {
+		return []store.SessionSnapshot{{
+			ID: "dev-a", Model: "imu-m", Gen: 100, LastUsed: 104, Seq: 4, Steps: 1,
+			Tracker: store.TrackerSnapshot{Window: 2, SegDim: 3, Segments: []float64{1, 2, 3}},
+		}}
+	})
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	mustAppend(t, j, fixEvent("dev-a", 100, 5, "wifi-m", 5, 6))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c3, err := OpenCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err = Harvest(state, c3, HarvestOptions{})
+	if err != nil {
+		t.Fatalf("harvest 3: %v", err)
+	}
+	if stats.Scanned != 1 || stats.Added != 1 || stats.Total != 3 {
+		t.Fatalf("harvest 3 stats %+v, want 1 scanned / 1 added / 3 total", stats)
+	}
+
+	// The corpus generation advanced once per save, and a cold reopen
+	// sees all three fixes in time order.
+	final, err := OpenCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Generation() != 3 || final.Len() != 3 {
+		t.Fatalf("reopened corpus: gen=%d len=%d, want gen=3 len=3", final.Generation(), final.Len())
+	}
+	fixes := final.Fixes("wifi-m")
+	for i := 1; i < len(fixes); i++ {
+		if fixes[i].Time < fixes[i-1].Time {
+			t.Fatalf("corpus not time-ordered: %+v", fixes)
+		}
+	}
+	if fixes[2].X != 5 || fixes[2].Y != 6 {
+		t.Fatalf("post-compaction fix payload: %+v", fixes[2])
+	}
+}
+
+// TestCorpusPruneRetentionAndCap: retention drops by record wall clock,
+// the per-model cap keeps the newest N, and pruned keys leave the dedup
+// set.
+func TestCorpusPruneRetentionAndCap(t *testing.T) {
+	c, err := OpenCorpus(filepath.Join(t.TempDir(), "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000000, 0)
+	mk := func(seq int64, age time.Duration) store.ReAnchorFix {
+		return store.ReAnchorFix{
+			Session: "s", Gen: 1, Seq: seq, Time: now.Add(-age).UnixNano(),
+			WiFiModel: "wifi-m", Fingerprint: []float64{1}, X: float64(seq),
+		}
+	}
+	added := c.Add([]store.ReAnchorFix{
+		mk(1, 10*time.Hour), // too old
+		mk(2, 3*time.Hour),
+		mk(3, 2*time.Hour),
+		mk(4, time.Hour),
+	})
+	if added != 4 {
+		t.Fatalf("added %d, want 4", added)
+	}
+	if pruned := c.Prune(now, 5*time.Hour, 2); pruned != 2 {
+		t.Fatalf("pruned %d, want 2 (1 by age, 1 by cap)", pruned)
+	}
+	fixes := c.Fixes("wifi-m")
+	if len(fixes) != 2 || fixes[0].Seq != 3 || fixes[1].Seq != 4 {
+		t.Fatalf("kept %+v, want the newest two (seq 3, 4)", fixes)
+	}
+	// Pruned keys left the dedup set: the same fix can be re-added.
+	if re := c.Add([]store.ReAnchorFix{mk(2, 3*time.Hour)}); re != 1 {
+		t.Fatalf("re-add after prune: added %d, want 1", re)
+	}
+}
+
+// TestCorpusSaveSweepsOldShards: each Save writes generation-named
+// shards and removes the previous generation's files, so the corpus
+// directory never accumulates garbage.
+func TestCorpusSaveSweepsOldShards(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	c, err := OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add([]store.ReAnchorFix{{Session: "s", Gen: 1, Seq: 1, Time: 1, WiFiModel: "m", Fingerprint: []float64{1}}})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	c.Add([]store.ReAnchorFix{{Session: "s", Gen: 1, Seq: 2, Time: 2, WiFiModel: "m", Fingerprint: []float64{1}}})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "fixes-") {
+			shards = append(shards, e.Name())
+		}
+	}
+	if len(shards) != 1 || !strings.Contains(shards[0], "-g2") {
+		t.Fatalf("shard files after two saves: %v, want only the g2 shard", shards)
+	}
+}

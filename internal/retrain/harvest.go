@@ -1,0 +1,65 @@
+package retrain
+
+import (
+	"fmt"
+	"time"
+
+	"noble/internal/store"
+)
+
+// HarvestOptions tunes one harvest pass.
+type HarvestOptions struct {
+	// Retention drops corpus fixes older than this window (0 keeps
+	// everything). Retention is what keeps a long-lived corpus tracking
+	// the CURRENT RF environment instead of averaging over every
+	// environment the deployment ever saw.
+	Retention time.Duration
+	// MaxPerModel caps each model's corpus at the newest N fixes
+	// (0 = unbounded).
+	MaxPerModel int
+	// Now is the retention reference clock (zero value = time.Now()).
+	Now time.Time
+}
+
+// HarvestStats summarizes a pass.
+type HarvestStats struct {
+	Sessions int   `json:"sessions"` // histories scanned
+	Scanned  int   `json:"scanned"`  // fingerprint-carrying fixes visible in the WAL
+	Added    int   `json:"added"`    // new to the corpus after dedup
+	Pruned   int   `json:"pruned"`   // dropped by retention/caps
+	Total    int   `json:"total"`    // corpus size after the pass
+	Torn     int64 `json:"torn"`     // torn frames skipped by the reader (live tail)
+}
+
+// Harvest scans the session WAL at stateDir — the same read path
+// noble-replay recovers from, including closed sessions — merges every
+// visible re-anchor fix into the corpus, applies retention, and
+// persists a new corpus generation. The scan is read-only, so it is
+// safe against a live journal: a partially flushed tail parses as a
+// torn frame and is simply picked up by the next pass. Fixes already
+// compacted into snapshots are gone (snapshots keep tracker state, not
+// fingerprints) — harvesting on a schedule shorter than the compaction
+// interval is what drains fixes before compaction retires them.
+func Harvest(stateDir string, c *Corpus, o HarvestOptions) (HarvestStats, error) {
+	rec, err := store.Load(stateDir)
+	if err != nil {
+		return HarvestStats{}, fmt.Errorf("loading journal at %s: %w", stateDir, err)
+	}
+	fixes := rec.ReAnchorFixes()
+	now := o.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
+	stats := HarvestStats{
+		Sessions: len(rec.Histories),
+		Scanned:  len(fixes),
+		Added:    c.Add(fixes),
+		Torn:     rec.Stats.TornRecords,
+	}
+	stats.Pruned = c.Prune(now, o.Retention, o.MaxPerModel)
+	stats.Total = c.Len()
+	if err := c.Save(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,177 @@
+package retrain
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file feeds the drift trigger from a LIVE noble-serve over HTTP:
+// ScrapeLifecycle reads the /metrics exposition and reduces the
+// noble_lifecycle_reanchor_error_meters histogram (cumulative count and
+// sum per model) plus the active generation number from
+// noble_model_info into trigger Samples. Driving the trigger off the
+// public metrics plane — rather than a private RPC — means the
+// noble-retrain daemon needs nothing from the server that an operator's
+// dashboard doesn't already have, and the numbers the trigger fires on
+// are exactly the numbers on the graphs.
+
+// Metric names and labels consumed by the scraper.
+const (
+	metricErrSum   = "noble_lifecycle_reanchor_error_meters_sum"
+	metricErrCount = "noble_lifecycle_reanchor_error_meters_count"
+	metricInfo     = "noble_model_info"
+	labelActive    = "active"
+)
+
+// ScrapeLifecycle fetches url (a noble-serve /metrics endpoint) and
+// returns one Sample per model with an active generation.
+func ScrapeLifecycle(url string) ([]Sample, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scraping %s: %s", url, resp.Status)
+	}
+	return ParseLifecycleMetrics(resp.Body)
+}
+
+// ParseLifecycleMetrics reduces a Prometheus text exposition to
+// per-model active-generation Samples.
+func ParseLifecycleMetrics(r io.Reader) ([]Sample, error) {
+	byModel := map[string]*Sample{}
+	get := func(model string) *Sample {
+		s, ok := byModel[model]
+		if !ok {
+			s = &Sample{Model: model}
+			byModel[model] = s
+		}
+		return s
+	}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, ok := parseMetricLine(line)
+		if !ok {
+			continue
+		}
+		switch name {
+		case metricErrSum, metricErrCount:
+			if labels["stage"] != labelActive {
+				continue
+			}
+			model := labels["model"]
+			if model == "" {
+				continue
+			}
+			if _, seen := byModel[model]; !seen {
+				order = append(order, model)
+			}
+			s := get(model)
+			if name == metricErrSum {
+				s.ErrorSumM = value
+			} else {
+				s.Scores = int64(value)
+			}
+		case metricInfo:
+			if labels["stage"] != labelActive {
+				continue
+			}
+			model := labels["name"]
+			if model == "" {
+				continue
+			}
+			if _, seen := byModel[model]; !seen {
+				order = append(order, model)
+			}
+			gen, err := strconv.Atoi(labels["generation"])
+			if err == nil {
+				get(model).Generation = gen
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Sample, 0, len(order))
+	for _, m := range order {
+		out = append(out, *byModel[m])
+	}
+	return out, nil
+}
+
+// parseMetricLine splits `name{k="v",...} value` (labels optional).
+// Label values are Go-quoted by the exporters this reads, so
+// strconv.Unquote round-trips them exactly.
+func parseMetricLine(line string) (name string, labels map[string]string, value float64, ok bool) {
+	rest := line
+	labels = map[string]string{}
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", nil, 0, false
+		}
+		for _, pair := range splitLabels(rest[i+1 : j]) {
+			k, v, found := strings.Cut(pair, "=")
+			if !found {
+				continue
+			}
+			if uq, err := strconv.Unquote(v); err == nil {
+				labels[k] = uq
+			}
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		var found bool
+		name, rest, found = strings.Cut(rest, " ")
+		if !found {
+			return "", nil, 0, false
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	return name, labels, v, true
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

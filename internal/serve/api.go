@@ -110,6 +110,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("GET /debug/runtime", s.handleDebugRuntime)
 	s.mux.HandleFunc("GET /debug/lifecycle", s.handleDebugLifecycle)
+	s.mux.HandleFunc("GET /debug/retrain", s.handleDebugRetrain)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 }
@@ -306,5 +307,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		j.WritePrometheus(w)
 	}
 	s.engine.Tracer().WritePrometheus(w) // nil-safe no-op with tracing off
+	if s.retrain != nil {
+		s.retrain.WritePrometheus(w)
+	}
 	obs.WriteRuntimePrometheus(w)
 }

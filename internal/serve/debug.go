@@ -77,8 +77,10 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	mux.HandleFunc("GET /debug/runtime", s.handleDebugRuntime)
 	mux.HandleFunc("GET /debug/lifecycle", s.handleDebugLifecycle)
+	mux.HandleFunc("GET /debug/retrain", s.handleDebugRetrain)
 	mux.HandleFunc("POST /admin/lifecycle/{model}/promote", s.handleLifecyclePromote)
 	mux.HandleFunc("POST /admin/lifecycle/{model}/rollback", s.handleLifecycleRollback)
+	mux.HandleFunc("POST /admin/retrain/{model}", s.handleAdminRetrain)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

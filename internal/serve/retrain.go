@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+)
+
+// RetrainController is the narrow surface the serving layer needs from
+// the retraining subsystem (internal/retrain implements it). The
+// dependency points this way — retrain imports serve for bundles and
+// lifecycle specs, serve sees only this interface — because retraining
+// must go through the public publish path like any other bundle
+// producer: the serving side grants it introspection and a kick
+// endpoint, never a direct line to the registry.
+type RetrainController interface {
+	// Status is the /debug/retrain JSON view: corpus counts, last run,
+	// trigger state.
+	Status() any
+	// Kick starts an asynchronous harvest+retrain of one model; it
+	// fails fast when one is already in flight or the model has no
+	// retrainable bundle.
+	Kick(model, reason string) error
+	// WritePrometheus appends the noble_retrain_* metric family to a
+	// /metrics scrape.
+	WritePrometheus(w io.Writer)
+}
+
+// SetRetrain attaches the retraining subsystem. Call before the server
+// starts listening; a nil controller (the default) turns the retrain
+// endpoints into 404s and adds nothing to /metrics.
+func (s *Server) SetRetrain(rc RetrainController) { s.retrain = rc }
+
+// handleDebugRetrain dumps the retraining loop's state: corpus size
+// per model, harvest and run history, and the drift trigger's
+// baselines.
+func (s *Server) handleDebugRetrain(w http.ResponseWriter, r *http.Request) {
+	if s.retrain == nil {
+		fail(w, http.StatusNotFound, "retraining is not configured (noble-serve needs -state-dir)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.retrain.Status())
+}
+
+// handleAdminRetrain kicks an asynchronous harvest+retrain of one
+// model. The run publishes through the normal bundle path, so the new
+// generation lands in shadow and still has to earn promotion — this
+// endpoint can waste compute, but it cannot put bad weights on the
+// serving path. Admin mux only.
+func (s *Server) handleAdminRetrain(w http.ResponseWriter, r *http.Request) {
+	if s.retrain == nil {
+		fail(w, http.StatusNotFound, "retraining is not configured (noble-serve needs -state-dir)")
+		return
+	}
+	model := r.PathValue("model")
+	if err := s.retrain.Kick(model, "admin"); err != nil {
+		fail(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"model": model, "status": "started"})
+}

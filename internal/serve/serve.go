@@ -116,6 +116,7 @@ type Server struct {
 	engine  *Engine
 	metrics *Metrics
 	mux     *http.ServeMux
+	retrain RetrainController // nil until SetRetrain
 }
 
 // New wires an Engine from cfg and a Server over it.

@@ -1,0 +1,74 @@
+package store
+
+// This file is the journal's read-side harvest API: it turns a loaded
+// Recovery into the training evidence the retraining loop consumes
+// (see internal/retrain). A WiFi re-anchor fix is the paper's free
+// supervision — a fingerprint labeled by the position the deployment
+// accepted as ground truth — and the WAL already records both halves
+// of that pair, so harvesting is a pure scan over recovered histories:
+// no new on-disk format, no write path, and the exact same view of the
+// journal that noble-replay's scorer replays.
+
+// ReAnchorFix is one harvested supervision pair: the WiFi fingerprint
+// a session submitted and the absolute fix the trajectory was snapped
+// to, plus the committed IMU segment batch that immediately preceded
+// the fix (the motion context, kept for provenance and future IMU
+// retraining). Explicit anchors (no fingerprint) are not fixes and are
+// never harvested.
+type ReAnchorFix struct {
+	Session string // session ID
+	Gen     int64  // session incarnation (CreatedAt unix nanoseconds)
+	Seq     int64  // per-session sequence of the re-anchor record
+	Time    int64  // wall clock of the append, unix nanoseconds
+
+	WiFiModel   string    // model that produced the fix
+	Fingerprint []float64 // normalized model-input vector, as served
+	X, Y        float64   // the accepted fix position
+
+	// Preceding committed IMU window (zero/nil when the fix arrived
+	// before any steps, or when the steps were compacted away).
+	SegDim int
+	Window []float64
+}
+
+// ReAnchorFixes scans every recovered session history — live and
+// closed — and extracts the fingerprint-carrying re-anchor fixes in
+// per-session (Gen, Seq) order. Fixes folded into a compacted snapshot
+// are unrecoverable (snapshots keep tracker state, not fingerprints),
+// which is why the retraining harvester runs on a schedule instead of
+// once: each harvest drains the fixes still visible in the segment
+// files before compaction retires them.
+func (r *Recovery) ReAnchorFixes() []ReAnchorFix {
+	var out []ReAnchorFix
+	for _, h := range r.Histories {
+		var lastSteps *StepsEvent
+		for i := range h.Events {
+			ev := &h.Events[i]
+			switch ev.Type {
+			case EvSteps:
+				lastSteps = ev.Steps
+			case EvReAnchor:
+				ra := ev.ReAnchor
+				if ra == nil || len(ra.Fingerprint) == 0 {
+					continue
+				}
+				fix := ReAnchorFix{
+					Session:     h.ID,
+					Gen:         ev.Gen,
+					Seq:         ev.Seq,
+					Time:        ev.Time,
+					WiFiModel:   ra.WiFiModel,
+					Fingerprint: append([]float64(nil), ra.Fingerprint...),
+					X:           ra.X,
+					Y:           ra.Y,
+				}
+				if lastSteps != nil {
+					fix.SegDim = lastSteps.SegDim
+					fix.Window = append([]float64(nil), lastSteps.Features...)
+				}
+				out = append(out, fix)
+			}
+		}
+	}
+	return out
+}

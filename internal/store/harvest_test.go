@@ -1,0 +1,90 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestReAnchorFixesMatchRecoveredHistories: harvesting is a pure
+// projection of the same Recovery that noble-replay scores, so every
+// harvested field must match the recovered event exactly, and the
+// returned slices must be copies — mutating a fix must never corrupt
+// the replayable history.
+func TestReAnchorFixesMatchRecoveredHistories(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, func(c *Config) { c.Shards = 1 })
+	// dev-a: create (seq 1), one steps batch (seq 2), fingerprint fix
+	// (seq 3) — the fix carries the steps batch as its motion window.
+	writeSession(t, j, "dev-a", 100, 1)
+	if err := j.Append(ev(EvReAnchor, "dev-a", 100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// dev-b: a fix BEFORE any steps (no window), then an explicit
+	// anchor (no fingerprint) that must not be harvested.
+	if err := j.Append(ev(EvCreate, "dev-b", 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ev(EvReAnchor, "dev-b", 200, 2)); err != nil {
+		t.Fatal(err)
+	}
+	bare := ev(EvReAnchor, "dev-b", 200, 3)
+	bare.ReAnchor.Fingerprint = nil
+	if err := j.Append(bare); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	fixes := rec.ReAnchorFixes()
+	if len(fixes) != 2 {
+		t.Fatalf("%d fixes harvested, want 2 (fingerprint-less anchors excluded): %+v", len(fixes), fixes)
+	}
+	byID := map[string]ReAnchorFix{}
+	for _, f := range fixes {
+		byID[f.Session] = f
+	}
+
+	// dev-a: every field mirrors the recovered events.
+	var hist *SessionHistory
+	for _, h := range rec.Histories {
+		if h.ID == "dev-a" {
+			hist = h
+		}
+	}
+	if hist == nil {
+		t.Fatal("dev-a history missing")
+	}
+	steps := hist.Events[1].Steps
+	anchor := hist.Events[2]
+	fa := byID["dev-a"]
+	if fa.Gen != anchor.Gen || fa.Seq != anchor.Seq || fa.Time != anchor.Time {
+		t.Fatalf("identity fields diverge from the record: %+v vs %+v", fa, anchor)
+	}
+	if fa.WiFiModel != anchor.ReAnchor.WiFiModel || fa.X != anchor.ReAnchor.X || fa.Y != anchor.ReAnchor.Y {
+		t.Fatalf("fix payload diverges: %+v vs %+v", fa, anchor.ReAnchor)
+	}
+	if !reflect.DeepEqual(fa.Fingerprint, anchor.ReAnchor.Fingerprint) {
+		t.Fatalf("fingerprint diverges: %v vs %v", fa.Fingerprint, anchor.ReAnchor.Fingerprint)
+	}
+	if fa.SegDim != steps.SegDim || !reflect.DeepEqual(fa.Window, steps.Features) {
+		t.Fatalf("motion window diverges: dim=%d %v vs dim=%d %v", fa.SegDim, fa.Window, steps.SegDim, steps.Features)
+	}
+
+	// dev-b's fix arrived before any steps: no motion window.
+	fb := byID["dev-b"]
+	if fb.SegDim != 0 || fb.Window != nil {
+		t.Fatalf("pre-steps fix must carry no window: %+v", fb)
+	}
+
+	// Copy semantics: harvested slices are independent of the history.
+	fa.Fingerprint[0] = 42
+	fa.Window[0] = 42
+	if anchor.ReAnchor.Fingerprint[0] == 42 || steps.Features[0] == 42 {
+		t.Fatal("mutating a harvested fix corrupted the recovered history")
+	}
+}

@@ -1,0 +1,280 @@
+// Package train is the callable Wi-Fi training path behind
+// cmd/noble-train: materialize a dataset, fit the NObLe model, run the
+// optional int8 calibration gate, and save or publish the result as a
+// noble-serve bundle. The command keeps only flag parsing; everything
+// below the flags lives here so the retraining loop
+// (internal/retrain) can invoke the exact same path — including the
+// publish-blocking accuracy gate — on seed data augmented with
+// harvested re-anchor fixes.
+//
+// Boundary rule (see docs/LINT.md): this package TRAINS. It may
+// construct and fit models and write bundles, but it must never reach
+// into the serving registry or mutate deployment state — a retrained
+// bundle reaches traffic only by being published to the bundle
+// directory and earning promotion through the lifecycle controller.
+package train
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"noble/internal/core"
+	"noble/internal/dataset"
+	"noble/internal/eval"
+	"noble/internal/geo"
+	"noble/internal/serve"
+)
+
+// DataOptions selects the training dataset the way the noble-train
+// flags do: a named synthetic survey, or a UJIIndoorLoc-format CSV
+// pair.
+type DataOptions struct {
+	Dataset   string // synthetic dataset: uji or ipin
+	Size      string // synthetic dataset size: small or full
+	TrainCSV  string // overrides Dataset when set
+	TestCSV   string // required with TrainCSV
+	Threshold float64
+}
+
+// LoadData materializes the requested dataset. For synthetic datasets
+// the returned spec records how to regenerate it (for serving
+// bundles); it is nil for CSV input.
+func LoadData(o DataOptions) (*dataset.WiFi, *serve.WiFiBundle, error) {
+	if o.TrainCSV != "" {
+		if o.TestCSV == "" {
+			return nil, nil, fmt.Errorf("-train-csv requires -test-csv")
+		}
+		train, err := loadCSV(o.TrainCSV, o.Threshold)
+		if err != nil {
+			return nil, nil, err
+		}
+		test, err := loadCSV(o.TestCSV, o.Threshold)
+		if err != nil {
+			return nil, nil, err
+		}
+		maxB, maxF := 0, 0
+		for _, s := range append(append([]dataset.WiFiSample{}, train...), test...) {
+			if s.Building > maxB {
+				maxB = s.Building
+			}
+			if s.Floor > maxF {
+				maxF = s.Floor
+			}
+		}
+		return &dataset.WiFi{
+			NumWAPs:      len(train[0].RSSI),
+			NumBuildings: maxB + 1,
+			NumFloors:    maxF + 1,
+			Train:        train,
+			Test:         test,
+		}, nil, nil
+	}
+	var cfg dataset.WiFiConfig
+	switch {
+	case o.Dataset == "uji" && o.Size == "full":
+		cfg = dataset.DefaultUJIConfig()
+	case o.Dataset == "uji":
+		cfg = dataset.SmallUJIConfig()
+	case o.Dataset == "ipin" && o.Size == "full":
+		cfg = dataset.DefaultIPINConfig()
+	case o.Dataset == "ipin":
+		cfg = dataset.SmallIPINConfig()
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q (want uji or ipin)", o.Dataset)
+	}
+	if o.Dataset == "uji" {
+		return dataset.SynthUJI(cfg), &serve.WiFiBundle{Plan: "uji", Dataset: cfg}, nil
+	}
+	return dataset.SynthIPIN(cfg), &serve.WiFiBundle{Plan: "ipin", Dataset: cfg}, nil
+}
+
+func loadCSV(path string, threshold float64) ([]dataset.WiFiSample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening %s: %v", path, err)
+	}
+	defer f.Close()
+	samples, err := dataset.LoadUJICSV(f, threshold)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%s contains no samples", path)
+	}
+	return samples, nil
+}
+
+// Options is one training run. Data and Config are required; everything
+// else is opt-in.
+type Options struct {
+	Data   *dataset.WiFi
+	Spec   *serve.WiFiBundle // generation spec; nil for CSV input
+	Config core.WiFiConfig
+
+	// Extra augments the training split with harvested serving-time
+	// samples (re-anchor fixes). The architecture is still built from
+	// Data alone, so the result stays load-compatible with bundles
+	// published from the same spec; see core.TrainWiFiAugmented.
+	Extra []dataset.WiFiSample
+
+	// Precision selects the published serving tier: core.PrecisionFP64
+	// (default when empty) or core.PrecisionInt8, which runs
+	// calibration plus the publish-blocking accuracy gate.
+	Precision       string
+	CalibMethod     string  // absmax or percentile
+	CalibPercentile float64 // for percentile calibration
+	CalibSamples    int     // max validation rows consumed (0 = default)
+	ErrorBudgetPct  float64 // int8 gate budget in percent (0 = default)
+
+	SavePath string // write raw weights here when set
+
+	// BundleDir/BundleName publish the model as a noble-serve bundle at
+	// <dir>/<name>/. Requires Spec (the manifest must record a
+	// reproducible generation spec).
+	BundleDir  string
+	BundleName string
+	// Lifecycle, when set with BundleDir, is written as the bundle's
+	// lifecycle.json sidecar — the promotion policy the deployment
+	// pipeline enforces on the new generation.
+	Lifecycle *serve.LifecycleSpec
+
+	// Printf receives the run's progress lines (nil discards them).
+	// cmd/noble-train passes fmt.Printf, keeping its output
+	// byte-identical to the pre-refactor command.
+	Printf func(format string, args ...any)
+}
+
+// Result is what a run produced.
+type Result struct {
+	Model      *core.WiFiModel
+	TestStats  *eval.ErrorStats       // nil when Data.Test is empty
+	Calib      *serve.CalibrationFile // nil for fp64 runs
+	BundlePath string                 // "" unless published
+}
+
+// Run trains, evaluates, gates, and saves/publishes per Options. A
+// model that fails the int8 gate is never saved or published.
+func Run(o Options) (*Result, error) {
+	printf := o.Printf
+	if printf == nil {
+		printf = func(string, ...any) {}
+	}
+	if o.Precision == "" {
+		o.Precision = core.PrecisionFP64
+	}
+	if o.Precision != core.PrecisionFP64 && o.Precision != core.PrecisionInt8 {
+		return nil, fmt.Errorf("precision %q: want fp64 or int8", o.Precision)
+	}
+	if o.BundleDir != "" && o.Spec == nil {
+		return nil, fmt.Errorf("-bundle requires a synthetic dataset (the manifest must record a reproducible generation spec)")
+	}
+	if o.BundleDir != "" && o.BundleName == "" {
+		return nil, fmt.Errorf("publishing a bundle requires a bundle name")
+	}
+
+	ds, cfg := o.Data, o.Config
+	if len(o.Extra) > 0 {
+		printf("training on %d samples + %d harvested fixes (%d WAPs, %d buildings, %d floors)\n",
+			len(ds.Train), len(o.Extra), ds.NumWAPs, ds.NumBuildings, ds.NumFloors)
+	} else {
+		printf("training on %d samples (%d WAPs, %d buildings, %d floors)\n",
+			len(ds.Train), ds.NumWAPs, ds.NumBuildings, ds.NumFloors)
+	}
+	model := core.TrainWiFiAugmented(ds, o.Extra, cfg)
+	printf("model: %d neighborhood classes, %d MACs/inference\n", model.Classes(), model.FLOPs())
+
+	res := &Result{Model: model}
+	if len(ds.Test) > 0 {
+		x := dataset.FeaturesMatrix(ds.Test)
+		preds := model.PredictMatrix(x)
+		pos := make([]geo.Point, len(preds))
+		floors := make([]int, len(preds))
+		buildings := make([]int, len(preds))
+		for i, p := range preds {
+			pos[i] = p.Pos
+			floors[i] = p.Floor
+			buildings[i] = p.Building
+		}
+		stats := eval.Stats(eval.Errors(pos, dataset.Positions(ds.Test)))
+		res.TestStats = &stats
+		printf("test: mean %.2f m, median %.2f m, p90 %.2f m (n=%d)\n",
+			stats.Mean, stats.Median, stats.P90, stats.N)
+		printf("test: building acc %.2f%%, floor acc %.2f%%\n",
+			100*eval.HitRate(buildings, dataset.BuildingLabels(ds.Test)),
+			100*eval.HitRate(floors, dataset.FloorLabels(ds.Test)))
+	}
+
+	// The quantized tier: calibrate on the validation split and enforce
+	// the accuracy gate BEFORE anything is written. A model that fails
+	// the gate is never saved or published as int8 — that is the entire
+	// point of the gate.
+	if o.Precision == core.PrecisionInt8 {
+		calib, err := serve.QuantizeWiFiModel(model, ds, serve.QuantizeOptions{
+			Method:       o.CalibMethod,
+			Percentile:   o.CalibPercentile,
+			CalibSamples: o.CalibSamples,
+			BudgetPct:    o.ErrorBudgetPct,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("int8 publish blocked: %v", err)
+		}
+		budget := o.ErrorBudgetPct
+		if budget == 0 {
+			budget = serve.DefaultErrorBudgetPct
+		}
+		printf("int8 gate passed: mean error %.2f m (fp64) -> %.2f m (int8), delta %+.2f%% (budget %.2f%%)\n",
+			calib.FP64MeanErr, calib.Int8MeanErr, calib.DeltaPct, budget)
+		res.Calib = calib
+	}
+
+	if o.SavePath != "" {
+		f, err := os.Create(o.SavePath)
+		if err != nil {
+			return nil, fmt.Errorf("creating %s: %v", o.SavePath, err)
+		}
+		if err := model.Save(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("saving model: %v", err)
+		}
+		// Close errors carry write-back failures (full disk): check them
+		// instead of deferring, so we never report success over a
+		// truncated weights file.
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("closing %s: %v", o.SavePath, err)
+		}
+		printf("weights written to %s\n", o.SavePath)
+	}
+
+	if o.BundleDir != "" {
+		o.Spec.Config = cfg
+		man := serve.Manifest{Kind: serve.KindWiFi, WiFi: o.Spec}
+		var extras []serve.ExtraFile
+		if res.Calib != nil {
+			man.Precision = &serve.PrecisionBlock{
+				Mode:           core.PrecisionInt8,
+				ErrorBudgetPct: o.ErrorBudgetPct,
+			}
+			extras = append(extras, serve.CalibrationExtra("calibration.json", res.Calib))
+		}
+		if o.Lifecycle != nil {
+			spec := o.Lifecycle
+			extras = append(extras, serve.ExtraFile{Name: "lifecycle.json", Write: func(f *os.File) error {
+				raw, err := json.MarshalIndent(spec, "", "  ")
+				if err != nil {
+					return err
+				}
+				_, err = f.Write(append(raw, '\n'))
+				return err
+			}})
+		}
+		if err := serve.WriteBundle(o.BundleDir, o.BundleName, man, func(f *os.File) error {
+			return model.Save(f)
+		}, extras...); err != nil {
+			return nil, fmt.Errorf("publishing bundle: %v", err)
+		}
+		res.BundlePath = o.BundleDir + "/" + o.BundleName
+		printf("bundle published to %s\n", res.BundlePath)
+	}
+	return res, nil
+}
